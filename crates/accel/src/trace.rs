@@ -1,0 +1,413 @@
+//! Kernel-launch tracing and simulated timing.
+//!
+//! The virtual machines report every kernel launch (and every runtime
+//! superstep) to a [`Trace`], which prices it against a [`Backend`] and
+//! accumulates simulated wall-clock time plus per-kernel utilization
+//! statistics. Figure 5 reads `gradients / sim_time`; Figure 6 reads the
+//! active-lane utilization of the gradient kernel.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::backend::Backend;
+
+/// One kernel launch reported by a runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchRecord {
+    /// Kernel tag, e.g. `"add"`, `"grad"`, `"block:7"`, `"stack_push"`.
+    pub kernel: String,
+    /// Total useful floating-point work in the launch (all lanes).
+    pub flops: f64,
+    /// Sequential memory traffic in bytes.
+    pub bytes: f64,
+    /// Random-access (gather/scatter) traffic in bytes.
+    pub random_bytes: f64,
+    /// Independent elements available for parallel execution
+    /// (batch members × per-member elements).
+    pub parallel: usize,
+    /// Batch members whose results are actually used (active lanes).
+    pub active_members: usize,
+    /// Total batch members processed (active + masked-out).
+    pub total_members: usize,
+}
+
+impl LaunchRecord {
+    /// Convenience constructor for a compute-only launch.
+    pub fn compute(kernel: impl Into<String>, flops: f64, parallel: usize) -> LaunchRecord {
+        LaunchRecord {
+            kernel: kernel.into(),
+            flops,
+            bytes: 0.0,
+            random_bytes: 0.0,
+            parallel,
+            active_members: parallel,
+            total_members: parallel,
+        }
+    }
+}
+
+/// Aggregate statistics for one kernel tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of launches.
+    pub launches: u64,
+    /// Total flops across launches.
+    pub flops: f64,
+    /// Total simulated seconds spent.
+    pub time: f64,
+    /// Sum of active batch members over launches.
+    pub active_members: u64,
+    /// Sum of total batch members over launches.
+    pub total_members: u64,
+}
+
+impl KernelStats {
+    /// Active-lane utilization in `[0, 1]`: the fraction of processed
+    /// batch members whose results were used.
+    pub fn utilization(&self) -> f64 {
+        if self.total_members == 0 {
+            1.0
+        } else {
+            self.active_members as f64 / self.total_members as f64
+        }
+    }
+}
+
+/// One recorded event, for post-hoc re-pricing.
+#[derive(Debug, Clone)]
+enum Event {
+    Launch(LaunchRecord),
+    Logical(LaunchRecord),
+    Superstep,
+}
+
+/// A priced execution trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    backend: Backend,
+    sim_time: f64,
+    launches: u64,
+    supersteps: u64,
+    per_kernel: BTreeMap<String, KernelStats>,
+    logical: BTreeMap<String, KernelStats>,
+    events: Option<Vec<Event>>,
+}
+
+impl Trace {
+    /// Start an empty trace priced against `backend`.
+    pub fn new(backend: Backend) -> Trace {
+        Trace {
+            backend,
+            sim_time: 0.0,
+            launches: 0,
+            supersteps: 0,
+            per_kernel: BTreeMap::new(),
+            logical: BTreeMap::new(),
+            events: None,
+        }
+    }
+
+    /// Start a trace that additionally records every event, enabling
+    /// [`Trace::replay_as`]. Recording is only meaningful when the replay
+    /// target shares the original backend's *semantics* (dispatch mode
+    /// and functional-stack flag) — e.g. pricing one XLA-mode run for
+    /// both the CPU and the GPU device.
+    pub fn recording(backend: Backend) -> Trace {
+        let mut t = Trace::new(backend);
+        t.events = Some(Vec::new());
+        t
+    }
+
+    /// Re-price a recorded run under another backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this trace was not created with [`Trace::recording`], or
+    /// if the target backend disagrees on dispatch mode or functional
+    /// stack updates (the recorded event stream would be wrong).
+    pub fn replay_as(&self, backend: Backend) -> Trace {
+        let events = self
+            .events
+            .as_ref()
+            .expect("replay_as requires Trace::recording");
+        assert_eq!(
+            self.backend.mode, backend.mode,
+            "replay target must share the dispatch mode"
+        );
+        assert_eq!(
+            self.backend.functional_stack_updates, backend.functional_stack_updates,
+            "replay target must share stack-update semantics"
+        );
+        let mut out = Trace::new(backend);
+        for e in events {
+            match e {
+                Event::Launch(r) => {
+                    out.launch(r);
+                }
+                Event::Logical(r) => out.record_logical(r),
+                Event::Superstep => out.superstep(),
+            }
+        }
+        out
+    }
+
+    /// The backend this trace prices against.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Price one kernel launch and accumulate it. Returns the launch's
+    /// simulated duration in seconds.
+    pub fn launch(&mut self, rec: &LaunchRecord) -> f64 {
+        let b = &self.backend;
+        let compute = if b.scalar_compute {
+            b.device.scalar_time(rec.flops)
+        } else {
+            b.device.vector_time(rec.flops, rec.parallel)
+        };
+        let mem = b.device.mem_time(rec.bytes) + b.device.mem_time(rec.random_bytes) * b.gather_penalty;
+        // Compute and memory overlap on real hardware; dispatch does not.
+        let t = b.launch_overhead + compute.max(mem);
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event::Launch(rec.clone()));
+        }
+        self.sim_time += t;
+        self.launches += 1;
+        let s = self.per_kernel.entry(rec.kernel.clone()).or_default();
+        s.launches += 1;
+        s.flops += rec.flops;
+        s.time += t;
+        s.active_members += rec.active_members as u64;
+        s.total_members += rec.total_members as u64;
+        t
+    }
+
+    /// Record *logical* per-kernel statistics without pricing any time.
+    ///
+    /// Runtimes report every primitive here regardless of kernel fusion,
+    /// so utilization questions ("what fraction of gradient lanes were
+    /// useful?", the paper's Figure 6) can be answered even when the
+    /// timed launches are whole fused blocks.
+    pub fn record_logical(&mut self, rec: &LaunchRecord) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event::Logical(rec.clone()));
+        }
+        let s = self.logical.entry(rec.kernel.clone()).or_default();
+        s.launches += 1;
+        s.flops += rec.flops;
+        s.active_members += rec.active_members as u64;
+        s.total_members += rec.total_members as u64;
+    }
+
+    /// Record one runtime superstep (block selection + host control).
+    pub fn superstep(&mut self) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event::Superstep);
+        }
+        self.sim_time += self.backend.superstep_overhead;
+        self.supersteps += 1;
+    }
+
+    /// Add raw host-side time (e.g. one-off setup being measured).
+    pub fn add_host_time(&mut self, seconds: f64) {
+        self.sim_time += seconds;
+    }
+
+    /// Total simulated seconds so far.
+    pub fn sim_time(&self) -> f64 {
+        self.sim_time
+    }
+
+    /// Total kernel launches so far.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Total runtime supersteps so far.
+    pub fn supersteps(&self) -> u64 {
+        self.supersteps
+    }
+
+    /// Statistics for one kernel tag, if it was ever launched.
+    pub fn kernel_stats(&self, kernel: &str) -> Option<&KernelStats> {
+        self.per_kernel.get(kernel)
+    }
+
+    /// Iterate over all per-kernel statistics, ordered by tag.
+    pub fn kernels(&self) -> impl Iterator<Item = (&str, &KernelStats)> {
+        self.per_kernel.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Logical statistics for one kernel tag (fusion-independent).
+    pub fn logical_stats(&self, kernel: &str) -> Option<&KernelStats> {
+        self.logical.get(kernel)
+    }
+
+    /// Sum of `active_members` over logical records of `kernel` — e.g.
+    /// the number of *useful* gradient evaluations when
+    /// `kernel == "grad"`. Falls back to timed launches if the kernel was
+    /// never logically recorded.
+    pub fn useful_count(&self, kernel: &str) -> u64 {
+        self.logical_stats(kernel)
+            .or_else(|| self.kernel_stats(kernel))
+            .map_or(0, |s| s.active_members)
+    }
+
+    /// Active-lane utilization of one kernel tag (1.0 if never seen),
+    /// preferring fusion-independent logical records.
+    pub fn utilization(&self, kernel: &str) -> f64 {
+        self.logical_stats(kernel)
+            .or_else(|| self.kernel_stats(kernel))
+            .map_or(1.0, KernelStats::utilization)
+    }
+
+    /// Whether stack updates on this backend copy the whole buffer.
+    pub fn functional_stack_updates(&self) -> bool {
+        self.backend.functional_stack_updates
+    }
+
+    /// Reset all counters, keeping the backend. Used to exclude warm-up
+    /// (compilation, graph construction) from measurements, as the paper
+    /// does ("the measured time counts only a warm run").
+    pub fn reset(&mut self) {
+        self.sim_time = 0.0;
+        self.launches = 0;
+        self.supersteps = 0;
+        self.per_kernel.clear();
+        self.logical.clear();
+        if let Some(ev) = self.events.as_mut() {
+            ev.clear();
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace[{}]: {:.6}s, {} launches, {} supersteps",
+            self.backend.name, self.sim_time, self.launches, self.supersteps
+        )?;
+        for (k, s) in &self.per_kernel {
+            writeln!(
+                f,
+                "  {k}: {} launches, {:.3e} flops, {:.6}s, util {:.3}",
+                s.launches,
+                s.flops,
+                s.time,
+                s.utilization()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+
+    #[test]
+    fn launch_accumulates_time_and_stats() {
+        let mut tr = Trace::new(Backend::native_cpu());
+        let t = tr.launch(&LaunchRecord::compute("grad", 3.0e9, 1));
+        assert!(t > 0.9 && t < 1.1, "3 Gflops at 3 Gflop/s scalar ≈ 1 s, got {t}");
+        assert_eq!(tr.launches(), 1);
+        assert_eq!(tr.kernel_stats("grad").unwrap().launches, 1);
+        assert!(tr.sim_time() > 0.0);
+    }
+
+    #[test]
+    fn utilization_tracks_active_lanes() {
+        let mut tr = Trace::new(Backend::xla_cpu());
+        tr.launch(&LaunchRecord {
+            kernel: "grad".into(),
+            flops: 100.0,
+            bytes: 0.0,
+            random_bytes: 0.0,
+            parallel: 4,
+            active_members: 1,
+            total_members: 4,
+        });
+        tr.launch(&LaunchRecord {
+            kernel: "grad".into(),
+            flops: 100.0,
+            bytes: 0.0,
+            random_bytes: 0.0,
+            parallel: 4,
+            active_members: 3,
+            total_members: 4,
+        });
+        assert_eq!(tr.utilization("grad"), 0.5);
+        assert_eq!(tr.useful_count("grad"), 4);
+        assert_eq!(tr.utilization("never-launched"), 1.0);
+    }
+
+    #[test]
+    fn logical_records_cost_no_time_but_count_utilization() {
+        let mut tr = Trace::new(Backend::xla_cpu());
+        tr.record_logical(&LaunchRecord {
+            kernel: "grad".into(),
+            flops: 100.0,
+            bytes: 0.0,
+            random_bytes: 0.0,
+            parallel: 8,
+            active_members: 2,
+            total_members: 8,
+        });
+        assert_eq!(tr.sim_time(), 0.0);
+        assert_eq!(tr.utilization("grad"), 0.25);
+        assert_eq!(tr.useful_count("grad"), 2);
+        // Logical stats take precedence over timed ones.
+        tr.launch(&LaunchRecord::compute("grad", 100.0, 8));
+        assert_eq!(tr.utilization("grad"), 0.25);
+    }
+
+    #[test]
+    fn eager_dispatch_dominates_small_batches() {
+        let mut eager = Trace::new(Backend::eager_cpu());
+        let mut xla = Trace::new(Backend::xla_cpu());
+        let rec = LaunchRecord::compute("add", 100.0, 1);
+        let te = eager.launch(&rec);
+        let tx = xla.launch(&rec);
+        assert!(te > 10.0 * tx, "eager {te} vs xla {tx}");
+    }
+
+    #[test]
+    fn superstep_and_reset() {
+        let mut tr = Trace::new(Backend::hybrid_cpu());
+        tr.superstep();
+        tr.superstep();
+        assert_eq!(tr.supersteps(), 2);
+        assert!(tr.sim_time() > 0.0);
+        tr.reset();
+        assert_eq!(tr.supersteps(), 0);
+        assert_eq!(tr.sim_time(), 0.0);
+    }
+
+    #[test]
+    fn memory_and_compute_overlap() {
+        // A launch that is memory-bound should cost ~memory time, not sum.
+        let mut tr = Trace::new(Backend::xla_cpu());
+        let bw = tr.backend().device.mem_bw;
+        let t = tr.launch(&LaunchRecord {
+            kernel: "copy".into(),
+            flops: 1.0,
+            bytes: bw, // exactly one second of traffic
+            random_bytes: 0.0,
+            parallel: 1,
+            active_members: 1,
+            total_members: 1,
+        });
+        assert!((t - 1.0).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn display_lists_kernels() {
+        let mut tr = Trace::new(Backend::native_cpu());
+        tr.launch(&LaunchRecord::compute("grad", 10.0, 1));
+        let s = tr.to_string();
+        assert!(s.contains("grad"));
+        assert!(s.contains("native-cpu"));
+    }
+}

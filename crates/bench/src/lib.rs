@@ -1,0 +1,94 @@
+//! # autobatch-bench
+//!
+//! The experiment harness regenerating the paper's evaluation
+//! (see DESIGN.md §4 for the experiment index):
+//!
+//! - `fig5_throughput` — Figure 5: NUTS gradient throughput vs batch
+//!   size on Bayesian logistic regression, across the five execution
+//!   configurations;
+//! - `fig6_utilization` — Figure 6: batch gradient utilization vs batch
+//!   size on the correlated Gaussian, local-static vs program-counter;
+//! - `ablation_masking` — §2's first free choice: masking vs
+//!   gather/scatter primitive execution;
+//! - `ablation_heuristic` — §2's second free choice: block-selection
+//!   heuristics;
+//! - `ablation_lowering` — §3's compiler optimizations on/off;
+//! - `ablation_dynamic` — §5's alternative architecture: dynamic
+//!   (on-the-fly) batching vs the paper's two static strategies.
+//!
+//! Each binary prints the table to stdout and writes a CSV under
+//! `results/`. Wall-clock microbenchmarks of the real interpreters live
+//! in `benches/`.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Batch sizes `1, 2, 4, … ≤ max`.
+pub fn geometric_batches(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut z = 1;
+    while z <= max {
+        v.push(z);
+        z *= 2;
+    }
+    v
+}
+
+/// Print a fixed-width table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Write rows as CSV under `results/` (created if needed).
+///
+/// # Panics
+///
+/// Panics on I/O failure — the harness has nowhere sensible to recover to.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for r in rows {
+        writeln!(f, "{}", r.join(",")).expect("write row");
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Format a float compactly for tables.
+pub fn fmt_sig(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}

@@ -1,0 +1,252 @@
+//! The one-stop [`Autobatcher`] facade.
+
+use autobatch_accel::Trace;
+use autobatch_ir::{lsab, pcab};
+use autobatch_tensor::Tensor;
+
+use crate::dynamic_vm::DynamicVm;
+use crate::error::Result;
+use crate::kernels::KernelRegistry;
+use crate::lowering::{lower, LoweringStats};
+use crate::lsab_vm::LocalStaticVm;
+use crate::options::{ExecOptions, LoweringOptions};
+use crate::pc_vm::PcVm;
+
+/// Ties the pipeline together: validate a single-example program once,
+/// then run it batched under either autobatching strategy.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_core::Autobatcher;
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_tensor::Tensor;
+///
+/// let ab = Autobatcher::new(fibonacci_program())?;
+/// let batch = vec![Tensor::from_i64(&[6, 7, 8, 9], &[4])?];
+/// // Local static autobatching (host recursion)...
+/// let local = ab.run_local(&batch, None)?;
+/// // ...and program-counter autobatching (explicit stacks) agree.
+/// let pc = ab.run_pc(&batch, None)?;
+/// assert_eq!(local, pc);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Autobatcher {
+    program: lsab::Program,
+    lowered: pcab::Program,
+    stats: LoweringStats,
+    registry: KernelRegistry,
+    exec: ExecOptions,
+}
+
+impl Autobatcher {
+    /// Validate `program` and compile its program-counter form with
+    /// default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program fails validation or lowering.
+    pub fn new(program: lsab::Program) -> Result<Autobatcher> {
+        Autobatcher::with_options(
+            program,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            LoweringOptions::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program fails validation or lowering.
+    pub fn with_options(
+        program: lsab::Program,
+        registry: KernelRegistry,
+        exec: ExecOptions,
+        lowering: LoweringOptions,
+    ) -> Result<Autobatcher> {
+        program.validate()?;
+        let (lowered, stats) = lower(&program, lowering)?;
+        Ok(Autobatcher {
+            program,
+            lowered,
+            stats,
+            registry,
+            exec,
+        })
+    }
+
+    /// The single-example source program.
+    pub fn program(&self) -> &lsab::Program {
+        &self.program
+    }
+
+    /// The compiled program-counter form.
+    pub fn lowered(&self) -> &pcab::Program {
+        &self.lowered
+    }
+
+    /// Compile-time statistics of the lowering.
+    pub fn lowering_stats(&self) -> LoweringStats {
+        self.stats
+    }
+
+    /// The execution options used by both runtimes.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Run the batch under local static autobatching (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors; see [`LocalStaticVm::run`].
+    pub fn run_local(&self, inputs: &[Tensor], trace: Option<&mut Trace>) -> Result<Vec<Tensor>> {
+        LocalStaticVm::new(&self.program, self.registry.clone(), self.exec).run(inputs, trace)
+    }
+
+    /// Run the batch under program-counter autobatching (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors; see [`PcVm::run`].
+    pub fn run_pc(&self, inputs: &[Tensor], trace: Option<&mut Trace>) -> Result<Vec<Tensor>> {
+        PcVm::new(&self.lowered, self.registry.clone(), self.exec).run(inputs, trace)
+    }
+
+    /// Run the batch under dynamic (on-the-fly) batching — the
+    /// related-work baseline architecture of paper §5; see [`DynamicVm`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors; see [`DynamicVm::run`].
+    pub fn run_dynamic(&self, inputs: &[Tensor], trace: Option<&mut Trace>) -> Result<Vec<Tensor>> {
+        DynamicVm::new(&self.program, self.registry.clone(), self.exec).run(inputs, trace)
+    }
+}
+
+/// Batch a *non-recursive* program the way `jax.vmap` or TensorFlow's
+/// `pfor` would (paper §5): validate that no call can re-enter its
+/// caller, then run the batch through program-counter autobatching —
+/// which, thanks to the paper's optimizations 2–3, executes such
+/// programs entirely without data stacks.
+///
+/// # Errors
+///
+/// Returns [`IrError::BadVarClass`](autobatch_ir::IrError) wrapped in
+/// [`VmError::Ir`](crate::VmError::Ir) if the program is recursive (use [`Autobatcher`] for
+/// that — the whole point of the paper is that it can), or any
+/// validation/lowering error.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_core::vmap;
+/// use autobatch_lang::compile;
+/// use autobatch_tensor::Tensor;
+///
+/// let program = compile(
+///     "fn poly(x: float) -> (y: float) { y = x * x + 1.0; }",
+///     "poly",
+/// ).expect("compiles");
+/// let f = vmap(program)?;
+/// let out = f.call(&[Tensor::from_f64(&[1.0, 2.0, 3.0], &[3])?], None)?;
+/// assert_eq!(out[0].as_f64()?, &[2.0, 5.0, 10.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn vmap(program: lsab::Program) -> Result<BatchedFn> {
+    BatchedFn::new(program, KernelRegistry::new(), ExecOptions::default())
+}
+
+/// A batched non-recursive function produced by [`vmap`].
+#[derive(Debug)]
+pub struct BatchedFn {
+    inner: Autobatcher,
+}
+
+impl BatchedFn {
+    /// Build with explicit kernels and options; rejects recursion.
+    ///
+    /// # Errors
+    ///
+    /// See [`vmap`].
+    pub fn new(
+        program: lsab::Program,
+        registry: KernelRegistry,
+        exec: ExecOptions,
+    ) -> Result<BatchedFn> {
+        let cg = autobatch_ir::analysis::CallGraph::new(&program);
+        for i in 0..program.funcs.len() {
+            let fid = autobatch_ir::FuncId(i);
+            if cg.is_recursive_func(fid) {
+                return Err(autobatch_ir::IrError::BadVarClass {
+                    var: autobatch_ir::Var::new(&program.funcs[i].name),
+                    what: "vmap requires a non-recursive program (use Autobatcher)".into(),
+                }
+                .into());
+            }
+        }
+        let inner =
+            Autobatcher::with_options(program, registry, exec, LoweringOptions::default())?;
+        debug_assert_eq!(
+            inner.lowering_stats().stacked_vars,
+            0,
+            "non-recursive programs lower without data stacks (paper §3)"
+        );
+        Ok(BatchedFn { inner })
+    }
+
+    /// Apply to a batch (axis 0 = batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn call(&self, inputs: &[Tensor], trace: Option<&mut Trace>) -> Result<Vec<Tensor>> {
+        self.inner.run_pc(inputs, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_ir::build::fibonacci_program;
+
+    #[test]
+    fn vmap_rejects_recursion_and_runs_loops() {
+        assert!(vmap(fibonacci_program()).is_err());
+        let program = autobatch_lang::compile(
+            "fn collatz_steps(n: int) -> (steps: int) {
+                steps = 0;
+                let x = n;
+                while x > 1 {
+                    let half = x / 2;
+                    let odd = x - 2 * half;
+                    if odd == 1 { x = 3 * x + 1; } else { x = half; }
+                    steps = steps + 1;
+                }
+            }",
+            "collatz_steps",
+        )
+        .expect("compiles");
+        let f = vmap(program).expect("non-recursive");
+        let out = f
+            .call(&[Tensor::from_i64(&[1, 6, 27], &[3]).unwrap()], None)
+            .unwrap();
+        assert_eq!(out[0].as_i64().unwrap(), &[0, 8, 111]);
+    }
+
+    #[test]
+    fn facade_agreement() {
+        let ab = Autobatcher::new(fibonacci_program()).unwrap();
+        let inputs = vec![Tensor::from_i64(&[1, 5, 10], &[3]).unwrap()];
+        assert_eq!(
+            ab.run_local(&inputs, None).unwrap(),
+            ab.run_pc(&inputs, None).unwrap()
+        );
+        assert!(ab.lowering_stats().blocks >= ab.program().funcs[0].blocks.len());
+        assert_eq!(ab.exec_options().seed, 0);
+        assert!(!ab.lowered().blocks.is_empty());
+    }
+}

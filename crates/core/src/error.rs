@@ -1,0 +1,137 @@
+//! Error type for the autobatching runtimes and the lowering pipeline.
+
+use std::fmt;
+
+use autobatch_ir::{IrError, Var};
+use autobatch_tensor::TensorError;
+
+/// Errors raised while compiling or executing an autobatched program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A tensor kernel failed (shape/dtype mismatch in user data).
+    Tensor(TensorError),
+    /// The program itself is malformed.
+    Ir(IrError),
+    /// A variable was read before any member assigned it.
+    Unbound {
+        /// The variable.
+        var: Var,
+        /// Where the read occurred.
+        context: String,
+    },
+    /// A stacked variable (or the program counter) exceeded the stack
+    /// depth limit `D`.
+    StackOverflow {
+        /// The variable (or `%pc`).
+        var: Var,
+        /// The configured depth limit.
+        limit: usize,
+    },
+    /// A `Pop` (or `Return`) on an empty stack — indicates a compiler bug
+    /// or a hand-written program with unbalanced stack discipline.
+    StackUnderflow {
+        /// The variable (or `%pc`).
+        var: Var,
+    },
+    /// The superstep limit was exceeded (non-terminating batch member or
+    /// block-selection starvation).
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The host-recursion depth limit was exceeded (local static
+    /// autobatching only).
+    HostRecursionLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A primitive referred to an external kernel that is not registered.
+    UnknownKernel {
+        /// The kernel name.
+        name: String,
+    },
+    /// An external kernel was invoked with the wrong operand counts.
+    KernelArity {
+        /// The kernel name.
+        name: String,
+        /// Expected (inputs, outputs).
+        expected: (usize, usize),
+        /// Provided (inputs, outputs).
+        got: (usize, usize),
+    },
+    /// Batch inputs disagreed on batch size or arity.
+    BadInputs {
+        /// Description of the disagreement.
+        what: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            VmError::Ir(e) => write!(f, "ir error: {e}"),
+            VmError::Unbound { var, context } => {
+                write!(f, "variable `{var}` read before assignment ({context})")
+            }
+            VmError::StackOverflow { var, limit } => {
+                write!(f, "stack overflow on `{var}` (depth limit {limit})")
+            }
+            VmError::StackUnderflow { var } => write!(f, "stack underflow on `{var}`"),
+            VmError::StepLimit { limit } => {
+                write!(f, "superstep limit {limit} exceeded (non-terminating member?)")
+            }
+            VmError::HostRecursionLimit { limit } => {
+                write!(f, "host recursion depth limit {limit} exceeded")
+            }
+            VmError::UnknownKernel { name } => write!(f, "unknown external kernel `{name}`"),
+            VmError::KernelArity { name, expected, got } => write!(
+                f,
+                "kernel `{name}` arity mismatch: expected {}/{} in/out, got {}/{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            VmError::BadInputs { what } => write!(f, "bad batch inputs: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Tensor(e) => Some(e),
+            VmError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VmError {
+    fn from(e: TensorError) -> VmError {
+        VmError::Tensor(e)
+    }
+}
+
+impl From<IrError> for VmError {
+    fn from(e: IrError) -> VmError {
+        VmError::Ir(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VmError::StackOverflow {
+            var: Var::new("n"),
+            limit: 32,
+        };
+        assert!(e.to_string().contains("n"));
+        let t: VmError = TensorError::MaskLength { expected: 1, got: 2 }.into();
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

@@ -1,0 +1,396 @@
+//! Batched evaluation of [`Prim`]s, the external-kernel registry, and
+//! per-op cost accounting for the simulated accelerator.
+//!
+//! Both virtual machines funnel every primitive through [`eval_prim`]:
+//! inputs arrive as tensors whose axis 0 is the batch of *rows being
+//! processed* (the whole batch under masking, the active subset under
+//! gather/scatter), accompanied by the original member id of each row so
+//! counter-based RNG draws are independent of execution strategy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use autobatch_ir::{Arity, Prim};
+use autobatch_tensor::{CounterRng, Tensor};
+
+use crate::error::{Result, VmError};
+
+/// A batched kernel registered by name and invoked via
+/// [`Prim::External`] — e.g. a model's log-density gradient.
+///
+/// Implementations must treat batch members independently (the contract
+/// every batching argument in the paper rests on).
+pub trait ExternalKernel: Send + Sync + fmt::Debug {
+    /// Input/output operand counts.
+    fn arity(&self) -> Arity;
+    /// Evaluate on a batch: every input has the same axis-0 length, and
+    /// every output must too.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error on shape/dtype violations.
+    fn eval(&self, inputs: &[Tensor]) -> autobatch_tensor::Result<Vec<Tensor>>;
+    /// Floating-point work per batch member, for the cost model.
+    fn flops_per_member(&self, inputs: &[Tensor]) -> f64;
+    /// Independent elements the kernel can process in parallel *per
+    /// member* (e.g. a logistic-regression gradient parallelizes over its
+    /// data rows, not just its output coordinates). Defaults to the first
+    /// input's per-member element count.
+    fn parallel_per_member(&self, inputs: &[Tensor]) -> usize {
+        inputs
+            .first()
+            .map(|t| {
+                if t.rank() <= 1 {
+                    1
+                } else {
+                    t.len() / t.shape()[0].max(1)
+                }
+            })
+            .unwrap_or(1)
+    }
+}
+
+/// A registry of external kernels, keyed by name.
+#[derive(Debug, Default, Clone)]
+pub struct KernelRegistry {
+    kernels: BTreeMap<String, Arc<dyn ExternalKernel>>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn new() -> KernelRegistry {
+        KernelRegistry::default()
+    }
+
+    /// Register (or replace) a kernel under `name`.
+    pub fn register(&mut self, name: impl Into<String>, kernel: Arc<dyn ExternalKernel>) {
+        self.kernels.insert(name.into(), kernel);
+    }
+
+    /// Look up a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnknownKernel`] if absent.
+    pub fn get(&self, name: &str) -> Result<&Arc<dyn ExternalKernel>> {
+        self.kernels.get(name).ok_or_else(|| VmError::UnknownKernel {
+            name: name.to_string(),
+        })
+    }
+
+    /// Names of all registered kernels.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.kernels.keys().map(String::as_str)
+    }
+}
+
+/// Pad the lower-rank operand with singleton element dimensions so that
+/// per-member broadcasting works: `[Z]` against `[Z, d]` becomes
+/// `[Z, 1]` against `[Z, d]`.
+fn align_pair(a: &Tensor, b: &Tensor) -> Result<(Tensor, Tensor)> {
+    let (ra, rb) = (a.rank(), b.rank());
+    if ra == rb {
+        return Ok((a.clone(), b.clone()));
+    }
+    if ra < rb {
+        let mut shape = a.shape().to_vec();
+        shape.extend(std::iter::repeat(1).take(rb - ra));
+        Ok((a.reshape(&shape)?, b.clone()))
+    } else {
+        let mut shape = b.shape().to_vec();
+        shape.extend(std::iter::repeat(1).take(ra - rb));
+        Ok((a.clone(), b.reshape(&shape)?))
+    }
+}
+
+/// Evaluate one primitive on a batch of rows.
+///
+/// - `inputs`: operand tensors, axis 0 = rows (length `members.len()`).
+/// - `members`: original batch-member id of each row (RNG independence).
+/// - `rng`: the counter-based random source.
+/// - `registry`: external kernels.
+///
+/// Returns one tensor per primitive output.
+///
+/// # Errors
+///
+/// Returns arity, dtype, shape, or unknown-kernel errors.
+pub fn eval_prim(
+    prim: &Prim,
+    inputs: &[Tensor],
+    members: &[u64],
+    rng: &CounterRng,
+    registry: &KernelRegistry,
+) -> Result<Vec<Tensor>> {
+    let rows = members.len();
+    if let Some(a) = prim.arity() {
+        if inputs.len() != a.ins {
+            return Err(VmError::KernelArity {
+                name: prim.to_string(),
+                expected: (a.ins, a.outs),
+                got: (inputs.len(), a.outs),
+            });
+        }
+    }
+    let one = |t: Tensor| -> Result<Vec<Tensor>> { Ok(vec![t]) };
+    match prim {
+        Prim::ConstF64(c) => one(Tensor::full(&[rows], *c)),
+        Prim::ConstI64(c) => one(Tensor::full(&[rows], *c)),
+        Prim::ConstBool(c) => one(Tensor::full(&[rows], *c)),
+        Prim::FillLike(c) => one(Tensor::full(inputs[0].shape(), *c)),
+        Prim::Id => one(inputs[0].clone()),
+        Prim::Neg => one(inputs[0].neg()?),
+        Prim::Abs => one(inputs[0].abs()?),
+        Prim::Exp => one(inputs[0].exp()?),
+        Prim::Ln => one(inputs[0].ln()?),
+        Prim::Sqrt => one(inputs[0].sqrt()?),
+        Prim::Square => one(inputs[0].square()?),
+        Prim::Sigmoid => one(inputs[0].sigmoid()?),
+        Prim::Softplus => one(inputs[0].softplus()?),
+        Prim::Floor => one(inputs[0].floor()?),
+        Prim::Sin => one(inputs[0].sin()?),
+        Prim::Cos => one(inputs[0].cos()?),
+        Prim::Tanh => one(inputs[0].tanh()?),
+        Prim::NegI => one(inputs[0].neg_i64()?),
+        Prim::Not => one(inputs[0].not()?),
+        Prim::Add | Prim::Sub | Prim::Mul | Prim::Div | Prim::Pow | Prim::Min2 | Prim::Max2
+        | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge | Prim::EqE | Prim::NeE | Prim::And
+        | Prim::Or | Prim::Xor => {
+            let (a, b) = align_pair(&inputs[0], &inputs[1])?;
+            let r = match prim {
+                Prim::Add => a.add(&b)?,
+                Prim::Sub => a.sub(&b)?,
+                Prim::Mul => a.mul(&b)?,
+                Prim::Div => a.div(&b)?,
+                Prim::Pow => a.pow(&b)?,
+                Prim::Min2 => a.min2(&b)?,
+                Prim::Max2 => a.max2(&b)?,
+                Prim::Lt => a.lt(&b)?,
+                Prim::Le => a.le(&b)?,
+                Prim::Gt => a.gt(&b)?,
+                Prim::Ge => a.ge(&b)?,
+                Prim::EqE => a.eq_elem(&b)?,
+                Prim::NeE => a.ne_elem(&b)?,
+                Prim::And => a.and(&b)?,
+                Prim::Or => a.or(&b)?,
+                Prim::Xor => a.xor(&b)?,
+                _ => unreachable!(),
+            };
+            one(r)
+        }
+        Prim::Select => {
+            let (a, b) = align_pair(&inputs[1], &inputs[2])?;
+            let (c, a2) = align_pair(&inputs[0], &a)?;
+            let (_, b2) = align_pair(&inputs[0], &b)?;
+            one(c.select(&a2, &b2)?)
+        }
+        Prim::ToF64 => one(inputs[0].to_f64()),
+        Prim::ToI64 => one(inputs[0].to_i64()),
+        Prim::ToBool => one(inputs[0].to_bool()),
+        Prim::SumElems => one(inputs[0].sum_last_axis()?),
+        Prim::Dot => one(inputs[0].dot_last_axis(&inputs[1])?),
+        Prim::RandUniform | Prim::RandNormal | Prim::RandExponential => {
+            let counters = inputs[0].as_i64()?;
+            let sample = match prim {
+                Prim::RandUniform => rng.uniform_batch_for(members, counters, &[]),
+                Prim::RandNormal => rng.normal_batch_for(members, counters, &[]),
+                Prim::RandExponential => rng.exponential_batch_for(members, counters, &[]),
+                _ => unreachable!(),
+            };
+            let next = inputs[0].add(&Tensor::scalar(1i64))?;
+            Ok(vec![sample, next])
+        }
+        Prim::RandNormalLike => {
+            let counters = inputs[0].as_i64()?;
+            let elem = &inputs[1].shape()[1..];
+            let sample = rng.normal_batch_for(members, counters, elem);
+            let next = inputs[0].add(&Tensor::scalar(1i64))?;
+            Ok(vec![sample, next])
+        }
+        Prim::External(name) => {
+            let k = registry.get(name)?;
+            let a = k.arity();
+            if inputs.len() != a.ins {
+                return Err(VmError::KernelArity {
+                    name: name.to_string(),
+                    expected: (a.ins, a.outs),
+                    got: (inputs.len(), a.outs),
+                });
+            }
+            let outs = k.eval(inputs)?;
+            if outs.len() != a.outs {
+                return Err(VmError::KernelArity {
+                    name: name.to_string(),
+                    expected: (a.ins, a.outs),
+                    got: (inputs.len(), outs.len()),
+                });
+            }
+            Ok(outs)
+        }
+    }
+}
+
+/// Flops and streaming bytes of one primitive evaluation, for pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    /// Floating-point work.
+    pub flops: f64,
+    /// Sequential memory traffic (inputs read + outputs written).
+    pub bytes: f64,
+    /// Independent elements available for parallel execution.
+    pub parallel: usize,
+}
+
+/// Compute the cost of a primitive applied to `inputs` producing `outputs`.
+pub fn prim_cost(
+    prim: &Prim,
+    inputs: &[Tensor],
+    outputs: &[Tensor],
+    registry: &KernelRegistry,
+) -> OpCost {
+    let in_elems: usize = inputs.iter().map(Tensor::len).max().unwrap_or(0);
+    let out_elems: usize = outputs.iter().map(Tensor::len).max().unwrap_or(0);
+    let work_elems = in_elems.max(out_elems);
+    let bytes: f64 = inputs
+        .iter()
+        .chain(outputs)
+        .map(|t| t.size_bytes() as f64)
+        .sum();
+    let (flops, parallel) = match prim {
+        Prim::External(name) => {
+            let rows = outputs
+                .first()
+                .or(inputs.first())
+                .map_or(0, |t| if t.rank() == 0 { 1 } else { t.shape()[0] });
+            match registry.get(name) {
+                Ok(k) => (
+                    k.flops_per_member(inputs) * rows as f64,
+                    k.parallel_per_member(inputs) * rows,
+                ),
+                Err(_) => (0.0, work_elems),
+            }
+        }
+        p => (p.flops_per_element() * work_elems as f64, work_elems),
+    };
+    OpCost {
+        flops,
+        bytes,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_tensor::DType;
+
+    fn env() -> (CounterRng, KernelRegistry) {
+        (CounterRng::new(1), KernelRegistry::new())
+    }
+
+    #[test]
+    fn const_produces_batch_width() {
+        let (rng, reg) = env();
+        let out = eval_prim(&Prim::ConstF64(2.5), &[], &[0, 1, 2], &rng, &reg).unwrap();
+        assert_eq!(out[0].shape(), &[3]);
+        assert_eq!(out[0].as_f64().unwrap(), &[2.5; 3]);
+    }
+
+    #[test]
+    fn scalar_vector_broadcast_per_member() {
+        let (rng, reg) = env();
+        let s = Tensor::from_f64(&[2.0, 3.0], &[2]).unwrap();
+        let v = Tensor::from_f64(&[1.0, 1.0, 1.0, 1.0], &[2, 2]).unwrap();
+        let out = eval_prim(&Prim::Mul, &[s, v], &[0, 1], &rng, &reg).unwrap();
+        assert_eq!(out[0].shape(), &[2, 2]);
+        assert_eq!(out[0].as_f64().unwrap(), &[2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn select_broadcasts_condition_over_vectors() {
+        let (rng, reg) = env();
+        let c = Tensor::from_bool(&[true, false], &[2]).unwrap();
+        let a = Tensor::full(&[2, 3], 1.0);
+        let b = Tensor::full(&[2, 3], 9.0);
+        let out = eval_prim(&Prim::Select, &[c, a, b], &[0, 1], &rng, &reg).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[1.0, 1.0, 1.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn rng_prims_advance_counter_and_depend_on_member() {
+        let (rng, reg) = env();
+        let counters = Tensor::from_i64(&[5, 5], &[2]).unwrap();
+        let out = eval_prim(&Prim::RandUniform, &[counters.clone()], &[0, 1], &rng, &reg).unwrap();
+        let u = out[0].as_f64().unwrap();
+        assert_ne!(u[0], u[1], "different members draw differently");
+        assert_eq!(out[1].as_i64().unwrap(), &[6, 6]);
+        // Same member/counter reproduces.
+        let again = eval_prim(&Prim::RandUniform, &[counters], &[0, 1], &rng, &reg).unwrap();
+        assert_eq!(again[0].as_f64().unwrap(), u);
+    }
+
+    #[test]
+    fn rand_normal_like_matches_template_shape() {
+        let (rng, reg) = env();
+        let counters = Tensor::from_i64(&[0, 1], &[2]).unwrap();
+        let template = Tensor::zeros(DType::F64, &[2, 4]);
+        let out =
+            eval_prim(&Prim::RandNormalLike, &[counters, template], &[0, 1], &rng, &reg).unwrap();
+        assert_eq!(out[0].shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn unknown_external_kernel_errors() {
+        let (rng, reg) = env();
+        let q = Tensor::zeros(DType::F64, &[2, 3]);
+        let err = eval_prim(&Prim::external("grad"), &[q], &[0, 1], &rng, &reg);
+        assert!(matches!(err, Err(VmError::UnknownKernel { .. })));
+    }
+
+    #[derive(Debug)]
+    struct Doubler;
+    impl ExternalKernel for Doubler {
+        fn arity(&self) -> Arity {
+            Arity { ins: 1, outs: 1 }
+        }
+        fn eval(&self, inputs: &[Tensor]) -> autobatch_tensor::Result<Vec<Tensor>> {
+            Ok(vec![inputs[0].add(&inputs[0])?])
+        }
+        fn flops_per_member(&self, inputs: &[Tensor]) -> f64 {
+            (inputs[0].len() / inputs[0].shape()[0].max(1)) as f64
+        }
+    }
+
+    #[test]
+    fn external_kernel_roundtrip_and_cost() {
+        let (rng, mut reg) = env();
+        reg.register("double", Arc::new(Doubler));
+        let x = Tensor::from_f64(&[1.0, 2.0], &[2, 1]).unwrap();
+        let out = eval_prim(&Prim::external("double"), &[x.clone()], &[0, 1], &rng, &reg).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[2.0, 4.0]);
+        let cost = prim_cost(&Prim::external("double"), &[x], &out, &reg);
+        assert_eq!(cost.flops, 2.0); // 1 flop/member × 2 members
+        assert!(cost.bytes > 0.0);
+    }
+
+    #[test]
+    fn prim_cost_scales_with_elements() {
+        let (_, reg) = env();
+        let a = Tensor::zeros(DType::F64, &[4, 8]);
+        let out = vec![Tensor::zeros(DType::F64, &[4, 8])];
+        let c = prim_cost(&Prim::Add, &[a.clone(), a], &out, &reg);
+        assert_eq!(c.flops, 32.0);
+        assert_eq!(c.parallel, 32);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let (rng, reg) = env();
+        let x = Tensor::zeros(DType::F64, &[1]);
+        assert!(matches!(
+            eval_prim(&Prim::Add, &[x], &[0], &rng, &reg),
+            Err(VmError::KernelArity { .. })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! # autobatch-core
+//!
+//! The paper's contribution ([Radul et al., MLSys 2020](https://arxiv.org/abs/1910.11141)):
+//! two static autobatching runtimes and the compilation pipeline between
+//! their program representations.
+//!
+//! - [`LocalStaticVm`] — *local static autobatching* (§2, Algorithm 1): a
+//!   masked interpreter over per-function CFGs whose recursion is carried
+//!   by the host language.
+//! - [`lower`] — the `lsab → pcab` transformation (§3): merges all
+//!   functions, replaces calls with explicit per-variable stack
+//!   operations in a caller-saves discipline, and applies the paper's
+//!   compiler optimizations (temporary elision, register demotion,
+//!   pop-push elimination).
+//! - [`PcVm`] — *program-counter autobatching* (§3, Algorithm 2): a flat,
+//!   non-recursive runtime with a stacked program counter, suitable for
+//!   graph-mode/XLA-style execution, able to batch logical threads at
+//!   different stack depths.
+//! - [`Autobatcher`] — a one-stop facade tying the pipeline together.
+//!
+//! Execution is parameterized by [`ExecOptions`] (masking vs
+//! gather/scatter, block-selection heuristic — the paper's §2 "free
+//! choices") and priced against simulated accelerator backends via
+//! [`autobatch_accel::Trace`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod api;
+mod dynamic_vm;
+mod error;
+mod kernels;
+mod lowering;
+mod lsab_vm;
+mod options;
+mod pc_vm;
+
+pub use api::{vmap, Autobatcher, BatchedFn};
+pub use dynamic_vm::{DynObservation, DynObserver, DynamicVm};
+pub use error::{Result, VmError};
+pub use kernels::{eval_prim, prim_cost, ExternalKernel, KernelRegistry, OpCost};
+pub use lowering::{lower, LoweringStats};
+pub use lsab_vm::{LocalStaticVm, LsabObservation, LsabObserver};
+pub use pc_vm::{PcObservation, PcObserver, PcVm, StackSnapshot};
+pub use options::{BlockHeuristic, DynSchedule, ExecOptions, ExecStrategy, LoweringOptions};

@@ -1,0 +1,678 @@
+//! The `lsab → pcab` lowering (paper §3).
+//!
+//! Merges every function's CFG into one flat block list and replaces
+//! calls with explicit stack discipline:
+//!
+//! - argument values are written onto the callee's parameter variables —
+//!   *pushed* if the parameter is stack-classified and the call is
+//!   recursive (saving the caller's frame beneath), *updated* in place
+//!   otherwise;
+//! - the caller *pushes* each of its own stacked variables that is live
+//!   after a recursive call (caller-saves; paper optimization 1);
+//! - control transfers via `PushJump(callee entry, resume block)`; the
+//!   resume block copies the callee's outputs, pops the saved variables,
+//!   and continues;
+//! - variable classification implements optimizations 2–3: block-local
+//!   temporaries bypass the machinery, variables never live across a
+//!   recursive call become mask-updated registers;
+//! - a peephole pass implements optimization 5: `Pop v; …; Push v = e`
+//!   with no intervening access to `v` cancels into `Update v = e`
+//!   (optimization 4, stack-top caching, lives in the runtime).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use autobatch_ir::analysis::{CallGraph, Liveness};
+use autobatch_ir::{lsab, pcab, BlockId, FuncId, IrError, Prim, Var};
+
+use crate::error::Result;
+use crate::options::LoweringOptions;
+
+/// Compile-time statistics reported by [`lower`], consumed by the
+/// lowering-ablation bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoweringStats {
+    /// Blocks in the merged program.
+    pub blocks: usize,
+    /// Variables classified as stacked.
+    pub stacked_vars: usize,
+    /// Variables classified as registers.
+    pub register_vars: usize,
+    /// Static `Push` write sites.
+    pub pushes: usize,
+    /// Static `Pop` sites.
+    pub pops: usize,
+    /// Pop/push pairs cancelled by optimization 5.
+    pub eliminated_pairs: usize,
+}
+
+/// Lower a locally-batchable program into the merged, stack-explicit
+/// program-counter-batchable form.
+///
+/// # Errors
+///
+/// Returns an error if the input program is malformed (it is validated
+/// first), if function names collide (they become variable-name prefixes),
+/// or if the produced program fails its own validation (a compiler bug).
+pub fn lower(
+    program: &lsab::Program,
+    opts: LoweringOptions,
+) -> Result<(pcab::Program, LoweringStats)> {
+    program.validate()?;
+    let mut seen = BTreeSet::new();
+    for f in &program.funcs {
+        if !seen.insert(f.name.clone()) {
+            return Err(IrError::DuplicateName {
+                name: f.name.clone(),
+            }
+            .into());
+        }
+    }
+
+    let cg = CallGraph::new(program);
+    let liveness: Vec<Liveness> = program.funcs.iter().map(Liveness::new).collect();
+
+    // ---- classification (optimizations 2 & 3) --------------------------
+    // For each function: persistent variables (those that cross a block
+    // boundary or a call site) and, among them, the stacked ones (live
+    // across a recursive call).
+    let mut classes: BTreeMap<Var, pcab::VarClass> = BTreeMap::new();
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let lv = &liveness[fi];
+        let mut persistent: BTreeSet<Var> = if opts.elide_temporaries {
+            let mut s = lv.cross_block_vars();
+            s.extend(f.params.iter().cloned());
+            s.extend(f.outputs.iter().cloned());
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (oi, op) in b.ops.iter().enumerate() {
+                    if matches!(op, lsab::Op::Call { .. }) {
+                        s.extend(lv.live_after_op(f, bi, oi));
+                    }
+                }
+            }
+            s
+        } else {
+            f.all_vars().into_iter().collect()
+        };
+        // Outputs of functions are read by callers at resume: persistent.
+        persistent.extend(f.outputs.iter().cloned());
+
+        let mut stacked: BTreeSet<Var> = BTreeSet::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (oi, op) in b.ops.iter().enumerate() {
+                if let lsab::Op::Call { outs, callee, .. } = op {
+                    if cg.is_recursive_call(FuncId(fi), *callee) {
+                        let mut live = lv.live_after_op(f, bi, oi);
+                        for w in outs {
+                            live.remove(w);
+                        }
+                        stacked.extend(live);
+                    }
+                }
+            }
+        }
+        for v in persistent {
+            let class = if !opts.demote_registers || stacked.contains(&v) {
+                // Without register demotion every persistent variable
+                // carries a stack, as the paper's unoptimized baseline.
+                if opts.demote_registers {
+                    if stacked.contains(&v) {
+                        pcab::VarClass::Stacked
+                    } else {
+                        pcab::VarClass::Register
+                    }
+                } else {
+                    pcab::VarClass::Stacked
+                }
+            } else {
+                pcab::VarClass::Register
+            };
+            classes.insert(mangle(&f.name, &v), class);
+        }
+    }
+
+    // ---- block layout ----------------------------------------------------
+    // Each lsab block splits at its calls into 1 + #calls pcab segments.
+    let mut seg_start: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut next = 0usize;
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            seg_start.insert((fi, bi), next);
+            let calls = b
+                .ops
+                .iter()
+                .filter(|op| matches!(op, lsab::Op::Call { .. }))
+                .count();
+            next += 1 + calls;
+        }
+    }
+    let func_entry = |fi: usize| -> usize { seg_start[&(fi, 0)] };
+
+    // ---- emission ----------------------------------------------------------
+    let mut blocks: Vec<pcab::Block> = Vec::with_capacity(next);
+    let mut temp_counter = 0usize;
+    let fresh = |hint: &str, temp_counter: &mut usize| -> Var {
+        let v = Var::new(format!("%{hint}{}", *temp_counter));
+        *temp_counter += 1;
+        v
+    };
+
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let lv = &liveness[fi];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut ops: Vec<pcab::Op> = Vec::new();
+            let mut seg_index = seg_start[&(fi, bi)];
+            for (oi, op) in b.ops.iter().enumerate() {
+                match op {
+                    lsab::Op::Prim { outs, prim, ins } => {
+                        ops.push(pcab::Op::Compute {
+                            outs: outs
+                                .iter()
+                                .map(|o| (mangle(&f.name, o), pcab::WriteKind::Update))
+                                .collect(),
+                            prim: prim.clone(),
+                            ins: ins.iter().map(|i| mangle(&f.name, i)).collect(),
+                        });
+                    }
+                    lsab::Op::Call { outs, callee, ins } => {
+                        let g = &program.funcs[callee.0];
+                        let recursive = cg.is_recursive_call(FuncId(fi), *callee);
+                        // Argument temporaries, computed before any push
+                        // mutates the variables they may alias.
+                        let arg_temps: Vec<Var> = ins
+                            .iter()
+                            .map(|a| {
+                                let t = fresh("c", &mut temp_counter);
+                                ops.push(pcab::Op::Compute {
+                                    outs: vec![(t.clone(), pcab::WriteKind::Update)],
+                                    prim: Prim::Id,
+                                    ins: vec![mangle(&f.name, a)],
+                                });
+                                t
+                            })
+                            .collect();
+                        // Write args onto the callee's parameters.
+                        let mut pushed_params: Vec<Var> = Vec::new();
+                        for (p, t) in g.params.iter().zip(&arg_temps) {
+                            let mp = mangle(&g.name, p);
+                            let kind = if recursive
+                                && classes.get(&mp) == Some(&pcab::VarClass::Stacked)
+                            {
+                                pushed_params.push(mp.clone());
+                                pcab::WriteKind::Push
+                            } else {
+                                pcab::WriteKind::Update
+                            };
+                            ops.push(pcab::Op::Compute {
+                                outs: vec![(mp, kind)],
+                                prim: Prim::Id,
+                                ins: vec![t.clone()],
+                            });
+                        }
+                        // Caller-saves: stacked locals live after a
+                        // recursive call (excluding the call's own
+                        // results and the params just pushed).
+                        let mut saves: Vec<Var> = Vec::new();
+                        if recursive {
+                            let mut live = lv.live_after_op(f, bi, oi);
+                            for w in outs {
+                                live.remove(w);
+                            }
+                            for v in live {
+                                let mv = mangle(&f.name, &v);
+                                if classes.get(&mv) == Some(&pcab::VarClass::Stacked)
+                                    && !pushed_params.contains(&mv)
+                                {
+                                    saves.push(mv);
+                                }
+                            }
+                            saves.sort();
+                            saves.dedup();
+                            for v in &saves {
+                                ops.push(pcab::Op::Compute {
+                                    outs: vec![(v.clone(), pcab::WriteKind::Push)],
+                                    prim: Prim::Id,
+                                    ins: vec![v.clone()],
+                                });
+                            }
+                        }
+                        // Seal this segment with the PushJump.
+                        let resume = seg_index + 1;
+                        blocks.push(pcab::Block {
+                            ops: std::mem::take(&mut ops),
+                            term: pcab::Terminator::PushJump {
+                                enter: BlockId(func_entry(callee.0)),
+                                resume: BlockId(resume),
+                            },
+                        });
+                        seg_index = resume;
+                        // Resume segment: capture results, pop saves and
+                        // params, bind results.
+                        let result_temps: Vec<Var> = g
+                            .outputs
+                            .iter()
+                            .map(|o| {
+                                let t = fresh("r", &mut temp_counter);
+                                ops.push(pcab::Op::Compute {
+                                    outs: vec![(t.clone(), pcab::WriteKind::Update)],
+                                    prim: Prim::Id,
+                                    ins: vec![mangle(&g.name, o)],
+                                });
+                                t
+                            })
+                            .collect();
+                        for v in saves.iter().rev() {
+                            ops.push(pcab::Op::Pop { var: v.clone() });
+                        }
+                        for p in pushed_params.iter().rev() {
+                            ops.push(pcab::Op::Pop { var: p.clone() });
+                        }
+                        for (y, t) in outs.iter().zip(&result_temps) {
+                            ops.push(pcab::Op::Compute {
+                                outs: vec![(mangle(&f.name, y), pcab::WriteKind::Update)],
+                                prim: Prim::Id,
+                                ins: vec![t.clone()],
+                            });
+                        }
+                    }
+                }
+            }
+            // Terminator of the final segment.
+            let term = match &b.term {
+                lsab::Terminator::Jump(t) => {
+                    pcab::Terminator::Jump(BlockId(seg_start[&(fi, t.0)]))
+                }
+                lsab::Terminator::Branch { cond, then_, else_ } => pcab::Terminator::Branch {
+                    cond: mangle(&f.name, cond),
+                    then_: BlockId(seg_start[&(fi, then_.0)]),
+                    else_: BlockId(seg_start[&(fi, else_.0)]),
+                },
+                lsab::Terminator::Return => pcab::Terminator::Return,
+            };
+            blocks.push(pcab::Block { ops, term });
+        }
+    }
+    debug_assert_eq!(blocks.len(), next);
+
+    let entry_f = &program.funcs[program.entry.0];
+    let mut out = pcab::Program {
+        blocks,
+        entry: BlockId(func_entry(program.entry.0)),
+        inputs: entry_f
+            .params
+            .iter()
+            .map(|p| mangle(&entry_f.name, p))
+            .collect(),
+        outputs: entry_f
+            .outputs
+            .iter()
+            .map(|o| mangle(&entry_f.name, o))
+            .collect(),
+        classes,
+    };
+
+    // ---- optimization 5: pop-push elimination ---------------------------
+    let mut eliminated = 0usize;
+    if opts.pop_push_elimination {
+        for b in &mut out.blocks {
+            eliminated += eliminate_pop_push(&mut b.ops);
+        }
+    }
+    // Drop trivial `v = id(v)` updates produced by the cancellation.
+    for b in &mut out.blocks {
+        b.ops.retain(|op| !is_trivial_id(op));
+    }
+
+    out.validate()?;
+    let stats = LoweringStats {
+        blocks: out.blocks.len(),
+        stacked_vars: out.stacked_vars().len(),
+        register_vars: out.register_vars().len(),
+        pushes: out
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .map(|op| match op {
+                pcab::Op::Compute { outs, .. } => outs
+                    .iter()
+                    .filter(|(_, k)| *k == pcab::WriteKind::Push)
+                    .count(),
+                pcab::Op::Pop { .. } => 0,
+            })
+            .sum(),
+        pops: out
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|op| matches!(op, pcab::Op::Pop { .. }))
+            .count(),
+        eliminated_pairs: eliminated,
+    };
+    Ok((out, stats))
+}
+
+fn mangle(func: &str, v: &Var) -> Var {
+    Var::new(format!("{func}.{v}"))
+}
+
+fn is_trivial_id(op: &pcab::Op) -> bool {
+    match op {
+        pcab::Op::Compute { outs, prim, ins } => {
+            matches!(prim, Prim::Id)
+                && outs.len() == 1
+                && ins.len() == 1
+                && outs[0].1 == pcab::WriteKind::Update
+                && outs[0].0 == ins[0]
+        }
+        pcab::Op::Pop { .. } => false,
+    }
+}
+
+/// Cancel `Pop v; …; Push v` pairs with no intervening access to `v`
+/// (paper optimization 5). Two shapes arise from the caller-saves
+/// discipline:
+///
+/// - *re-save*: `Pop v; …; Push v = id(v)` — a frame restored at one
+///   resume point and immediately re-saved at the next call. Both ops
+///   vanish: the restored value was never read, and the frame beneath is
+///   re-exposed unchanged at the matching later pop. (The stale top left
+///   behind is dead — the discipline guarantees the callee writes `v`
+///   before any read.)
+/// - *overwrite*: `Pop v; …; Push v = e` with `v ∉ reads(e)` — the
+///   restored value is immediately replaced, so the pair collapses into
+///   an in-place `Update v = e`.
+///
+/// Returns the number of cancelled pairs. Sound for programs in the
+/// caller-saves discipline [`lower`] emits; not a general-purpose
+/// peephole for hand-written stack code.
+fn eliminate_pop_push(ops: &mut Vec<pcab::Op>) -> usize {
+    let mut eliminated = 0;
+    'outer: loop {
+        for i in 0..ops.len() {
+            let pcab::Op::Pop { var } = &ops[i] else {
+                continue;
+            };
+            let v = var.clone();
+            // Scan forward for a push of v with no intervening access.
+            for j in i + 1..ops.len() {
+                match &ops[j] {
+                    pcab::Op::Pop { var: w } => {
+                        if *w == v {
+                            break; // another pop of v: give up on this pair
+                        }
+                    }
+                    pcab::Op::Compute { outs, prim, ins } => {
+                        let is_resave = matches!(prim, Prim::Id)
+                            && ins.as_slice() == std::slice::from_ref(&v)
+                            && outs.len() == 1
+                            && outs[0] == (v.clone(), pcab::WriteKind::Push);
+                        if is_resave {
+                            // Remove both; stack depth stays balanced.
+                            ops.remove(j);
+                            ops.remove(i);
+                            eliminated += 1;
+                            continue 'outer;
+                        }
+                        if ins.contains(&v) {
+                            break; // genuine read of v: cannot cancel
+                        }
+                        if let Some(pos) = outs
+                            .iter()
+                            .position(|(o, k)| *o == v && *k == pcab::WriteKind::Push)
+                        {
+                            // Cancel: drop the pop, demote push to update.
+                            if let pcab::Op::Compute { outs, .. } = &mut ops[j] {
+                                outs[pos].1 = pcab::WriteKind::Update;
+                            }
+                            ops.remove(i);
+                            eliminated += 1;
+                            continue 'outer;
+                        }
+                        if outs.iter().any(|(o, _)| *o == v) {
+                            break; // non-push write of v: cannot cancel
+                        }
+                    }
+                }
+            }
+        }
+        break;
+    }
+    eliminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_ir::build::{fibonacci_program, ProgramBuilder};
+    use autobatch_ir::pretty::pcab_listing;
+
+    #[test]
+    fn fibonacci_lowers_and_validates() {
+        let p = fibonacci_program();
+        let (pc, stats) = lower(&p, LoweringOptions::default()).unwrap();
+        pc.validate().unwrap();
+        // Two calls → the else-block splits into three segments; plus the
+        // four structural blocks.
+        assert_eq!(stats.blocks, p.funcs[0].blocks.len() + 2);
+        // n is live across the first recursive call → stacked; left is
+        // live across the second → stacked.
+        let stacked = pc.stacked_vars();
+        assert!(stacked.contains(&Var::new("fibonacci.n")), "{stacked:?}");
+        assert!(stacked.contains(&Var::new("fibonacci.left")), "{stacked:?}");
+        // `right` and `out` are never live across a recursive call.
+        assert!(pc.register_vars().contains(&Var::new("fibonacci.out")));
+        assert!(stats.pushes > 0 && stats.pops > 0);
+    }
+
+    #[test]
+    fn nonrecursive_program_has_no_stacked_vars() {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper", &["x"], &["y"]);
+        let main = pb.declare("main", &["x"], &["y"]);
+        pb.define(helper, |fb| {
+            let x = fb.param(0);
+            fb.assign(&fb.output(0), Prim::Neg, &[x]);
+            fb.ret();
+        });
+        pb.define(main, |fb| {
+            let x = fb.param(0);
+            let r = fb.call(helper, &[x], 1);
+            fb.copy(&fb.output(0), &r[0]);
+            fb.ret();
+        });
+        let p = pb.finish(main).unwrap();
+        let (pc, stats) = lower(&p, LoweringOptions::default()).unwrap();
+        // The paper's headline property of the optimizations: a
+        // non-recursive program runs entirely without variable stacks
+        // (only the pc itself is stacked, and that lives in the runtime).
+        assert_eq!(stats.stacked_vars, 0, "{}", pcab_listing(&pc));
+        assert_eq!(stats.pushes, 0);
+        assert_eq!(stats.pops, 0);
+        // Calls still lower to PushJump.
+        assert!(pc
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, pcab::Terminator::PushJump { .. })));
+    }
+
+    #[test]
+    fn unoptimized_lowering_stacks_everything() {
+        let p = fibonacci_program();
+        let (_, opt) = lower(&p, LoweringOptions::default()).unwrap();
+        let (_, unopt) = lower(&p, LoweringOptions::unoptimized()).unwrap();
+        assert!(unopt.stacked_vars > opt.stacked_vars);
+        // Fibonacci's live-across-call sets are the same either way, so
+        // push counts match; they may only grow without optimizations.
+        assert!(unopt.pushes >= opt.pushes);
+        assert_eq!(unopt.register_vars, 0);
+    }
+
+    #[test]
+    fn duplicate_function_names_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.declare("same", &["x"], &["y"]);
+        let b = pb.declare("same", &["x"], &["y"]);
+        for id in [a, b] {
+            pb.define(id, |fb| {
+                let x = fb.param(0);
+                fb.copy(&fb.output(0), &x);
+                fb.ret();
+            });
+        }
+        let p = pb.finish(a).unwrap();
+        assert!(lower(&p, LoweringOptions::default()).is_err());
+    }
+
+    /// `f(n) = if n <= 0 { 0 } else { f(n-1) + f(n-2) + 10·n }`, with the
+    /// `10·n` term computed *before* the calls into a variable `k` that
+    /// is only read after the second call. `k` is therefore saved across
+    /// both calls with no access in between: its `Pop` at the first
+    /// resume point is immediately followed by its re-save `Push` at the
+    /// second call — the pattern optimization 5 cancels.
+    fn double_call_with_saved_var() -> lsab::Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("twocalls", &["n"], &["out"]);
+        pb.define(f, |fb| {
+            let n = fb.param(0);
+            let k = Var::new("k");
+            let ten = fb.const_i64(10);
+            fb.assign(&k, Prim::Mul, &[n.clone(), ten]);
+            let zero = fb.const_i64(0);
+            let base = fb.emit(Prim::Le, &[n.clone(), zero]);
+            fb.if_else(
+                &base,
+                |fb| {
+                    let z = fb.const_i64(0);
+                    fb.copy(&fb.output(0), &z);
+                },
+                |fb| {
+                    let one = fb.const_i64(1);
+                    let n1 = fb.emit(Prim::Sub, &[fb.param(0), one]);
+                    let a = fb.call(f, &[n1], 1);
+                    let two = fb.const_i64(2);
+                    let n2 = fb.emit(Prim::Sub, &[fb.param(0), two]);
+                    let b = fb.call(f, &[n2], 1);
+                    let s = fb.emit(Prim::Add, &[a[0].clone(), b[0].clone()]);
+                    fb.assign(&fb.output(0), Prim::Add, &[s, Var::new("k")]);
+                },
+            );
+            fb.ret();
+        });
+        pb.finish(f).unwrap()
+    }
+
+    #[test]
+    fn pop_push_elimination_fires_on_consecutive_saves() {
+        let p = double_call_with_saved_var();
+        let (_, with) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut no_elim = LoweringOptions::default();
+        no_elim.pop_push_elimination = false;
+        let (_, without) = lower(&p, no_elim).unwrap();
+        assert!(with.eliminated_pairs > 0, "elimination fired: {with:?}");
+        assert!(with.pushes < without.pushes);
+        assert!(with.pops < without.pops);
+    }
+
+    #[test]
+    fn elimination_preserves_semantics() {
+        use crate::lsab_vm::LocalStaticVm;
+        use crate::options::ExecOptions;
+        use crate::pc_vm::PcVm;
+        use crate::KernelRegistry;
+        use autobatch_tensor::Tensor;
+        let p = double_call_with_saved_var();
+        let input = Tensor::from_i64(&[0, 1, 2, 3, 4, 5, 6, 9], &[8]).unwrap();
+        let reference = LocalStaticVm::new(&p, KernelRegistry::new(), ExecOptions::default())
+            .run(std::slice::from_ref(&input), None)
+            .unwrap();
+        for opts in [
+            LoweringOptions::default(),
+            LoweringOptions {
+                pop_push_elimination: false,
+                ..LoweringOptions::default()
+            },
+            LoweringOptions::unoptimized(),
+        ] {
+            let (pc, _) = lower(&p, opts).unwrap();
+            let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
+            let out = vm.run(std::slice::from_ref(&input), None).unwrap();
+            assert_eq!(out, reference, "options {opts:?}");
+        }
+    }
+
+    #[test]
+    fn eliminate_pop_push_respects_intervening_reads() {
+        let v = Var::new("v");
+        let w = Var::new("w");
+        let mut ops = vec![
+            pcab::Op::Pop { var: v.clone() },
+            pcab::Op::Compute {
+                outs: vec![(w.clone(), pcab::WriteKind::Update)],
+                prim: Prim::Id,
+                ins: vec![v.clone()], // reads v: blocks elimination
+            },
+            pcab::Op::Compute {
+                outs: vec![(v.clone(), pcab::WriteKind::Push)],
+                prim: Prim::Id,
+                ins: vec![w.clone()],
+            },
+        ];
+        assert_eq!(eliminate_pop_push(&mut ops), 0);
+        assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn eliminate_pop_push_cancels_clean_pair() {
+        let v = Var::new("v");
+        let w = Var::new("w");
+        let mut ops = vec![
+            pcab::Op::Pop { var: v.clone() },
+            pcab::Op::Compute {
+                outs: vec![(w.clone(), pcab::WriteKind::Update)],
+                prim: Prim::ConstF64(1.0),
+                ins: vec![],
+            },
+            pcab::Op::Compute {
+                outs: vec![(v.clone(), pcab::WriteKind::Push)],
+                prim: Prim::Id,
+                ins: vec![w.clone()],
+            },
+        ];
+        assert_eq!(eliminate_pop_push(&mut ops), 1);
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(
+            &ops[1],
+            pcab::Op::Compute { outs, .. } if outs[0].1 == pcab::WriteKind::Update
+        ));
+    }
+
+    #[test]
+    fn mutual_recursion_lowers() {
+        let mut pb = ProgramBuilder::new();
+        let even = pb.declare("even", &["n"], &["r"]);
+        let odd = pb.declare("odd", &["n"], &["r"]);
+        for (me, other) in [(even, odd), (odd, even)] {
+            pb.define(me, |fb| {
+                let n = fb.param(0);
+                let zero = fb.const_i64(0);
+                let base = fb.emit(Prim::EqE, &[n, zero]);
+                fb.if_else(
+                    &base,
+                    |fb| {
+                        let t = fb.const_bool(me == even);
+                        fb.copy(&fb.output(0), &t);
+                    },
+                    |fb| {
+                        let one = fb.const_i64(1);
+                        let m = fb.emit(Prim::Sub, &[fb.param(0), one]);
+                        let r = fb.call(other, &[m], 1);
+                        fb.copy(&fb.output(0), &r[0]);
+                    },
+                );
+                fb.ret();
+            });
+        }
+        let p = pb.finish(even).unwrap();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        pc.validate().unwrap();
+    }
+}

@@ -1,0 +1,707 @@
+//! The local static autobatching runtime (paper §2, Algorithm 1).
+//!
+//! A nonstandard masked interpretation of the [`lsab`] CFG language: the
+//! runtime keeps, per function invocation, an *active set* of batch
+//! members and a per-member *program counter* (a basic-block index). Each
+//! superstep it selects a block with at least one active member, executes
+//! its ops batched, and updates only the locally active members' state
+//! and program counters. Recursive calls are carried out by the host
+//! language — Rust here, Python in the paper — so logical threads at
+//! different host stack depths can never batch together, and the runtime
+//! itself is recursive.
+
+use std::collections::BTreeMap;
+
+use autobatch_accel::{LaunchRecord, Trace};
+use autobatch_ir::lsab::{Op, Program, Terminator};
+use autobatch_ir::{FuncId, Var};
+use autobatch_tensor::{CounterRng, Tensor};
+
+use crate::error::{Result, VmError};
+use crate::kernels::{eval_prim, prim_cost, KernelRegistry, OpCost};
+use crate::options::{BlockHeuristic, ExecOptions, ExecStrategy};
+
+/// A snapshot handed to an observer after every superstep, carrying the
+/// information displayed in the paper's Figure 1.
+#[derive(Debug)]
+pub struct LsabObservation<'a> {
+    /// Name of the function whose block just ran.
+    pub func: &'a str,
+    /// The block that ran.
+    pub block: usize,
+    /// Host (Rust) recursion depth of the running function invocation.
+    pub host_depth: usize,
+    /// Which members were locally active in this superstep.
+    pub locally_active: &'a [bool],
+    /// Per-member program counters within this invocation (`== block
+    /// count` means returned).
+    pub pc: &'a [usize],
+}
+
+/// Callback invoked after every superstep.
+pub type LsabObserver<'o> = dyn FnMut(&LsabObservation<'_>) + 'o;
+
+/// The local static autobatching virtual machine.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_core::{KernelRegistry, LocalStaticVm, ExecOptions};
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_tensor::Tensor;
+///
+/// let program = fibonacci_program();
+/// let vm = LocalStaticVm::new(&program, KernelRegistry::new(), ExecOptions::default());
+/// let inputs = vec![Tensor::from_i64(&[3, 7, 4, 5], &[4])?];
+/// let out = vm.run(&inputs, None)?;
+/// assert_eq!(out[0].as_i64()?, &[3, 21, 5, 8]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LocalStaticVm<'p> {
+    program: &'p Program,
+    registry: KernelRegistry,
+    opts: ExecOptions,
+}
+
+struct Ctx<'a, 'o> {
+    registry: &'a KernelRegistry,
+    rng: CounterRng,
+    trace: Option<&'a mut Trace>,
+    observer: Option<&'a mut LsabObserver<'o>>,
+    steps: u64,
+}
+
+impl<'p> LocalStaticVm<'p> {
+    /// Create a VM for `program` with the given kernels and options.
+    pub fn new(program: &'p Program, registry: KernelRegistry, opts: ExecOptions) -> Self {
+        LocalStaticVm {
+            program,
+            registry,
+            opts,
+        }
+    }
+
+    /// The program this VM executes.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// Run the batch. `inputs` carries one tensor per entry-function
+    /// parameter, each with identical axis-0 length (the batch size).
+    /// Pass a [`Trace`] to price the execution on a simulated backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns kernel errors from user data, [`VmError::StepLimit`] on
+    /// starvation, or [`VmError::HostRecursionLimit`] on runaway
+    /// recursion.
+    pub fn run(&self, inputs: &[Tensor], trace: Option<&mut Trace>) -> Result<Vec<Tensor>> {
+        self.run_observed(inputs, trace, None)
+    }
+
+    /// Like [`LocalStaticVm::run`], with a per-superstep observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocalStaticVm::run`].
+    pub fn run_observed(
+        &self,
+        inputs: &[Tensor],
+        trace: Option<&mut Trace>,
+        observer: Option<&mut LsabObserver<'_>>,
+    ) -> Result<Vec<Tensor>> {
+        let entry = self.program.entry_func()?;
+        if inputs.len() != entry.params.len() {
+            return Err(VmError::BadInputs {
+                what: format!(
+                    "entry `{}` expects {} inputs, got {}",
+                    entry.name,
+                    entry.params.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        let z = batch_size(inputs)?;
+        let mut ctx = Ctx {
+            registry: &self.registry,
+            rng: CounterRng::new(self.opts.seed),
+            trace,
+            observer,
+            steps: 0,
+        };
+        let active = vec![true; z];
+        self.run_function(&mut ctx, self.program.entry, inputs.to_vec(), &active, 0)
+    }
+
+    /// Algorithm 1, for one function invocation.
+    fn run_function(
+        &self,
+        ctx: &mut Ctx<'_, '_>,
+        fid: FuncId,
+        inputs: Vec<Tensor>,
+        active: &[bool],
+        depth: usize,
+    ) -> Result<Vec<Tensor>> {
+        if depth > self.opts.max_host_depth {
+            return Err(VmError::HostRecursionLimit {
+                limit: self.opts.max_host_depth,
+            });
+        }
+        let f = self.program.func(fid)?;
+        let z = active.len();
+        let n_blocks = f.blocks.len();
+        let mut env: BTreeMap<Var, Tensor> = BTreeMap::new();
+        for (p, t) in f.params.iter().zip(&inputs) {
+            env.insert(p.clone(), t.clone());
+        }
+        let mut pc = vec![0usize; z];
+
+        while let Some(i) = select_block(&pc, active, n_blocks, self.opts.heuristic) {
+            ctx.steps += 1;
+            if ctx.steps > self.opts.max_supersteps {
+                return Err(VmError::StepLimit {
+                    limit: self.opts.max_supersteps,
+                });
+            }
+            // Locally active set A' = members of A waiting at block i.
+            let local: Vec<bool> = (0..z).map(|b| active[b] && pc[b] == i).collect();
+            let local_idx: Vec<usize> = (0..z).filter(|&b| local[b]).collect();
+            if let Some(t) = ctx.trace.as_deref_mut() {
+                t.superstep();
+            }
+            let fused = ctx
+                .trace
+                .as_deref()
+                .map(|t| {
+                    !matches!(
+                        t.backend().mode,
+                        autobatch_accel::DispatchMode::Eager
+                    )
+                })
+                .unwrap_or(false);
+            let mut block_cost = OpCost::default();
+            let block = &f.blocks[i];
+            for op in &block.ops {
+                match op {
+                    Op::Prim { outs, prim, ins } => {
+                        let cost = self.exec_prim(
+                            ctx, &mut env, prim, outs, ins, &local, &local_idx, z,
+                        )?;
+                        if fused {
+                            block_cost.flops += cost.flops;
+                            block_cost.bytes += cost.bytes;
+                            block_cost.parallel = block_cost.parallel.max(cost.parallel);
+                        }
+                    }
+                    Op::Call { outs, callee, ins } => {
+                        // Flush the fused-block launch before handing
+                        // control back to the host for the call.
+                        if fused && block_cost.parallel > 0 {
+                            flush_block_launch(ctx, f, i, &block_cost, &local_idx, z);
+                            block_cost = OpCost::default();
+                        }
+                        let args: Vec<Tensor> = ins
+                            .iter()
+                            .map(|v| lookup(&env, v, &f.name))
+                            .collect::<Result<_>>()?;
+                        let rets =
+                            self.run_function(ctx, *callee, args, &local, depth + 1)?;
+                        for (o, r) in outs.iter().zip(rets) {
+                            write_masked(&mut env, o, r, &local)?;
+                        }
+                    }
+                }
+            }
+            if fused && block_cost.parallel > 0 {
+                flush_block_launch(ctx, f, i, &block_cost, &local_idx, z);
+            }
+            // Terminator: update the locally active members' pcs.
+            match &block.term {
+                Terminator::Jump(t) => {
+                    for &b in &local_idx {
+                        pc[b] = t.0;
+                    }
+                }
+                Terminator::Branch { cond, then_, else_ } => {
+                    let c = lookup(&env, cond, &f.name)?;
+                    let cv = c.as_bool()?;
+                    for &b in &local_idx {
+                        pc[b] = if cv[b] { then_.0 } else { else_.0 };
+                    }
+                }
+                Terminator::Return => {
+                    for &b in &local_idx {
+                        pc[b] = n_blocks;
+                    }
+                }
+            }
+            if let Some(obs) = ctx.observer.as_deref_mut() {
+                obs(&LsabObservation {
+                    func: &f.name,
+                    block: i,
+                    host_depth: depth,
+                    locally_active: &local,
+                    pc: &pc,
+                });
+            }
+        }
+        f.outputs
+            .iter()
+            .map(|o| lookup(&env, o, &f.name))
+            .collect()
+    }
+
+    /// Execute one primitive under the configured strategy, recording
+    /// logical stats and (when unfused) a priced launch. Returns the op's
+    /// cost for fused accumulation.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_prim(
+        &self,
+        ctx: &mut Ctx<'_, '_>,
+        env: &mut BTreeMap<Var, Tensor>,
+        prim: &autobatch_ir::Prim,
+        outs: &[Var],
+        ins: &[Var],
+        local: &[bool],
+        local_idx: &[usize],
+        z: usize,
+    ) -> Result<OpCost> {
+        let n_active = local_idx.len();
+        let (results, cost, random_bytes) = match self.opts.strategy {
+            ExecStrategy::Masking => {
+                let inputs: Vec<Tensor> = ins
+                    .iter()
+                    .map(|v| lookup(env, v, "prim"))
+                    .collect::<Result<_>>()?;
+                let members: Vec<u64> = (0..z as u64).collect();
+                let results = eval_prim(prim, &inputs, &members, &ctx.rng, ctx.registry)?;
+                let cost = prim_cost(prim, &inputs, &results, ctx.registry);
+                (results, cost, 0.0)
+            }
+            ExecStrategy::GatherScatter => {
+                let inputs: Vec<Tensor> = ins
+                    .iter()
+                    .map(|v| {
+                        lookup(env, v, "prim").and_then(|t| {
+                            ensure_batched(&t, z)?
+                                .gather_rows(local_idx)
+                                .map_err(VmError::from)
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let members: Vec<u64> = local_idx.iter().map(|&b| b as u64).collect();
+                let results = eval_prim(prim, &inputs, &members, &ctx.rng, ctx.registry)?;
+                let cost = prim_cost(prim, &inputs, &results, ctx.registry);
+                let moved: f64 = inputs
+                    .iter()
+                    .chain(&results)
+                    .map(|t| t.size_bytes() as f64)
+                    .sum();
+                (results, cost, moved)
+            }
+        };
+        // Fusion-independent logical record (drives utilization metrics).
+        if let Some(t) = ctx.trace.as_deref_mut() {
+            t.record_logical(&LaunchRecord {
+                kernel: prim.kernel_tag(),
+                flops: cost.flops,
+                bytes: cost.bytes,
+                random_bytes,
+                parallel: cost.parallel,
+                active_members: n_active,
+                total_members: if self.opts.strategy == ExecStrategy::Masking {
+                    z
+                } else {
+                    n_active
+                },
+            });
+            if matches!(t.backend().mode, autobatch_accel::DispatchMode::Eager) {
+                t.launch(&LaunchRecord {
+                    kernel: prim.kernel_tag(),
+                    flops: cost.flops,
+                    bytes: cost.bytes,
+                    random_bytes,
+                    parallel: cost.parallel,
+                    active_members: n_active,
+                    total_members: if self.opts.strategy == ExecStrategy::Masking {
+                        z
+                    } else {
+                        n_active
+                    },
+                });
+            }
+        }
+        // Write back.
+        match self.opts.strategy {
+            ExecStrategy::Masking => {
+                for (o, r) in outs.iter().zip(results) {
+                    write_masked(env, o, r, local)?;
+                }
+            }
+            ExecStrategy::GatherScatter => {
+                for (o, r) in outs.iter().zip(results) {
+                    write_scattered(env, o, r, local_idx, z)?;
+                }
+            }
+        }
+        Ok(cost)
+    }
+}
+
+fn flush_block_launch(
+    ctx: &mut Ctx<'_, '_>,
+    f: &autobatch_ir::lsab::Function,
+    block: usize,
+    cost: &OpCost,
+    local_idx: &[usize],
+    z: usize,
+) {
+    if let Some(t) = ctx.trace.as_deref_mut() {
+        t.launch(&LaunchRecord {
+            kernel: format!("block:{}:{block}", f.name),
+            flops: cost.flops,
+            bytes: cost.bytes,
+            random_bytes: 0.0,
+            parallel: cost.parallel,
+            active_members: local_idx.len(),
+            total_members: z,
+        });
+    }
+}
+
+/// Earliest-block or most-active block selection over the active members.
+fn select_block(
+    pc: &[usize],
+    active: &[bool],
+    n_blocks: usize,
+    heuristic: BlockHeuristic,
+) -> Option<usize> {
+    match heuristic {
+        BlockHeuristic::EarliestBlock => pc
+            .iter()
+            .zip(active)
+            .filter(|(&p, &a)| a && p < n_blocks)
+            .map(|(&p, _)| p)
+            .min(),
+        BlockHeuristic::MostActive => {
+            let mut counts = vec![0usize; n_blocks];
+            for (&p, &a) in pc.iter().zip(active) {
+                if a && p < n_blocks {
+                    counts[p] += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))
+                .map(|(i, _)| i)
+        }
+    }
+}
+
+fn batch_size(inputs: &[Tensor]) -> Result<usize> {
+    let first = inputs.first().ok_or_else(|| VmError::BadInputs {
+        what: "no inputs".into(),
+    })?;
+    if first.rank() == 0 {
+        return Err(VmError::BadInputs {
+            what: "inputs must have a leading batch dimension".into(),
+        });
+    }
+    let z = first.shape()[0];
+    for t in inputs {
+        if t.rank() == 0 || t.shape()[0] != z {
+            return Err(VmError::BadInputs {
+                what: format!("inconsistent batch sizes: {} vs {}", z, t.shape()[0]),
+            });
+        }
+    }
+    Ok(z)
+}
+
+fn lookup(env: &BTreeMap<Var, Tensor>, v: &Var, context: &str) -> Result<Tensor> {
+    env.get(v).cloned().ok_or_else(|| VmError::Unbound {
+        var: v.clone(),
+        context: context.to_string(),
+    })
+}
+
+/// Masked write of a full-width result: active rows take the new value.
+fn write_masked(env: &mut BTreeMap<Var, Tensor>, var: &Var, value: Tensor, mask: &[bool]) -> Result<()> {
+    if value.rank() == 0 || value.shape()[0] != mask.len() {
+        // A kernel (or corrupted program) produced a result whose batch
+        // width disagrees with the batch — refusing here prevents silent
+        // lane corruption.
+        return Err(VmError::BadInputs {
+            what: format!(
+                "`{var}` written with batch width {:?}, expected {}",
+                value.shape(),
+                mask.len()
+            ),
+        });
+    }
+    match env.get_mut(var) {
+        Some(old) if old.shape() == value.shape() && old.dtype() == value.dtype() => {
+            old.masked_assign_rows(mask, &value)?;
+        }
+        _ => {
+            // First write (or a shape/dtype change, which only well-typed
+            // programs avoid; inactive lanes then hold junk, which the
+            // masked semantics never exposes).
+            env.insert(var.clone(), value);
+        }
+    }
+    Ok(())
+}
+
+/// Scattered write of a compacted result (gather/scatter strategy).
+fn write_scattered(
+    env: &mut BTreeMap<Var, Tensor>,
+    var: &Var,
+    value: Tensor,
+    local_idx: &[usize],
+    z: usize,
+) -> Result<()> {
+    let needs_alloc = match env.get(var) {
+        Some(old) => old.dtype() != value.dtype() || old.shape()[1..] != value.shape()[1..],
+        None => true,
+    };
+    if needs_alloc {
+        let mut shape = value.shape().to_vec();
+        shape[0] = z;
+        env.insert(var.clone(), Tensor::zeros(value.dtype(), &shape));
+    }
+    env.get_mut(var)
+        .expect("just ensured present")
+        .scatter_rows(local_idx, &value)?;
+    Ok(())
+}
+
+fn ensure_batched(t: &Tensor, z: usize) -> Result<Tensor> {
+    if t.rank() == 0 || t.shape()[0] != z {
+        return Err(VmError::BadInputs {
+            what: format!("variable not batch-shaped: {:?} for batch {z}", t.shape()),
+        });
+    }
+    Ok(t.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_accel::Backend;
+    use autobatch_ir::build::{fibonacci_program, ProgramBuilder};
+    use autobatch_ir::Prim;
+
+    fn vm_opts() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    #[test]
+    fn fibonacci_batch_matches_reference() {
+        let p = fibonacci_program();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        let inputs = vec![Tensor::from_i64(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10], &[11]).unwrap()];
+        let out = vm.run(&inputs, None).unwrap();
+        assert_eq!(
+            out[0].as_i64().unwrap(),
+            &[1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89]
+        );
+    }
+
+    #[test]
+    fn fibonacci_gather_scatter_matches_masking() {
+        let p = fibonacci_program();
+        let mut opts = vm_opts();
+        opts.strategy = ExecStrategy::GatherScatter;
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), opts);
+        let inputs = vec![Tensor::from_i64(&[3, 7, 4, 5], &[4]).unwrap()];
+        let out = vm.run(&inputs, None).unwrap();
+        assert_eq!(out[0].as_i64().unwrap(), &[3, 21, 5, 8]);
+    }
+
+    #[test]
+    fn most_active_heuristic_matches() {
+        let p = fibonacci_program();
+        let mut opts = vm_opts();
+        opts.heuristic = BlockHeuristic::MostActive;
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), opts);
+        let inputs = vec![Tensor::from_i64(&[6, 2, 9], &[3]).unwrap()];
+        let out = vm.run(&inputs, None).unwrap();
+        assert_eq!(out[0].as_i64().unwrap(), &[13, 2, 55]);
+    }
+
+    #[test]
+    fn while_loop_program_runs_divergent_trip_counts() {
+        // sum(n) = 0 + 1 + ... + (n-1), via a while loop.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("sum_below", &["n"], &["acc"]);
+        pb.define(f, |fb| {
+            let zero = fb.const_i64(0);
+            let i = Var::new("i");
+            fb.copy(&i, &zero);
+            fb.copy(&fb.output(0), &zero);
+            fb.while_loop(
+                |fb| fb.emit(Prim::Lt, &[Var::new("i"), fb.param(0)]),
+                |fb| {
+                    fb.assign(&fb.output(0), Prim::Add, &[fb.output(0), Var::new("i")]);
+                    let one = fb.const_i64(1);
+                    fb.assign(&Var::new("i"), Prim::Add, &[Var::new("i"), one]);
+                },
+            );
+            fb.ret();
+        });
+        let p = pb.finish(f).unwrap();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        let inputs = vec![Tensor::from_i64(&[0, 1, 5, 10], &[4]).unwrap()];
+        let out = vm.run(&inputs, None).unwrap();
+        assert_eq!(out[0].as_i64().unwrap(), &[0, 0, 10, 45]);
+    }
+
+    #[test]
+    fn batch_equals_singles() {
+        // The §2 correctness argument: each member's result is identical
+        // whether it runs alone or in a batch.
+        let p = fibonacci_program();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        let ns = [2i64, 6, 1, 9, 4];
+        let batch = vm
+            .run(&[Tensor::from_i64(&ns, &[5]).unwrap()], None)
+            .unwrap();
+        for (i, &n) in ns.iter().enumerate() {
+            let single = vm
+                .run(&[Tensor::from_i64(&[n], &[1]).unwrap()], None)
+                .unwrap();
+            assert_eq!(
+                single[0].as_i64().unwrap()[0],
+                batch[0].as_i64().unwrap()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn trace_counts_launches_and_supersteps() {
+        let p = fibonacci_program();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        let mut tr = Trace::new(Backend::eager_cpu());
+        vm.run(&[Tensor::from_i64(&[5, 6], &[2]).unwrap()], Some(&mut tr))
+            .unwrap();
+        assert!(tr.launches() > 0);
+        assert!(tr.supersteps() > 0);
+        assert!(tr.sim_time() > 0.0);
+        // Eager: per-prim launches exist under their own tags.
+        assert!(tr.kernel_stats("add").is_some());
+    }
+
+    #[test]
+    fn fused_backend_prices_blocks_not_prims() {
+        let p = fibonacci_program();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        let mut tr = Trace::new(Backend::hybrid_cpu());
+        vm.run(&[Tensor::from_i64(&[5, 6], &[2]).unwrap()], Some(&mut tr))
+            .unwrap();
+        assert!(tr.kernel_stats("add").is_none(), "no per-prim timed launches");
+        assert!(
+            tr.kernels().any(|(k, _)| k.starts_with("block:")),
+            "fused block launches present"
+        );
+        // Logical stats still visible per prim.
+        assert!(tr.logical_stats("add").is_some());
+    }
+
+    #[test]
+    fn observer_sees_divergence() {
+        let p = fibonacci_program();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        let mut depths = Vec::new();
+        let mut obs = |o: &LsabObservation<'_>| {
+            depths.push(o.host_depth);
+        };
+        vm.run_observed(
+            &[Tensor::from_i64(&[4, 5], &[2]).unwrap()],
+            None,
+            Some(&mut obs),
+        )
+        .unwrap();
+        assert!(depths.iter().any(|&d| d > 0), "recursion observed");
+    }
+
+    #[test]
+    fn wrong_input_arity_is_error() {
+        let p = fibonacci_program();
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
+        assert!(matches!(
+            vm.run(&[], None),
+            Err(VmError::BadInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn host_recursion_limit_guards_runaway() {
+        // f(n) = f(n + 1): never terminates.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("loop", &["n"], &["r"]);
+        pb.define(f, |fb| {
+            let one = fb.const_i64(1);
+            let m = fb.emit(Prim::Add, &[fb.param(0), one]);
+            let r = fb.call(f, &[m], 1);
+            fb.copy(&fb.output(0), &r[0]);
+            fb.ret();
+        });
+        let p = pb.finish(f).unwrap();
+        let mut opts = vm_opts();
+        opts.max_host_depth = 10;
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), opts);
+        assert!(matches!(
+            vm.run(&[Tensor::from_i64(&[0], &[1]).unwrap()], None),
+            Err(VmError::HostRecursionLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loop() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("spin", &["n"], &["r"]);
+        pb.define(f, |fb| {
+            fb.copy(&fb.output(0), &fb.param(0));
+            fb.while_loop(|fb| fb.const_bool(true), |_fb| {});
+            fb.ret();
+        });
+        let p = pb.finish(f).unwrap();
+        let mut opts = vm_opts();
+        opts.max_supersteps = 100;
+        let vm = LocalStaticVm::new(&p, KernelRegistry::new(), opts);
+        assert!(matches!(
+            vm.run(&[Tensor::from_i64(&[0], &[1]).unwrap()], None),
+            Err(VmError::StepLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn select_block_heuristics() {
+        let pc = [3, 1, 1, 7];
+        let active = [true, true, true, true];
+        assert_eq!(
+            select_block(&pc, &active, 8, BlockHeuristic::EarliestBlock),
+            Some(1)
+        );
+        assert_eq!(
+            select_block(&pc, &active, 8, BlockHeuristic::MostActive),
+            Some(1)
+        );
+        // Finished members (pc == n_blocks) are excluded.
+        let done = [8, 8, 8, 8];
+        assert_eq!(
+            select_block(&done, &active, 8, BlockHeuristic::EarliestBlock),
+            None
+        );
+        // Inactive members are ignored entirely.
+        let masked = [false, true, false, true];
+        assert_eq!(
+            select_block(&pc, &masked, 8, BlockHeuristic::EarliestBlock),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Tunable knobs of the two runtimes and the lowering pipeline.
+//!
+//! These correspond to the "significant free choices" the paper calls out
+//! in §2 (primitive execution strategy, block-selection heuristic) and
+//! the five compiler optimizations of §3; the ablation benches sweep them.
+
+/// How a primitive is executed on the locally active subset of the batch
+/// (paper §2, first free choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Run the primitive on *all* batch members and mask out the inactive
+    /// results. Cheap bookkeeping, wasted compute at low utilization,
+    /// computes on junk data in inactive lanes.
+    #[default]
+    Masking,
+    /// Gather the active members into a dense array, compute only them,
+    /// and scatter the results back. No wasted compute, but pays
+    /// gather/scatter traffic and produces dynamically shaped
+    /// intermediates (which static compilers dislike).
+    GatherScatter,
+}
+
+/// Which runnable basic block the runtime executes next (paper §2, second
+/// free choice). Any non-starving heuristic is correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockHeuristic {
+    /// Always run the earliest block in program order with at least one
+    /// active member — the paper's default ("surprisingly effective",
+    /// predictable).
+    #[default]
+    EarliestBlock,
+    /// Run the block with the most waiting members (ties go to the
+    /// earliest). Greedy batch-utilization maximizer.
+    MostActive,
+}
+
+/// How the dynamic-batching scheduler drains its agenda each round — the
+/// two strategies of on-the-fly batching (Neubig et al., 2017), relevant
+/// only to [`DynamicVm`](crate::DynamicVm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DynSchedule {
+    /// Each round, launch only the largest signature group, letting
+    /// smaller cohorts keep accumulating members across rounds (DyNet's
+    /// *agenda-based* batching). Better batching, more rounds.
+    #[default]
+    Agenda,
+    /// Each round, launch every signature group present (DyNet's
+    /// *depth-based* batching). Fewer rounds, but out-of-phase threads
+    /// never coalesce.
+    Breadth,
+}
+
+/// Runtime execution options shared by the virtual machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOptions {
+    /// Primitive execution strategy.
+    pub strategy: ExecStrategy,
+    /// Block-selection heuristic.
+    pub heuristic: BlockHeuristic,
+    /// Abort after this many supersteps (guards non-termination).
+    pub max_supersteps: u64,
+    /// Host (Rust) recursion depth limit for the local-static and
+    /// dynamic-batching runtimes.
+    pub max_host_depth: usize,
+    /// Stack depth limit `D` for the program-counter runtime (paper
+    /// Algorithm 2's static stack allocation).
+    pub stack_depth: usize,
+    /// Whether the program-counter runtime caches stack tops (paper §3,
+    /// optimization 4). Turning this off only changes the *priced* stack
+    /// traffic (every read re-gathers), not the results.
+    pub cache_stack_tops: bool,
+    /// Agenda policy of the dynamic-batching runtime (ignored by the
+    /// static runtimes).
+    pub dyn_schedule: DynSchedule,
+    /// RNG seed for the counter-based random primitives.
+    pub seed: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            strategy: ExecStrategy::Masking,
+            heuristic: BlockHeuristic::EarliestBlock,
+            max_supersteps: 50_000_000,
+            max_host_depth: 512,
+            stack_depth: 64,
+            cache_stack_tops: true,
+            dyn_schedule: DynSchedule::Agenda,
+            seed: 0,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with a specific RNG seed.
+    pub fn with_seed(seed: u64) -> ExecOptions {
+        ExecOptions {
+            seed,
+            ..ExecOptions::default()
+        }
+    }
+}
+
+/// Options of the `lsab → pcab` lowering (paper §3 optimizations 1–3, 5;
+/// optimization 4 is a runtime knob, [`ExecOptions::cache_stack_tops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweringOptions {
+    /// Optimization 2: variables whose live range stays inside one block
+    /// bypass the batching machinery entirely.
+    pub elide_temporaries: bool,
+    /// Optimization 3: variables never live across a recursive call get a
+    /// masked register instead of a stack.
+    pub demote_registers: bool,
+    /// Optimization 5: cancel `Pop v; …; Push v = e` pairs with no
+    /// intervening access into in-place `Update v = e`.
+    pub pop_push_elimination: bool,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> LoweringOptions {
+        LoweringOptions {
+            elide_temporaries: true,
+            demote_registers: true,
+            pop_push_elimination: true,
+        }
+    }
+}
+
+impl LoweringOptions {
+    /// All optimizations disabled (the ablation baseline: every variable
+    /// gets a stack, every call saves via push/pop).
+    pub fn unoptimized() -> LoweringOptions {
+        LoweringOptions {
+            elide_temporaries: false,
+            demote_registers: false,
+            pop_push_elimination: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let o = LoweringOptions::default();
+        assert!(o.elide_temporaries && o.demote_registers && o.pop_push_elimination);
+        let u = LoweringOptions::unoptimized();
+        assert!(!u.elide_temporaries && !u.demote_registers && !u.pop_push_elimination);
+    }
+
+    #[test]
+    fn exec_defaults() {
+        let o = ExecOptions::default();
+        assert_eq!(o.strategy, ExecStrategy::Masking);
+        assert_eq!(o.heuristic, BlockHeuristic::EarliestBlock);
+        assert!(o.cache_stack_tops);
+        assert_eq!(ExecOptions::with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,881 @@
+//! The program-counter autobatching runtime (paper §3, Algorithm 2).
+//!
+//! A flat, non-recursive interpreter over the merged
+//! [`pcab`](autobatch_ir::pcab) program. Every batch member carries a
+//! stacked program counter; each stacked data variable owns a
+//! `[D, Z, ..]` stack tensor plus per-member stack pointers, with the
+//! current top cached densely (paper optimization 4). Because recursion
+//! state lives entirely in these arrays, the runtime is a single loop —
+//! exactly the property that lets the paper compile it with XLA — and
+//! logical threads at *different stack depths* batch together whenever
+//! their pc tops coincide.
+
+use std::collections::BTreeMap;
+
+use autobatch_accel::{DispatchMode, LaunchRecord, Trace};
+use autobatch_ir::pcab::{Op, Program, Terminator, WriteKind};
+use autobatch_ir::{Prim, Var};
+use autobatch_tensor::{CounterRng, Tensor};
+
+use crate::error::{Result, VmError};
+use crate::kernels::{eval_prim, prim_cost, KernelRegistry, OpCost};
+use crate::options::{BlockHeuristic, ExecOptions, ExecStrategy};
+
+/// Storage for one stacked variable: frames below the cached top.
+#[derive(Debug, Clone)]
+struct StackVar {
+    /// `[D, Z, elem..]` frames beneath the top (lazily allocated).
+    store: Option<Tensor>,
+    /// Per-member count of frames in `store`.
+    sp: Vec<usize>,
+    /// `[Z, elem..]` cached top value (lazily allocated).
+    top: Option<Tensor>,
+}
+
+impl StackVar {
+    fn new(z: usize) -> StackVar {
+        StackVar {
+            store: None,
+            sp: vec![0; z],
+            top: None,
+        }
+    }
+}
+
+/// A point-in-time copy of one stacked variable, for observers (the
+/// paper's Figure 3 visualization).
+#[derive(Debug, Clone)]
+pub struct StackSnapshot {
+    /// Frames beneath the top, `[D, Z, elem..]`, if ever pushed.
+    pub store: Option<Tensor>,
+    /// Per-member stack pointers (frames currently in `store`).
+    pub sp: Vec<usize>,
+    /// The cached top, `[Z, elem..]`, if ever written.
+    pub top: Option<Tensor>,
+}
+
+/// A snapshot handed to an observer after every superstep.
+#[derive(Debug)]
+pub struct PcObservation<'a> {
+    /// The block that just ran.
+    pub block: usize,
+    /// Which members were active in it.
+    pub active: &'a [bool],
+    /// Per-member pc tops after the step (`== block count` means done).
+    pub pc_top: &'a [usize],
+    /// Per-member pc stack depths (frames beneath the top).
+    pub pc_depth: Vec<usize>,
+    /// Stacked-variable state (cloned; observer-only cost).
+    pub stacks: BTreeMap<Var, StackSnapshot>,
+}
+
+/// Callback invoked after every superstep.
+pub type PcObserver<'o> = dyn FnMut(&PcObservation<'_>) + 'o;
+
+/// The program-counter autobatching virtual machine.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_core::{lower, KernelRegistry, LoweringOptions, PcVm, ExecOptions};
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_tensor::Tensor;
+///
+/// let (program, _) = lower(&fibonacci_program(), LoweringOptions::default())?;
+/// let vm = PcVm::new(&program, KernelRegistry::new(), ExecOptions::default());
+/// let out = vm.run(&[Tensor::from_i64(&[6, 7, 8, 9], &[4])?], None)?;
+/// assert_eq!(out[0].as_i64()?, &[13, 21, 34, 55]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PcVm<'p> {
+    program: &'p Program,
+    registry: KernelRegistry,
+    opts: ExecOptions,
+}
+
+struct State {
+    z: usize,
+    pc_top: Vec<usize>,
+    /// Per-member pc frames beneath the top.
+    pc_stack: Vec<Vec<usize>>,
+    stacked: BTreeMap<Var, StackVar>,
+    registers: BTreeMap<Var, Option<Tensor>>,
+}
+
+impl<'p> PcVm<'p> {
+    /// Create a VM for a lowered program.
+    pub fn new(program: &'p Program, registry: KernelRegistry, opts: ExecOptions) -> Self {
+        PcVm {
+            program,
+            registry,
+            opts,
+        }
+    }
+
+    /// The program this VM executes.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// Run the batch; one input tensor per program input, axis 0 = batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns kernel errors, [`VmError::StackOverflow`] when recursion
+    /// exceeds the depth limit `D`, or [`VmError::StepLimit`].
+    pub fn run(&self, inputs: &[Tensor], trace: Option<&mut Trace>) -> Result<Vec<Tensor>> {
+        self.run_observed(inputs, trace, None)
+    }
+
+    /// Like [`PcVm::run`], invoking `observer` after every superstep.
+    ///
+    /// # Errors
+    ///
+    /// See [`PcVm::run`].
+    pub fn run_observed(
+        &self,
+        inputs: &[Tensor],
+        mut trace: Option<&mut Trace>,
+        mut observer: Option<&mut PcObserver<'_>>,
+    ) -> Result<Vec<Tensor>> {
+        let p = self.program;
+        if inputs.len() != p.inputs.len() {
+            return Err(VmError::BadInputs {
+                what: format!("expected {} inputs, got {}", p.inputs.len(), inputs.len()),
+            });
+        }
+        let z = inputs
+            .first()
+            .filter(|t| t.rank() > 0)
+            .map(|t| t.shape()[0])
+            .ok_or_else(|| VmError::BadInputs {
+                what: "inputs must have a leading batch dimension".into(),
+            })?;
+        for t in inputs {
+            if t.rank() == 0 || t.shape()[0] != z {
+                return Err(VmError::BadInputs {
+                    what: "inconsistent batch sizes".into(),
+                });
+            }
+        }
+        let n_blocks = p.blocks.len();
+        let mut st = State {
+            z,
+            pc_top: vec![p.entry.0; z],
+            pc_stack: vec![vec![n_blocks]; z], // exit sentinel at the bottom
+            stacked: p
+                .stacked_vars()
+                .into_iter()
+                .map(|v| (v, StackVar::new(z)))
+                .collect(),
+            registers: p
+                .register_vars()
+                .into_iter()
+                .map(|v| (v, None))
+                .collect(),
+        };
+        // Algorithm 2's "PUSH T onto x": bind the batch inputs.
+        let all = vec![true; z];
+        for (v, t) in p.inputs.iter().zip(inputs) {
+            self.write_var(&mut st, v, t.clone(), &all, &mut BTreeMap::new(), WriteKind::Update, false)?;
+        }
+
+        let rng = CounterRng::new(self.opts.seed);
+        let mut steps = 0u64;
+        loop {
+            let Some(i) = select_block(&st.pc_top, n_blocks, self.opts.heuristic) else {
+                break;
+            };
+            steps += 1;
+            if steps > self.opts.max_supersteps {
+                return Err(VmError::StepLimit {
+                    limit: self.opts.max_supersteps,
+                });
+            }
+            let active: Vec<bool> = st.pc_top.iter().map(|&pc| pc == i).collect();
+            let active_idx: Vec<usize> = (0..z).filter(|&b| active[b]).collect();
+            if let Some(t) = trace.as_deref_mut() {
+                t.superstep();
+            }
+            let fused = trace
+                .as_deref()
+                .map(|t| !matches!(t.backend().mode, DispatchMode::Eager))
+                .unwrap_or(false);
+            let functional = trace
+                .as_deref()
+                .map(|t| t.functional_stack_updates())
+                .unwrap_or(false);
+
+            let mut temps: BTreeMap<Var, Tensor> = BTreeMap::new();
+            let mut block_cost = OpCost::default();
+            let mut block_random_bytes = 0.0f64;
+            let block = &p.blocks[i].clone();
+            for op in &block.ops {
+                match op {
+                    Op::Compute { outs, prim, ins } => {
+                        let cost = self.exec_compute(
+                            &mut st,
+                            &mut temps,
+                            prim,
+                            outs,
+                            ins,
+                            &active,
+                            &active_idx,
+                            &rng,
+                            &mut trace,
+                            &mut block_random_bytes,
+                            fused,
+                            functional,
+                        )?;
+                        block_cost.flops += cost.flops;
+                        block_cost.bytes += cost.bytes;
+                        block_cost.parallel = block_cost.parallel.max(cost.parallel);
+                    }
+                    Op::Pop { var } => {
+                        let (seq, rand) =
+                            self.pop_var(&mut st, var, &active, &active_idx, &mut trace, fused, functional)?;
+                        block_random_bytes += seq + rand;
+                    }
+                }
+            }
+            // Terminator.
+            match &block.term {
+                Terminator::Jump(t) => {
+                    for &b in &active_idx {
+                        st.pc_top[b] = t.0;
+                    }
+                }
+                Terminator::Branch { cond, then_, else_ } => {
+                    let c = self.read_var(&st, &temps, cond, "branch")?;
+                    let cv = c.as_bool()?;
+                    // Under gather/scatter the condition may be a
+                    // compacted temp (one row per *active* member).
+                    let compacted = cv.len() == active_idx.len() && cv.len() != z;
+                    for (pos, &b) in active_idx.iter().enumerate() {
+                        let bit = if compacted { cv[pos] } else { cv[b] };
+                        st.pc_top[b] = if bit { then_.0 } else { else_.0 };
+                    }
+                }
+                Terminator::PushJump { enter, resume } => {
+                    for &b in &active_idx {
+                        if st.pc_stack[b].len() >= self.opts.stack_depth {
+                            return Err(VmError::StackOverflow {
+                                var: Var::new("%pc"),
+                                limit: self.opts.stack_depth,
+                            });
+                        }
+                        st.pc_stack[b].push(resume.0);
+                        st.pc_top[b] = enter.0;
+                    }
+                    // pc stack traffic: one index per active member.
+                    let (seq, rand) =
+                        pc_traffic(&mut trace, self.opts.stack_depth, z, active_idx.len(), fused);
+                    block_random_bytes += seq + rand;
+                }
+                Terminator::Return => {
+                    for &b in &active_idx {
+                        match st.pc_stack[b].pop() {
+                            Some(r) => st.pc_top[b] = r,
+                            None => {
+                                return Err(VmError::StackUnderflow {
+                                    var: Var::new("%pc"),
+                                })
+                            }
+                        }
+                    }
+                    let (seq, rand) =
+                        pc_traffic(&mut trace, self.opts.stack_depth, z, active_idx.len(), fused);
+                    block_random_bytes += seq + rand;
+                }
+            }
+            if fused {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.launch(&LaunchRecord {
+                        kernel: format!("block:{i}"),
+                        flops: block_cost.flops,
+                        bytes: block_cost.bytes,
+                        random_bytes: block_random_bytes,
+                        parallel: block_cost.parallel.max(1),
+                        active_members: active_idx.len(),
+                        total_members: z,
+                    });
+                }
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                let stacks: BTreeMap<Var, StackSnapshot> = st
+                    .stacked
+                    .iter()
+                    .map(|(v, s)| {
+                        (
+                            v.clone(),
+                            StackSnapshot {
+                                store: s.store.clone(),
+                                sp: s.sp.clone(),
+                                top: s.top.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                obs(&PcObservation {
+                    block: i,
+                    active: &active,
+                    pc_top: &st.pc_top,
+                    pc_depth: st.pc_stack.iter().map(Vec::len).collect(),
+                    stacks,
+                });
+            }
+        }
+        // Read outputs at their final tops.
+        p.outputs
+            .iter()
+            .map(|o| self.read_var(&st, &BTreeMap::new(), o, "outputs"))
+            .collect()
+    }
+
+    /// Execute one `Compute` op under the configured strategy.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_compute(
+        &self,
+        st: &mut State,
+        temps: &mut BTreeMap<Var, Tensor>,
+        prim: &Prim,
+        outs: &[(Var, WriteKind)],
+        ins: &[Var],
+        active: &[bool],
+        active_idx: &[usize],
+        rng: &CounterRng,
+        trace: &mut Option<&mut Trace>,
+        block_random_bytes: &mut f64,
+        fused: bool,
+        functional: bool,
+    ) -> Result<OpCost> {
+        let z = st.z;
+        let n_active = active_idx.len();
+        // Uncached-top ablation: every read of a stacked variable pays a
+        // gather from the stack storage.
+        if !self.opts.cache_stack_tops {
+            for v in ins {
+                if let Some(s) = st.stacked.get(v) {
+                    if let Some(top) = &s.top {
+                        let bytes = (top.len() / z.max(1) * n_active) as f64
+                            * top.dtype().size_bytes() as f64;
+                        *block_random_bytes += bytes;
+                        if !fused {
+                            record_stack_launch(trace, 0.0, bytes, n_active, z);
+                        }
+                    }
+                }
+            }
+        }
+        let (results, cost, extra_random) = match self.opts.strategy {
+            ExecStrategy::Masking => {
+                let inputs: Vec<Tensor> = ins
+                    .iter()
+                    .map(|v| self.read_var_mut_temps(st, temps, v))
+                    .collect::<Result<_>>()?;
+                let members: Vec<u64> = (0..z as u64).collect();
+                let results = eval_prim(prim, &inputs, &members, rng, &self.registry)?;
+                let cost = prim_cost(prim, &inputs, &results, &self.registry);
+                (results, cost, 0.0)
+            }
+            ExecStrategy::GatherScatter => {
+                let inputs: Vec<Tensor> = ins
+                    .iter()
+                    .map(|v| {
+                        let t = self.read_var_mut_temps(st, temps, v)?;
+                        // Temps are already compacted to the active rows.
+                        if t.rank() > 0 && t.shape()[0] == n_active && n_active != z {
+                            Ok(t)
+                        } else {
+                            t.gather_rows(active_idx).map_err(VmError::from)
+                        }
+                    })
+                    .collect::<Result<_>>()?;
+                let members: Vec<u64> = active_idx.iter().map(|&b| b as u64).collect();
+                let results = eval_prim(prim, &inputs, &members, rng, &self.registry)?;
+                let cost = prim_cost(prim, &inputs, &results, &self.registry);
+                let moved: f64 = inputs
+                    .iter()
+                    .chain(&results)
+                    .map(|t| t.size_bytes() as f64)
+                    .sum();
+                (results, cost, moved)
+            }
+        };
+        *block_random_bytes += extra_random;
+        if let Some(t) = trace.as_deref_mut() {
+            let total = if self.opts.strategy == ExecStrategy::Masking {
+                z
+            } else {
+                n_active
+            };
+            t.record_logical(&LaunchRecord {
+                kernel: prim.kernel_tag(),
+                flops: cost.flops,
+                bytes: cost.bytes,
+                random_bytes: extra_random,
+                parallel: cost.parallel,
+                active_members: n_active,
+                total_members: total,
+            });
+            if !fused {
+                t.launch(&LaunchRecord {
+                    kernel: prim.kernel_tag(),
+                    flops: cost.flops,
+                    bytes: cost.bytes,
+                    random_bytes: extra_random,
+                    parallel: cost.parallel,
+                    active_members: n_active,
+                    total_members: total,
+                });
+            }
+        }
+        // Write back. In gather mode, expand compacted rows first.
+        for ((var, kind), mut r) in outs.iter().cloned().zip(results) {
+            if self.opts.strategy == ExecStrategy::GatherScatter && n_active != z {
+                if st.stacked.contains_key(&var) || st.registers.contains_key(&var) {
+                    // Expand to full width by scattering into the current
+                    // value (or zeros when absent).
+                    let mut full = match self.peek_var(st, &var) {
+                        Some(t)
+                            if t.dtype() == r.dtype() && t.shape()[1..] == r.shape()[1..] =>
+                        {
+                            t
+                        }
+                        _ => {
+                            let mut shape = r.shape().to_vec();
+                            shape[0] = z;
+                            Tensor::zeros(r.dtype(), &shape)
+                        }
+                    };
+                    full.scatter_rows(active_idx, &r)?;
+                    r = full;
+                } else {
+                    // Temps stay compacted.
+                    temps.insert(var.clone(), r);
+                    continue;
+                }
+            }
+            let (seq, rand) = self.write_var(st, &var, r, active, temps, kind, functional)?;
+            *block_random_bytes += seq + rand;
+            if !fused && (seq > 0.0 || rand > 0.0) {
+                record_stack_launch(trace, 0.0, seq + rand, n_active, z);
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Current full-width value of a persistent variable, if any.
+    fn peek_var(&self, st: &State, v: &Var) -> Option<Tensor> {
+        if let Some(s) = st.stacked.get(v) {
+            s.top.clone()
+        } else {
+            st.registers.get(v).and_then(Clone::clone)
+        }
+    }
+
+    fn read_var(&self, st: &State, temps: &BTreeMap<Var, Tensor>, v: &Var, ctx: &str) -> Result<Tensor> {
+        if let Some(t) = temps.get(v) {
+            return Ok(t.clone());
+        }
+        self.peek_var(st, v).ok_or_else(|| VmError::Unbound {
+            var: v.clone(),
+            context: ctx.to_string(),
+        })
+    }
+
+    fn read_var_mut_temps(
+        &self,
+        st: &State,
+        temps: &BTreeMap<Var, Tensor>,
+        v: &Var,
+    ) -> Result<Tensor> {
+        self.read_var(st, temps, v, "compute")
+    }
+
+    /// Write `value` to `var` for the active members. Returns the
+    /// (sequential, random) stack traffic in bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn write_var(
+        &self,
+        st: &mut State,
+        var: &Var,
+        value: Tensor,
+        active: &[bool],
+        temps: &mut BTreeMap<Var, Tensor>,
+        kind: WriteKind,
+        functional: bool,
+    ) -> Result<(f64, f64)> {
+        let z = st.z;
+        if let Some(s) = st.stacked.get_mut(var) {
+            match kind {
+                WriteKind::Update => {
+                    masked_store(&mut s.top, value, active)?;
+                    let top = s.top.as_ref().expect("just stored");
+                    // Functional semantics rebuild the top buffer on every
+                    // masked update (read the old buffer + write the new,
+                    // matching how op costs count inputs + outputs).
+                    let seq = if functional {
+                        2.0 * top.size_bytes() as f64
+                    } else {
+                        0.0
+                    };
+                    // Uncached-top ablation: updates scatter to storage.
+                    if !self.opts.cache_stack_tops {
+                        let n_active = active.iter().filter(|&&a| a).count();
+                        let bytes = (top.len() / z.max(1) * n_active) as f64
+                            * top.dtype().size_bytes() as f64;
+                        return Ok((seq, bytes));
+                    }
+                    Ok((seq, 0.0))
+                }
+                WriteKind::Push => {
+                    let n_active = active.iter().filter(|&&a| a).count();
+                    // Materialize the old top (zeros for the virgin frame)
+                    // into storage, then cache the new value as top.
+                    let elem_shape: Vec<usize> = value.shape()[1..].to_vec();
+                    if s.top.is_none() {
+                        let mut shape = vec![z];
+                        shape.extend_from_slice(&elem_shape);
+                        s.top = Some(Tensor::zeros(value.dtype(), &shape));
+                    }
+                    let top = s.top.as_ref().expect("ensured above").clone();
+                    if s.store.is_none() {
+                        let mut shape = vec![self.opts.stack_depth, z];
+                        shape.extend_from_slice(&top.shape()[1..]);
+                        s.store = Some(Tensor::zeros(top.dtype(), &shape));
+                    }
+                    for (b, &a) in active.iter().enumerate() {
+                        if a && s.sp[b] >= self.opts.stack_depth {
+                            return Err(VmError::StackOverflow {
+                                var: var.clone(),
+                                limit: self.opts.stack_depth,
+                            });
+                        }
+                    }
+                    let store = s.store.as_mut().expect("ensured above");
+                    store.scatter_at_depth(&s.sp, active, &top)?;
+                    for (b, &a) in active.iter().enumerate() {
+                        if a {
+                            s.sp[b] += 1;
+                        }
+                    }
+                    masked_store(&mut s.top, value, active)?;
+                    let elem_bytes = top.len() / z.max(1) * top.dtype().size_bytes();
+                    // Functional semantics copy the whole [D, Z, ..] stack
+                    // buffer to produce the "new" stack value — the cost
+                    // the paper's §4.1 hypothesis (2) blames for fully
+                    // compiled autobatching losing to the hybrid at very
+                    // large batch sizes.
+                    let seq = if functional {
+                        s.store.as_ref().map_or(0.0, |st| 2.0 * st.size_bytes() as f64)
+                    } else {
+                        0.0
+                    };
+                    Ok((seq, (elem_bytes * n_active) as f64))
+                }
+            }
+        } else if st.registers.contains_key(var) {
+            debug_assert_eq!(kind, WriteKind::Update, "validated: no push to register");
+            let slot = st.registers.get_mut(var).expect("checked contains_key");
+            masked_store(slot, value, active)?;
+            Ok((0.0, 0.0))
+        } else {
+            // Block-local temporary: plain unmasked binding.
+            temps.insert(var.clone(), value);
+            Ok((0.0, 0.0))
+        }
+    }
+
+    /// Pop a stacked variable for the active members. Returns the
+    /// (sequential, random) stack traffic in bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn pop_var(
+        &self,
+        st: &mut State,
+        var: &Var,
+        active: &[bool],
+        active_idx: &[usize],
+        trace: &mut Option<&mut Trace>,
+        fused: bool,
+        functional: bool,
+    ) -> Result<(f64, f64)> {
+        let z = st.z;
+        let s = st.stacked.get_mut(var).ok_or_else(|| VmError::Unbound {
+            var: var.clone(),
+            context: "pop of unknown stacked variable".into(),
+        })?;
+        let store = s.store.as_ref().ok_or(VmError::StackUnderflow {
+            var: var.clone(),
+        })?;
+        for &b in active_idx {
+            if s.sp[b] == 0 {
+                return Err(VmError::StackUnderflow { var: var.clone() });
+            }
+        }
+        let depths: Vec<usize> = s
+            .sp
+            .iter()
+            .enumerate()
+            .map(|(b, &d)| if active[b] { d - 1 } else { 0 })
+            .collect();
+        let restored = store.gather_at_depth(&depths)?;
+        masked_store(&mut s.top, restored, active)?;
+        for &b in active_idx {
+            s.sp[b] -= 1;
+        }
+        let top = s.top.as_ref().expect("pop restores a value");
+        let bytes = (top.len() / z.max(1) * active_idx.len()) as f64
+            * top.dtype().size_bytes() as f64;
+        // Functional semantics rebuild the stack buffer on pop as well
+        // (the while-loop state tuple is immutable).
+        let seq = if functional {
+            s.store.as_ref().map_or(0.0, |st| 2.0 * st.size_bytes() as f64)
+        } else {
+            0.0
+        };
+        if !fused {
+            record_stack_launch(trace, 0.0, seq + bytes, active_idx.len(), z);
+        }
+        Ok((seq, bytes))
+    }
+}
+
+/// Masked write into an optional full-width slot.
+fn masked_store(slot: &mut Option<Tensor>, value: Tensor, active: &[bool]) -> Result<()> {
+    if value.rank() == 0 || value.shape()[0] != active.len() {
+        return Err(VmError::BadInputs {
+            what: format!(
+                "masked write with batch width {:?}, expected {}",
+                value.shape(),
+                active.len()
+            ),
+        });
+    }
+    match slot {
+        Some(old) if old.shape() == value.shape() && old.dtype() == value.dtype() => {
+            old.masked_assign_rows(active, &value)?;
+        }
+        Some(_) | None => {
+            if active.iter().all(|&a| a) {
+                *slot = Some(value);
+            } else {
+                // Allocate a fresh buffer and land only the active rows;
+                // the inactive lanes hold zeros, which the masked
+                // semantics never exposes to a well-formed program.
+                let mut fresh = Tensor::zeros(value.dtype(), value.shape());
+                fresh.masked_assign_rows(active, &value)?;
+                *slot = Some(fresh);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn record_stack_launch(trace: &mut Option<&mut Trace>, seq: f64, rand: f64, active: usize, z: usize) {
+    if let Some(t) = trace.as_deref_mut() {
+        t.launch(&LaunchRecord {
+            kernel: "stack".into(),
+            flops: 0.0,
+            bytes: seq,
+            random_bytes: rand,
+            parallel: active.max(1),
+            active_members: active,
+            total_members: z,
+        });
+    }
+}
+
+/// Traffic of one pc stack push/pop: 8 bytes per active member, plus a
+/// whole-buffer copy under functional (XLA-style) stack updates.
+fn pc_traffic(
+    trace: &mut Option<&mut Trace>,
+    depth_limit: usize,
+    z: usize,
+    n_active: usize,
+    fused: bool,
+) -> (f64, f64) {
+    let rand = (n_active * 8) as f64;
+    let seq = match trace.as_deref() {
+        Some(t) if t.functional_stack_updates() => (2 * depth_limit * z * 8) as f64,
+        _ => 0.0,
+    };
+    if !fused {
+        record_stack_launch(trace, 0.0, seq + rand, n_active, z);
+    }
+    (seq, rand)
+}
+
+/// Block selection over pc tops (all members still in flight).
+fn select_block(pc_top: &[usize], n_blocks: usize, heuristic: BlockHeuristic) -> Option<usize> {
+    match heuristic {
+        BlockHeuristic::EarliestBlock => {
+            pc_top.iter().copied().filter(|&p| p < n_blocks).min()
+        }
+        BlockHeuristic::MostActive => {
+            let mut counts = vec![0usize; n_blocks];
+            for &p in pc_top {
+                if p < n_blocks {
+                    counts[p] += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))
+                .map(|(i, _)| i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering::lower;
+    use crate::options::LoweringOptions;
+    use autobatch_accel::Backend;
+    use autobatch_ir::build::fibonacci_program;
+
+    fn fib_vm_run(ns: &[i64], opts: ExecOptions) -> Vec<i64> {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
+        let out = vm
+            .run(&[Tensor::from_i64(ns, &[ns.len()]).unwrap()], None)
+            .unwrap();
+        out[0].as_i64().unwrap().to_vec()
+    }
+
+    #[test]
+    fn fibonacci_via_explicit_stacks() {
+        assert_eq!(
+            fib_vm_run(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10], ExecOptions::default()),
+            vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89]
+        );
+    }
+
+    #[test]
+    fn fibonacci_gather_scatter_strategy() {
+        let mut opts = ExecOptions::default();
+        opts.strategy = ExecStrategy::GatherScatter;
+        assert_eq!(fib_vm_run(&[6, 7, 8, 9], opts), vec![13, 21, 34, 55]);
+    }
+
+    #[test]
+    fn fibonacci_most_active_heuristic() {
+        let mut opts = ExecOptions::default();
+        opts.heuristic = BlockHeuristic::MostActive;
+        assert_eq!(fib_vm_run(&[3, 9, 1], opts), vec![3, 55, 1]);
+    }
+
+    #[test]
+    fn fibonacci_without_top_caching() {
+        let mut opts = ExecOptions::default();
+        opts.cache_stack_tops = false;
+        assert_eq!(fib_vm_run(&[5, 8], opts), vec![8, 34]);
+    }
+
+    #[test]
+    fn unoptimized_lowering_still_correct() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::unoptimized()).unwrap();
+        let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let out = vm
+            .run(&[Tensor::from_i64(&[7, 2, 9], &[3]).unwrap()], None)
+            .unwrap();
+        assert_eq!(out[0].as_i64().unwrap(), &[21, 2, 55]);
+    }
+
+    #[test]
+    fn stack_overflow_reported() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut opts = ExecOptions::default();
+        opts.stack_depth = 4;
+        let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
+        let err = vm.run(&[Tensor::from_i64(&[25], &[1]).unwrap()], None);
+        assert!(
+            matches!(err, Err(VmError::StackOverflow { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn members_at_different_depths_batch_together() {
+        // Observe at least one superstep where two members with different
+        // pc stack depths are simultaneously active — the capability the
+        // paper's §3 adds over local static autobatching.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let mut cross_depth_batch = false;
+        let mut obs = |o: &PcObservation<'_>| {
+            let depths: Vec<usize> = o
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a)
+                .map(|(b, _)| o.pc_depth[b])
+                .collect();
+            if depths.len() >= 2 && depths.iter().any(|&d| d != depths[0]) {
+                cross_depth_batch = true;
+            }
+        };
+        vm.run_observed(
+            &[Tensor::from_i64(&[6, 9], &[2]).unwrap()],
+            None,
+            Some(&mut obs),
+        )
+        .unwrap();
+        assert!(cross_depth_batch, "no cross-depth batching observed");
+    }
+
+    #[test]
+    fn trace_records_stack_traffic_and_blocks() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let mut tr = Trace::new(Backend::xla_cpu());
+        vm.run(
+            &[Tensor::from_i64(&[8, 9], &[2]).unwrap()],
+            Some(&mut tr),
+        )
+        .unwrap();
+        assert!(tr.supersteps() > 0);
+        assert!(tr.kernels().any(|(k, _)| k.starts_with("block:")));
+        // Fused mode folds stack traffic into block launches.
+        assert!(tr.sim_time() > 0.0);
+        // Eager mode shows explicit stack launches.
+        let mut tr2 = Trace::new(Backend::eager_cpu());
+        vm.run(
+            &[Tensor::from_i64(&[8, 9], &[2]).unwrap()],
+            Some(&mut tr2),
+        )
+        .unwrap();
+        assert!(tr2.kernel_stats("stack").is_some());
+    }
+
+    #[test]
+    fn pc_vm_matches_lsab_vm_bitwise() {
+        use crate::lsab_vm::LocalStaticVm;
+        let p = fibonacci_program();
+        let lsab_vm = LocalStaticVm::new(&p, KernelRegistry::new(), ExecOptions::default());
+        let (pcp, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let pc_vm = PcVm::new(&pcp, KernelRegistry::new(), ExecOptions::default());
+        let input = Tensor::from_i64(&[0, 3, 11, 7, 1], &[5]).unwrap();
+        let a = lsab_vm.run(std::slice::from_ref(&input), None).unwrap();
+        let b = pc_vm.run(std::slice::from_ref(&input), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        assert!(vm.run(&[], None).is_err());
+        assert!(vm.run(&[Tensor::scalar(1i64)], None).is_err());
+    }
+}

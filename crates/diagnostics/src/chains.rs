@@ -1,0 +1,132 @@
+//! Chain-set validation and manipulation shared by the diagnostics.
+
+use crate::{DiagError, Result};
+
+/// Check that `chains` is a nonempty set of equal-length, all-finite
+/// chains with at least `min_draws` draws each, and return the common
+/// length.
+///
+/// # Errors
+///
+/// Returns the specific [`DiagError`] violated.
+pub fn validate<C: AsRef<[f64]>>(chains: &[C], min_draws: usize) -> Result<usize> {
+    let first = chains.first().ok_or(DiagError::NoChains)?;
+    let n = first.as_ref().len();
+    for c in chains {
+        let c = c.as_ref();
+        if c.len() != n {
+            return Err(DiagError::UnequalLengths {
+                first: n,
+                other: c.len(),
+            });
+        }
+        if c.iter().any(|x| !x.is_finite()) {
+            return Err(DiagError::NonFinite);
+        }
+    }
+    if n < min_draws {
+        return Err(DiagError::TooFewDraws {
+            got: n,
+            need: min_draws,
+        });
+    }
+    Ok(n)
+}
+
+/// Split every chain into its first and second half (dropping the middle
+/// draw of odd-length chains), doubling the chain count. This is the
+/// "split" in split-`R̂`: it makes within-chain non-stationarity visible
+/// to a between-chain statistic.
+pub fn split_in_half<C: AsRef<[f64]>>(chains: &[C]) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(chains.len() * 2);
+    for c in chains {
+        let c = c.as_ref();
+        let h = c.len() / 2;
+        out.push(c[..h].to_vec());
+        out.push(c[c.len() - h..].to_vec());
+    }
+    out
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) of all draws pooled across chains,
+/// with linear interpolation between order statistics (R's type 7).
+///
+/// # Errors
+///
+/// Returns [`DiagError::NoChains`] or [`DiagError::TooFewDraws`] for an
+/// empty pool.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn pooled_quantile<C: AsRef<[f64]>>(chains: &[C], p: f64) -> Result<f64> {
+    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0, 1]");
+    validate(chains, 1)?;
+    let mut pool: Vec<f64> = chains.iter().flat_map(|c| c.as_ref().iter().copied()).collect();
+    pool.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    let h = p * (pool.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(pool[lo] + (h - lo as f64) * (pool[hi] - pool[lo]))
+}
+
+/// Mean of a slice.
+pub(crate) fn mean(x: &[f64]) -> f64 {
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Unbiased sample variance of a slice (length ≥ 2).
+pub(crate) fn sample_var(x: &[f64]) -> f64 {
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_each_violation() {
+        let empty: [Vec<f64>; 0] = [];
+        assert_eq!(validate(&empty, 1), Err(DiagError::NoChains));
+        assert_eq!(
+            validate(&[vec![1.0, 2.0], vec![1.0]], 1),
+            Err(DiagError::UnequalLengths { first: 2, other: 1 })
+        );
+        assert_eq!(
+            validate(&[vec![1.0, f64::NAN]], 1),
+            Err(DiagError::NonFinite)
+        );
+        assert_eq!(
+            validate(&[vec![1.0, 2.0]], 4),
+            Err(DiagError::TooFewDraws { got: 2, need: 4 })
+        );
+        assert_eq!(validate(&[vec![1.0, 2.0, 3.0, 4.0]], 4), Ok(4));
+    }
+
+    #[test]
+    fn split_halves_even_and_odd() {
+        let halves = split_in_half(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        assert_eq!(halves, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let halves = split_in_half(&[vec![1.0, 2.0, 3.0, 4.0, 5.0]]);
+        assert_eq!(halves, vec![vec![1.0, 2.0], vec![4.0, 5.0]]);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let c = [vec![1.0, 2.0, 3.0, 4.0]];
+        assert_eq!(pooled_quantile(&c, 0.0).unwrap(), 1.0);
+        assert_eq!(pooled_quantile(&c, 1.0).unwrap(), 4.0);
+        assert_eq!(pooled_quantile(&c, 0.5).unwrap(), 2.5);
+        // Pooling across chains.
+        let two = [vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(pooled_quantile(&two, 0.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn helpers_compute_mean_and_variance() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert!((sample_var(&x) - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

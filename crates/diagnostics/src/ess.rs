@@ -1,0 +1,226 @@
+//! Effective sample size from the combined-chain autocorrelation series.
+
+use crate::chains::{mean, pooled_quantile, sample_var, split_in_half, validate};
+use crate::normal::rank_normalize;
+use crate::Result;
+
+/// The (biased, `1/n`-normalized) autocovariance series of `x` up to
+/// `max_lag` inclusive. Lag 0 is the biased variance.
+pub fn autocovariance(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    let m = mean(x);
+    let max_lag = max_lag.min(n.saturating_sub(1));
+    (0..=max_lag)
+        .map(|t| {
+            (0..n - t)
+                .map(|i| (x[i] - m) * (x[i + t] - m))
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect()
+}
+
+/// Effective sample size of the mean estimate over split chains
+/// (Vehtari et al. 2021, as in Stan): combines per-chain autocovariances
+/// into a cross-chain autocorrelation series, sums it with Geyer's
+/// initial-monotone-positive-sequence truncation, and divides the total
+/// draw count by the resulting autocorrelation time `τ̂`.
+///
+/// Returns `NaN` for constant chains.
+///
+/// # Errors
+///
+/// Returns a [`DiagError`](crate::DiagError) if chains are absent,
+/// unequal, non-finite, or shorter than 8 draws.
+pub fn ess<C: AsRef<[f64]>>(chains: &[C]) -> Result<f64> {
+    validate(chains, 8)?;
+    Ok(ess_of(&split_in_half(chains)))
+}
+
+/// Bulk effective sample size: [`ess`] of the rank-normalized draws —
+/// the ESS relevant for posterior-center summaries.
+///
+/// # Errors
+///
+/// As [`ess`].
+pub fn bulk_ess<C: AsRef<[f64]>>(chains: &[C]) -> Result<f64> {
+    validate(chains, 8)?;
+    Ok(ess_of(&split_in_half(&rank_normalize(chains))))
+}
+
+/// Tail effective sample size: the smaller of the ESS of the 5% and 95%
+/// quantile indicator series — the ESS relevant for interval summaries.
+///
+/// # Errors
+///
+/// As [`ess`].
+pub fn tail_ess<C: AsRef<[f64]>>(chains: &[C]) -> Result<f64> {
+    validate(chains, 8)?;
+    let mut tails = [f64::NAN; 2];
+    for (k, p) in [0.05, 0.95].into_iter().enumerate() {
+        let q = pooled_quantile(chains, p)?;
+        let indicators: Vec<Vec<f64>> = chains
+            .iter()
+            .map(|c| {
+                c.as_ref()
+                    .iter()
+                    .map(|&x| f64::from(u8::from(x <= q)))
+                    .collect()
+            })
+            .collect();
+        tails[k] = ess_of(&split_in_half(&indicators));
+    }
+    Ok(tails[0].min(tails[1]))
+}
+
+/// ESS over an already-prepared (split) chain set.
+fn ess_of(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    let n = chains[0].len();
+    let total = (m * n) as f64;
+
+    // Cross-chain variance estimate var⁺ (as in R̂).
+    let chain_means: Vec<f64> = chains.iter().map(|c| mean(c)).collect();
+    let w = chains.iter().map(|c| sample_var(c)).sum::<f64>() / m as f64;
+    let grand = mean(&chain_means);
+    let b_over_n = chain_means
+        .iter()
+        .map(|x| (x - grand) * (x - grand))
+        .sum::<f64>()
+        / (m as f64 - 1.0).max(1.0);
+    let var_plus = (n as f64 - 1.0) / n as f64 * w
+        + if m > 1 { b_over_n } else { 0.0 };
+    if var_plus == 0.0 || !var_plus.is_finite() {
+        return f64::NAN;
+    }
+
+    // Combined autocorrelations ρ̂_t.
+    let max_lag = n - 1;
+    let covs: Vec<Vec<f64>> = chains.iter().map(|c| autocovariance(c, max_lag)).collect();
+    let rho = |t: usize| -> f64 {
+        let mean_cov = covs.iter().map(|c| c[t]).sum::<f64>() / m as f64;
+        1.0 - (w - mean_cov) / var_plus
+    };
+
+    // Geyer: sum pairs P̂_k = ρ̂_{2k} + ρ̂_{2k+1} while positive, forcing
+    // the sequence to be non-increasing.
+    let mut tau = -1.0;
+    let mut prev_pair = f64::INFINITY;
+    let mut k = 0;
+    while 2 * k + 1 <= max_lag {
+        let mut pair = rho(2 * k) + rho(2 * k + 1);
+        if pair < 0.0 {
+            break;
+        }
+        pair = pair.min(prev_pair);
+        tau += 2.0 * pair;
+        prev_pair = pair;
+        k += 1;
+    }
+    // Antithetic chains can drive τ̂ below 1 (ESS above the draw count);
+    // floor it to keep the estimate finite, and apply Stan's cap of
+    // `total × log₁₀(total)` on the result.
+    let tau = tau.max(1e-3);
+    (total / tau).min(total * total.log10().max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normals(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next_u = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let (u1, u2) = (next_u().max(1e-12), next_u());
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    /// AR(1) chain with coefficient `phi` (stationary autocorrelation
+    /// ρ_t = φᵗ, so ESS/N → (1−φ)/(1+φ)).
+    fn ar1(seed: u64, n: usize, phi: f64) -> Vec<f64> {
+        let eps = normals(seed, n);
+        let mut x = Vec::with_capacity(n);
+        let mut prev = 0.0;
+        let scale = (1.0 - phi * phi).sqrt();
+        for e in eps {
+            prev = phi * prev + scale * e;
+            x.push(prev);
+        }
+        x
+    }
+
+    #[test]
+    fn autocovariance_lag0_is_biased_variance() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let c = autocovariance(&x, 2);
+        assert!((c[0] - 1.25).abs() < 1e-12);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn iid_chains_have_ess_near_total() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| normals(100 + s, 500)).collect();
+        let e = ess(&chains).unwrap();
+        let total = 2000.0;
+        assert!(e > 0.6 * total && e < 1.6 * total, "ess = {e}");
+    }
+
+    #[test]
+    fn ar1_chains_lose_the_predicted_factor() {
+        let phi = 0.7f64;
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| ar1(7 + s, 2000, phi)).collect();
+        let e = ess(&chains).unwrap();
+        let expected = 8000.0 * (1.0 - phi) / (1.0 + phi); // ≈ 1411
+        assert!(
+            e > 0.5 * expected && e < 2.0 * expected,
+            "ess = {e}, expected ≈ {expected}"
+        );
+        // And it is far below the raw draw count.
+        assert!(e < 4000.0);
+    }
+
+    #[test]
+    fn stuck_chains_have_tiny_ess() {
+        // Chains at different constants: between-chain variance huge,
+        // within-chain mixing zero.
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|s| {
+                normals(50 + s, 200)
+                    .into_iter()
+                    .map(|x| 0.01 * x + s as f64 * 10.0)
+                    .collect()
+            })
+            .collect();
+        let e = ess(&chains).unwrap();
+        assert!(e < 40.0, "ess = {e}");
+    }
+
+    #[test]
+    fn bulk_and_tail_ess_are_finite_for_healthy_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| normals(200 + s, 400)).collect();
+        let b = bulk_ess(&chains).unwrap();
+        let t = tail_ess(&chains).unwrap();
+        assert!(b > 400.0, "bulk = {b}");
+        assert!(t > 100.0, "tail = {t}");
+    }
+
+    #[test]
+    fn constant_chains_yield_nan() {
+        let chains = [vec![1.0; 64], vec![1.0; 64]];
+        assert!(ess(&chains).unwrap().is_nan());
+    }
+
+    #[test]
+    fn short_chains_rejected() {
+        assert!(ess(&[vec![0.0; 4]]).is_err());
+    }
+}

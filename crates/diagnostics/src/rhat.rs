@@ -1,0 +1,144 @@
+//! The potential scale reduction factor `R̂`.
+
+use crate::chains::{mean, sample_var, split_in_half, validate};
+use crate::normal::rank_normalize;
+use crate::Result;
+
+/// Split-`R̂` (Gelman & Rubin 1992, split form of Vehtari et al. 2021):
+/// each chain is halved, then the between-half variance is compared with
+/// the within-half variance. Values near 1 indicate the halves are
+/// indistinguishable; Stan's guidance flags `R̂ > 1.01`.
+///
+/// Returns `NaN` when every draw is identical (zero within variance).
+///
+/// # Errors
+///
+/// Returns a [`DiagError`](crate::DiagError) if chains are absent,
+/// unequal, non-finite, or shorter than 4 draws.
+pub fn split_rhat<C: AsRef<[f64]>>(chains: &[C]) -> Result<f64> {
+    validate(chains, 4)?;
+    Ok(rhat_of(&split_in_half(chains)))
+}
+
+/// Rank-normalized split-`R̂` (Vehtari et al. 2021): draws are replaced
+/// by normal quantiles of their pooled ranks before computing split-`R̂`,
+/// making the diagnostic robust to heavy tails and invariant under
+/// monotone transformations.
+///
+/// # Errors
+///
+/// As [`split_rhat`].
+pub fn rank_normalized_rhat<C: AsRef<[f64]>>(chains: &[C]) -> Result<f64> {
+    validate(chains, 4)?;
+    Ok(rhat_of(&split_in_half(&rank_normalize(chains))))
+}
+
+/// Plain `R̂` over an already-prepared chain set.
+fn rhat_of(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    let n = chains[0].len();
+    let chain_means: Vec<f64> = chains.iter().map(|c| mean(c)).collect();
+    let grand = mean(&chain_means);
+    let b = n as f64 / (m as f64 - 1.0)
+        * chain_means
+            .iter()
+            .map(|x| (x - grand) * (x - grand))
+            .sum::<f64>();
+    let w = chains.iter().map(|c| sample_var(c)).sum::<f64>() / m as f64;
+    if w == 0.0 {
+        return f64::NAN;
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-normal draws via Box–Muller over a small LCG.
+    fn normals(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next_u = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let (u1, u2) = (next_u().max(1e-12), next_u());
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_chains_have_rhat_near_one() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| normals(s + 1, 500)).collect();
+        let r = split_rhat(&chains).unwrap();
+        assert!((r - 1.0).abs() < 0.02, "rhat = {r}");
+        let rr = rank_normalized_rhat(&chains).unwrap();
+        assert!((rr - 1.0).abs() < 0.02, "rank rhat = {rr}");
+    }
+
+    #[test]
+    fn shifted_chains_are_flagged() {
+        let mut chains: Vec<Vec<f64>> = (0..4).map(|s| normals(s + 1, 500)).collect();
+        for x in &mut chains[0] {
+            *x += 5.0; // one chain stuck in a different mode
+        }
+        let r = split_rhat(&chains).unwrap();
+        assert!(r > 1.5, "rhat = {r}");
+        let rr = rank_normalized_rhat(&chains).unwrap();
+        assert!(rr > 1.5, "rank rhat = {rr}");
+    }
+
+    #[test]
+    fn within_chain_trend_is_flagged_by_splitting() {
+        // A single drifting chain: ordinary R̂ with one chain would be
+        // blind, but split-R̂ compares its halves.
+        let n = 400;
+        let drift: Vec<f64> = normals(9, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| x + 6.0 * i as f64 / n as f64)
+            .collect();
+        let r = split_rhat(&[drift]).unwrap();
+        assert!(r > 1.2, "rhat = {r}");
+    }
+
+    #[test]
+    fn rank_rhat_is_invariant_under_monotone_transforms() {
+        // exp() preserves ranks, so the rank-normalized statistic is
+        // bit-identical — while the plain statistic moves. This is the
+        // robustness Vehtari et al. (2021) designed for.
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| normals(s + 21, 300)).collect();
+        let warped: Vec<Vec<f64>> = chains
+            .iter()
+            .map(|c| c.iter().map(|x| x.exp()).collect())
+            .collect();
+        let ranked = rank_normalized_rhat(&chains).unwrap();
+        let ranked_warped = rank_normalized_rhat(&warped).unwrap();
+        assert_eq!(ranked, ranked_warped);
+        let plain = split_rhat(&chains).unwrap();
+        let plain_warped = split_rhat(&warped).unwrap();
+        assert_ne!(plain, plain_warped);
+        // And a single absurd outlier leaves the ranked statistic calm.
+        let mut spiked = chains;
+        spiked[2][10] = 1e9;
+        let r = rank_normalized_rhat(&spiked).unwrap();
+        assert!((r - 1.0).abs() < 0.02, "rank rhat = {r}");
+    }
+
+    #[test]
+    fn constant_chains_yield_nan() {
+        let chains = [vec![2.0; 50], vec![2.0; 50]];
+        assert!(split_rhat(&chains).unwrap().is_nan());
+    }
+
+    #[test]
+    fn short_chains_rejected() {
+        assert!(split_rhat(&[vec![1.0, 2.0, 3.0]]).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-parameter posterior summaries, Stan-`print` style.
+
+use std::fmt;
+
+use crate::chains::{mean, pooled_quantile, sample_var, validate};
+use crate::ess::{bulk_ess, tail_ess};
+use crate::rhat::rank_normalized_rhat;
+use crate::Result;
+
+/// Summary statistics of one scalar parameter across chains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterSummary {
+    /// Posterior mean (pooled across chains).
+    pub mean: f64,
+    /// Posterior standard deviation (pooled).
+    pub sd: f64,
+    /// Monte Carlo standard error of the mean (`sd / √bulk-ESS`).
+    pub mcse_mean: f64,
+    /// Pooled 5% quantile.
+    pub q05: f64,
+    /// Pooled median.
+    pub median: f64,
+    /// Pooled 95% quantile.
+    pub q95: f64,
+    /// Rank-normalized split-`R̂`.
+    pub rhat: f64,
+    /// Bulk effective sample size.
+    pub ess_bulk: f64,
+    /// Tail effective sample size.
+    pub ess_tail: f64,
+}
+
+impl ParameterSummary {
+    /// Stan's rule of thumb: `R̂ ≤ 1.01` and both ESS ≥ 100 per chain...
+    /// here simplified to ≥ 100 total, which suits small test batches.
+    pub fn looks_converged(&self) -> bool {
+        self.rhat.is_finite() && self.rhat < 1.01 && self.ess_bulk >= 100.0 && self.ess_tail >= 100.0
+    }
+}
+
+impl fmt::Display for ParameterSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:+.3} ± {:.3} (mcse {:.4})  [{:+.3}, {:+.3}, {:+.3}]  R̂ {:.3}  ESS {:.0}/{:.0}",
+            self.mean,
+            self.sd,
+            self.mcse_mean,
+            self.q05,
+            self.median,
+            self.q95,
+            self.rhat,
+            self.ess_bulk,
+            self.ess_tail
+        )
+    }
+}
+
+/// Summarize one scalar parameter from its per-chain draw series.
+///
+/// # Errors
+///
+/// Returns a [`DiagError`](crate::DiagError) if chains are absent,
+/// unequal, non-finite, or shorter than 8 draws.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_diagnostics::summarize;
+///
+/// let chains: Vec<Vec<f64>> = (0..4)
+///     .map(|c| (0..200).map(|i| (((i * 31 + c * 17) % 101) as f64) / 101.0).collect())
+///     .collect();
+/// let s = summarize(&chains)?;
+/// assert!((s.mean - 0.5).abs() < 0.05);
+/// # Ok::<(), autobatch_diagnostics::DiagError>(())
+/// ```
+pub fn summarize<C: AsRef<[f64]>>(chains: &[C]) -> Result<ParameterSummary> {
+    validate(chains, 8)?;
+    let pooled: Vec<f64> = chains.iter().flat_map(|c| c.as_ref().iter().copied()).collect();
+    let m = mean(&pooled);
+    let sd = sample_var(&pooled).sqrt();
+    let ess_b = bulk_ess(chains)?;
+    let ess_t = tail_ess(chains)?;
+    Ok(ParameterSummary {
+        mean: m,
+        sd,
+        mcse_mean: if ess_b > 0.0 { sd / ess_b.sqrt() } else { f64::NAN },
+        q05: pooled_quantile(chains, 0.05)?,
+        median: pooled_quantile(chains, 0.5)?,
+        q95: pooled_quantile(chains, 0.95)?,
+        rhat: rank_normalized_rhat(chains)?,
+        ess_bulk: ess_b,
+        ess_tail: ess_t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normals(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next_u = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let (u1, u2) = (next_u().max(1e-12), next_u());
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn summary_of_iid_standard_normal_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|s| normals(s + 5, 500)).collect();
+        let s = summarize(&chains).unwrap();
+        assert!(s.mean.abs() < 0.1, "mean = {}", s.mean);
+        assert!((s.sd - 1.0).abs() < 0.1, "sd = {}", s.sd);
+        assert!((s.median).abs() < 0.15);
+        assert!((s.q05 + 1.645).abs() < 0.25, "q05 = {}", s.q05);
+        assert!((s.q95 - 1.645).abs() < 0.25, "q95 = {}", s.q95);
+        assert!(s.looks_converged(), "{s}");
+        assert!(s.mcse_mean < 0.1);
+    }
+
+    #[test]
+    fn summary_flags_disagreeing_chains() {
+        let mut chains: Vec<Vec<f64>> = (0..4).map(|s| normals(s + 5, 300)).collect();
+        for x in &mut chains[3] {
+            *x += 8.0;
+        }
+        let s = summarize(&chains).unwrap();
+        assert!(!s.looks_converged(), "{s}");
+        assert!(s.rhat > 1.1);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_ordered() {
+        let chains: Vec<Vec<f64>> = (0..2).map(|s| normals(s + 9, 100)).collect();
+        let s = summarize(&chains).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("R̂"));
+        assert!(s.q05 <= s.median && s.median <= s.q95);
+    }
+}

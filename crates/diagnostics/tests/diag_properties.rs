@@ -1,0 +1,115 @@
+//! Property tests of the diagnostics invariants: quantile monotonicity,
+//! rank preservation, and the boundedness/finiteness contracts of `R̂`
+//! and ESS on arbitrary finite chain sets.
+
+use autobatch_diagnostics::{
+    bulk_ess, ess, pooled_quantile, rank_normalize, split_rhat, summarize, tail_ess,
+};
+use proptest::prelude::*;
+
+/// Build `m` equal-length chains out of a flat pool of draws, adding a
+/// tiny index-dependent jitter so chains are never exactly constant
+/// (constant chains legitimately produce NaN diagnostics).
+fn chunk(flat: &[f64], m: usize) -> Vec<Vec<f64>> {
+    let n = flat.len() / m;
+    (0..m)
+        .map(|j| {
+            flat[j * n..(j + 1) * n]
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x + (i as f64) * 1e-9)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        flat in proptest::collection::vec(-1e3f64..1e3, 16..96),
+        m in 1usize..4,
+    ) {
+        let chains = chunk(&flat, m);
+        let total: Vec<f64> = chains.iter().flatten().copied().collect();
+        let (lo, hi) = total.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+            (a.min(x), b.max(x))
+        });
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let q = pooled_quantile(&chains, k as f64 / 10.0).expect("quantile");
+            prop_assert!(q >= prev - 1e-12, "monotone at {k}");
+            prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12, "bounded");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn rank_normalize_preserves_shape_and_order(
+        flat in proptest::collection::vec(-1e6f64..1e6, 16..64),
+        m in 1usize..4,
+    ) {
+        let chains = chunk(&flat, m);
+        let z = rank_normalize(&chains);
+        prop_assert_eq!(z.len(), chains.len());
+        for (a, b) in z.iter().zip(&chains) {
+            prop_assert_eq!(a.len(), b.len());
+        }
+        // Pairwise order preservation (strict pairs only).
+        let flat_x: Vec<f64> = chains.iter().flatten().copied().collect();
+        let flat_z: Vec<f64> = z.iter().flatten().copied().collect();
+        for i in 0..flat_x.len() {
+            for j in (i + 1)..flat_x.len() {
+                if flat_x[i] < flat_x[j] {
+                    prop_assert!(flat_z[i] < flat_z[j], "order broken at ({i},{j})");
+                }
+            }
+        }
+        // Rank-normalized draws live well inside the normal range.
+        prop_assert!(flat_z.iter().all(|v| v.is_finite() && v.abs() < 10.0));
+    }
+
+    #[test]
+    fn rhat_and_ess_contracts_hold(
+        flat in proptest::collection::vec(-1e3f64..1e3, 32..128),
+        m in 1usize..4,
+    ) {
+        let chains = chunk(&flat, m);
+        let total = (chains[0].len() / 2 * 2 * m) as f64;
+
+        let r = split_rhat(&chains).expect("rhat");
+        // R̂ is a ratio of variances: positive whenever defined; values
+        // slightly below 1 are legitimate sampling noise.
+        if r.is_finite() {
+            prop_assert!(r > 0.4, "rhat = {r}");
+        }
+
+        for e in [ess(&chains).expect("ess"), bulk_ess(&chains).expect("bulk")] {
+            if e.is_finite() {
+                prop_assert!(e > 0.0, "ess = {e}");
+                prop_assert!(e <= total * total.log10().max(1.0) + 1e-9, "cap violated: {e}");
+            }
+        }
+        let t = tail_ess(&chains).expect("tail");
+        if t.is_finite() {
+            prop_assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn summaries_are_internally_consistent(
+        flat in proptest::collection::vec(-1e3f64..1e3, 32..96),
+        m in 1usize..4,
+    ) {
+        let chains = chunk(&flat, m);
+        let s = summarize(&chains).expect("summary");
+        prop_assert!(s.q05 <= s.median + 1e-12 && s.median <= s.q95 + 1e-12);
+        prop_assert!(s.sd >= 0.0);
+        let total: Vec<f64> = chains.iter().flatten().copied().collect();
+        let (lo, hi) = total.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+            (a.min(x), b.max(x))
+        });
+        prop_assert!(s.mean >= lo && s.mean <= hi);
+    }
+}

@@ -1,0 +1,9 @@
+//! Static analyses over the [`lsab`](crate::lsab) IR used by the
+//! batching transformations: call-graph SCCs (which calls are recursive)
+//! and backward liveness (which variables must be saved across them).
+
+mod callgraph;
+mod liveness;
+
+pub use callgraph::CallGraph;
+pub use liveness::Liveness;

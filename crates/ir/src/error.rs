@@ -1,0 +1,122 @@
+//! Error type for IR construction and validation.
+
+use std::fmt;
+
+use crate::var::{BlockId, FuncId, Var};
+
+/// Errors detected while constructing or validating IR programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A block index referred to a block that does not exist.
+    BadBlock {
+        /// The function containing the reference (if applicable).
+        func: Option<FuncId>,
+        /// The offending block id.
+        block: BlockId,
+        /// Number of blocks actually present.
+        len: usize,
+    },
+    /// A function index referred to a function that does not exist.
+    BadFunc {
+        /// The offending function id.
+        func: FuncId,
+        /// Number of functions actually present.
+        len: usize,
+    },
+    /// An op's operand count disagreed with its primitive's arity.
+    BadArity {
+        /// Description of the op.
+        what: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// A call's argument or result count disagreed with the callee.
+    BadCall {
+        /// The callee.
+        callee: FuncId,
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A variable may be read before it is ever assigned.
+    UnassignedRead {
+        /// The variable.
+        var: Var,
+        /// The function in which the read occurs.
+        func: Option<FuncId>,
+        /// The block in which the read occurs.
+        block: BlockId,
+    },
+    /// A function has no blocks.
+    EmptyFunction {
+        /// The function.
+        func: FuncId,
+    },
+    /// The program has no functions or no entry point.
+    NoEntry,
+    /// A `Pop` or stacked `Push` targets a variable classified as a
+    /// register (no stack), or vice versa.
+    BadVarClass {
+        /// The variable.
+        var: Var,
+        /// Description of the violation.
+        what: String,
+    },
+    /// A name was duplicated where uniqueness is required.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BadBlock { func, block, len } => match func {
+                Some(fid) => write!(f, "{fid}: block {block} out of range ({len} blocks)"),
+                None => write!(f, "block {block} out of range ({len} blocks)"),
+            },
+            IrError::BadFunc { func, len } => {
+                write!(f, "function {func} out of range ({len} functions)")
+            }
+            IrError::BadArity { what, expected, got } => {
+                write!(f, "arity mismatch in {what}: expected {expected}, got {got}")
+            }
+            IrError::BadCall { callee, what } => write!(f, "bad call to {callee}: {what}"),
+            IrError::UnassignedRead { var, func, block } => match func {
+                Some(fid) => {
+                    write!(f, "variable `{var}` may be read before assignment in {fid}/{block}")
+                }
+                None => write!(f, "variable `{var}` may be read before assignment in {block}"),
+            },
+            IrError::EmptyFunction { func } => write!(f, "function {func} has no blocks"),
+            IrError::NoEntry => write!(f, "program has no entry function"),
+            IrError::BadVarClass { var, what } => {
+                write!(f, "variable `{var}` used inconsistently with its class: {what}")
+            }
+            IrError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_entities() {
+        let e = IrError::UnassignedRead {
+            var: Var::new("left"),
+            func: Some(FuncId(0)),
+            block: BlockId(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("left") && s.contains("f0") && s.contains("b2"));
+    }
+}

@@ -1,0 +1,483 @@
+//! The locally-batchable control-flow-graph language (paper Figure 2).
+//!
+//! A [`Program`] is a list of [`Function`]s; each function is a list of
+//! basic [`Block`]s of [`Op`]s ended by a [`Terminator`]. Ops are either
+//! [`Op::Prim`] (an opaque batched kernel) or [`Op::Call`] (a possibly
+//! recursive call to another function in the program). This is the n-ary
+//! generalization of the paper's unary grammar.
+//!
+//! Functions return by `Return`; the values returned are the function's
+//! declared `outputs` variables, read at the point of return.
+
+use std::collections::BTreeSet;
+
+use crate::error::{IrError, Result};
+use crate::prim::Prim;
+use crate::var::{BlockId, FuncId, Var};
+
+/// An operation within a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `outs = prim(ins)` — an opaque batched kernel.
+    Prim {
+        /// Output variables, one per primitive output.
+        outs: Vec<Var>,
+        /// The primitive.
+        prim: Prim,
+        /// Input variables.
+        ins: Vec<Var>,
+    },
+    /// `outs = callee(ins)` — a function call, batched by the runtime.
+    Call {
+        /// Output variables, one per callee output.
+        outs: Vec<Var>,
+        /// The function being called.
+        callee: FuncId,
+        /// Argument variables, one per callee parameter.
+        ins: Vec<Var>,
+    },
+}
+
+impl Op {
+    /// Variables read by this op.
+    pub fn reads(&self) -> &[Var] {
+        match self {
+            Op::Prim { ins, .. } | Op::Call { ins, .. } => ins,
+        }
+    }
+
+    /// Variables written by this op.
+    pub fn writes(&self) -> &[Var] {
+        match self {
+            Op::Prim { outs, .. } | Op::Call { outs, .. } => outs,
+        }
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump to a block of the same function.
+    Jump(BlockId),
+    /// Two-way branch on a boolean scalar variable.
+    Branch {
+        /// The condition variable (dtype `bool`, one scalar per member).
+        cond: Var,
+        /// Target when the condition is true.
+        then_: BlockId,
+        /// Target when the condition is false.
+        else_: BlockId,
+    },
+    /// Return from the function (the function's `outputs` variables carry
+    /// the results).
+    Return,
+}
+
+impl Terminator {
+    /// Blocks this terminator can transfer control to.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_, else_, .. } => vec![*then_, *else_],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line ops plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The ops, executed in order.
+    pub ops: Vec<Op>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// One function: parameters, body blocks (entry is block 0), outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (for diagnostics and variable mangling).
+    pub name: String,
+    /// Parameter variables, assigned on entry.
+    pub params: Vec<Var>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Output variables, read at `Return`.
+    pub outputs: Vec<Var>,
+}
+
+impl Function {
+    /// All variables mentioned anywhere in the function (params, outputs,
+    /// op operands, branch conditions), in sorted order.
+    pub fn all_vars(&self) -> Vec<Var> {
+        let mut set: BTreeSet<Var> = BTreeSet::new();
+        set.extend(self.params.iter().cloned());
+        set.extend(self.outputs.iter().cloned());
+        for b in &self.blocks {
+            for op in &b.ops {
+                set.extend(op.reads().iter().cloned());
+                set.extend(op.writes().iter().cloned());
+            }
+            if let Terminator::Branch { cond, .. } = &b.term {
+                set.insert(cond.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// A whole locally-batchable program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The functions. Calls refer to these by index.
+    pub funcs: Vec<Function>,
+    /// The entry function, invoked on the batch inputs.
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Look up a function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::BadFunc`] if the id is out of range.
+    pub fn func(&self, id: FuncId) -> Result<&Function> {
+        self.funcs.get(id.0).ok_or(IrError::BadFunc {
+            func: id,
+            len: self.funcs.len(),
+        })
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i), f))
+    }
+
+    /// The entry function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::BadFunc`] if the entry id is out of range.
+    pub fn entry_func(&self) -> Result<&Function> {
+        self.func(self.entry)
+    }
+
+    /// Validate structural well-formedness:
+    ///
+    /// - the entry id and all call targets are in range;
+    /// - every function has at least one block;
+    /// - all jump/branch targets are in range;
+    /// - primitive arities match operand counts;
+    /// - call argument/result counts match the callee's signature;
+    /// - no variable is read before it is definitely assigned (forward
+    ///   dataflow, parameters assigned on entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        if self.funcs.is_empty() {
+            return Err(IrError::NoEntry);
+        }
+        self.func(self.entry)?;
+        for (fi, f) in self.funcs.iter().enumerate() {
+            let fid = FuncId(fi);
+            if f.blocks.is_empty() {
+                return Err(IrError::EmptyFunction { func: fid });
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for op in &b.ops {
+                    self.validate_op(fid, BlockId(bi), op)?;
+                }
+                for s in b.term.successors() {
+                    if s.0 >= f.blocks.len() {
+                        return Err(IrError::BadBlock {
+                            func: Some(fid),
+                            block: s,
+                            len: f.blocks.len(),
+                        });
+                    }
+                }
+            }
+            self.validate_assignment(fid, f)?;
+        }
+        Ok(())
+    }
+
+    fn validate_op(&self, fid: FuncId, bid: BlockId, op: &Op) -> Result<()> {
+        match op {
+            Op::Prim { outs, prim, ins } => {
+                if let Some(a) = prim.arity() {
+                    if ins.len() != a.ins {
+                        return Err(IrError::BadArity {
+                            what: format!("{fid}/{bid}: inputs of `{prim}`"),
+                            expected: a.ins,
+                            got: ins.len(),
+                        });
+                    }
+                    if outs.len() != a.outs {
+                        return Err(IrError::BadArity {
+                            what: format!("{fid}/{bid}: outputs of `{prim}`"),
+                            expected: a.outs,
+                            got: outs.len(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Op::Call { outs, callee, ins } => {
+                let g = self.func(*callee)?;
+                if ins.len() != g.params.len() {
+                    return Err(IrError::BadCall {
+                        callee: *callee,
+                        what: format!("expected {} arguments, got {}", g.params.len(), ins.len()),
+                    });
+                }
+                if outs.len() != g.outputs.len() {
+                    return Err(IrError::BadCall {
+                        callee: *callee,
+                        what: format!("expected {} results, got {}", g.outputs.len(), outs.len()),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Definite-assignment analysis: forward dataflow computing, for each
+    /// block, the set of variables assigned on *every* path reaching it.
+    fn validate_assignment(&self, fid: FuncId, f: &Function) -> Result<()> {
+        let n = f.blocks.len();
+        // assigned_in[b]: vars definitely assigned at entry of b.
+        // None = unreached so far (top).
+        let mut at_entry: Vec<Option<BTreeSet<Var>>> = vec![None; n];
+        at_entry[0] = Some(f.params.iter().cloned().collect());
+        let mut work = vec![BlockId(0)];
+        while let Some(b) = work.pop() {
+            let mut cur = at_entry[b.0].clone().expect("scheduled blocks are reached");
+            let block = &f.blocks[b.0];
+            for op in &block.ops {
+                // Reads checked against the running set below (second pass);
+                // here we just accumulate writes.
+                cur.extend(op.writes().iter().cloned());
+            }
+            for s in block.term.successors() {
+                let updated = match &at_entry[s.0] {
+                    None => {
+                        at_entry[s.0] = Some(cur.clone());
+                        true
+                    }
+                    Some(prev) => {
+                        let meet: BTreeSet<Var> = prev.intersection(&cur).cloned().collect();
+                        if &meet != prev {
+                            at_entry[s.0] = Some(meet);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if updated {
+                    work.push(s);
+                }
+            }
+        }
+        // Second pass: check every read against the fixed point.
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let Some(entry_set) = &at_entry[bi] else {
+                continue; // unreachable block: reads are vacuously fine
+            };
+            let mut cur = entry_set.clone();
+            for op in &block.ops {
+                for r in op.reads() {
+                    if !cur.contains(r) {
+                        return Err(IrError::UnassignedRead {
+                            var: r.clone(),
+                            func: Some(fid),
+                            block: BlockId(bi),
+                        });
+                    }
+                }
+                cur.extend(op.writes().iter().cloned());
+            }
+            if let Terminator::Branch { cond, .. } = &block.term {
+                if !cur.contains(cond) {
+                    return Err(IrError::UnassignedRead {
+                        var: cond.clone(),
+                        func: Some(fid),
+                        block: BlockId(bi),
+                    });
+                }
+            }
+            if matches!(block.term, Terminator::Return) {
+                for o in &f.outputs {
+                    if !cur.contains(o) {
+                        return Err(IrError::UnassignedRead {
+                            var: o.clone(),
+                            func: Some(fid),
+                            block: BlockId(bi),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    /// fn double(x) { y = x + x; return y }
+    fn double_program() -> Program {
+        Program {
+            funcs: vec![Function {
+                name: "double".into(),
+                params: vec![v("x")],
+                blocks: vec![Block {
+                    ops: vec![Op::Prim {
+                        outs: vec![v("y")],
+                        prim: Prim::Add,
+                        ins: vec![v("x"), v("x")],
+                    }],
+                    term: Terminator::Return,
+                }],
+                outputs: vec![v("y")],
+            }],
+            entry: FuncId(0),
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        double_program().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let p = Program {
+            funcs: vec![],
+            entry: FuncId(0),
+        };
+        assert_eq!(p.validate(), Err(IrError::NoEntry));
+    }
+
+    #[test]
+    fn bad_jump_target_rejected() {
+        let mut p = double_program();
+        p.funcs[0].blocks[0].term = Terminator::Jump(BlockId(5));
+        assert!(matches!(p.validate(), Err(IrError::BadBlock { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = double_program();
+        p.funcs[0].blocks[0].ops[0] = Op::Prim {
+            outs: vec![v("y")],
+            prim: Prim::Add,
+            ins: vec![v("x")],
+        };
+        assert!(matches!(p.validate(), Err(IrError::BadArity { .. })));
+    }
+
+    #[test]
+    fn unassigned_read_rejected() {
+        let mut p = double_program();
+        p.funcs[0].blocks[0].ops[0] = Op::Prim {
+            outs: vec![v("y")],
+            prim: Prim::Add,
+            ins: vec![v("x"), v("z")],
+        };
+        assert!(matches!(p.validate(), Err(IrError::UnassignedRead { .. })));
+    }
+
+    #[test]
+    fn unassigned_output_rejected() {
+        let mut p = double_program();
+        p.funcs[0].outputs = vec![v("missing")];
+        assert!(matches!(p.validate(), Err(IrError::UnassignedRead { .. })));
+    }
+
+    #[test]
+    fn branch_join_requires_both_paths_to_assign() {
+        // b0: branch c -> b1 | b2 ; b1: y=1 jump b3 ; b2: jump b3 ; b3: return y.
+        let f = Function {
+            name: "partial".into(),
+            params: vec![v("c")],
+            blocks: vec![
+                Block {
+                    ops: vec![],
+                    term: Terminator::Branch {
+                        cond: v("c"),
+                        then_: BlockId(1),
+                        else_: BlockId(2),
+                    },
+                },
+                Block {
+                    ops: vec![Op::Prim {
+                        outs: vec![v("y")],
+                        prim: Prim::ConstF64(1.0),
+                        ins: vec![],
+                    }],
+                    term: Terminator::Jump(BlockId(3)),
+                },
+                Block {
+                    ops: vec![],
+                    term: Terminator::Jump(BlockId(3)),
+                },
+                Block {
+                    ops: vec![],
+                    term: Terminator::Return,
+                },
+            ],
+            outputs: vec![v("y")],
+        };
+        let p = Program {
+            funcs: vec![f],
+            entry: FuncId(0),
+        };
+        assert!(matches!(p.validate(), Err(IrError::UnassignedRead { .. })));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut p = double_program();
+        p.funcs.push(Function {
+            name: "caller".into(),
+            params: vec![v("a")],
+            blocks: vec![Block {
+                ops: vec![Op::Call {
+                    outs: vec![v("r"), v("s")],
+                    callee: FuncId(0),
+                    ins: vec![v("a")],
+                }],
+                term: Terminator::Return,
+            }],
+            outputs: vec![v("r")],
+        });
+        assert!(matches!(p.validate(), Err(IrError::BadCall { .. })));
+    }
+
+    #[test]
+    fn all_vars_collects_everything() {
+        let p = double_program();
+        let vars = p.funcs[0].all_vars();
+        assert_eq!(vars, vec![v("x"), v("y")]);
+    }
+
+    #[test]
+    fn func_by_name() {
+        let p = double_program();
+        assert_eq!(p.func_by_name("double").unwrap().0, FuncId(0));
+        assert!(p.func_by_name("nope").is_none());
+    }
+}

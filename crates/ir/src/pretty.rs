@@ -1,0 +1,264 @@
+//! Human-readable listings and Graphviz DOT export for both IRs.
+
+use std::fmt::Write as _;
+
+use crate::lsab;
+use crate::pcab;
+use crate::var::FuncId;
+
+/// Render an [`lsab::Program`] as a textual listing.
+pub fn lsab_listing(p: &lsab::Program) -> String {
+    let mut s = String::new();
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let marker = if FuncId(fi) == p.entry { " (entry)" } else { "" };
+        let params: Vec<String> = f.params.iter().map(|v| v.to_string()).collect();
+        let outs: Vec<String> = f.outputs.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(
+            s,
+            "fn f{fi} {}({}) -> ({}){marker} {{",
+            f.name,
+            params.join(", "),
+            outs.join(", ")
+        );
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(s, "  b{bi}:");
+            for op in &b.ops {
+                match op {
+                    lsab::Op::Prim { outs, prim, ins } => {
+                        let _ = writeln!(s, "    {} = {prim}({})", join(outs), join(ins));
+                    }
+                    lsab::Op::Call { outs, callee, ins } => {
+                        let name = &p.funcs[callee.0].name;
+                        let _ = writeln!(s, "    {} = call {name}({})", join(outs), join(ins));
+                    }
+                }
+            }
+            match &b.term {
+                lsab::Terminator::Jump(t) => {
+                    let _ = writeln!(s, "    jump {t}");
+                }
+                lsab::Terminator::Branch { cond, then_, else_ } => {
+                    let _ = writeln!(s, "    branch {cond} ? {then_} : {else_}");
+                }
+                lsab::Terminator::Return => {
+                    let _ = writeln!(s, "    return");
+                }
+            }
+        }
+        let _ = writeln!(s, "}}");
+    }
+    s
+}
+
+/// Render a [`pcab::Program`] as a textual listing.
+pub fn pcab_listing(p: &pcab::Program) -> String {
+    let mut s = String::new();
+    let ins: Vec<String> = p.inputs.iter().map(|v| v.to_string()).collect();
+    let outs: Vec<String> = p.outputs.iter().map(|v| v.to_string()).collect();
+    let _ = writeln!(
+        s,
+        "program entry={} inputs=({}) outputs=({})",
+        p.entry,
+        ins.join(", "),
+        outs.join(", ")
+    );
+    let stacked = p.stacked_vars();
+    let regs = p.register_vars();
+    let _ = writeln!(s, "stacked: {}", join(&stacked));
+    let _ = writeln!(s, "registers: {}", join(&regs));
+    for (bi, b) in p.blocks.iter().enumerate() {
+        let _ = writeln!(s, "b{bi}:");
+        for op in &b.ops {
+            match op {
+                pcab::Op::Compute { outs, prim, ins } => {
+                    let outs_s: Vec<String> = outs
+                        .iter()
+                        .map(|(v, k)| match k {
+                            pcab::WriteKind::Push => format!("push {v}"),
+                            pcab::WriteKind::Update => format!("{v}"),
+                        })
+                        .collect();
+                    let _ = writeln!(s, "  {} = {prim}({})", outs_s.join(", "), join(ins));
+                }
+                pcab::Op::Pop { var } => {
+                    let _ = writeln!(s, "  pop {var}");
+                }
+            }
+        }
+        match &b.term {
+            pcab::Terminator::Jump(t) => {
+                let _ = writeln!(s, "  jump {t}");
+            }
+            pcab::Terminator::Branch { cond, then_, else_ } => {
+                let _ = writeln!(s, "  branch {cond} ? {then_} : {else_}");
+            }
+            pcab::Terminator::PushJump { enter, resume } => {
+                let _ = writeln!(s, "  pushjump enter={enter} resume={resume}");
+            }
+            pcab::Terminator::Return => {
+                let _ = writeln!(s, "  return");
+            }
+        }
+    }
+    s
+}
+
+/// Render an [`lsab::Program`]'s control-flow graphs as Graphviz DOT.
+pub fn lsab_dot(p: &lsab::Program) -> String {
+    let mut s = String::from("digraph lsab {\n  node [shape=box fontname=monospace];\n");
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let _ = writeln!(s, "  subgraph cluster_{fi} {{ label=\"{}\";", f.name);
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut label = format!("{}:b{bi}\\n", f.name);
+            for op in &b.ops {
+                match op {
+                    lsab::Op::Prim { outs, prim, ins } => {
+                        let _ = write!(label, "{} = {prim}({})\\l", join(outs), join(ins));
+                    }
+                    lsab::Op::Call { outs, callee, ins } => {
+                        let _ = write!(
+                            label,
+                            "{} = call {}({})\\l",
+                            join(outs),
+                            p.funcs[callee.0].name,
+                            join(ins)
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(s, "    n{fi}_{bi} [label=\"{label}\"];");
+        }
+        for (bi, b) in f.blocks.iter().enumerate() {
+            match &b.term {
+                lsab::Terminator::Jump(t) => {
+                    let _ = writeln!(s, "    n{fi}_{bi} -> n{fi}_{};", t.0);
+                }
+                lsab::Terminator::Branch { then_, else_, .. } => {
+                    let _ = writeln!(s, "    n{fi}_{bi} -> n{fi}_{} [label=T];", then_.0);
+                    let _ = writeln!(s, "    n{fi}_{bi} -> n{fi}_{} [label=F];", else_.0);
+                }
+                lsab::Terminator::Return => {}
+            }
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render a [`pcab::Program`]'s merged control-flow graph as Graphviz
+/// DOT. `PushJump` edges show the call edge solid and the resume edge
+/// dashed, which makes the materialized call structure visible.
+pub fn pcab_dot(p: &pcab::Program) -> String {
+    let mut s = String::from("digraph pcab {\n  node [shape=box fontname=monospace];\n");
+    for (bi, b) in p.blocks.iter().enumerate() {
+        let mut label = format!("b{bi}\\n");
+        for op in &b.ops {
+            match op {
+                pcab::Op::Compute { outs, prim, ins } => {
+                    let outs_s: Vec<String> = outs
+                        .iter()
+                        .map(|(v, k)| match k {
+                            pcab::WriteKind::Push => format!("push {v}"),
+                            pcab::WriteKind::Update => v.to_string(),
+                        })
+                        .collect();
+                    let _ = write!(label, "{} = {prim}({})\\l", outs_s.join(", "), join(ins));
+                }
+                pcab::Op::Pop { var } => {
+                    let _ = write!(label, "pop {var}\\l");
+                }
+            }
+        }
+        let _ = writeln!(s, "  n{bi} [label=\"{label}\"];");
+    }
+    for (bi, b) in p.blocks.iter().enumerate() {
+        match &b.term {
+            pcab::Terminator::Jump(t) => {
+                let _ = writeln!(s, "  n{bi} -> n{};", t.0);
+            }
+            pcab::Terminator::Branch { then_, else_, .. } => {
+                let _ = writeln!(s, "  n{bi} -> n{} [label=T];", then_.0);
+                let _ = writeln!(s, "  n{bi} -> n{} [label=F];", else_.0);
+            }
+            pcab::Terminator::PushJump { enter, resume } => {
+                let _ = writeln!(s, "  n{bi} -> n{} [label=call];", enter.0);
+                let _ = writeln!(s, "  n{bi} -> n{} [style=dashed label=resume];", resume.0);
+            }
+            pcab::Terminator::Return => {}
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn join(vars: &[crate::var::Var]) -> String {
+    vars.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::fibonacci_program;
+
+    #[test]
+    fn lsab_listing_mentions_everything() {
+        let p = fibonacci_program();
+        let s = lsab_listing(&p);
+        assert!(s.contains("fibonacci"));
+        assert!(s.contains("call fibonacci"));
+        assert!(s.contains("branch"));
+        assert!(s.contains("return"));
+    }
+
+    #[test]
+    fn dot_is_structurally_plausible() {
+        let p = fibonacci_program();
+        let d = lsab_dot(&p);
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("cluster_0"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn pcab_dot_shows_call_edges() {
+        use crate::pcab;
+        use crate::var::BlockId;
+        use std::collections::BTreeMap;
+        let mut classes = BTreeMap::new();
+        classes.insert(crate::var::Var::new("x"), pcab::VarClass::Stacked);
+        let p = pcab::Program {
+            blocks: vec![
+                pcab::Block {
+                    ops: vec![pcab::Op::Compute {
+                        outs: vec![(crate::var::Var::new("x"), pcab::WriteKind::Push)],
+                        prim: crate::prim::Prim::ConstF64(1.0),
+                        ins: vec![],
+                    }],
+                    term: pcab::Terminator::PushJump {
+                        enter: BlockId(1),
+                        resume: BlockId(1),
+                    },
+                },
+                pcab::Block {
+                    ops: vec![pcab::Op::Pop {
+                        var: crate::var::Var::new("x"),
+                    }],
+                    term: pcab::Terminator::Return,
+                },
+            ],
+            entry: BlockId(0),
+            inputs: vec![crate::var::Var::new("x")],
+            outputs: vec![crate::var::Var::new("x")],
+            classes,
+        };
+        let d = pcab_dot(&p);
+        assert!(d.contains("label=call"));
+        assert!(d.contains("label=resume"));
+        assert!(d.contains("push x"));
+        assert!(d.contains("pop x"));
+    }
+}

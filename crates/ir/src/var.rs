@@ -1,0 +1,89 @@
+//! Variable names and program entity identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A program variable name.
+///
+/// Variables are storage locations, not SSA values: the same `Var` may be
+/// assigned on several control-flow paths (that is what lets divergent
+/// branches re-converge without phi nodes, as in the paper's Figure 2
+/// language). `Var` is a cheaply clonable interned string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Var {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Var {
+        Var::new(s)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of a basic block within a function (or within the merged
+/// program-counter-batchable program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Index of a function within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub usize);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vars_compare_by_name() {
+        let a = Var::new("x");
+        let b = Var::from("x");
+        let c = Var::from("y".to_string());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var::new("theta").to_string(), "theta");
+        assert_eq!(BlockId(3).to_string(), "b3");
+        assert_eq!(FuncId(0).to_string(), "f0");
+    }
+}

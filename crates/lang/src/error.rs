@@ -1,0 +1,60 @@
+//! Diagnostics for the surface language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compile error in a surface-language program: lexing, parsing, type
+/// checking, or lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// What went wrong.
+    pub message: String,
+    /// Where (best effort).
+    pub pos: Pos,
+}
+
+impl LangError {
+    /// Construct an error at a position.
+    pub fn new(message: impl Into<String>, pos: Pos) -> LangError {
+        LangError {
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::new("unexpected token", Pos { line: 3, col: 7 });
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

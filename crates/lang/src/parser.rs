@@ -1,0 +1,591 @@
+//! Recursive-descent parser for the surface language.
+
+use crate::ast::*;
+use crate::error::{LangError, Pos, Result};
+use crate::token::{lex, Tok, Token};
+
+/// Parse a whole module.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source position.
+pub fn parse(src: &str) -> Result<Module> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    p.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("expected {what}, found {:?}", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::new(
+                format!("expected {what}, found {other:?}"),
+                self.pos(),
+            )),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty> {
+        let t = match self.peek() {
+            Tok::TyFloat => Ty::Float,
+            Tok::TyInt => Ty::Int,
+            Tok::TyBool => Ty::Bool,
+            Tok::TyVec => Ty::Vec,
+            other => {
+                return Err(LangError::new(
+                    format!("expected a type, found {other:?}"),
+                    self.pos(),
+                ))
+            }
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        let mut m = Module::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Extern => m.externs.push(self.extern_def()?),
+                Tok::Fn => m.fns.push(self.fn_def()?),
+                other => {
+                    return Err(LangError::new(
+                        format!("expected `fn` or `extern`, found {other:?}"),
+                        self.pos(),
+                    ))
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    fn extern_def(&mut self) -> Result<ExternDef> {
+        let pos = self.pos();
+        self.expect(&Tok::Extern, "`extern`")?;
+        let name = self.ident("kernel name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                params.push(self.ty()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        self.expect(&Tok::Arrow, "`->`")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut outputs = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                outputs.push(self.ty()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(ExternDef {
+            name,
+            params,
+            outputs,
+            pos,
+        })
+    }
+
+    fn binding(&mut self) -> Result<Binding> {
+        let pos = self.pos();
+        let name = self.ident("a binding name")?;
+        self.expect(&Tok::Colon, "`:`")?;
+        let ty = self.ty()?;
+        Ok(Binding { name, ty, pos })
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef> {
+        let pos = self.pos();
+        self.expect(&Tok::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                params.push(self.binding()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        self.expect(&Tok::Arrow, "`->`")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut outputs = Vec::new();
+        loop {
+            outputs.push(self.binding()?);
+            if self.peek() == &Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            outputs,
+            body,
+            pos,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace, "`}`")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let names = self.pattern()?;
+                self.expect(&Tok::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Let { names, value, pos })
+            }
+            Tok::If => {
+                self.bump();
+                let cond = self.expr()?;
+                let then_blk = self.block()?;
+                let else_blk = if self.peek() == &Tok::Else {
+                    self.bump();
+                    if self.peek() == &Tok::If {
+                        // else if: wrap the nested if as a one-statement block.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    pos,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Tok::LParen => {
+                // Multi-assignment: (a, b) = f(x);
+                let names = self.pattern()?;
+                self.expect(&Tok::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Assign { names, value, pos })
+            }
+            Tok::Ident(_) => {
+                let name = self.ident("a variable")?;
+                self.expect(&Tok::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Assign {
+                    names: vec![name],
+                    value,
+                    pos,
+                })
+            }
+            other => Err(LangError::new(
+                format!("expected a statement, found {other:?}"),
+                pos,
+            )),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Vec<String>> {
+        if self.peek() == &Tok::LParen {
+            self.bump();
+            let mut names = vec![self.ident("a binding name")?];
+            while self.peek() == &Tok::Comma {
+                self.bump();
+                names.push(self.ident("a binding name")?);
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            Ok(names)
+        } else {
+            Ok(vec![self.ident("a binding name")?])
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Tok::Minus => {
+                let pos = self.pos();
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                    pos,
+                })
+            }
+            Tok::Bang => {
+                let pos = self.pos();
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    pos,
+                })
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v, pos))
+            }
+            Tok::Bool(v) => {
+                self.bump();
+                Ok(Expr::Bool(v, pos))
+            }
+            // Type keywords double as cast functions: float(x), int(x), bool(x).
+            Tok::TyFloat | Tok::TyInt | Tok::TyBool => {
+                let name = match self.bump() {
+                    Tok::TyFloat => "float",
+                    Tok::TyInt => "int",
+                    Tok::TyBool => "bool",
+                    _ => unreachable!(),
+                };
+                self.expect(&Tok::LParen, "`(`")?;
+                let args = self.args()?;
+                Ok(Expr::Call {
+                    name: name.to_string(),
+                    args,
+                    pos,
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let args = self.args()?;
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(LangError::new(
+                format!("expected an expression, found {other:?}"),
+                pos,
+            )),
+        }
+    }
+
+    /// Comma-separated arguments up to the closing paren (consumed).
+    fn args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIB: &str = r#"
+        fn fibonacci(n: int) -> (out: int) {
+            if n <= 1 {
+                out = 1;
+            } else {
+                let left = fibonacci(n - 2);
+                let right = fibonacci(n - 1);
+                out = left + right;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_fibonacci() {
+        let m = parse(FIB).unwrap();
+        assert_eq!(m.fns.len(), 1);
+        let f = &m.fns[0];
+        assert_eq!(f.name, "fibonacci");
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.outputs.len(), 1);
+        assert!(matches!(f.body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_externs() {
+        let m = parse("extern grad(vec) -> (vec);\nextern logp(vec) -> (float);").unwrap();
+        assert_eq!(m.externs.len(), 2);
+        assert_eq!(m.externs[0].params, vec![Ty::Vec]);
+        assert_eq!(m.externs[1].outputs, vec![Ty::Float]);
+    }
+
+    #[test]
+    fn parses_multi_assignment() {
+        let src = r#"
+            fn f(rng: int) -> (u: float, rng2: int) {
+                (u, rng2) = uniform(rng);
+            }
+        "#;
+        let m = parse(src).unwrap();
+        match &m.fns[0].body[0] {
+            Stmt::Assign { names, .. } => assert_eq!(names, &["u", "rng2"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_let_multi() {
+        let src = "fn f(rng: int) -> (r: int) { let (u, r2) = uniform(rng); r = r2; }";
+        let m = parse(src).unwrap();
+        assert!(matches!(&m.fns[0].body[0], Stmt::Let { names, .. } if names.len() == 2));
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let src = "fn f(a: float, b: float, c: float) -> (r: bool) { r = a + b * c < a || !(a < b) && a < c; }";
+        let m = parse(src).unwrap();
+        // Top must be ||.
+        match &m.fns[0].body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary { op: BinOp::Or, .. } => {}
+                other => panic!("expected ||, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            fn f(x: int) -> (r: int) {
+                if x < 0 { r = 0; } else if x < 10 { r = 1; } else { r = 2; }
+            }
+        "#;
+        let m = parse(src).unwrap();
+        match &m.fns[0].body[0] {
+            Stmt::If { else_blk, .. } => {
+                assert_eq!(else_blk.len(), 1);
+                assert!(matches!(else_blk[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_calls_parse() {
+        let src = "fn f(x: int) -> (r: float) { r = float(x) * 2.0; }";
+        let m = parse(src).unwrap();
+        assert_eq!(m.fns.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_parses() {
+        let src = "fn f(n: int) -> (i: int) { i = 0; while i < n { i = i + 1; } }";
+        let m = parse(src).unwrap();
+        assert!(matches!(m.fns[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("fn f( -> ()").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse("fn f(x: int) -> (y: int) { y = x }").is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Tokens and the lexer.
+
+use crate::error::{LangError, Pos, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Keyword `fn`.
+    Fn,
+    /// Keyword `extern`.
+    Extern,
+    /// Keyword `let`.
+    Let,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `while`.
+    While,
+    /// Type keyword `float`.
+    TyFloat,
+    /// Type keyword `int`.
+    TyInt,
+    /// Type keyword `bool`.
+    TyBool,
+    /// Type keyword `vec`.
+    TyVec,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `->`.
+    Arrow,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Lex a whole source string. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on malformed numbers or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($tok:expr, $pos:expr) => {
+            out.push(Token { tok: $tok, pos: $pos })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' => {
+                push!(Tok::Slash, pos);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push!(Tok::LParen, pos);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, pos);
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace, pos);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace, pos);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, pos);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(Tok::Semi, pos);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push!(Tok::Colon, pos);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(Tok::Plus, pos);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Tok::Star, pos);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    push!(Tok::Arrow, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Minus, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Le, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ge, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::EqEq, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Assign, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ne, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Bang, pos);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    push!(Tok::AndAnd, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::new("expected `&&`", pos));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    push!(Tok::OrOr, pos);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::new("expected `||`", pos));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let len = (i - start) as u32;
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| LangError::new(format!("bad float `{text}`"), pos))?;
+                    push!(Tok::Float(v), pos);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| LangError::new(format!("bad integer `{text}`"), pos))?;
+                    push!(Tok::Int(v), pos);
+                }
+                col += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let len = (i - start) as u32;
+                let tok = match text.as_str() {
+                    "fn" => Tok::Fn,
+                    "extern" => Tok::Extern,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "true" => Tok::Bool(true),
+                    "false" => Tok::Bool(false),
+                    "float" => Tok::TyFloat,
+                    "int" => Tok::TyInt,
+                    "bool" => Tok::TyBool,
+                    "vec" => Tok::TyVec,
+                    _ => Tok::Ident(text),
+                };
+                push!(tok, pos);
+                col += len;
+            }
+            other => {
+                return Err(LangError::new(format!("unexpected character `{other}`"), pos));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_keywords() {
+        assert_eq!(
+            toks("fn f(x: int) -> (y: int) { }"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::TyInt,
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::LParen,
+                Tok::Ident("y".into()),
+                Tok::Colon,
+                Tok::TyInt,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2.5 1e-3 10.0 7"),
+            vec![
+                Tok::Int(1),
+                Tok::Float(2.5),
+                Tok::Float(1e-3),
+                Tok::Float(10.0),
+                Tok::Int(7),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a <= b && c != d || !e == -f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::AndAnd,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Ident("e".into()),
+                Tok::EqEq,
+                Tok::Minus,
+                Tok::Ident("f".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("x // comment here\ny"),
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

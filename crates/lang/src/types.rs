@@ -1,0 +1,513 @@
+//! Static type checking for the surface language.
+//!
+//! Catching shape/dtype errors *before* batching matters in this system:
+//! at runtime a masked lane executes junk data by design (paper §2), so
+//! the earlier a real type error is caught, the less it can hide behind
+//! junk-lane noise.
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::error::{LangError, Pos, Result};
+
+/// Scalar-or-vector polymorphic builtins: `name(float) -> float` and
+/// `name(vec) -> vec`.
+pub const UNARY_MATH: &[&str] = &[
+    "exp", "ln", "sqrt", "abs", "sigmoid", "softplus", "floor", "square", "sin", "cos", "tanh",
+];
+
+/// Counter-based RNG builtins: `name(int) -> (float, int)`.
+pub const RNG_SCALAR: &[&str] = &["uniform", "normal", "exponential"];
+
+/// The signature of a callable (user function, extern, or builtin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Output types.
+    pub outputs: Vec<Ty>,
+}
+
+/// Type environments map variable names to types.
+pub type TypeEnv = BTreeMap<String, Ty>;
+
+/// Callable tables shared by the checker and the lowering.
+#[derive(Debug, Clone, Default)]
+pub struct Tables {
+    /// User functions by name.
+    pub fns: BTreeMap<String, Signature>,
+    /// Extern kernels by name.
+    pub externs: BTreeMap<String, Signature>,
+}
+
+impl Tables {
+    /// Build the tables from a module, rejecting duplicate names.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate or extern/function name collisions.
+    pub fn new(m: &Module) -> Result<Tables> {
+        let mut t = Tables::default();
+        for e in &m.externs {
+            let sig = Signature {
+                params: e.params.clone(),
+                outputs: e.outputs.clone(),
+            };
+            if t.externs.insert(e.name.clone(), sig).is_some() {
+                return Err(LangError::new(
+                    format!("duplicate extern `{}`", e.name),
+                    e.pos,
+                ));
+            }
+        }
+        for f in &m.fns {
+            let sig = Signature {
+                params: f.params.iter().map(|b| b.ty).collect(),
+                outputs: f.outputs.iter().map(|b| b.ty).collect(),
+            };
+            if t.fns.insert(f.name.clone(), sig).is_some() || t.externs.contains_key(&f.name) {
+                return Err(LangError::new(
+                    format!("duplicate function `{}`", f.name),
+                    f.pos,
+                ));
+            }
+        }
+        Ok(t)
+    }
+
+    /// Resolve a call signature: user function, extern, or builtin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown names or argument-type mismatches.
+    pub fn call_signature(&self, name: &str, args: &[Ty], pos: Pos) -> Result<Signature> {
+        if let Some(sig) = self.fns.get(name).or_else(|| self.externs.get(name)) {
+            if sig.params != args {
+                return Err(LangError::new(
+                    format!(
+                        "`{name}` expects ({}), got ({})",
+                        tys(&sig.params),
+                        tys(args)
+                    ),
+                    pos,
+                ));
+            }
+            return Ok(sig.clone());
+        }
+        builtin_signature(name, args, pos)
+    }
+}
+
+fn tys(ts: &[Ty]) -> String {
+    ts.iter()
+        .map(Ty::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Resolve a builtin's signature for the given argument types.
+///
+/// # Errors
+///
+/// Returns an error for unknown builtins or ill-typed arguments.
+pub fn builtin_signature(name: &str, args: &[Ty], pos: Pos) -> Result<Signature> {
+    let sig = |params: Vec<Ty>, outputs: Vec<Ty>| Signature { params, outputs };
+    let bad = || {
+        Err(LangError::new(
+            format!("builtin `{name}` cannot take ({})", tys(args)),
+            pos,
+        ))
+    };
+    match name {
+        _ if UNARY_MATH.contains(&name) => match args {
+            [Ty::Float] => Ok(sig(vec![Ty::Float], vec![Ty::Float])),
+            [Ty::Vec] => Ok(sig(vec![Ty::Vec], vec![Ty::Vec])),
+            _ => bad(),
+        },
+        "min" | "max" => match args {
+            [Ty::Float, Ty::Float] => Ok(sig(vec![Ty::Float; 2], vec![Ty::Float])),
+            [Ty::Int, Ty::Int] => Ok(sig(vec![Ty::Int; 2], vec![Ty::Int])),
+            _ => bad(),
+        },
+        "pow" => match args {
+            [Ty::Float, Ty::Float] => Ok(sig(vec![Ty::Float; 2], vec![Ty::Float])),
+            [Ty::Vec, Ty::Float] => Ok(sig(vec![Ty::Vec, Ty::Float], vec![Ty::Vec])),
+            _ => bad(),
+        },
+        "select" => match args {
+            [Ty::Bool, a, b] if a == b => Ok(sig(vec![Ty::Bool, *a, *b], vec![*a])),
+            _ => bad(),
+        },
+        "dot" => match args {
+            [Ty::Vec, Ty::Vec] => Ok(sig(vec![Ty::Vec; 2], vec![Ty::Float])),
+            _ => bad(),
+        },
+        "sum" => match args {
+            [Ty::Vec] => Ok(sig(vec![Ty::Vec], vec![Ty::Float])),
+            _ => bad(),
+        },
+        "zeros_like" => match args {
+            [Ty::Vec] => Ok(sig(vec![Ty::Vec], vec![Ty::Vec])),
+            _ => bad(),
+        },
+        "float" => match args {
+            [Ty::Int] | [Ty::Bool] | [Ty::Float] => Ok(sig(args.to_vec(), vec![Ty::Float])),
+            _ => bad(),
+        },
+        "int" => match args {
+            [Ty::Float] | [Ty::Bool] | [Ty::Int] => Ok(sig(args.to_vec(), vec![Ty::Int])),
+            _ => bad(),
+        },
+        "bool" => match args {
+            [Ty::Float] | [Ty::Int] | [Ty::Bool] => Ok(sig(args.to_vec(), vec![Ty::Bool])),
+            _ => bad(),
+        },
+        _ if RNG_SCALAR.contains(&name) => match args {
+            [Ty::Int] => Ok(sig(vec![Ty::Int], vec![Ty::Float, Ty::Int])),
+            _ => bad(),
+        },
+        "normal_like" => match args {
+            [Ty::Int, Ty::Vec] => Ok(sig(vec![Ty::Int, Ty::Vec], vec![Ty::Vec, Ty::Int])),
+            _ => bad(),
+        },
+        _ => Err(LangError::new(format!("unknown function `{name}`"), pos)),
+    }
+}
+
+/// Infer the type of an expression (single-output context).
+///
+/// # Errors
+///
+/// Returns a positioned error on any type violation.
+pub fn type_of_expr(env: &TypeEnv, tables: &Tables, e: &Expr) -> Result<Ty> {
+    match e {
+        Expr::Int(_, _) => Ok(Ty::Int),
+        Expr::Float(_, _) => Ok(Ty::Float),
+        Expr::Bool(_, _) => Ok(Ty::Bool),
+        Expr::Var(name, pos) => env.get(name).copied().ok_or_else(|| {
+            LangError::new(format!("unknown variable `{name}`"), *pos)
+        }),
+        Expr::Unary { op, expr, pos } => {
+            let t = type_of_expr(env, tables, expr)?;
+            match (op, t) {
+                (UnOp::Neg, Ty::Float | Ty::Int | Ty::Vec) => Ok(t),
+                (UnOp::Not, Ty::Bool) => Ok(Ty::Bool),
+                _ => Err(LangError::new(
+                    format!("operator `{op:?}` cannot take {t}"),
+                    *pos,
+                )),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, pos } => {
+            let a = type_of_expr(env, tables, lhs)?;
+            let b = type_of_expr(env, tables, rhs)?;
+            binary_type(*op, a, b, *pos)
+        }
+        Expr::Call { name, args, pos } => {
+            let arg_tys: Vec<Ty> = args
+                .iter()
+                .map(|a| type_of_expr(env, tables, a))
+                .collect::<Result<_>>()?;
+            let sig = tables.call_signature(name, &arg_tys, *pos)?;
+            match sig.outputs.as_slice() {
+                [one] => Ok(*one),
+                outs => Err(LangError::new(
+                    format!(
+                        "`{name}` returns {} values; bind them with `let (a, b, ..) = ..`",
+                        outs.len()
+                    ),
+                    *pos,
+                )),
+            }
+        }
+    }
+}
+
+/// The result type of a binary operation.
+///
+/// # Errors
+///
+/// Returns an error for ill-typed operand pairs. Numeric types never mix
+/// implicitly — cast with `float(..)` / `int(..)`.
+pub fn binary_type(op: BinOp, a: Ty, b: Ty, pos: Pos) -> Result<Ty> {
+    use BinOp::*;
+    use Ty::*;
+    let r = match (op, a, b) {
+        (Add | Sub | Mul | Div, Float, Float) => Some(Float),
+        (Add | Sub | Mul | Div, Int, Int) => Some(Int),
+        (Add | Sub | Mul | Div, Vec, Vec) => Some(Vec),
+        (Add | Sub | Mul | Div, Vec, Float) | (Add | Sub | Mul | Div, Float, Vec) => Some(Vec),
+        (Lt | Le | Gt | Ge, Float, Float) | (Lt | Le | Gt | Ge, Int, Int) => Some(Bool),
+        (Eq | Ne, Float, Float) | (Eq | Ne, Int, Int) | (Eq | Ne, Bool, Bool) => Some(Bool),
+        (And | Or, Bool, Bool) => Some(Bool),
+        _ => None,
+    };
+    r.ok_or_else(|| {
+        LangError::new(
+            format!("operator `{op:?}` cannot take ({a}, {b}); cast explicitly"),
+            pos,
+        )
+    })
+}
+
+/// Type-check a whole module.
+///
+/// Scoping rules: parameters and outputs are in scope for the whole
+/// function body; `let` introduces a fresh name scoped to its block; a
+/// name cannot be redeclared anywhere in the same function (the IR has a
+/// single flat store per function, so shadowing would alias).
+///
+/// # Errors
+///
+/// Returns the first type error with its source position.
+pub fn check_module(m: &Module) -> Result<Tables> {
+    let tables = Tables::new(m)?;
+    for f in &m.fns {
+        let mut env: TypeEnv = TypeEnv::new();
+        let mut declared: TypeEnv = TypeEnv::new();
+        for b in f.params.iter().chain(&f.outputs) {
+            if declared.insert(b.name.clone(), b.ty).is_some() {
+                return Err(LangError::new(
+                    format!("duplicate binding `{}`", b.name),
+                    b.pos,
+                ));
+            }
+            env.insert(b.name.clone(), b.ty);
+        }
+        check_block(&f.body, &mut env, &mut declared, &tables)?;
+    }
+    Ok(tables)
+}
+
+fn check_block(
+    stmts: &[Stmt],
+    env: &mut TypeEnv,
+    declared: &mut TypeEnv,
+    tables: &Tables,
+) -> Result<()> {
+    let scope_names: Vec<String> = Vec::new();
+    let mut scoped = scope_names;
+    for s in stmts {
+        match s {
+            Stmt::Let { names, value, pos } => {
+                let out_tys = value_types(names.len(), value, env, tables)?;
+                for (n, t) in names.iter().zip(&out_tys) {
+                    if declared.contains_key(n) {
+                        return Err(LangError::new(
+                            format!("`{n}` is already declared in this function"),
+                            *pos,
+                        ));
+                    }
+                    declared.insert(n.clone(), *t);
+                    env.insert(n.clone(), *t);
+                    scoped.push(n.clone());
+                }
+            }
+            Stmt::Assign { names, value, pos } => {
+                let out_tys = value_types(names.len(), value, env, tables)?;
+                for (n, t) in names.iter().zip(&out_tys) {
+                    match env.get(n) {
+                        None => {
+                            return Err(LangError::new(
+                                format!("assignment to undeclared variable `{n}` (use `let`)"),
+                                *pos,
+                            ))
+                        }
+                        Some(have) if have != t => {
+                            return Err(LangError::new(
+                                format!("`{n}` has type {have}, assigned {t}"),
+                                *pos,
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                pos,
+            } => {
+                let ct = type_of_expr(env, tables, cond)?;
+                if ct != Ty::Bool {
+                    return Err(LangError::new(format!("if condition is {ct}, not bool"), *pos));
+                }
+                let mut then_env = env.clone();
+                check_block(then_blk, &mut then_env, declared, tables)?;
+                let mut else_env = env.clone();
+                check_block(else_blk, &mut else_env, declared, tables)?;
+            }
+            Stmt::While { cond, body, pos } => {
+                let ct = type_of_expr(env, tables, cond)?;
+                if ct != Ty::Bool {
+                    return Err(LangError::new(
+                        format!("while condition is {ct}, not bool"),
+                        *pos,
+                    ));
+                }
+                let mut body_env = env.clone();
+                check_block(body, &mut body_env, declared, tables)?;
+            }
+        }
+    }
+    for n in scoped {
+        env.remove(&n);
+    }
+    Ok(())
+}
+
+/// Types of a (possibly multi-valued) right-hand side bound to `n` names.
+fn value_types(n: usize, value: &Expr, env: &TypeEnv, tables: &Tables) -> Result<Vec<Ty>> {
+    if n == 1 {
+        return Ok(vec![type_of_expr(env, tables, value)?]);
+    }
+    match value {
+        Expr::Call { name, args, pos } => {
+            let arg_tys: Vec<Ty> = args
+                .iter()
+                .map(|a| type_of_expr(env, tables, a))
+                .collect::<Result<_>>()?;
+            let sig = tables.call_signature(name, &arg_tys, *pos)?;
+            if sig.outputs.len() != n {
+                return Err(LangError::new(
+                    format!("`{name}` returns {} values, pattern binds {n}", sig.outputs.len()),
+                    *pos,
+                ));
+            }
+            Ok(sig.outputs)
+        }
+        other => Err(LangError::new(
+            "only calls can bind multiple values".to_string(),
+            other.pos(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<Tables> {
+        check_module(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn fibonacci_checks() {
+        check(
+            "fn fib(n: int) -> (out: int) {
+                if n <= 1 { out = 1; }
+                else { let l = fib(n - 2); let r = fib(n - 1); out = l + r; }
+            }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn int_float_mixing_rejected() {
+        let err = check("fn f(x: int) -> (y: float) { y = x + 1.0; }").unwrap_err();
+        assert!(err.message.contains("cast"), "{err}");
+    }
+
+    #[test]
+    fn explicit_cast_accepted() {
+        check("fn f(x: int) -> (y: float) { y = float(x) + 1.0; }").unwrap();
+    }
+
+    #[test]
+    fn vector_scalar_broadcast_types() {
+        check(
+            "fn f(q: vec, eps: float) -> (r: vec) {
+                r = q + eps * q;
+            }",
+        )
+        .unwrap();
+        check("fn f(q: vec) -> (r: float) { r = dot(q, q) + sum(q); }").unwrap();
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        let err = check("fn f(x: int) -> (y: int) { if x { y = 1; } else { y = 0; } }")
+            .unwrap_err();
+        assert!(err.message.contains("bool"));
+    }
+
+    #[test]
+    fn undeclared_assignment_rejected() {
+        let err = check("fn f(x: int) -> (y: int) { z = x; y = x; }").unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        let err = check(
+            "fn f(x: int) -> (y: int) {
+                if x < 0 { let t = 1; y = t; } else { let t = 2; y = t; }
+            }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("already declared"));
+    }
+
+    #[test]
+    fn let_scopes_to_block() {
+        // t declared in the if-branch must not be visible after it.
+        let err = check(
+            "fn f(x: int) -> (y: int) {
+                if x < 0 { let t = 1; y = t; } else { y = 0; }
+                y = t;
+            }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown variable `t`"), "{err}");
+    }
+
+    #[test]
+    fn rng_builtins_are_multi_valued() {
+        check(
+            "fn f(rng: int) -> (u: float, rng2: int) {
+                (u, rng2) = uniform(rng);
+            }",
+        )
+        .unwrap();
+        let err = check("fn f(rng: int) -> (u: float) { u = uniform(rng); }").unwrap_err();
+        assert!(err.message.contains("returns 2 values"));
+    }
+
+    #[test]
+    fn externs_resolve() {
+        check(
+            "extern grad(vec) -> (vec);
+             fn f(q: vec) -> (g: vec) { g = grad(q); }",
+        )
+        .unwrap();
+        let err = check("fn f(q: vec) -> (g: vec) { g = grad(q); }").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn select_requires_matching_branches() {
+        check("fn f(c: bool, a: vec, b: vec) -> (r: vec) { r = select(c, a, b); }").unwrap();
+        let err =
+            check("fn f(c: bool, a: vec, b: float) -> (r: vec) { r = select(c, a, b); }")
+                .unwrap_err();
+        assert!(err.message.contains("select"));
+    }
+
+    #[test]
+    fn assignment_type_mismatch_rejected() {
+        let err = check("fn f(x: int) -> (y: int) { y = 1.0; }").unwrap_err();
+        assert!(err.message.contains("has type int"));
+    }
+
+    #[test]
+    fn arity_mismatch_on_user_call() {
+        let err = check(
+            "fn g(a: int, b: int) -> (r: int) { r = a + b; }
+             fn f(x: int) -> (y: int) { y = g(x); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expects"));
+    }
+}

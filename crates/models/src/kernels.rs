@@ -1,0 +1,91 @@
+//! Adapters exposing a [`Model`] as the external kernels (`grad`,
+//! `logp`) that autobatched programs call via `extern` declarations.
+
+use std::sync::Arc;
+
+use autobatch_core::{ExternalKernel, KernelRegistry};
+use autobatch_ir::Arity;
+use autobatch_tensor::Tensor;
+
+use crate::Model;
+
+/// `grad(q: vec) -> (vec)` — the model's log-density gradient, the
+/// expensive leaf kernel of the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct GradKernel(pub Arc<dyn Model>);
+
+impl ExternalKernel for GradKernel {
+    fn arity(&self) -> Arity {
+        Arity { ins: 1, outs: 1 }
+    }
+
+    fn eval(&self, inputs: &[Tensor]) -> autobatch_tensor::Result<Vec<Tensor>> {
+        Ok(vec![self.0.grad(&inputs[0])?])
+    }
+
+    fn flops_per_member(&self, _inputs: &[Tensor]) -> f64 {
+        self.0.grad_flops()
+    }
+
+    fn parallel_per_member(&self, _inputs: &[Tensor]) -> usize {
+        self.0.parallel_width()
+    }
+}
+
+/// `logp(q: vec) -> (float)` — the model's log-density.
+#[derive(Debug, Clone)]
+pub struct LogpKernel(pub Arc<dyn Model>);
+
+impl ExternalKernel for LogpKernel {
+    fn arity(&self) -> Arity {
+        Arity { ins: 1, outs: 1 }
+    }
+
+    fn eval(&self, inputs: &[Tensor]) -> autobatch_tensor::Result<Vec<Tensor>> {
+        Ok(vec![self.0.logp(&inputs[0])?])
+    }
+
+    fn flops_per_member(&self, _inputs: &[Tensor]) -> f64 {
+        self.0.logp_flops()
+    }
+
+    fn parallel_per_member(&self, _inputs: &[Tensor]) -> usize {
+        self.0.parallel_width()
+    }
+}
+
+/// A registry exposing `model` under the conventional kernel names
+/// `"grad"` and `"logp"`.
+pub fn model_registry(model: Arc<dyn Model>) -> KernelRegistry {
+    let mut reg = KernelRegistry::new();
+    reg.register("grad", Arc::new(GradKernel(model.clone())));
+    reg.register("logp", Arc::new(LogpKernel(model)));
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StdNormal;
+
+    #[test]
+    fn registry_exposes_grad_and_logp() {
+        let reg = model_registry(Arc::new(StdNormal::new(2)));
+        let q = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let g = reg.get("grad").unwrap().eval(&[q.clone()]).unwrap();
+        assert_eq!(g[0].as_f64().unwrap(), &[-1.0, -2.0, -3.0, -4.0]);
+        let lp = reg.get("logp").unwrap().eval(&[q]).unwrap();
+        assert_eq!(lp[0].shape(), &[2]);
+        assert!(reg.get("hessian").is_err());
+    }
+
+    #[test]
+    fn kernels_report_model_flops() {
+        let m = Arc::new(StdNormal::new(8));
+        let g = GradKernel(m.clone());
+        let l = LogpKernel(m);
+        let q = Tensor::zeros(autobatch_tensor::DType::F64, &[1, 8]);
+        assert_eq!(g.flops_per_member(&[q.clone()]), 8.0);
+        assert_eq!(l.flops_per_member(&[q]), 16.0);
+    }
+}

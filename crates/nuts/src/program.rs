@@ -1,0 +1,265 @@
+//! The No-U-Turn Sampler written in the autobatch surface language.
+//!
+//! This is the artifact the whole paper is about: the *recursive*,
+//! single-chain NUTS of Hoffman & Gelman (Algorithm 3, the efficient
+//! slice-sampling variant), written as ordinary imperative code and then
+//! mechanically batched by the autobatching transformations. Following
+//! the paper's §4.1 experimental setup, each leaf of the NUTS tree takes
+//! a configurable number of leapfrog steps (default 4) "to better
+//! amortize the control overhead".
+//!
+//! The program threads an explicit counter-based RNG variable through all
+//! control flow (including the recursion), so draws are reproducible and
+//! identical between batched and single-chain execution.
+
+use autobatch_ir::lsab;
+use autobatch_lang::{compile, LangError};
+
+/// Configuration of the NUTS program and its drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NutsConfig {
+    /// Leapfrog step size.
+    pub step_size: f64,
+    /// Number of NUTS trajectories (outer iterations).
+    pub n_trajectories: usize,
+    /// Maximum tree depth per trajectory.
+    pub max_depth: usize,
+    /// Leapfrog steps per tree leaf (paper §4.1 uses 4).
+    pub leapfrog_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NutsConfig {
+    fn default() -> NutsConfig {
+        NutsConfig {
+            step_size: 0.1,
+            n_trajectories: 10,
+            max_depth: 8,
+            leapfrog_steps: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The NUTS source text, with the per-leaf leapfrog step count baked in
+/// as a compile-time constant (the paper's §4.1 modification).
+pub fn nuts_source(leapfrog_steps: usize) -> String {
+    format!(
+        r#"
+// The No-U-Turn Sampler (Hoffman & Gelman 2014, Algorithm 3),
+// single-example form. `grad`/`logp` are the model's kernels.
+extern grad(vec) -> (vec);
+extern logp(vec) -> (float);
+
+// One tree leaf: {leapfrog_steps} leapfrog steps of size dt (paper's
+// amortization modification; dt carries the trajectory direction sign).
+fn leapfrog(q: vec, p: vec, dt: float) -> (q2: vec, p2: vec) {{
+    q2 = q;
+    p2 = p;
+    let i = 0;
+    while i < {leapfrog_steps} {{
+        p2 = p2 + (0.5 * dt) * grad(q2);
+        q2 = q2 + dt * p2;
+        p2 = p2 + (0.5 * dt) * grad(q2);
+        i = i + 1;
+    }}
+}}
+
+// True while the subtrajectory has NOT made a U-turn.
+fn no_uturn(qm: vec, qp: vec, pm: vec, pp: vec) -> (ok: bool) {{
+    let dq = qp - qm;
+    ok = dot(dq, pm) >= 0.0 && dot(dq, pp) >= 0.0;
+}}
+
+// Recursively build a balanced tree of 2^j leaves in direction v.
+// Returns the leftmost/rightmost states, a proposal drawn uniformly
+// from the slice-admissible leaves, the admissible count n, the
+// continue flag s, and the threaded RNG counter.
+fn build_tree(q: vec, p: vec, log_u: float, v: float, j: int, eps: float, rng: int)
+    -> (qm: vec, pm: vec, qp: vec, pp: vec, qprop: vec, n: int, s: bool, rng_out: int) {{
+    if j == 0 {{
+        // Base case: one leaf.
+        let (q1, p1) = leapfrog(q, p, v * eps);
+        let joint = logp(q1) - 0.5 * dot(p1, p1);
+        qm = q1;
+        pm = p1;
+        qp = q1;
+        pp = p1;
+        qprop = q1;
+        n = int(log_u <= joint);
+        s = log_u < joint + 1000.0;
+        rng_out = rng;
+    }} else {{
+        // Recursion: build the left half...
+        let (qm1, pm1, qp1, pp1, qpa, n1, s1, rng1) =
+            build_tree(q, p, log_u, v, j - 1, eps, rng);
+        qm = qm1;
+        pm = pm1;
+        qp = qp1;
+        pp = pp1;
+        qprop = qpa;
+        n = n1;
+        s = s1;
+        rng_out = rng1;
+        if s1 {{
+            // ...then the right half, growing outward in direction v.
+            let n2 = 0;
+            let s2 = false;
+            let qprop2 = qprop;
+            if v < 0.0 {{
+                let (qm2, pm2, qpx, ppx, qpb, nb, sb, rng2) =
+                    build_tree(qm, pm, log_u, v, j - 1, eps, rng_out);
+                qm = qm2;
+                pm = pm2;
+                qprop2 = qpb;
+                n2 = nb;
+                s2 = sb;
+                rng_out = rng2;
+            }} else {{
+                let (qmx, pmx, qp2, pp2, qpc, nc, sc, rng3) =
+                    build_tree(qp, pp, log_u, v, j - 1, eps, rng_out);
+                qp = qp2;
+                pp = pp2;
+                qprop2 = qpc;
+                n2 = nc;
+                s2 = sc;
+                rng_out = rng3;
+            }}
+            // Swap the proposal in with probability n2 / (n + n2).
+            let (usel, rng4) = uniform(rng_out);
+            rng_out = rng4;
+            let ntot = float(n + n2);
+            if ntot > 0.0 && usel * ntot < float(n2) {{
+                qprop = qprop2;
+            }}
+            s = s2 && no_uturn(qm, qp, pm, pp);
+            n = n + n2;
+        }}
+    }}
+}}
+
+// Run n_traj NUTS trajectories from q0.
+fn nuts_chain(q0: vec, eps: float, n_traj: int, max_depth: int, rng: int)
+    -> (q_out: vec, rng_out: int) {{
+    q_out = q0;
+    rng_out = rng;
+    let t = 0;
+    while t < n_traj {{
+        // Fresh momentum and slice variable.
+        let (p0, r1) = normal_like(rng_out, q_out);
+        let (e0, r2) = exponential(r1);
+        rng_out = r2;
+        let joint0 = logp(q_out) - 0.5 * dot(p0, p0);
+        let log_u = joint0 - e0;
+        // Trajectory state.
+        let qm = q_out;
+        let qp = q_out;
+        let pm = p0;
+        let pp = p0;
+        let j = 0;
+        let n = 1;
+        let s = true;
+        while s && j < max_depth {{
+            // Choose a direction and double the tree.
+            let (uv, r3) = uniform(rng_out);
+            rng_out = r3;
+            let v = select(uv < 0.5, -1.0, 1.0);
+            let n2 = 0;
+            let s2 = false;
+            let qprop = q_out;
+            if v < 0.0 {{
+                let (qm2, pm2, qpx, ppx, qpr, nb, sb, r4) =
+                    build_tree(qm, pm, log_u, v, j, eps, rng_out);
+                qm = qm2;
+                pm = pm2;
+                qprop = qpr;
+                n2 = nb;
+                s2 = sb;
+                rng_out = r4;
+            }} else {{
+                let (qmx, pmx, qp2, pp2, qpr2, nc, sc, r5) =
+                    build_tree(qp, pp, log_u, v, j, eps, rng_out);
+                qp = qp2;
+                pp = pp2;
+                qprop = qpr2;
+                n2 = nc;
+                s2 = sc;
+                rng_out = r5;
+            }}
+            // Accept the doubled tree's proposal w.p. min(1, n2/n).
+            let (ua, r6) = uniform(rng_out);
+            rng_out = r6;
+            if s2 && ua * float(n) < float(n2) {{
+                q_out = qprop;
+            }}
+            n = n + n2;
+            s = s2 && no_uturn(qm, qp, pm, pp);
+            j = j + 1;
+        }}
+        t = t + 1;
+    }}
+}}
+"#
+    )
+}
+
+/// Compile the NUTS program (entry: `nuts_chain`).
+///
+/// # Errors
+///
+/// Returns a [`LangError`] only if the embedded source is broken — which
+/// the test suite rules out.
+pub fn nuts_program(leapfrog_steps: usize) -> Result<lsab::Program, LangError> {
+    compile(&nuts_source(leapfrog_steps), "nuts_chain")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_ir::analysis::CallGraph;
+    use autobatch_ir::FuncId;
+
+    #[test]
+    fn nuts_source_compiles_and_validates() {
+        let p = nuts_program(4).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.funcs.len(), 4);
+        let (entry_id, entry) = p.func_by_name("nuts_chain").unwrap();
+        assert_eq!(entry_id, p.entry);
+        assert_eq!(entry.params.len(), 5);
+        assert_eq!(entry.outputs.len(), 2);
+    }
+
+    #[test]
+    fn build_tree_is_the_only_recursive_function() {
+        let p = nuts_program(4).unwrap();
+        let cg = CallGraph::new(&p);
+        for (i, f) in p.funcs.iter().enumerate() {
+            let expect = f.name == "build_tree";
+            assert_eq!(cg.is_recursive_func(FuncId(i)), expect, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn nuts_lowers_to_pc_form() {
+        let p = nuts_program(4).unwrap();
+        let (pc, stats) =
+            autobatch_core::lower(&p, autobatch_core::LoweringOptions::default()).unwrap();
+        pc.validate().unwrap();
+        // The recursive build_tree forces stacked variables; the
+        // non-recursive helpers contribute registers.
+        assert!(stats.stacked_vars > 0, "{stats:?}");
+        assert!(stats.register_vars > 0, "{stats:?}");
+        assert!(stats.pushes > 0);
+    }
+
+    #[test]
+    fn leapfrog_steps_are_baked_in() {
+        let s1 = nuts_source(1);
+        let s4 = nuts_source(4);
+        assert!(s1.contains("while i < 1"));
+        assert!(s4.contains("while i < 4"));
+        nuts_program(1).unwrap();
+    }
+}

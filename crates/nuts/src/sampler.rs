@@ -1,0 +1,411 @@
+//! Batched NUTS: compiles the surface program once and runs whole
+//! batches of chains under either autobatching runtime.
+
+use std::sync::Arc;
+
+use autobatch_accel::Trace;
+use autobatch_core::{
+    lower, DynamicVm, ExecOptions, KernelRegistry, LocalStaticVm, LoweringOptions, LoweringStats,
+    PcVm,
+};
+use autobatch_ir::{lsab, pcab};
+use autobatch_models::{model_registry, Model};
+use autobatch_tensor::{DType, Tensor};
+
+use crate::program::{nuts_program, NutsConfig};
+use crate::{NutsError, Result};
+
+/// A compiled, batched No-U-Turn sampler over a [`Model`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use autobatch_nuts::{BatchNuts, NutsConfig};
+/// use autobatch_models::StdNormal;
+/// use autobatch_tensor::{DType, Tensor};
+///
+/// let cfg = NutsConfig { n_trajectories: 3, ..NutsConfig::default() };
+/// let nuts = BatchNuts::new(Arc::new(StdNormal::new(2)), cfg)?;
+/// let q0 = Tensor::zeros(DType::F64, &[4, 2]); // 4 chains
+/// let samples = nuts.run_pc(&q0, None)?;
+/// assert_eq!(samples.shape(), &[4, 2]);
+/// # Ok::<(), autobatch_nuts::NutsError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchNuts {
+    program: lsab::Program,
+    lowered: pcab::Program,
+    stats: LoweringStats,
+    registry: KernelRegistry,
+    cfg: NutsConfig,
+    dim: usize,
+}
+
+impl BatchNuts {
+    /// Compile the sampler for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if compilation or lowering fails (a bug in this
+    /// crate's embedded program rather than user error).
+    pub fn new(model: Arc<dyn Model>, cfg: NutsConfig) -> Result<BatchNuts> {
+        let dim = model.dim();
+        let program = nuts_program(cfg.leapfrog_steps)?;
+        let (lowered, stats) = lower(&program, LoweringOptions::default())?;
+        Ok(BatchNuts {
+            program,
+            lowered,
+            stats,
+            registry: model_registry(model),
+            cfg,
+            dim,
+        })
+    }
+
+    /// The single-example source program (lsab form).
+    pub fn program(&self) -> &lsab::Program {
+        &self.program
+    }
+
+    /// The merged, stack-explicit program (pcab form).
+    pub fn lowered(&self) -> &pcab::Program {
+        &self.lowered
+    }
+
+    /// Lowering statistics (stack classification, push/pop counts).
+    pub fn lowering_stats(&self) -> LoweringStats {
+        self.stats
+    }
+
+    /// The sampler configuration.
+    pub fn config(&self) -> NutsConfig {
+        self.cfg
+    }
+
+    /// Execution options used by both runtimes: the config's seed, and a
+    /// stack depth limit covering `max_depth` recursion plus the driver
+    /// frames.
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            seed: self.cfg.seed,
+            stack_depth: self.cfg.max_depth + 12,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Assemble the batch inputs for initial positions `q0` (`[Z, d]`):
+    /// `(q0, eps, n_traj, max_depth, rng)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q0` has the wrong shape.
+    pub fn batch_inputs(&self, q0: &Tensor) -> Result<Vec<Tensor>> {
+        if q0.rank() != 2 || q0.shape()[1] != self.dim {
+            return Err(NutsError::Shape(format!(
+                "q0 must be [Z, {}], got {:?}",
+                self.dim,
+                q0.shape()
+            )));
+        }
+        let z = q0.shape()[0];
+        Ok(vec![
+            q0.clone(),
+            Tensor::full(&[z], self.cfg.step_size),
+            Tensor::full(&[z], self.cfg.n_trajectories as i64),
+            Tensor::full(&[z], self.cfg.max_depth as i64),
+            Tensor::zeros(DType::I64, &[z]),
+        ])
+    }
+
+    /// Run the batch under local static autobatching. Returns the final
+    /// positions `[Z, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_local(&self, q0: &Tensor, trace: Option<&mut Trace>) -> Result<Tensor> {
+        self.run_local_opts(q0, trace, self.exec_options())
+    }
+
+    /// [`BatchNuts::run_local`] with explicit execution options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_local_opts(
+        &self,
+        q0: &Tensor,
+        trace: Option<&mut Trace>,
+        opts: ExecOptions,
+    ) -> Result<Tensor> {
+        let inputs = self.batch_inputs(q0)?;
+        let vm = LocalStaticVm::new(&self.program, self.registry.clone(), opts);
+        let outs = vm.run(&inputs, trace)?;
+        Ok(outs.into_iter().next().expect("q_out is the first output"))
+    }
+
+    /// Run the batch under program-counter autobatching. Returns the
+    /// final positions `[Z, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_pc(&self, q0: &Tensor, trace: Option<&mut Trace>) -> Result<Tensor> {
+        self.run_pc_opts(q0, trace, self.exec_options())
+    }
+
+    /// [`BatchNuts::run_pc`] with explicit execution options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_pc_opts(
+        &self,
+        q0: &Tensor,
+        trace: Option<&mut Trace>,
+        opts: ExecOptions,
+    ) -> Result<Tensor> {
+        let inputs = self.batch_inputs(q0)?;
+        let vm = PcVm::new(&self.lowered, self.registry.clone(), opts);
+        let outs = vm.run(&inputs, trace)?;
+        Ok(outs.into_iter().next().expect("q_out is the first output"))
+    }
+
+    /// Run a batched sampling phase from explicit per-member states: the
+    /// compiled program takes per-member step sizes `eps` (`[Z]`) and RNG
+    /// counters (`[Z]`) as ordinary batch inputs, so chains adapted
+    /// individually (e.g. by [`AdaptiveNuts`](crate::AdaptiveNuts)
+    /// warmup) continue their exact draw streams inside one batch.
+    ///
+    /// Returns `(positions, counters)`, both ready for a further resumed
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `q0` is not `[Z, d]` or `eps`/`rng_counter`
+    /// are not `[Z]`; propagates runtime errors.
+    pub fn run_pc_with(
+        &self,
+        q0: &Tensor,
+        eps: &Tensor,
+        n_trajectories: usize,
+        rng_counter: &Tensor,
+        trace: Option<&mut Trace>,
+    ) -> Result<(Tensor, Tensor)> {
+        if q0.rank() != 2 || q0.shape()[1] != self.dim {
+            return Err(NutsError::Shape(format!(
+                "q0 must be [Z, {}], got {:?}",
+                self.dim,
+                q0.shape()
+            )));
+        }
+        let z = q0.shape()[0];
+        if eps.shape() != [z] || rng_counter.shape() != [z] {
+            return Err(NutsError::Shape(format!(
+                "eps and rng_counter must be [{z}], got {:?} and {:?}",
+                eps.shape(),
+                rng_counter.shape()
+            )));
+        }
+        let inputs = vec![
+            q0.clone(),
+            eps.clone(),
+            Tensor::full(&[z], n_trajectories as i64),
+            Tensor::full(&[z], self.cfg.max_depth as i64),
+            rng_counter.clone(),
+        ];
+        let vm = PcVm::new(&self.lowered, self.registry.clone(), self.exec_options());
+        let outs = vm.run(&inputs, trace)?;
+        let mut it = outs.into_iter();
+        let q = it.next().expect("q_out is the first output");
+        let c = it.next().expect("rng_out is the second output");
+        Ok((q, c))
+    }
+
+    /// Run the batch under dynamic (on-the-fly) batching, the
+    /// related-work baseline of paper §5. Returns the final positions
+    /// `[Z, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_dynamic(&self, q0: &Tensor, trace: Option<&mut Trace>) -> Result<Tensor> {
+        self.run_dynamic_opts(q0, trace, self.exec_options())
+    }
+
+    /// [`BatchNuts::run_dynamic`] with explicit execution options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_dynamic_opts(
+        &self,
+        q0: &Tensor,
+        trace: Option<&mut Trace>,
+        opts: ExecOptions,
+    ) -> Result<Tensor> {
+        let inputs = self.batch_inputs(q0)?;
+        let vm = DynamicVm::new(&self.program, self.registry.clone(), opts);
+        let outs = vm.run(&inputs, trace)?;
+        Ok(outs.into_iter().next().expect("q_out is the first output"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::NativeNuts;
+    use autobatch_models::{CorrelatedGaussian, StdNormal};
+
+    fn small_cfg() -> NutsConfig {
+        NutsConfig {
+            step_size: 0.3,
+            n_trajectories: 5,
+            max_depth: 5,
+            leapfrog_steps: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn batched_chains_match_native_exactly() {
+        // The headline cross-validation: every batch member of the
+        // autobatched samplers reproduces the native chain bit for bit.
+        let model = StdNormal::new(3);
+        let cfg = small_cfg();
+        let nuts = BatchNuts::new(Arc::new(model.clone()), cfg).unwrap();
+        let q0 = Tensor::from_f64(
+            &[0.0, 0.0, 0.0, 1.0, -1.0, 0.5, 2.0, 0.1, -0.7],
+            &[3, 3],
+        )
+        .unwrap();
+
+        let local = nuts.run_local(&q0, None).unwrap();
+        let pc = nuts.run_pc(&q0, None).unwrap();
+        assert_eq!(local, pc, "the two autobatchers agree");
+        let dynamic = nuts.run_dynamic(&q0, None).unwrap();
+        assert_eq!(local, dynamic, "dynamic batching agrees too");
+
+        let native = NativeNuts::new(&model, cfg);
+        for b in 0..3 {
+            let (qf, _) = native.run_chain(&q0.row(b).unwrap(), b as u64, None).unwrap();
+            let batched_row = local.row(b).unwrap();
+            let a = qf.as_f64().unwrap();
+            let c = batched_row.as_f64().unwrap();
+            for (x, y) in a.iter().zip(c) {
+                assert!(
+                    (x - y).abs() < 1e-12,
+                    "member {b}: native {x} vs batched {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_gaussian_batch_runs() {
+        let model = CorrelatedGaussian::new(8, 0.8);
+        let nuts = BatchNuts::new(Arc::new(model), small_cfg()).unwrap();
+        let q0 = Tensor::zeros(DType::F64, &[6, 8]);
+        let out = nuts.run_pc(&q0, None).unwrap();
+        assert_eq!(out.shape(), &[6, 8]);
+        // Chains moved and differ from one another.
+        let v = out.as_f64().unwrap();
+        assert!(v.iter().any(|&x| x != 0.0));
+        assert_ne!(&v[0..8], &v[8..16]);
+    }
+
+    #[test]
+    fn bad_q0_shape_rejected() {
+        let nuts = BatchNuts::new(Arc::new(StdNormal::new(3)), small_cfg()).unwrap();
+        let bad = Tensor::zeros(DType::F64, &[2, 5]);
+        assert!(nuts.run_local(&bad, None).is_err());
+    }
+
+    #[test]
+    fn adaptive_warmup_then_batched_sampling_matches_native() {
+        // The adaptive pipeline: each chain warms up natively under dual
+        // averaging (its own ε and RNG counter), then ALL chains continue
+        // in one batch via per-member eps/counter inputs — and the batch
+        // reproduces the native continuations bit for bit.
+        use crate::adapt::AdaptiveNuts;
+        let model = CorrelatedGaussian::new(5, 0.6);
+        let cfg = NutsConfig {
+            step_size: 0.3,
+            n_trajectories: 1,
+            max_depth: 5,
+            leapfrog_steps: 2,
+            seed: 19,
+        };
+        let z = 3;
+        let q0 = Tensor::zeros(DType::F64, &[z, 5]);
+        let adapter = AdaptiveNuts::new(&model, cfg, 0.8);
+        let chains = adapter.warmup_chains(&q0, 15).unwrap();
+
+        // Native continuation, k more trajectories per chain.
+        let k = 3;
+        let native = NativeNuts::new(&model, cfg);
+        let mut native_rows = Vec::new();
+        for ch in &chains {
+            let mut st = ch.state.clone();
+            for _ in 0..k {
+                native.step_trajectory(&mut st, ch.step_size, None).unwrap();
+            }
+            native_rows.push(st.position().unwrap().reshape(&[1, 5]).unwrap());
+        }
+        let native_q = Tensor::concat_rows(&native_rows).unwrap();
+
+        // Batched continuation from the same adapted states.
+        let warm_rows: Vec<Tensor> = chains
+            .iter()
+            .map(|c| c.state.position().unwrap().reshape(&[1, 5]).unwrap())
+            .collect();
+        let q_warm = Tensor::concat_rows(&warm_rows).unwrap();
+        let eps: Vec<f64> = chains.iter().map(|c| c.step_size).collect();
+        let counters: Vec<i64> = chains.iter().map(|c| c.state.counter()).collect();
+        let nuts = BatchNuts::new(Arc::new(model), cfg).unwrap();
+        let (q_batch, c_out) = nuts
+            .run_pc_with(
+                &q_warm,
+                &Tensor::from_f64(&eps, &[z]).unwrap(),
+                k,
+                &Tensor::from_i64(&counters, &[z]).unwrap(),
+                None,
+            )
+            .unwrap();
+        let a = native_q.as_f64().unwrap();
+        let b = q_batch.as_f64().unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "native {x} vs batched {y}");
+        }
+        // Counters advanced past their warmup values.
+        for (b, &c0) in c_out.as_i64().unwrap().iter().zip(&counters) {
+            assert!(*b > c0);
+        }
+    }
+
+    #[test]
+    fn run_pc_with_rejects_bad_shapes() {
+        let nuts = BatchNuts::new(Arc::new(StdNormal::new(3)), small_cfg()).unwrap();
+        let q0 = Tensor::zeros(DType::F64, &[2, 3]);
+        let good_eps = Tensor::full(&[2], 0.1);
+        let good_ctr = Tensor::zeros(DType::I64, &[2]);
+        let bad_eps = Tensor::full(&[3], 0.1);
+        assert!(nuts.run_pc_with(&q0, &bad_eps, 1, &good_ctr, None).is_err());
+        let bad_q = Tensor::zeros(DType::F64, &[2, 4]);
+        assert!(nuts.run_pc_with(&bad_q, &good_eps, 1, &good_ctr, None).is_err());
+    }
+
+    #[test]
+    fn utilization_is_tracked_for_gradients() {
+        use autobatch_accel::{Backend, Trace};
+        let model = CorrelatedGaussian::new(8, 0.9);
+        let nuts = BatchNuts::new(Arc::new(model), small_cfg()).unwrap();
+        let q0 = Tensor::zeros(DType::F64, &[8, 8]);
+        let mut tr = Trace::new(Backend::xla_cpu());
+        nuts.run_pc(&q0, Some(&mut tr)).unwrap();
+        let util = tr.utilization("grad");
+        assert!(util > 0.0 && util <= 1.0, "util = {util}");
+        assert!(tr.useful_count("grad") > 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Element types and raw storage for tensors.
+
+use std::fmt;
+
+/// The element type of a [`Tensor`](crate::Tensor).
+///
+/// The autobatching runtimes manipulate floating-point data (model state),
+/// integer data (counters, RNG state, recursion bookkeeping) and boolean
+/// data (branch conditions, masks), so those are the three supported
+/// element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes, as used by the accelerator cost model.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F64 | DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F64 => write!(f, "f64"),
+            DType::I64 => write!(f, "i64"),
+            DType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Dense element storage for a tensor.
+///
+/// Stored in row-major (C) order relative to the owning tensor's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Data {
+    /// Floating-point payload.
+    F64(Vec<f64>),
+    /// Integer payload.
+    I64(Vec<i64>),
+    /// Boolean payload.
+    Bool(Vec<bool>),
+}
+
+impl Data {
+    /// The dtype of this storage.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Data::F64(_) => DType::F64,
+            Data::I64(_) => DType::I64,
+            Data::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Data::F64(v) => v.len(),
+            Data::I64(v) => v.len(),
+            Data::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the storage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocate zero-initialized storage of the given dtype and length.
+    ///
+    /// Zeros are `0.0`, `0`, and `false` respectively.
+    pub fn zeros(dtype: DType, len: usize) -> Data {
+        match dtype {
+            DType::F64 => Data::F64(vec![0.0; len]),
+            DType::I64 => Data::I64(vec![0; len]),
+            DType::Bool => Data::Bool(vec![false; len]),
+        }
+    }
+}
+
+/// A single scalar element of any supported dtype.
+///
+/// Used for `full`-style constructors and for extracting individual
+/// elements when inspecting VM state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// A float scalar.
+    F64(f64),
+    /// An integer scalar.
+    I64(i64),
+    /// A boolean scalar.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// The dtype of this scalar.
+    pub fn dtype(self) -> DType {
+        match self {
+            Scalar::F64(_) => DType::F64,
+            Scalar::I64(_) => DType::I64,
+            Scalar::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// View as `f64` if the dtype matches.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Scalar::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// View as `i64` if the dtype matches.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Scalar::I64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// View as `bool` if the dtype matches.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Scalar::Bool(x) => Some(x),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(x: f64) -> Scalar {
+        Scalar::F64(x)
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(x: i64) -> Scalar {
+        Scalar::I64(x)
+    }
+}
+
+impl From<bool> for Scalar {
+    fn from(x: bool) -> Scalar {
+        Scalar::Bool(x)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::F64(x) => write!(f, "{x}"),
+            Scalar::I64(x) => write!(f, "{x}"),
+            Scalar::Bool(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn zeros_allocates_correct_len_and_dtype() {
+        for dt in [DType::F64, DType::I64, DType::Bool] {
+            let d = Data::zeros(dt, 7);
+            assert_eq!(d.len(), 7);
+            assert_eq!(d.dtype(), dt);
+        }
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Scalar::from(3i64).as_i64(), Some(3));
+        assert_eq!(Scalar::from(true).as_bool(), Some(true));
+        assert_eq!(Scalar::from(1.5).as_i64(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DType::F64.to_string(), "f64");
+        assert_eq!(Scalar::Bool(false).to_string(), "false");
+    }
+}

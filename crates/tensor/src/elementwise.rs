@@ -1,0 +1,523 @@
+//! Elementwise kernels: unary maps, broadcasting binary ops, comparisons,
+//! logical ops, `select`, and dtype casts.
+//!
+//! These are the "primitive kernels" of the simulated accelerator: every
+//! one of them processes whole arrays at a time, which is exactly the
+//! SIMD contract the autobatching transformation relies on.
+
+use crate::dtype::{DType, Data};
+use crate::error::{Result, TensorError};
+use crate::shape::{broadcast_shapes, volume, BroadcastMap};
+use crate::tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Unary ops
+// ---------------------------------------------------------------------------
+
+macro_rules! unary_f64 {
+    ($(#[$doc:meta])* $name:ident, $f:expr) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `f64`.
+        pub fn $name(&self) -> Result<Tensor> {
+            let v = self.as_f64()?;
+            let f: fn(f64) -> f64 = $f;
+            Tensor::from_f64(&v.iter().map(|&x| f(x)).collect::<Vec<_>>(), self.shape())
+        }
+    };
+}
+
+impl Tensor {
+    unary_f64!(
+        /// Elementwise negation.
+        neg, |x| -x
+    );
+    unary_f64!(
+        /// Elementwise absolute value.
+        abs, f64::abs
+    );
+    unary_f64!(
+        /// Elementwise exponential.
+        exp, f64::exp
+    );
+    unary_f64!(
+        /// Elementwise natural logarithm.
+        ln, f64::ln
+    );
+    unary_f64!(
+        /// Elementwise square root.
+        sqrt, f64::sqrt
+    );
+    unary_f64!(
+        /// Elementwise sine.
+        sin, f64::sin
+    );
+    unary_f64!(
+        /// Elementwise cosine.
+        cos, f64::cos
+    );
+    unary_f64!(
+        /// Elementwise hyperbolic tangent.
+        tanh, f64::tanh
+    );
+    unary_f64!(
+        /// Elementwise logistic sigmoid `1 / (1 + exp(-x))`.
+        sigmoid, |x| 1.0 / (1.0 + (-x).exp())
+    );
+    unary_f64!(
+        /// Elementwise `log(1 + exp(x))`, computed stably.
+        softplus, |x| {
+            if x > 30.0 {
+                x
+            } else if x < -30.0 {
+                x.exp()
+            } else {
+                x.exp().ln_1p()
+            }
+        }
+    );
+    unary_f64!(
+        /// Elementwise floor.
+        floor, f64::floor
+    );
+    unary_f64!(
+        /// Elementwise square.
+        square, |x| x * x
+    );
+
+    /// Elementwise integer negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `i64`.
+    pub fn neg_i64(&self) -> Result<Tensor> {
+        let v = self.as_i64()?;
+        Tensor::from_i64(&v.iter().map(|&x| -x).collect::<Vec<_>>(), self.shape())
+    }
+
+    /// Elementwise logical NOT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `bool`.
+    pub fn not(&self) -> Result<Tensor> {
+        let v = self.as_bool()?;
+        Tensor::from_bool(&v.iter().map(|&x| !x).collect::<Vec<_>>(), self.shape())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary ops with broadcasting
+// ---------------------------------------------------------------------------
+
+fn binary_zip<T: Copy, U, F: Fn(T, T) -> U>(
+    lhs: &[T],
+    rhs: &[T],
+    lmap: &BroadcastMap,
+    rmap: &BroadcastMap,
+    n: usize,
+    f: F,
+) -> Vec<U> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f(lhs[lmap.map(i)], rhs[rmap.map(i)]));
+    }
+    out
+}
+
+/// Dispatch table entry describing how to combine two tensors elementwise.
+struct BinPlan {
+    out_shape: Vec<usize>,
+    lmap: BroadcastMap,
+    rmap: BroadcastMap,
+    n: usize,
+}
+
+fn plan(lhs: &Tensor, rhs: &Tensor, op: &'static str) -> Result<BinPlan> {
+    let out_shape = broadcast_shapes(lhs.shape(), rhs.shape(), op)?;
+    let lmap = BroadcastMap::new(lhs.shape(), &out_shape)?;
+    let rmap = BroadcastMap::new(rhs.shape(), &out_shape)?;
+    let n = volume(&out_shape);
+    Ok(BinPlan {
+        out_shape,
+        lmap,
+        rmap,
+        n,
+    })
+}
+
+macro_rules! binary_arith {
+    ($(#[$doc:meta])* $name:ident, $ff:expr, $fi:expr) => {
+        $(#[$doc])*
+        ///
+        /// Operands broadcast NumPy-style and must share a numeric dtype.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error on dtype disagreement or non-broadcastable shapes.
+        pub fn $name(&self, rhs: &Tensor) -> Result<Tensor> {
+            let p = plan(self, rhs, stringify!($name))?;
+            match (self.data(), rhs.data()) {
+                (Data::F64(a), Data::F64(b)) => {
+                    let ff: fn(f64, f64) -> f64 = $ff;
+                    Tensor::from_f64(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, ff), &p.out_shape)
+                }
+                (Data::I64(a), Data::I64(b)) => {
+                    let fi: fn(i64, i64) -> i64 = $fi;
+                    Tensor::from_i64(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, fi), &p.out_shape)
+                }
+                _ => Err(TensorError::DTypeMismatch {
+                    got: rhs.dtype(),
+                    expected: "both operands f64 or both i64",
+                    op: stringify!($name),
+                }),
+            }
+        }
+    };
+}
+
+macro_rules! binary_cmp {
+    ($(#[$doc:meta])* $name:ident, $ff:expr, $fi:expr) => {
+        $(#[$doc])*
+        ///
+        /// Operands broadcast NumPy-style; the result dtype is `bool`.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error on dtype disagreement or non-broadcastable shapes.
+        pub fn $name(&self, rhs: &Tensor) -> Result<Tensor> {
+            let p = plan(self, rhs, stringify!($name))?;
+            match (self.data(), rhs.data()) {
+                (Data::F64(a), Data::F64(b)) => {
+                    let ff: fn(f64, f64) -> bool = $ff;
+                    Tensor::from_bool(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, ff), &p.out_shape)
+                }
+                (Data::I64(a), Data::I64(b)) => {
+                    let fi: fn(i64, i64) -> bool = $fi;
+                    Tensor::from_bool(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, fi), &p.out_shape)
+                }
+                _ => Err(TensorError::DTypeMismatch {
+                    got: rhs.dtype(),
+                    expected: "both operands f64 or both i64",
+                    op: stringify!($name),
+                }),
+            }
+        }
+    };
+}
+
+macro_rules! binary_logic {
+    ($(#[$doc:meta])* $name:ident, $f:expr) => {
+        $(#[$doc])*
+        ///
+        /// Operands broadcast NumPy-style and must both be `bool`.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error on dtype disagreement or non-broadcastable shapes.
+        pub fn $name(&self, rhs: &Tensor) -> Result<Tensor> {
+            let p = plan(self, rhs, stringify!($name))?;
+            match (self.data(), rhs.data()) {
+                (Data::Bool(a), Data::Bool(b)) => {
+                    let f: fn(bool, bool) -> bool = $f;
+                    Tensor::from_bool(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, f), &p.out_shape)
+                }
+                _ => Err(TensorError::DTypeMismatch {
+                    got: rhs.dtype(),
+                    expected: "both operands bool",
+                    op: stringify!($name),
+                }),
+            }
+        }
+    };
+}
+
+impl Tensor {
+    binary_arith!(
+        /// Elementwise addition.
+        add, |a, b| a + b, |a, b| a.wrapping_add(b)
+    );
+    binary_arith!(
+        /// Elementwise subtraction.
+        sub, |a, b| a - b, |a, b| a.wrapping_sub(b)
+    );
+    binary_arith!(
+        /// Elementwise multiplication.
+        mul, |a, b| a * b, |a, b| a.wrapping_mul(b)
+    );
+    binary_arith!(
+        /// Elementwise division (integer division truncates toward zero;
+        /// integer division by zero yields `0`, mirroring a masked-lane
+        /// accelerator that must not fault on inactive data).
+        div, |a, b| a / b, |a, b| if b == 0 { 0 } else { a.wrapping_div(b) }
+    );
+    binary_arith!(
+        /// Elementwise maximum.
+        max2, |a, b| a.max(b), |a, b| a.max(b)
+    );
+    binary_arith!(
+        /// Elementwise minimum.
+        min2, |a, b| a.min(b), |a, b| a.min(b)
+    );
+    binary_arith!(
+        /// Elementwise power (`i64` uses saturating exponent semantics).
+        pow, |a, b| a.powf(b), |a, b| (a as f64).powf(b as f64) as i64
+    );
+
+    binary_cmp!(
+        /// Elementwise `<`.
+        lt, |a, b| a < b, |a, b| a < b
+    );
+    binary_cmp!(
+        /// Elementwise `<=`.
+        le, |a, b| a <= b, |a, b| a <= b
+    );
+    binary_cmp!(
+        /// Elementwise `>`.
+        gt, |a, b| a > b, |a, b| a > b
+    );
+    binary_cmp!(
+        /// Elementwise `>=`.
+        ge, |a, b| a >= b, |a, b| a >= b
+    );
+    binary_cmp!(
+        /// Elementwise `==`.
+        eq_elem, |a, b| a == b, |a, b| a == b
+    );
+    binary_cmp!(
+        /// Elementwise `!=`.
+        ne_elem, |a, b| a != b, |a, b| a != b
+    );
+
+    binary_logic!(
+        /// Elementwise logical AND.
+        and, |a, b| a && b
+    );
+    binary_logic!(
+        /// Elementwise logical OR.
+        or, |a, b| a || b
+    );
+    binary_logic!(
+        /// Elementwise logical XOR.
+        xor, |a, b| a ^ b
+    );
+
+    /// Elementwise select: `cond ? a : b`, with broadcasting.
+    ///
+    /// `self` must be `bool`; `a` and `b` must share a dtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dtype or broadcast failure.
+    pub fn select(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let cond = self.as_bool()?;
+        let ab_shape = broadcast_shapes(a.shape(), b.shape(), "select")?;
+        let out_shape = broadcast_shapes(self.shape(), &ab_shape, "select")?;
+        let cmap = BroadcastMap::new(self.shape(), &out_shape)?;
+        let amap = BroadcastMap::new(a.shape(), &out_shape)?;
+        let bmap = BroadcastMap::new(b.shape(), &out_shape)?;
+        let n = volume(&out_shape);
+        match (a.data(), b.data()) {
+            (Data::F64(av), Data::F64(bv)) => {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if cond[cmap.map(i)] {
+                        av[amap.map(i)]
+                    } else {
+                        bv[bmap.map(i)]
+                    });
+                }
+                Tensor::from_f64(&out, &out_shape)
+            }
+            (Data::I64(av), Data::I64(bv)) => {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if cond[cmap.map(i)] {
+                        av[amap.map(i)]
+                    } else {
+                        bv[bmap.map(i)]
+                    });
+                }
+                Tensor::from_i64(&out, &out_shape)
+            }
+            (Data::Bool(av), Data::Bool(bv)) => {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if cond[cmap.map(i)] {
+                        av[amap.map(i)]
+                    } else {
+                        bv[bmap.map(i)]
+                    });
+                }
+                Tensor::from_bool(&out, &out_shape)
+            }
+            _ => Err(TensorError::DTypeMismatch {
+                got: b.dtype(),
+                expected: "branches of select share a dtype",
+                op: "select",
+            }),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Casts
+    // -----------------------------------------------------------------------
+
+    /// Cast to `f64` (bools become 0.0/1.0).
+    pub fn to_f64(&self) -> Tensor {
+        let v: Vec<f64> = match self.data() {
+            Data::F64(v) => v.clone(),
+            Data::I64(v) => v.iter().map(|&x| x as f64).collect(),
+            Data::Bool(v) => v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect(),
+        };
+        Tensor::new(Data::F64(v), self.shape()).expect("cast preserves volume")
+    }
+
+    /// Cast to `i64` (floats truncate toward zero; bools become 0/1).
+    pub fn to_i64(&self) -> Tensor {
+        let v: Vec<i64> = match self.data() {
+            Data::F64(v) => v.iter().map(|&x| x as i64).collect(),
+            Data::I64(v) => v.clone(),
+            Data::Bool(v) => v.iter().map(|&x| i64::from(x)).collect(),
+        };
+        Tensor::new(Data::I64(v), self.shape()).expect("cast preserves volume")
+    }
+
+    /// Cast to `bool` (nonzero becomes `true`).
+    pub fn to_bool(&self) -> Tensor {
+        let v: Vec<bool> = match self.data() {
+            Data::F64(v) => v.iter().map(|&x| x != 0.0).collect(),
+            Data::I64(v) => v.iter().map(|&x| x != 0).collect(),
+            Data::Bool(v) => v.clone(),
+        };
+        Tensor::new(Data::Bool(v), self.shape()).expect("cast preserves volume")
+    }
+
+    /// Cast to an arbitrary dtype.
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        match dtype {
+            DType::F64 => self.to_f64(),
+            DType::I64 => self.to_i64(),
+            DType::Bool => self.to_bool(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f64]) -> Tensor {
+        Tensor::from_f64(v, &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[10.0, 20.0]);
+        assert_eq!(a.add(&b).unwrap().as_f64().unwrap(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn add_broadcast_scalar() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let s = Tensor::scalar(10.0);
+        assert_eq!(a.add(&s).unwrap().as_f64().unwrap(), &[11.0, 12.0, 13.0]);
+        assert_eq!(s.add(&a).unwrap().as_f64().unwrap(), &[11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn broadcast_matrix_vector() {
+        let m = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_f64(&[10.0, 20.0], &[2]).unwrap();
+        assert_eq!(
+            m.add(&v).unwrap().as_f64().unwrap(),
+            &[11.0, 22.0, 13.0, 24.0]
+        );
+    }
+
+    #[test]
+    fn int_arith_and_div_by_zero() {
+        let a = Tensor::from_i64(&[7, 8], &[2]).unwrap();
+        let b = Tensor::from_i64(&[2, 0], &[2]).unwrap();
+        assert_eq!(a.div(&b).unwrap().as_i64().unwrap(), &[3, 0]);
+        assert_eq!(a.mul(&b).unwrap().as_i64().unwrap(), &[14, 0]);
+    }
+
+    #[test]
+    fn mixed_dtype_rejected() {
+        let a = t(&[1.0]);
+        let b = Tensor::from_i64(&[1], &[1]).unwrap();
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        let a = t(&[1.0, 5.0]);
+        let b = t(&[3.0, 3.0]);
+        assert_eq!(a.lt(&b).unwrap().as_bool().unwrap(), &[true, false]);
+        assert_eq!(a.ge(&b).unwrap().as_bool().unwrap(), &[false, true]);
+        assert_eq!(a.eq_elem(&b).unwrap().as_bool().unwrap(), &[false, false]);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Tensor::from_bool(&[true, true, false], &[3]).unwrap();
+        let b = Tensor::from_bool(&[true, false, false], &[3]).unwrap();
+        assert_eq!(a.and(&b).unwrap().as_bool().unwrap(), &[true, false, false]);
+        assert_eq!(a.or(&b).unwrap().as_bool().unwrap(), &[true, true, false]);
+        assert_eq!(a.xor(&b).unwrap().as_bool().unwrap(), &[false, true, false]);
+        assert_eq!(a.not().unwrap().as_bool().unwrap(), &[false, false, true]);
+    }
+
+    #[test]
+    fn select_broadcasts_condition() {
+        let cond = Tensor::from_bool(&[true, false], &[2]).unwrap();
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[-1.0, -2.0]);
+        assert_eq!(cond.select(&a, &b).unwrap().as_f64().unwrap(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn select_cond_per_row() {
+        // Condition of shape [2, 1] against values of shape [2, 3].
+        let cond = Tensor::from_bool(&[true, false], &[2, 1]).unwrap();
+        let a = Tensor::full(&[2, 3], 1.0);
+        let b = Tensor::full(&[2, 3], 2.0);
+        assert_eq!(
+            cond.select(&a, &b).unwrap().as_f64().unwrap(),
+            &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn unary_math() {
+        let a = t(&[0.0, 1.0]);
+        assert_eq!(a.exp().unwrap().as_f64().unwrap()[0], 1.0);
+        assert!((a.sigmoid().unwrap().as_f64().unwrap()[0] - 0.5).abs() < 1e-12);
+        assert_eq!(a.neg().unwrap().as_f64().unwrap(), &[-0.0, -1.0]);
+        assert_eq!(a.square().unwrap().as_f64().unwrap(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn softplus_is_stable() {
+        let a = t(&[1000.0, -1000.0, 0.0]);
+        let sp = a.softplus().unwrap();
+        let v = sp.as_f64().unwrap();
+        assert_eq!(v[0], 1000.0);
+        assert_eq!(v[1], 0.0);
+        assert!((v[2] - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn casts() {
+        let a = t(&[1.5, 0.0]);
+        assert_eq!(a.to_i64().as_i64().unwrap(), &[1, 0]);
+        assert_eq!(a.to_bool().as_bool().unwrap(), &[true, false]);
+        let b = Tensor::from_bool(&[true, false], &[2]).unwrap();
+        assert_eq!(b.to_f64().as_f64().unwrap(), &[1.0, 0.0]);
+        assert_eq!(b.cast(DType::I64).as_i64().unwrap(), &[1, 0]);
+    }
+}

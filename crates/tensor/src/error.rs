@@ -1,0 +1,115 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+use crate::dtype::DType;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible operation in this crate returns [`TensorError`] rather
+/// than panicking, so that the virtual machines built on top can surface
+/// shape and type violations in user programs as recoverable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or broadcast) did not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An operation received a dtype it does not support.
+    DTypeMismatch {
+        /// The dtype that was provided.
+        got: DType,
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    InvalidAxis {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An index was out of bounds along some axis.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length of the axis being indexed.
+        len: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The raw data length disagreed with the product of the shape.
+    DataLength {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements provided.
+        got: usize,
+    },
+    /// A mask tensor had the wrong length for the axis it masks.
+    MaskLength {
+        /// Expected mask length.
+        expected: usize,
+        /// Provided mask length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::DTypeMismatch { got, expected, op } => {
+                write!(f, "dtype mismatch in `{op}`: got {got}, expected {expected}")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, len, op } => {
+                write!(f, "index {index} out of bounds for axis of length {len} in `{op}`")
+            }
+            TensorError::DataLength { expected, got } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            TensorError::MaskLength { expected, got } => {
+                write!(f, "mask length {got} does not match axis length {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<TensorError>();
+    }
+}

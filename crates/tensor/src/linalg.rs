@@ -1,0 +1,224 @@
+//! Small linear-algebra kernels: batched dot products, matrix-vector and
+//! matrix-matrix products.
+//!
+//! These model the heavyweight "leaf kernels" of the paper's workloads —
+//! the Bayesian logistic-regression gradient is dominated by `X·β` and
+//! `Xᵀ·r` products with a `10,000 × 100` design matrix.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Batched dot product over the trailing axis.
+    ///
+    /// For two tensors of shape `[.., k]`, returns elementwise
+    /// `sum(a * b)` of shape `[..]`. With the runtimes' `[Z, d]` layout
+    /// this is "one dot product per batch member".
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dtype or shape mismatch.
+    pub fn dot_last_axis(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.mul(rhs)?.sum_last_axis()
+    }
+
+    /// Matrix–vector product: `self` of shape `[m, k]`, `v` of shape `[k]`,
+    /// result of shape `[m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both are `f64` with conforming shapes.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let a = self.as_f64()?;
+        let x = v.as_f64()?;
+        if self.rank() != 2 || v.rank() != 1 || self.shape()[1] != v.shape()[0] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: v.shape().to_vec(),
+                op: "matvec",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&r, &xx)| r * xx).sum();
+        }
+        Tensor::from_f64(&out, &[m])
+    }
+
+    /// Batched matrix–vector product: `self` of shape `[m, k]` applied to
+    /// every row of `vs` of shape `[z, k]`, producing `[z, m]`.
+    ///
+    /// This is the kernel shape the batched logistic-regression gradient
+    /// uses: one shared design matrix against a batch of parameter vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both are `f64` with conforming shapes.
+    pub fn matvec_batched(&self, vs: &Tensor) -> Result<Tensor> {
+        let a = self.as_f64()?;
+        let x = vs.as_f64()?;
+        if self.rank() != 2 || vs.rank() != 2 || self.shape()[1] != vs.shape()[1] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: vs.shape().to_vec(),
+                op: "matvec_batched",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let z = vs.shape()[0];
+        let mut out = vec![0.0; z * m];
+        for b in 0..z {
+            let vb = &x[b * k..(b + 1) * k];
+            for i in 0..m {
+                let row = &a[i * k..(i + 1) * k];
+                out[b * m + i] = row.iter().zip(vb).map(|(&r, &xx)| r * xx).sum();
+            }
+        }
+        Tensor::from_f64(&out, &[z, m])
+    }
+
+    /// Batched transposed matrix–vector product: `selfᵀ` (`self` of shape
+    /// `[m, k]`) applied to every row of `vs` of shape `[z, m]`, producing
+    /// `[z, k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both are `f64` with conforming shapes.
+    pub fn matvec_t_batched(&self, vs: &Tensor) -> Result<Tensor> {
+        let a = self.as_f64()?;
+        let x = vs.as_f64()?;
+        if self.rank() != 2 || vs.rank() != 2 || self.shape()[0] != vs.shape()[1] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: vs.shape().to_vec(),
+                op: "matvec_t_batched",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let z = vs.shape()[0];
+        let mut out = vec![0.0; z * k];
+        for b in 0..z {
+            let vb = &x[b * m..(b + 1) * m];
+            let ob = &mut out[b * k..(b + 1) * k];
+            for i in 0..m {
+                let row = &a[i * k..(i + 1) * k];
+                let s = vb[i];
+                for (o, &r) in ob.iter_mut().zip(row) {
+                    *o += s * r;
+                }
+            }
+        }
+        Tensor::from_f64(&out, &[z, k])
+    }
+
+    /// Matrix–matrix product: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both are `f64` with conforming shapes.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let a = self.as_f64()?;
+        let b = rhs.as_f64()?;
+        if self.rank() != 2 || rhs.rank() != 2 || self.shape()[1] != rhs.shape()[0] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let n = rhs.shape()[1];
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_f64(&out, &[m, n])
+    }
+
+    /// Transpose a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the tensor is rank-2 `f64`.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let a = self.as_f64()?;
+        if self.rank() != 2 {
+            return Err(TensorError::InvalidAxis {
+                axis: 1,
+                rank: self.rank(),
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_f64(&out, &[n, m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_last_axis_batched() {
+        let a = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_f64(&[5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let d = a.dot_last_axis(&b).unwrap();
+        assert_eq!(d.as_f64().unwrap(), &[17.0, 53.0]);
+    }
+
+    #[test]
+    fn matvec_small() {
+        let m = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_f64(&[1.0, 1.0], &[2]).unwrap();
+        assert_eq!(m.matvec(&v).unwrap().as_f64().unwrap(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_batched_matches_loop() {
+        let m = Tensor::from_f64(&[1.0, 0.0, 0.0, 2.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let vs = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let out = m.matvec_batched(&vs).unwrap();
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(out.as_f64().unwrap(), &[1.0, 4.0, 3.0, 3.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_t_batched_is_transpose_product() {
+        let m = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        let vs = Tensor::from_f64(&[1.0, 0.0, 1.0], &[1, 3]).unwrap();
+        let out = m.matvec_t_batched(&vs).unwrap();
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.as_f64().unwrap(), &[6.0, 8.0]); // col sums of rows 0 and 2
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let i = Tensor::from_f64(&[1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        let at = a.transpose().unwrap();
+        assert_eq!(at.as_f64().unwrap(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::from_f64(&[1.0, 2.0], &[2]).unwrap();
+        let m = Tensor::from_f64(&[1.0, 2.0, 3.0], &[3, 1]).unwrap();
+        assert!(m.matvec(&a).is_err());
+        assert!(m.matmul(&m).is_err());
+    }
+}

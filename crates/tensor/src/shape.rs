@@ -1,0 +1,206 @@
+//! Shape arithmetic: volumes, strides, and NumPy-style broadcasting.
+
+use crate::error::{Result, TensorError};
+
+/// Product of the dimensions, i.e. the number of elements a shape holds.
+pub fn volume(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a shape.
+///
+/// `strides(&[2, 3, 4]) == [12, 4, 1]`.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        out[i] = out[i + 1] * shape[i + 1];
+    }
+    out
+}
+
+/// Compute the NumPy-style broadcast of two shapes.
+///
+/// Shapes are aligned at their trailing dimensions; each pair of aligned
+/// dimensions must be equal or one of them must be `1`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes are not
+/// broadcast-compatible.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize], op: &'static str) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let l = dim_from_end(lhs, i);
+        let r = dim_from_end(rhs, i);
+        let d = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+                op,
+            });
+        };
+        out[rank - 1 - i] = d;
+    }
+    Ok(out)
+}
+
+fn dim_from_end(shape: &[usize], i: usize) -> usize {
+    if i < shape.len() {
+        shape[shape.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+/// An iterator-free mapping from output linear indices to input linear
+/// indices under broadcasting.
+///
+/// Precomputes, for an input shape broadcast to an output shape, the
+/// "effective strides": stride 0 wherever the input dimension is 1 (or
+/// missing), so that walking the output in row-major order can locate the
+/// corresponding input element with one dot product.
+#[derive(Debug, Clone)]
+pub struct BroadcastMap {
+    out_shape: Vec<usize>,
+    eff_strides: Vec<usize>,
+}
+
+impl BroadcastMap {
+    /// Build the map taking `in_shape` to `out_shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `in_shape` does not
+    /// broadcast to `out_shape`.
+    pub fn new(in_shape: &[usize], out_shape: &[usize]) -> Result<BroadcastMap> {
+        if in_shape.len() > out_shape.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: in_shape.to_vec(),
+                rhs: out_shape.to_vec(),
+                op: "broadcast",
+            });
+        }
+        let in_strides = strides(in_shape);
+        let rank = out_shape.len();
+        let mut eff = vec![0usize; rank];
+        for i in 0..rank {
+            let od = out_shape[rank - 1 - i];
+            let id = dim_from_end(in_shape, i);
+            if id == od {
+                if i < in_shape.len() {
+                    eff[rank - 1 - i] = in_strides[in_shape.len() - 1 - i];
+                }
+            } else if id == 1 {
+                eff[rank - 1 - i] = 0;
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: in_shape.to_vec(),
+                    rhs: out_shape.to_vec(),
+                    op: "broadcast",
+                });
+            }
+        }
+        Ok(BroadcastMap {
+            out_shape: out_shape.to_vec(),
+            eff_strides: eff,
+        })
+    }
+
+    /// Whether the mapping is the identity (no actual broadcasting).
+    pub fn is_identity(&self) -> bool {
+        self.eff_strides == strides(&self.out_shape)
+    }
+
+    /// Map an output linear index to the corresponding input linear index.
+    #[inline]
+    pub fn map(&self, mut out_linear: usize) -> usize {
+        let mut in_linear = 0;
+        // Walk dimensions from the last to the first, peeling off
+        // coordinates of the output index.
+        for d in (0..self.out_shape.len()).rev() {
+            let dim = self.out_shape[d];
+            let coord = out_linear % dim;
+            out_linear /= dim;
+            in_linear += coord * self.eff_strides[d];
+        }
+        in_linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_strides() {
+        assert_eq!(volume(&[2, 3, 4]), 24);
+        assert_eq!(volume(&[]), 1);
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_compatible_shapes() {
+        assert_eq!(broadcast_shapes(&[4], &[4], "t").unwrap(), vec![4]);
+        assert_eq!(broadcast_shapes(&[3, 1], &[1, 4], "t").unwrap(), vec![3, 4]);
+        assert_eq!(broadcast_shapes(&[], &[2, 2], "t").unwrap(), vec![2, 2]);
+        assert_eq!(broadcast_shapes(&[5, 1, 3], &[7, 1], "t").unwrap(), vec![5, 7, 3]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_shapes() {
+        assert!(broadcast_shapes(&[3], &[4], "t").is_err());
+        assert!(broadcast_shapes(&[2, 3], &[3, 2], "t").is_err());
+    }
+
+    #[test]
+    fn broadcast_map_identity() {
+        let m = BroadcastMap::new(&[2, 3], &[2, 3]).unwrap();
+        assert!(m.is_identity());
+        for i in 0..6 {
+            assert_eq!(m.map(i), i);
+        }
+    }
+
+    #[test]
+    fn broadcast_map_scalar() {
+        let m = BroadcastMap::new(&[], &[2, 2]).unwrap();
+        for i in 0..4 {
+            assert_eq!(m.map(i), 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_map_column() {
+        // Shape [2, 1] broadcast to [2, 3]: rows repeat along columns.
+        let m = BroadcastMap::new(&[2, 1], &[2, 3]).unwrap();
+        assert_eq!(
+            (0..6).map(|i| m.map(i)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn broadcast_map_missing_leading_dim() {
+        // Shape [3] broadcast to [2, 3]: whole vector repeats per row.
+        let m = BroadcastMap::new(&[3], &[2, 3]).unwrap();
+        assert_eq!(
+            (0..6).map(|i| m.map(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn broadcast_map_rejects_bad_shapes() {
+        assert!(BroadcastMap::new(&[4], &[2, 3]).is_err());
+        assert!(BroadcastMap::new(&[2, 3], &[3]).is_err());
+    }
+}

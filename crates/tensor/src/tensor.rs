@@ -1,0 +1,482 @@
+//! The dense [`Tensor`] type and its constructors/accessors.
+
+use std::fmt;
+
+use crate::dtype::{DType, Data, Scalar};
+use crate::error::{Result, TensorError};
+use crate::shape::volume;
+
+/// A dense, row-major N-dimensional array of `f64`, `i64`, or `bool`.
+///
+/// This is the batched-array substrate the autobatching runtimes execute
+/// against. By convention the runtimes use axis 0 as the batch dimension
+/// and (for stacked variables) axis 0 of a separate stack tensor as the
+/// stack-depth dimension, but `Tensor` itself is plain N-d storage with
+/// no special axes.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_tensor::Tensor;
+///
+/// let t = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.get_f64(&[1, 0])?, 3.0);
+/// # Ok::<(), autobatch_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Data,
+}
+
+impl Tensor {
+    /// Construct a tensor from raw storage and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len()` does not equal
+    /// the shape's volume.
+    pub fn new(data: Data, shape: &[usize]) -> Result<Tensor> {
+        let expected = volume(shape);
+        if data.len() != expected {
+            return Err(TensorError::DataLength {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Construct an `f64` tensor from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] on a shape/data length mismatch.
+    pub fn from_f64(data: &[f64], shape: &[usize]) -> Result<Tensor> {
+        Tensor::new(Data::F64(data.to_vec()), shape)
+    }
+
+    /// Construct an `i64` tensor from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] on a shape/data length mismatch.
+    pub fn from_i64(data: &[i64], shape: &[usize]) -> Result<Tensor> {
+        Tensor::new(Data::I64(data.to_vec()), shape)
+    }
+
+    /// Construct a `bool` tensor from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] on a shape/data length mismatch.
+    pub fn from_bool(data: &[bool], shape: &[usize]) -> Result<Tensor> {
+        Tensor::new(Data::Bool(data.to_vec()), shape)
+    }
+
+    /// A rank-0 (scalar) tensor holding one element.
+    pub fn scalar(value: impl Into<Scalar>) -> Tensor {
+        match value.into() {
+            Scalar::F64(x) => Tensor {
+                shape: vec![],
+                data: Data::F64(vec![x]),
+            },
+            Scalar::I64(x) => Tensor {
+                shape: vec![],
+                data: Data::I64(vec![x]),
+            },
+            Scalar::Bool(x) => Tensor {
+                shape: vec![],
+                data: Data::Bool(vec![x]),
+            },
+        }
+    }
+
+    /// A tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: impl Into<Scalar>) -> Tensor {
+        let n = volume(shape);
+        let data = match value.into() {
+            Scalar::F64(x) => Data::F64(vec![x; n]),
+            Scalar::I64(x) => Data::I64(vec![x; n]),
+            Scalar::Bool(x) => Data::Bool(vec![x; n]),
+        };
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A zero-filled tensor (`0.0` / `0` / `false`).
+    pub fn zeros(dtype: DType, shape: &[usize]) -> Tensor {
+        Tensor {
+            shape: shape.to_vec(),
+            data: Data::zeros(dtype, volume(shape)),
+        }
+    }
+
+    /// `[0, 1, ..., n-1]` as an `i64` vector.
+    pub fn arange(n: usize) -> Tensor {
+        Tensor {
+            shape: vec![n],
+            data: Data::I64((0..n as i64).collect()),
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// The size in bytes of the payload, as used by the cost model.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.dtype().size_bytes()
+    }
+
+    /// Borrow the raw storage.
+    pub fn data(&self) -> &Data {
+        &self.data
+    }
+
+    /// Extract the raw storage, consuming the tensor.
+    pub fn into_data(self) -> Data {
+        self.data
+    }
+
+    /// Borrow the payload as `&[f64]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `f64`.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match &self.data {
+            Data::F64(v) => Ok(v),
+            _ => Err(self.dtype_err("f64", "as_f64")),
+        }
+    }
+
+    /// Borrow the payload as `&[i64]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `i64`.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match &self.data {
+            Data::I64(v) => Ok(v),
+            _ => Err(self.dtype_err("i64", "as_i64")),
+        }
+    }
+
+    /// Borrow the payload as `&[bool]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `bool`.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match &self.data {
+            Data::Bool(v) => Ok(v),
+            _ => Err(self.dtype_err("bool", "as_bool")),
+        }
+    }
+
+    /// Mutably borrow the payload as `&mut [f64]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `f64`.
+    pub fn as_f64_mut(&mut self) -> Result<&mut [f64]> {
+        match &mut self.data {
+            Data::F64(v) => Ok(v),
+            d => {
+                let got = d.dtype();
+                Err(TensorError::DTypeMismatch {
+                    got,
+                    expected: "f64",
+                    op: "as_f64_mut",
+                })
+            }
+        }
+    }
+
+    /// Mutably borrow the payload as `&mut [i64]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `i64`.
+    pub fn as_i64_mut(&mut self) -> Result<&mut [i64]> {
+        match &mut self.data {
+            Data::I64(v) => Ok(v),
+            d => {
+                let got = d.dtype();
+                Err(TensorError::DTypeMismatch {
+                    got,
+                    expected: "i64",
+                    op: "as_i64_mut",
+                })
+            }
+        }
+    }
+
+    /// Mutably borrow the payload as `&mut [bool]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `bool`.
+    pub fn as_bool_mut(&mut self) -> Result<&mut [bool]> {
+        match &mut self.data {
+            Data::Bool(v) => Ok(v),
+            d => {
+                let got = d.dtype();
+                Err(TensorError::DTypeMismatch {
+                    got,
+                    expected: "bool",
+                    op: "as_bool_mut",
+                })
+            }
+        }
+    }
+
+    fn dtype_err(&self, expected: &'static str, op: &'static str) -> TensorError {
+        TensorError::DTypeMismatch {
+            got: self.dtype(),
+            expected,
+            op,
+        }
+    }
+
+    /// Linear (row-major) index of a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank or any coordinate is out of range.
+    pub fn linear_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: index.to_vec(),
+                rhs: self.shape.clone(),
+                op: "linear_index",
+            });
+        }
+        let mut lin = 0;
+        for (d, (&i, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            if i >= dim {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    len: dim,
+                    op: "linear_index",
+                });
+            }
+            let _ = d;
+            lin = lin * dim + i;
+        }
+        Ok(lin)
+    }
+
+    /// Read one element as a [`Scalar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is invalid.
+    pub fn get(&self, index: &[usize]) -> Result<Scalar> {
+        let lin = self.linear_index(index)?;
+        Ok(match &self.data {
+            Data::F64(v) => Scalar::F64(v[lin]),
+            Data::I64(v) => Scalar::I64(v[lin]),
+            Data::Bool(v) => Scalar::Bool(v[lin]),
+        })
+    }
+
+    /// Read one `f64` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is invalid or the dtype is not `f64`.
+    pub fn get_f64(&self, index: &[usize]) -> Result<f64> {
+        let lin = self.linear_index(index)?;
+        self.as_f64().map(|v| v[lin])
+    }
+
+    /// Read one `i64` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is invalid or the dtype is not `i64`.
+    pub fn get_i64(&self, index: &[usize]) -> Result<i64> {
+        let lin = self.linear_index(index)?;
+        self.as_i64().map(|v| v[lin])
+    }
+
+    /// Read one `bool` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is invalid or the dtype is not `bool`.
+    pub fn get_bool(&self, index: &[usize]) -> Result<bool> {
+        let lin = self.linear_index(index)?;
+        self.as_bool().map(|v| v[lin])
+    }
+
+    /// Write one element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is invalid or the scalar's dtype does
+    /// not match the tensor's.
+    pub fn set(&mut self, index: &[usize], value: impl Into<Scalar>) -> Result<()> {
+        let lin = self.linear_index(index)?;
+        match (&mut self.data, value.into()) {
+            (Data::F64(v), Scalar::F64(x)) => v[lin] = x,
+            (Data::I64(v), Scalar::I64(x)) => v[lin] = x,
+            (Data::Bool(v), Scalar::Bool(x)) => v[lin] = x,
+            (d, s) => {
+                let got = s.dtype();
+                let _ = d;
+                return Err(TensorError::DTypeMismatch {
+                    got,
+                    expected: "matching tensor dtype",
+                    op: "set",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reinterpret the tensor with a new shape of the same volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if the volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        if volume(shape) != self.len() {
+            return Err(TensorError::DataLength {
+                expected: volume(shape),
+                got: self.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// The scalar value of a single-element tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor does not hold exactly one element.
+    pub fn item(&self) -> Result<Scalar> {
+        if self.len() != 1 {
+            return Err(TensorError::DataLength {
+                expected: 1,
+                got: self.len(),
+            });
+        }
+        Ok(match &self.data {
+            Data::F64(v) => Scalar::F64(v[0]),
+            Data::I64(v) => Scalar::I64(v[0]),
+            Data::Bool(v) => Scalar::Bool(v[0]),
+        })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor<{}>{:?} ", self.dtype(), self.shape)?;
+        const MAX: usize = 16;
+        match &self.data {
+            Data::F64(v) => write_truncated(f, v, MAX),
+            Data::I64(v) => write_truncated(f, v, MAX),
+            Data::Bool(v) => write_truncated(f, v, MAX),
+        }
+    }
+}
+
+fn write_truncated<T: fmt::Debug>(f: &mut fmt::Formatter<'_>, v: &[T], max: usize) -> fmt::Result {
+    if v.len() <= max {
+        write!(f, "{v:?}")
+    } else {
+        write!(f, "{:?}... ({} elements)", &v[..max], v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_length() {
+        assert!(Tensor::from_f64(&[1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_f64(&[1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn scalar_tensor_is_rank_zero() {
+        let t = Tensor::scalar(5.0);
+        assert_eq!(t.rank(), 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.item().unwrap(), Scalar::F64(5.0));
+    }
+
+    #[test]
+    fn full_and_zeros() {
+        let t = Tensor::full(&[2, 3], 7i64);
+        assert_eq!(t.as_i64().unwrap(), &[7; 6]);
+        let z = Tensor::zeros(DType::Bool, &[4]);
+        assert_eq!(z.as_bool().unwrap(), &[false; 4]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(DType::F64, &[2, 2]);
+        t.set(&[1, 1], 9.0).unwrap();
+        assert_eq!(t.get_f64(&[1, 1]).unwrap(), 9.0);
+        assert_eq!(t.get_f64(&[0, 1]).unwrap(), 0.0);
+        assert!(t.set(&[2, 0], 1.0).is_err());
+        assert!(t.set(&[0, 0], 1i64).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        assert_eq!(t.get_i64(&[1, 2]).unwrap(), 5);
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(DType::F64, &[100]);
+        let s = t.to_string();
+        assert!(s.contains("100 elements"));
+    }
+
+    #[test]
+    fn accessor_dtype_errors() {
+        let t = Tensor::zeros(DType::F64, &[2]);
+        assert!(t.as_i64().is_err());
+        assert!(t.as_bool().is_err());
+        assert!(t.as_f64().is_ok());
+    }
+}

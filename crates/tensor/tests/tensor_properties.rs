@@ -1,0 +1,180 @@
+//! Property tests of the tensor substrate's algebraic invariants — the
+//! kernels both autobatching runtimes are built on.
+
+use autobatch_tensor::{DType, Tensor};
+use proptest::prelude::*;
+
+fn vec_f64(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes_and_sub_inverts(
+        a in vec_f64(12),
+        b in vec_f64(12),
+    ) {
+        let ta = Tensor::from_f64(&a, &[3, 4]).unwrap();
+        let tb = Tensor::from_f64(&b, &[3, 4]).unwrap();
+        prop_assert_eq!(ta.add(&tb).unwrap(), tb.add(&ta).unwrap());
+        let roundtrip = ta.add(&tb).unwrap().sub(&tb).unwrap();
+        for (x, y) in roundtrip.as_f64().unwrap().iter().zip(&a) {
+            prop_assert!((x - y).abs() <= 1e-9 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn broadcast_scalar_matches_elementwise(
+        a in vec_f64(10),
+        c in -50.0f64..50.0,
+    ) {
+        let t = Tensor::from_f64(&a, &[10]).unwrap();
+        let s = Tensor::scalar(c);
+        let broadcast = t.mul(&s).unwrap();
+        let manual: Vec<f64> = a.iter().map(|x| x * c).collect();
+        prop_assert_eq!(broadcast.as_f64().unwrap(), &manual[..]);
+    }
+
+    #[test]
+    fn broadcast_row_vector_matches_loop(
+        m in vec_f64(12),
+        v in vec_f64(4),
+    ) {
+        let tm = Tensor::from_f64(&m, &[3, 4]).unwrap();
+        let tv = Tensor::from_f64(&v, &[4]).unwrap();
+        let out = tm.add(&tv).unwrap();
+        let o = out.as_f64().unwrap();
+        for r in 0..3 {
+            for c in 0..4 {
+                prop_assert_eq!(o[r * 4 + c], m[r * 4 + c] + v[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_assign_touches_only_active_rows(
+        a in vec_f64(12),
+        b in vec_f64(12),
+        mask in proptest::collection::vec(any::<bool>(), 3..=3),
+    ) {
+        let mut t = Tensor::from_f64(&a, &[3, 4]).unwrap();
+        let src = Tensor::from_f64(&b, &[3, 4]).unwrap();
+        t.masked_assign_rows(&mask, &src).unwrap();
+        let v = t.as_f64().unwrap();
+        for r in 0..3 {
+            for c in 0..4 {
+                let expect = if mask[r] { b[r * 4 + c] } else { a[r * 4 + c] };
+                prop_assert_eq!(v[r * 4 + c], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_rows_roundtrip(
+        a in vec_f64(20),
+        idx in proptest::collection::vec(0usize..5, 1..5),
+    ) {
+        // Gathering rows then scattering them back to the same indices
+        // leaves the tensor unchanged.
+        let t = Tensor::from_f64(&a, &[5, 4]).unwrap();
+        let g = t.gather_rows(&idx).unwrap();
+        let mut back = t.clone();
+        back.scatter_rows(&idx, &g).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn depth_scatter_then_gather_reads_back(
+        vals in vec_f64(6),
+        depths in proptest::collection::vec(0usize..4, 3..=3),
+    ) {
+        // Writing each member's row at its own depth then gathering at
+        // those depths recovers the written rows (active members only).
+        let mut stack = Tensor::zeros(DType::F64, &[4, 3, 2]);
+        let src = Tensor::from_f64(&vals, &[3, 2]).unwrap();
+        let mask = [true, true, true];
+        stack.scatter_at_depth(&depths, &mask, &src).unwrap();
+        let read = stack.gather_at_depth(&depths).unwrap();
+        prop_assert_eq!(read, src);
+    }
+
+    #[test]
+    fn select_agrees_with_scalar_semantics(
+        a in vec_f64(8),
+        b in vec_f64(8),
+        c in proptest::collection::vec(any::<bool>(), 8..=8),
+    ) {
+        let ta = Tensor::from_f64(&a, &[8]).unwrap();
+        let tb = Tensor::from_f64(&b, &[8]).unwrap();
+        let tc = Tensor::from_bool(&c, &[8]).unwrap();
+        let out = tc.select(&ta, &tb).unwrap();
+        for i in 0..8 {
+            prop_assert_eq!(out.as_f64().unwrap()[i], if c[i] { a[i] } else { b[i] });
+        }
+    }
+
+    #[test]
+    fn sum_last_axis_matches_manual(
+        a in vec_f64(12),
+    ) {
+        let t = Tensor::from_f64(&a, &[3, 4]).unwrap();
+        let s = t.sum_last_axis().unwrap();
+        for r in 0..3 {
+            let manual: f64 = a[r * 4..(r + 1) * 4].iter().sum();
+            prop_assert!((s.as_f64().unwrap()[r] - manual).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dot_last_axis_is_symmetric_and_positive_on_self(
+        a in vec_f64(12),
+        b in vec_f64(12),
+    ) {
+        let ta = Tensor::from_f64(&a, &[3, 4]).unwrap();
+        let tb = Tensor::from_f64(&b, &[3, 4]).unwrap();
+        prop_assert_eq!(
+            ta.dot_last_axis(&tb).unwrap(),
+            tb.dot_last_axis(&ta).unwrap()
+        );
+        for &x in ta.dot_last_axis(&ta).unwrap().as_f64().unwrap() {
+            prop_assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matvec_batched_matches_per_row_matvec(
+        m in vec_f64(12),
+        q in vec_f64(8),
+    ) {
+        let tm = Tensor::from_f64(&m, &[3, 4]).unwrap();
+        let tq = Tensor::from_f64(&q, &[2, 4]).unwrap();
+        let batched = tm.matvec_batched(&tq).unwrap();
+        for b in 0..2 {
+            let row = tq.row(b).unwrap();
+            let single = tm.matvec(&row).unwrap();
+            prop_assert_eq!(batched.row(b).unwrap(), single);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in vec_f64(12)) {
+        let t = Tensor::from_f64(&m, &[3, 4]).unwrap();
+        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn comparisons_partition(a in vec_f64(10), b in vec_f64(10)) {
+        let ta = Tensor::from_f64(&a, &[10]).unwrap();
+        let tb = Tensor::from_f64(&b, &[10]).unwrap();
+        let lt = ta.lt(&tb).unwrap();
+        let ge = ta.ge(&tb).unwrap();
+        // lt and ge are complementary for non-NaN data.
+        prop_assert_eq!(lt.not().unwrap(), ge);
+    }
+
+    #[test]
+    fn casts_roundtrip_integers(v in proptest::collection::vec(-1000i64..1000, 6)) {
+        let t = Tensor::from_i64(&v, &[6]).unwrap();
+        prop_assert_eq!(t.to_f64().to_i64(), t);
+    }
+}

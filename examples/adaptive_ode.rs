@@ -1,0 +1,105 @@
+//! Batching an *adaptive* ODE integrator — one of the control-heavy
+//! workloads the paper's introduction motivates ("people have used …
+//! ordinary differential equations solvers in machine learning work;
+//! what else could we accomplish if it were easier?").
+//!
+//! The integrator below (midpoint rule with step-doubling error control)
+//! is written once, for a single problem, in the autobatch surface
+//! language. Its `while` loop runs a *data-dependent* number of
+//! iterations: stiff members take hundreds of small steps, easy members
+//! a handful of large ones. `vmap` batches it mechanically — no
+//! hand-masking — and every member still gets exactly the single-example
+//! answer.
+//!
+//! Run with: `cargo run --release --example adaptive_ode`
+
+use autobatch::core::vmap;
+use autobatch::lang::compile;
+use autobatch::tensor::Tensor;
+
+/// dy/dt = −k·y + sin t, y(0) = 1, integrated to t = 6 with adaptive
+/// step-doubling: accept when |one full step − two half steps| < tol.
+const SOURCE: &str = r#"
+fn integrate(k: float, tol: float) -> (y: float, steps: int) {
+    y = 1.0;
+    let t = 0.0;
+    let h = 0.5;
+    let tend = 6.0;
+    steps = 0;
+    while t < tend {
+        let hc = min(h, tend - t);
+        // One full midpoint step.
+        let f1 = sin(t) - k * y;
+        let ymid = y + 0.5 * hc * f1;
+        let fmid = sin(t + 0.5 * hc) - k * ymid;
+        let yfull = y + hc * fmid;
+        // Two half midpoint steps.
+        let hh = 0.5 * hc;
+        let ym1 = y + 0.5 * hh * f1;
+        let fm1 = sin(t + 0.5 * hh) - k * ym1;
+        let yhalf = y + hh * fm1;
+        let f2 = sin(t + hh) - k * yhalf;
+        let ym2 = yhalf + 0.5 * hh * f2;
+        let fm2 = sin(t + 1.5 * hh) - k * ym2;
+        let ytwo = yhalf + hh * fm2;
+        let err = abs(yfull - ytwo);
+        if err < tol {
+            y = ytwo;
+            t = t + hc;
+            steps = steps + 1;
+            h = hc * 1.5;
+        } else {
+            h = 0.5 * hc;
+        }
+    }
+}
+"#;
+
+fn analytic(k: f64, t: f64) -> f64 {
+    // y(t) = C·e^{−kt} + (k·sin t − cos t)/(1 + k²), C chosen for y(0)=1.
+    let p = |t: f64| (k * t.sin() - t.cos()) / (1.0 + k * k);
+    (1.0 - p(0.0)) * (-k * t).exp() + p(t)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SOURCE, "integrate")?;
+    let f = vmap(program)?;
+
+    // A batch mixing decay rates and tolerances: trip counts will differ
+    // by an order of magnitude across members.
+    let ks = [0.1, 0.5, 1.0, 4.0, 10.0, 25.0, 0.2, 8.0];
+    let tols = [1e-3, 1e-5, 1e-4, 1e-6, 1e-4, 1e-5, 1e-7, 1e-6];
+    let out = f.call(
+        &[
+            Tensor::from_f64(&ks, &[8])?,
+            Tensor::from_f64(&tols, &[8])?,
+        ],
+        None,
+    )?;
+    let y = out[0].as_f64()?;
+    let steps = out[1].as_i64()?;
+
+    println!(
+        "{:>6} {:>9} {:>7} {:>12} {:>12} {:>10}",
+        "k", "tol", "steps", "y(6)", "analytic", "|error|"
+    );
+    for i in 0..ks.len() {
+        let exact = analytic(ks[i], 6.0);
+        let err = (y[i] - exact).abs();
+        println!(
+            "{:>6} {:>9.0e} {:>7} {:>12.6} {:>12.6} {:>10.2e}",
+            ks[i], tols[i], steps[i], y[i], exact, err
+        );
+        assert!(err < 200.0 * tols[i].max(1e-6), "member {i} inaccurate");
+    }
+    let (min_s, max_s) = (
+        steps.iter().min().expect("nonempty"),
+        steps.iter().max().expect("nonempty"),
+    );
+    println!(
+        "\naccepted steps range from {min_s} to {max_s} across the batch — \
+         fully divergent control flow,\nbatched mechanically by the same \
+         transformation that batches NUTS."
+    );
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Subroutine reuse without combinatorial explosion (paper §3).
+//!
+//! The paper contrasts program-counter autobatching with tracing-based
+//! systems like `jax.vmap`: "this compiled approach also doesn't amount
+//! to inlining all function calls, so can autobatch a program with
+//! significant subroutine reuse without combinatorial explosion in code
+//! (or traced graph) size."
+//!
+//! Pascal's recursion `C(n,k) = C(n−1,k−1) + C(n−1,k)` is the extreme
+//! case: the recursion tree has `2·C(n,k) − 1` nodes, so a tracer that
+//! inlines every call materializes *thousands* of copies of a five-line
+//! function — while the compiled program here keeps a constant handful
+//! of basic blocks regardless of `n`, and the runtime batches tree nodes
+//! across both batch members and recursion depths.
+//!
+//! Run with: `cargo run --release --example binomial_reuse`
+
+use autobatch::core::Autobatcher;
+use autobatch::lang::compile;
+use autobatch::tensor::Tensor;
+
+const SOURCE: &str = r#"
+fn choose(n: int, k: int) -> (c: int) {
+    if k <= 0 {
+        c = 1;
+    } else {
+        if k >= n {
+            c = 1;
+        } else {
+            let n1 = n - 1;
+            let k1 = k - 1;
+            let a = choose(n1, k1);
+            let b = choose(n1, k);
+            c = a + b;
+        }
+    }
+}
+"#;
+
+fn binomial(n: u64, k: u64) -> u64 {
+    let k = k.min(n - k.min(n));
+    (1..=k).fold(1u64, |acc, i| acc * (n - k + i) / i)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SOURCE, "choose")?;
+    let ab = Autobatcher::new(program)?;
+    let stats = ab.lowering_stats();
+
+    // A batch of binomial queries at very different tree sizes.
+    let ns: Vec<i64> = vec![4, 8, 10, 12, 14, 6];
+    let ks: Vec<i64> = vec![2, 4, 3, 6, 7, 1];
+    let out = ab.run_pc(
+        &[
+            Tensor::from_i64(&ns, &[6])?,
+            Tensor::from_i64(&ks, &[6])?,
+        ],
+        None,
+    )?;
+    let c = out[0].as_i64()?;
+
+    println!(
+        "{:>4} {:>3} {:>10} {:>10} {:>16}",
+        "n", "k", "C(n,k)", "check", "recursion nodes"
+    );
+    let mut total_nodes: u64 = 0;
+    for i in 0..ns.len() {
+        let expect = binomial(ns[i] as u64, ks[i] as u64);
+        let nodes = 2 * expect - 1;
+        total_nodes += nodes;
+        assert_eq!(c[i] as u64, expect, "member {i}");
+        println!(
+            "{:>4} {:>3} {:>10} {:>10} {:>16}",
+            ns[i], ks[i], c[i], expect, nodes
+        );
+    }
+    println!(
+        "\ncompiled program: {} basic blocks, {} stacked variables — \
+         CONSTANT in n",
+        stats.blocks, stats.stacked_vars
+    );
+    println!(
+        "a tracing batcher would inline ~{total_nodes} copies of the \
+         function body for this batch;\nprogram-counter autobatching \
+         executes the same {} blocks over and over, batching\nlogical \
+         threads at different recursion depths as they pass through them.",
+        stats.blocks
+    );
+    Ok(())
+}

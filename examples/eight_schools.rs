@@ -1,0 +1,94 @@
+//! The full "many independent chains" workflow the paper motivates:
+//! Bayesian inference on the eight-schools hierarchical model with
+//!
+//! 1. per-chain dual-averaging warmup (native sampler, Hoffman & Gelman
+//!    Alg. 6),
+//! 2. a *batched* sampling phase — every chain continues its exact RNG
+//!    stream inside one program-counter-autobatched batch, with
+//!    per-member step sizes and counters as ordinary batch inputs,
+//! 3. cross-chain convergence diagnostics (rank-normalized split-R̂,
+//!    bulk/tail ESS) from `autobatch-diagnostics`.
+//!
+//! Run with: `cargo run --release --example eight_schools [chains] [draws]`
+
+use std::sync::Arc;
+
+use autobatch::diagnostics::{summarize, ParameterSummary};
+use autobatch::models::{EightSchools, Model};
+use autobatch::nuts::{AdaptiveNuts, BatchNuts, NutsConfig};
+use autobatch::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let chains: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let draws: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(120);
+    let warmup = 100;
+
+    let model = EightSchools::classic();
+    let dim = model.dim();
+    let cfg = NutsConfig {
+        step_size: 0.2, // replaced per chain by adaptation
+        n_trajectories: 1,
+        max_depth: 7,
+        leapfrog_steps: 2,
+        seed: 8,
+    };
+    println!(
+        "eight schools (non-centered, dim {dim}): {chains} chains, \
+         {warmup} warmup + {draws} draws"
+    );
+
+    // 1. Adapt each chain natively.
+    let adapter = AdaptiveNuts::new(&model, cfg, 0.8);
+    let q0 = Tensor::zeros(autobatch::tensor::DType::F64, &[chains, dim]);
+    let adapted = adapter.warmup_chains(&q0, warmup)?;
+    let eps: Vec<f64> = adapted.iter().map(|c| c.step_size).collect();
+    println!(
+        "adapted step sizes: min {:.4}, max {:.4}",
+        eps.iter().cloned().fold(f64::INFINITY, f64::min),
+        eps.iter().cloned().fold(0.0, f64::max),
+    );
+
+    // 2. Batched sampling: one trajectory per call so every draw is kept.
+    let nuts = BatchNuts::new(Arc::new(model.clone()), cfg)?;
+    let mut q = Tensor::concat_rows(
+        &adapted
+            .iter()
+            .map(|c| Ok(c.state.position()?.reshape(&[1, dim])?))
+            .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?,
+    )?;
+    let eps_t = Tensor::from_f64(&eps, &[chains])?;
+    let mut counters = Tensor::from_i64(
+        &adapted.iter().map(|c| c.state.counter()).collect::<Vec<_>>(),
+        &[chains],
+    )?;
+
+    // draws × chains series for μ (index 0), τ (exp of index 1), θ₁.
+    let mut mu: Vec<Vec<f64>> = vec![Vec::with_capacity(draws); chains];
+    let mut tau: Vec<Vec<f64>> = vec![Vec::with_capacity(draws); chains];
+    let mut theta1: Vec<Vec<f64>> = vec![Vec::with_capacity(draws); chains];
+    for _ in 0..draws {
+        let (q_next, c_next) = nuts.run_pc_with(&q, &eps_t, 1, &counters, None)?;
+        q = q_next;
+        counters = c_next;
+        let v = q.as_f64()?;
+        for b in 0..chains {
+            let row = &v[b * dim..(b + 1) * dim];
+            mu[b].push(row[0]);
+            tau[b].push(row[1].exp());
+            theta1[b].push(row[0] + row[1].exp() * row[2]);
+        }
+    }
+
+    // 3. Diagnostics across the batch of chains.
+    println!("\n{:>8}  {}", "param", "posterior summary");
+    for (name, series) in [("mu", &mu), ("tau", &tau), ("theta[1]", &theta1)] {
+        let s: ParameterSummary = summarize(series)?;
+        println!("{name:>8}  {s}");
+    }
+    println!(
+        "\n(R̂ near 1 and healthy ESS across {chains} lock-step chains — the\n\
+         diagnostics workflow the paper's batching makes cheap)"
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Bayesian logistic regression with batched NUTS (the paper's §4.1
+//! workload, scaled down to run quickly): cross-validate batched chains
+//! against the native recursive sampler, then price the same run on
+//! several simulated backends — a single-row Figure 5.
+//!
+//! Run with: `cargo run --release --example nuts_logistic`
+
+use std::sync::Arc;
+
+use autobatch::accel::{Backend, Trace};
+use autobatch::models::{LogisticRegression, Model};
+use autobatch::nuts::{BatchNuts, NativeNuts, NutsConfig};
+use autobatch::tensor::CounterRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small synthetic posterior (the paper uses 10,000 × 100; see the
+    // fig5_throughput bench for the paper-priced version).
+    let model = Arc::new(LogisticRegression::synthetic(200, 10, 42));
+    let cfg = NutsConfig {
+        step_size: 0.1,
+        n_trajectories: 5,
+        max_depth: 6,
+        leapfrog_steps: 4,
+        seed: 9,
+    };
+    println!(
+        "posterior: logistic regression, {} data points, {} regressors",
+        model.n_data(),
+        model.dim()
+    );
+
+    let chains = 8;
+    let rng = CounterRng::new(77);
+    let q0 = rng.normal_batch(&(0..chains as i64).collect::<Vec<_>>(), &[model.dim()]);
+
+    // Batched run (program counter autobatching).
+    let nuts = BatchNuts::new(model.clone(), cfg)?;
+    let mut trace = Trace::recording(Backend::xla_cpu());
+    let batched = nuts.run_pc(&q0, Some(&mut trace))?;
+
+    // Native chains, one at a time — must agree exactly.
+    let native = NativeNuts::new(model.as_ref(), cfg);
+    let (native_out, stats) = native.run_chains(&q0, None)?;
+    let (a, b) = (batched.as_f64()?, native_out.as_f64()?);
+    let max_err = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max);
+    println!("batched vs native max |Δ| over all chains: {max_err:.2e}");
+    assert!(max_err < 1e-9, "batched and native chains agree");
+
+    println!(
+        "\nnative sampler: {} gradients, {} leaves, {} divergences",
+        stats.grads, stats.leaves, stats.divergences
+    );
+    println!("tree depths per trajectory (chain-major): {:?}", stats.depths);
+
+    // Price the same batched run under different simulated backends.
+    println!("\nsimulated cost of the identical batched run ({chains} chains):");
+    for backend in [Backend::xla_cpu(), Backend::xla_gpu()] {
+        let priced = trace.replay_as(backend);
+        println!(
+            "  {:>8}: {:.1} ms simulated, {:.0} useful gradients/s",
+            backend.name,
+            priced.sim_time() * 1e3,
+            priced.useful_count("grad") as f64 / priced.sim_time()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,250 @@
+//! Property tests of the central correctness claim (paper §2): running a
+//! batch is indistinguishable, member by member, from running each
+//! member alone — for *arbitrary* control flow, under both autobatching
+//! strategies, every lowering configuration, and both primitive
+//! execution strategies.
+//!
+//! Programs are generated randomly at the IR-builder level: straight-line
+//! arithmetic over a growing variable pool, nested conditionals, bounded
+//! while loops, and a terminating recursive helper with data-dependent
+//! branching. RNG primitives are excluded here because their draws are
+//! keyed by batch-member id (their member-consistency is covered by the
+//! NUTS native-vs-batched tests).
+
+use autobatch::core::{
+    lower, DynSchedule, DynamicVm, ExecOptions, ExecStrategy, KernelRegistry, LocalStaticVm,
+    LoweringOptions, PcVm,
+};
+use autobatch::ir::build::ProgramBuilder;
+use autobatch::ir::{lsab, Prim, Var};
+use autobatch::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random, well-formed, terminating program.
+///
+/// Structure: a recursive helper `g(n, acc) -> r` whose branching
+/// depends on both `n` and `acc`, and an entry `main(x, n) -> y` mixing
+/// straight-line float arithmetic, an `if`, a bounded `while`, and a
+/// call to the helper with a clamped depth argument.
+fn random_program(seed: u64) -> lsab::Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pb = ProgramBuilder::new();
+    let helper = pb.declare("g", &["n", "acc"], &["r"]);
+    let main = pb.declare("main", &["x", "n0"], &["y"]);
+
+    // Safe float ops only: no div (NaN poisons comparisons), exp clamped
+    // by construction of small operands.
+    let bin_ops = [Prim::Add, Prim::Sub, Prim::Mul, Prim::Min2, Prim::Max2];
+    let un_ops = [Prim::Neg, Prim::Abs, Prim::Tanh, Prim::Sin];
+
+    let double_recursion = rng.gen_bool(0.4);
+    let helper_branch_on_acc = rng.gen_bool(0.5);
+    let h_expr_ops: Vec<usize> = (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..bin_ops.len())).collect();
+
+    pb.define(helper, |fb| {
+        let n = fb.param(0);
+        let _acc = fb.param(1);
+        let zero = fb.const_i64(0);
+        let base = fb.emit(Prim::Le, &[n.clone(), zero]);
+        fb.if_else(
+            &base,
+            |fb| {
+                fb.copy(&fb.output(0), &fb.param(1));
+            },
+            |fb| {
+                // A value whose computation depends on the random ops.
+                let mut t = fb.param(1);
+                for &oi in &h_expr_ops {
+                    let c = fb.const_f64(0.25 + oi as f64 * 0.5);
+                    t = fb.emit(bin_ops[oi].clone(), &[t, c]);
+                }
+                let one = fb.const_i64(1);
+                let n1 = fb.emit(Prim::Sub, &[fb.param(0), one]);
+                if helper_branch_on_acc {
+                    // Branch on the float state: divergent recursion.
+                    let thr = fb.const_f64(0.0);
+                    let pos = fb.emit(Prim::Gt, &[t.clone(), thr]);
+                    let flipped = fb.emit(Prim::Neg, &[t.clone()]);
+                    let sel = fb.emit(Prim::Select, &[pos, t.clone(), flipped]);
+                    let r1 = fb.call(helper, &[n1.clone(), sel], 1);
+                    fb.copy(&fb.output(0), &r1[0]);
+                } else {
+                    let r1 = fb.call(helper, &[n1.clone(), t.clone()], 1);
+                    if double_recursion {
+                        let two = fb.const_i64(2);
+                        let n2 = fb.emit(Prim::Sub, &[fb.param(0), two]);
+                        let half = fb.const_f64(0.5);
+                        let t2 = fb.emit(Prim::Mul, &[t, half]);
+                        let r2 = fb.call(helper, &[n2, t2], 1);
+                        fb.assign(&fb.output(0), Prim::Add, &[r1[0].clone(), r2[0].clone()]);
+                    } else {
+                        fb.copy(&fb.output(0), &r1[0]);
+                    }
+                }
+            },
+        );
+        fb.ret();
+    });
+
+    let n_straight = rng.gen_range(1..6);
+    let straight: Vec<(usize, usize, bool)> = (0..n_straight)
+        .map(|_| (rng.gen_range(0..bin_ops.len()), rng.gen_range(0..un_ops.len()), rng.gen_bool(0.5)))
+        .collect();
+    let with_if = rng.gen_bool(0.7);
+    let with_loop = rng.gen_bool(0.7);
+    let loop_trips = rng.gen_range(1..4);
+    let depth_mod = rng.gen_range(2..5);
+
+    pb.define(main, |fb| {
+        let x = fb.param(0);
+        let pool = Var::new("pool");
+        fb.copy(&pool, &x);
+        for &(bi, ui, unary_first) in &straight {
+            if unary_first {
+                let u = fb.emit(un_ops[ui].clone(), &[pool.clone()]);
+                let c = fb.const_f64(0.75);
+                fb.assign(&pool, bin_ops[bi].clone(), &[u, c]);
+            } else {
+                let c = fb.const_f64(-0.5);
+                let b = fb.emit(bin_ops[bi].clone(), &[pool.clone(), c]);
+                fb.assign(&pool, un_ops[ui].clone(), &[b]);
+            }
+        }
+        if with_if {
+            let zero = fb.const_f64(0.0);
+            let c = fb.emit(Prim::Lt, &[pool.clone(), zero]);
+            fb.if_else(
+                &c,
+                |fb| {
+                    let k = fb.const_f64(1.5);
+                    fb.assign(&Var::new("pool"), Prim::Add, &[Var::new("pool"), k]);
+                },
+                |fb| {
+                    let k = fb.const_f64(0.25);
+                    fb.assign(&Var::new("pool"), Prim::Mul, &[Var::new("pool"), k]);
+                },
+            );
+        }
+        if with_loop {
+            let i = Var::new("i");
+            let zero = fb.const_i64(0);
+            fb.copy(&i, &zero);
+            let trips = fb.const_i64(loop_trips);
+            fb.while_loop(
+                |fb| fb.emit(Prim::Lt, &[Var::new("i"), trips.clone()]),
+                |fb| {
+                    let half = fb.const_f64(0.5);
+                    let s = fb.emit(Prim::Sin, &[Var::new("pool")]);
+                    let sc = fb.emit(Prim::Mul, &[s, half]);
+                    fb.assign(&Var::new("pool"), Prim::Add, &[Var::new("pool"), sc]);
+                    let one = fb.const_i64(1);
+                    fb.assign(&Var::new("i"), Prim::Add, &[Var::new("i"), one]);
+                },
+            );
+        }
+        // Clamped recursion depth: n0 is bounded by the test harness, but
+        // clamp again via min to stay within host limits.
+        let cap = fb.const_i64(depth_mod);
+        let n0 = fb.param(1);
+        let depth = fb.emit(Prim::Min2, &[n0, cap]);
+        let r = fb.call(helper, &[depth, pool.clone()], 1);
+        fb.copy(&fb.output(0), &r[0]);
+        fb.ret();
+    });
+    pb.finish(main).expect("generated program is well-formed")
+}
+
+fn run_lsab(p: &lsab::Program, inputs: &[Tensor], strategy: ExecStrategy) -> Vec<Tensor> {
+    let opts = ExecOptions {
+        strategy,
+        ..ExecOptions::default()
+    };
+    LocalStaticVm::new(p, KernelRegistry::new(), opts)
+        .run(inputs, None)
+        .expect("lsab runs")
+}
+
+fn run_pc(p: &lsab::Program, inputs: &[Tensor], lopts: LoweringOptions, cache: bool) -> Vec<Tensor> {
+    let (lowered, _) = lower(p, lopts).expect("lowers");
+    let opts = ExecOptions {
+        cache_stack_tops: cache,
+        ..ExecOptions::default()
+    };
+    PcVm::new(&lowered, KernelRegistry::new(), opts)
+        .run(inputs, None)
+        .expect("pc runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_equals_singles_and_all_runtimes_agree(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 1..5),
+        ns in proptest::collection::vec(0i64..6, 1..5),
+    ) {
+        let z = xs.len().min(ns.len());
+        let xs = &xs[..z];
+        let ns = &ns[..z];
+        let p = random_program(seed);
+        let inputs = vec![
+            Tensor::from_f64(xs, &[z]).expect("x input"),
+            Tensor::from_i64(ns, &[z]).expect("n input"),
+        ];
+
+        // Reference: each member alone through the local-static runtime.
+        let mut singles = Vec::with_capacity(z);
+        for b in 0..z {
+            let one = vec![
+                Tensor::from_f64(&[xs[b]], &[1]).expect("x"),
+                Tensor::from_i64(&[ns[b]], &[1]).expect("n"),
+            ];
+            let out = run_lsab(&p, &one, ExecStrategy::Masking);
+            singles.push(out[0].as_f64().expect("f64 out")[0]);
+        }
+
+        // Batch under local static autobatching (both strategies).
+        let batch = run_lsab(&p, &inputs, ExecStrategy::Masking);
+        let batch_v = batch[0].as_f64().expect("f64 out");
+        for b in 0..z {
+            prop_assert_eq!(batch_v[b], singles[b], "lsab member {}", b);
+        }
+        let gather = run_lsab(&p, &inputs, ExecStrategy::GatherScatter);
+        prop_assert_eq!(&batch, &gather, "gather/scatter strategy agrees");
+
+        // Program-counter autobatching under every lowering config.
+        for lopts in [
+            LoweringOptions::default(),
+            LoweringOptions { pop_push_elimination: false, ..LoweringOptions::default() },
+            LoweringOptions { demote_registers: false, ..LoweringOptions::default() },
+            LoweringOptions::unoptimized(),
+        ] {
+            let pc = run_pc(&p, &inputs, lopts, true);
+            prop_assert_eq!(&batch, &pc, "pc agrees under {:?}", lopts);
+        }
+        // Top-caching off (runtime ablation).
+        let pc_nocache = run_pc(&p, &inputs, LoweringOptions::default(), false);
+        prop_assert_eq!(&batch, &pc_nocache, "pc agrees without top caching");
+
+        // Dynamic (on-the-fly) batching, both agenda policies (paper §5's
+        // related-work architecture must compute the same answers).
+        for schedule in [DynSchedule::Agenda, DynSchedule::Breadth] {
+            let opts = ExecOptions { dyn_schedule: schedule, ..ExecOptions::default() };
+            let dy = DynamicVm::new(&p, KernelRegistry::new(), opts)
+                .run(&inputs, None)
+                .expect("dynamic runs");
+            prop_assert_eq!(&batch, &dy, "dynamic agrees under {:?}", schedule);
+        }
+    }
+
+    #[test]
+    fn generated_programs_always_validate_and_lower(seed in any::<u64>()) {
+        let p = random_program(seed);
+        p.validate().expect("valid");
+        let (pc, _) = lower(&p, LoweringOptions::default()).expect("lowers");
+        pc.validate().expect("lowered form valid");
+    }
+}
