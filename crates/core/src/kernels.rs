@@ -95,11 +95,11 @@ fn align_pair(a: &Tensor, b: &Tensor) -> Result<(Tensor, Tensor)> {
     }
     if ra < rb {
         let mut shape = a.shape().to_vec();
-        shape.extend(std::iter::repeat(1).take(rb - ra));
+        shape.extend(std::iter::repeat_n(1, rb - ra));
         Ok((a.reshape(&shape)?, b.clone()))
     } else {
         let mut shape = b.shape().to_vec();
-        shape.extend(std::iter::repeat(1).take(ra - rb));
+        shape.extend(std::iter::repeat_n(1, ra - rb));
         Ok((a.clone(), b.reshape(&shape)?))
     }
 }
@@ -321,7 +321,9 @@ mod tests {
     fn rng_prims_advance_counter_and_depend_on_member() {
         let (rng, reg) = env();
         let counters = Tensor::from_i64(&[5, 5], &[2]).unwrap();
-        let out = eval_prim(&Prim::RandUniform, &[counters.clone()], &[0, 1], &rng, &reg).unwrap();
+        let out =
+            eval_prim(&Prim::RandUniform, std::slice::from_ref(&counters), &[0, 1], &rng, &reg)
+                .unwrap();
         let u = out[0].as_f64().unwrap();
         assert_ne!(u[0], u[1], "different members draw differently");
         assert_eq!(out[1].as_i64().unwrap(), &[6, 6]);
@@ -367,7 +369,9 @@ mod tests {
         let (rng, mut reg) = env();
         reg.register("double", Arc::new(Doubler));
         let x = Tensor::from_f64(&[1.0, 2.0], &[2, 1]).unwrap();
-        let out = eval_prim(&Prim::external("double"), &[x.clone()], &[0, 1], &rng, &reg).unwrap();
+        let out =
+            eval_prim(&Prim::external("double"), std::slice::from_ref(&x), &[0, 1], &rng, &reg)
+                .unwrap();
         assert_eq!(out[0].as_f64().unwrap(), &[2.0, 4.0]);
         let cost = prim_cost(&Prim::external("double"), &[x], &out, &reg);
         assert_eq!(cost.flops, 2.0); // 1 flop/member × 2 members

@@ -564,8 +564,7 @@ mod tests {
     fn pop_push_elimination_fires_on_consecutive_saves() {
         let p = double_call_with_saved_var();
         let (_, with) = lower(&p, LoweringOptions::default()).unwrap();
-        let mut no_elim = LoweringOptions::default();
-        no_elim.pop_push_elimination = false;
+        let no_elim = LoweringOptions { pop_push_elimination: false, ..LoweringOptions::default() };
         let (_, without) = lower(&p, no_elim).unwrap();
         assert!(with.eliminated_pairs > 0, "elimination fired: {with:?}");
         assert!(with.pushes < without.pushes);
@@ -643,6 +642,124 @@ mod tests {
             &ops[1],
             pcab::Op::Compute { outs, .. } if outs[0].1 == pcab::WriteKind::Update
         ));
+    }
+
+    /// Optimization 2 in isolation: block-local temporaries (the
+    /// intermediate `Sub`/`Mul` results) must vanish from the classified
+    /// variable set entirely, not merely demote to registers.
+    #[test]
+    fn temporary_elision_shrinks_classified_vars() {
+        let p = fibonacci_program();
+        let elide = LoweringOptions::default();
+        let keep = LoweringOptions {
+            elide_temporaries: false,
+            ..LoweringOptions::default()
+        };
+        let (pc_elide, s_elide) = lower(&p, elide).unwrap();
+        let (pc_keep, s_keep) = lower(&p, keep).unwrap();
+        let classified = |s: &LoweringStats| s.stacked_vars + s.register_vars;
+        assert!(
+            classified(&s_elide) < classified(&s_keep),
+            "elision must shrink the classified set: {s_elide:?} vs {s_keep:?}"
+        );
+        // Every variable classified under elision is also classified
+        // without it: elision only removes, never invents.
+        let keep_vars: BTreeSet<_> = pc_keep.classes.keys().cloned().collect();
+        for v in pc_elide.classes.keys() {
+            assert!(keep_vars.contains(v), "elision invented {v:?}");
+        }
+    }
+
+    /// Optimization 3 in isolation: with demotion off, every persistent
+    /// variable gets a stack; with it on, variables that never cross a
+    /// recursive call (like fibonacci's output accumulator) become
+    /// registers — and registers must never be pushed or popped.
+    #[test]
+    fn register_demotion_classifies_non_call_crossing_vars() {
+        let p = fibonacci_program();
+        let (pc_on, s_on) = lower(&p, LoweringOptions::default()).unwrap();
+        let no_demote = LoweringOptions {
+            demote_registers: false,
+            ..LoweringOptions::default()
+        };
+        let (_, s_off) = lower(&p, no_demote).unwrap();
+        assert!(s_on.register_vars > 0, "demotion found registers: {s_on:?}");
+        assert_eq!(s_off.register_vars, 0, "demotion off leaves none: {s_off:?}");
+        assert!(
+            s_off.stacked_vars > s_on.stacked_vars,
+            "undemoted registers become stacks: {s_off:?} vs {s_on:?}"
+        );
+        // Demotion must be sound: it may only demote, never promote.
+        assert_eq!(s_on.stacked_vars + s_on.register_vars, s_off.stacked_vars);
+        assert!(pc_on.register_vars().contains(&Var::new("fibonacci.out")));
+    }
+
+    /// Structural invariants every lowered program must satisfy, under
+    /// every optimization configuration:
+    /// - the program validates;
+    /// - `Push` writes and `Pop`s target only stack-classified variables;
+    /// - register-classified variables receive only `Update` writes;
+    /// - the reported [`LoweringStats`] agree with a manual count over
+    ///   the emitted blocks.
+    #[test]
+    fn lowered_invariants_hold_across_all_configs() {
+        let programs = [fibonacci_program(), double_call_with_saved_var()];
+        let configs = [
+            LoweringOptions::default(),
+            LoweringOptions {
+                elide_temporaries: false,
+                ..LoweringOptions::default()
+            },
+            LoweringOptions {
+                demote_registers: false,
+                ..LoweringOptions::default()
+            },
+            LoweringOptions {
+                pop_push_elimination: false,
+                ..LoweringOptions::default()
+            },
+            LoweringOptions::unoptimized(),
+        ];
+        for p in &programs {
+            for opts in configs {
+                let (pc, stats) = lower(p, opts).unwrap();
+                pc.validate().unwrap();
+                assert_eq!(stats.blocks, pc.blocks.len(), "{opts:?}");
+                let (mut pushes, mut pops) = (0usize, 0usize);
+                for b in &pc.blocks {
+                    for op in &b.ops {
+                        match op {
+                            pcab::Op::Pop { var } => {
+                                pops += 1;
+                                assert_eq!(
+                                    pc.class_of(var),
+                                    Some(pcab::VarClass::Stacked),
+                                    "Pop of non-stacked {var:?} under {opts:?}"
+                                );
+                            }
+                            pcab::Op::Compute { outs, .. } => {
+                                for (var, kind) in outs {
+                                    match pc.class_of(var) {
+                                        Some(pcab::VarClass::Stacked) => {
+                                            if *kind == pcab::WriteKind::Push {
+                                                pushes += 1;
+                                            }
+                                        }
+                                        Some(pcab::VarClass::Register) | None => assert_eq!(
+                                            *kind,
+                                            pcab::WriteKind::Update,
+                                            "non-stacked {var:?} pushed under {opts:?}"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                assert_eq!(stats.pushes, pushes, "push count drifted under {opts:?}");
+                assert_eq!(stats.pops, pops, "pop count drifted under {opts:?}");
+            }
+        }
     }
 
     #[test]

@@ -183,10 +183,7 @@ impl<'p> PcVm<'p> {
 
         let rng = CounterRng::new(self.opts.seed);
         let mut steps = 0u64;
-        loop {
-            let Some(i) = select_block(&st.pc_top, n_blocks, self.opts.heuristic) else {
-                break;
-            };
+        while let Some(i) = select_block(&st.pc_top, n_blocks, self.opts.heuristic) {
             steps += 1;
             if steps > self.opts.max_supersteps {
                 return Err(VmError::StepLimit {
@@ -758,22 +755,19 @@ mod tests {
 
     #[test]
     fn fibonacci_gather_scatter_strategy() {
-        let mut opts = ExecOptions::default();
-        opts.strategy = ExecStrategy::GatherScatter;
+        let opts = ExecOptions { strategy: ExecStrategy::GatherScatter, ..ExecOptions::default() };
         assert_eq!(fib_vm_run(&[6, 7, 8, 9], opts), vec![13, 21, 34, 55]);
     }
 
     #[test]
     fn fibonacci_most_active_heuristic() {
-        let mut opts = ExecOptions::default();
-        opts.heuristic = BlockHeuristic::MostActive;
+        let opts = ExecOptions { heuristic: BlockHeuristic::MostActive, ..ExecOptions::default() };
         assert_eq!(fib_vm_run(&[3, 9, 1], opts), vec![3, 55, 1]);
     }
 
     #[test]
     fn fibonacci_without_top_caching() {
-        let mut opts = ExecOptions::default();
-        opts.cache_stack_tops = false;
+        let opts = ExecOptions { cache_stack_tops: false, ..ExecOptions::default() };
         assert_eq!(fib_vm_run(&[5, 8], opts), vec![8, 34]);
     }
 
@@ -792,8 +786,7 @@ mod tests {
     fn stack_overflow_reported() {
         let p = fibonacci_program();
         let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
-        let mut opts = ExecOptions::default();
-        opts.stack_depth = 4;
+        let opts = ExecOptions { stack_depth: 4, ..ExecOptions::default() };
         let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
         let err = vm.run(&[Tensor::from_i64(&[25], &[1]).unwrap()], None);
         assert!(

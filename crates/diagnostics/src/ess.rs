@@ -107,7 +107,7 @@ fn ess_of(chains: &[Vec<f64>]) -> f64 {
     let mut tau = -1.0;
     let mut prev_pair = f64::INFINITY;
     let mut k = 0;
-    while 2 * k + 1 <= max_lag {
+    while 2 * k < max_lag {
         let mut pair = rho(2 * k) + rho(2 * k + 1);
         if pair < 0.0 {
             break;

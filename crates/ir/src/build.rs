@@ -57,8 +57,8 @@ impl ProgramBuilder {
         self.funcs.push(None);
         self.sigs.push((
             name.to_string(),
-            params.iter().map(|p| Var::new(p)).collect(),
-            outputs.iter().map(|o| Var::new(o)).collect(),
+            params.iter().map(Var::new).collect(),
+            outputs.iter().map(Var::new).collect(),
         ));
         id
     }

@@ -72,7 +72,7 @@ mod tests {
     fn registry_exposes_grad_and_logp() {
         let reg = model_registry(Arc::new(StdNormal::new(2)));
         let q = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
-        let g = reg.get("grad").unwrap().eval(&[q.clone()]).unwrap();
+        let g = reg.get("grad").unwrap().eval(std::slice::from_ref(&q)).unwrap();
         assert_eq!(g[0].as_f64().unwrap(), &[-1.0, -2.0, -3.0, -4.0]);
         let lp = reg.get("logp").unwrap().eval(&[q]).unwrap();
         assert_eq!(lp[0].shape(), &[2]);
@@ -85,7 +85,7 @@ mod tests {
         let g = GradKernel(m.clone());
         let l = LogpKernel(m);
         let q = Tensor::zeros(autobatch_tensor::DType::F64, &[1, 8]);
-        assert_eq!(g.flops_per_member(&[q.clone()]), 8.0);
+        assert_eq!(g.flops_per_member(std::slice::from_ref(&q)), 8.0);
         assert_eq!(l.flops_per_member(&[q]), 16.0);
     }
 }

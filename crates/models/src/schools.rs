@@ -94,9 +94,9 @@ impl Model for EightSchools {
             let eta = &row[2..];
             // μ ~ N(0, 25); log τ: half-Cauchy(0,5) + Jacobian; η ~ N(0,1).
             let mut lp = -mu * mu / 50.0 + lt - (1.0 + tau * tau / 25.0).ln();
-            for k in 0..j {
-                lp -= eta[k] * eta[k] / 2.0;
-                let r = self.y[k] - mu - tau * eta[k];
+            for (k, &e) in eta.iter().enumerate().take(j) {
+                lp -= e * e / 2.0;
+                let r = self.y[k] - mu - tau * e;
                 lp -= r * r / (2.0 * self.sigma[k] * self.sigma[k]);
             }
             out.push(lp);

@@ -331,7 +331,7 @@ mod tests {
         let model = StdNormal::new(10);
         let q0 = Tensor::zeros(DType::F64, &[10]);
         let eps = find_reasonable_epsilon(&model, &q0, 0, 7).unwrap();
-        assert!(eps >= 0.125 && eps <= 8.0, "eps = {eps}");
+        assert!((0.125..=8.0).contains(&eps), "eps = {eps}");
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl<'m> MultinomialNuts<'m> {
         &self,
         q0: &Tensor,
         member: u64,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> Result<(Tensor, MultinomialStats)> {
         let d = self.model.dim();
         let mut ctx = Ctx {
@@ -136,7 +136,7 @@ impl<'m> MultinomialNuts<'m> {
             member,
             counter: 0,
             stats: MultinomialStats::default(),
-            trace: trace.as_deref_mut(),
+            trace,
             joint0: 0.0,
         };
         let mut q = q0.reshape(&[1, d])?;
@@ -197,7 +197,7 @@ impl<'m> MultinomialNuts<'m> {
         &self,
         state: &mut MultinomialChain,
         eps: f64,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> Result<TrajectoryInfo> {
         let mut ctx = Ctx {
             model: self.model,
@@ -206,7 +206,7 @@ impl<'m> MultinomialNuts<'m> {
             member: state.member,
             counter: state.counter,
             stats: MultinomialStats::default(),
-            trace: trace.as_deref_mut(),
+            trace,
             joint0: 0.0,
         };
         state.q = ctx.trajectory(state.q.clone(), eps)?;
@@ -396,8 +396,8 @@ mod tests {
 
     #[test]
     fn log_add_exp_matches_naive_in_range() {
-        for (a, b) in [(0.0, 0.0), (-1.0, 2.0), (5.0, -3.0)] {
-            let naive = ((a as f64).exp() + (b as f64).exp()).ln();
+        for (a, b) in [(0.0f64, 0.0f64), (-1.0, 2.0), (5.0, -3.0)] {
+            let naive = (a.exp() + b.exp()).ln();
             assert!((log_add_exp(a, b) - naive).abs() < 1e-12);
         }
         assert_eq!(

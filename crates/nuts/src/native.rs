@@ -132,7 +132,7 @@ impl<'m> NativeNuts<'m> {
         &self,
         q0: &Tensor,
         member: u64,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> Result<(Tensor, NutsStats)> {
         let d = self.model.dim();
         let mut ctx = Ctx {
@@ -142,7 +142,7 @@ impl<'m> NativeNuts<'m> {
             member,
             counter: 0,
             stats: NutsStats::default(),
-            trace: trace.as_deref_mut(),
+            trace,
             joint0: 0.0,
         };
         let mut q = q0.reshape(&[1, d])?;
@@ -181,7 +181,7 @@ impl<'m> NativeNuts<'m> {
         &self,
         state: &mut ChainState,
         eps: f64,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> Result<TrajectoryInfo> {
         let mut ctx = Ctx {
             model: self.model,
@@ -190,7 +190,7 @@ impl<'m> NativeNuts<'m> {
             member: state.member,
             counter: state.counter,
             stats: NutsStats::default(),
-            trace: trace.as_deref_mut(),
+            trace,
             joint0: 0.0,
         };
         state.q = ctx.trajectory(state.q.clone(), eps)?;
@@ -341,7 +341,7 @@ impl Ctx<'_> {
         }
         let mut t = self.build_tree(q, p, log_u, v, j - 1, eps)?;
         if t.s {
-            let (t2, qprop2, n2, s2);
+            let (qprop2, n2, s2);
             if v < 0.0 {
                 let sub = self.build_tree(&t.qm.clone(), &t.pm.clone(), log_u, v, j - 1, eps)?;
                 t.qm = sub.qm;
@@ -351,7 +351,6 @@ impl Ctx<'_> {
                 s2 = sub.s;
                 t.alpha += sub.alpha;
                 t.n_alpha += sub.n_alpha;
-                t2 = ();
             } else {
                 let sub = self.build_tree(&t.qp.clone(), &t.pp.clone(), log_u, v, j - 1, eps)?;
                 t.qp = sub.qp;
@@ -361,9 +360,7 @@ impl Ctx<'_> {
                 s2 = sub.s;
                 t.alpha += sub.alpha;
                 t.n_alpha += sub.n_alpha;
-                t2 = ();
             }
-            let _ = t2;
             let usel = self.draw_uniform();
             let ntot = (t.n + n2) as f64;
             if ntot > 0.0 && usel * ntot < n2 as f64 {

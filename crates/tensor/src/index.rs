@@ -66,14 +66,12 @@ impl Tensor {
             });
         }
         let rl = if self.rank() == 0 { 1 } else { row_len(self)? };
-        let shape_ok = self.shape().to_vec();
-        let _ = shape_ok;
-        let dst = match (self.data(), src.data()) {
+        let dst = matches!(
+            (self.data(), src.data()),
             (Data::F64(_), Data::F64(_))
-            | (Data::I64(_), Data::I64(_))
-            | (Data::Bool(_), Data::Bool(_)) => true,
-            _ => false,
-        };
+                | (Data::I64(_), Data::I64(_))
+                | (Data::Bool(_), Data::Bool(_))
+        );
         if !dst {
             return Err(TensorError::DTypeMismatch {
                 got: src.dtype(),

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Diagnostics across the batch of chains.
-    println!("\n{:>8}  {}", "param", "posterior summary");
+    println!("\n{:>8}  posterior summary", "param");
     for (name, series) in [("mu", &mu), ("tau", &tau), ("theta[1]", &theta1)] {
         let s: ParameterSummary = summarize(series)?;
         println!("{name:>8}  {s}");

@@ -49,7 +49,7 @@ fn warmup_then_batched_draws_pass_diagnostics_on_std_normal() {
     .expect("counters");
 
     // Collect the coordinate-0 series per chain from batched draws.
-    let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(draws); chains];
+    let mut series: Vec<Vec<f64>> = (0..chains).map(|_| Vec::with_capacity(draws)).collect();
     for _ in 0..draws {
         let (q2, c2) = nuts.run_pc_with(&q, &eps, 1, &counters, None).expect("draw");
         q = q2;

@@ -1,0 +1,104 @@
+//! Smoke test: every example must build, run to completion, and print
+//! something. `cargo test` already compiles the example targets; this
+//! suite executes the compiled binaries so examples can't silently rot
+//! into code that builds but crashes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example under `examples/`, kept in sync by
+/// [`example_list_is_exhaustive`].
+const EXAMPLES: &[&str] = &[
+    "adaptive_ode",
+    "batch_divergent_workload",
+    "binomial_reuse",
+    "eight_schools",
+    "fibonacci_trace",
+    "nuts_gaussian",
+    "nuts_logistic",
+    "quickstart",
+];
+
+/// The directory the current profile's example binaries land in:
+/// `target/<profile>/examples`, two levels up from this test binary
+/// (`target/<profile>/deps/examples_smoke-<hash>`).
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .join("examples")
+}
+
+#[test]
+fn example_list_is_exhaustive() {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(&src)
+        .expect("examples dir")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            (p.extension().is_some_and(|x| x == "rs"))
+                .then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    let expected: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        found, expected,
+        "examples/ and the EXAMPLES list disagree; update tests/examples_smoke.rs"
+    );
+}
+
+#[test]
+fn every_example_runs() {
+    let dir = examples_dir();
+    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut failures = Vec::new();
+    for name in EXAMPLES {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            failures.push(format!(
+                "{name}: binary missing at {} — examples are only (re)built by a \
+                 full `cargo test`, not by `cargo test --test examples_smoke`",
+                bin.display()
+            ));
+            continue;
+        }
+        // Guard against silently executing a stale binary: a filtered
+        // `cargo test --test examples_smoke` does not rebuild examples,
+        // so an edited example must fail here, not pass on old code.
+        let newer_than_source = (|| {
+            let src_t = std::fs::metadata(src_dir.join(format!("{name}.rs")))?.modified()?;
+            let bin_t = std::fs::metadata(&bin)?.modified()?;
+            Ok::<bool, std::io::Error>(bin_t >= src_t)
+        })();
+        match newer_than_source {
+            Ok(true) => {}
+            Ok(false) => {
+                failures.push(format!(
+                    "{name}: compiled binary is older than examples/{name}.rs — \
+                     run a full `cargo test` to rebuild examples"
+                ));
+                continue;
+            }
+            Err(e) => {
+                failures.push(format!("{name}: cannot compare mtimes: {e}"));
+                continue;
+            }
+        }
+        match Command::new(&bin).output() {
+            Ok(out) if out.status.success() => {
+                if out.stdout.is_empty() {
+                    failures.push(format!("{name}: ran but printed nothing"));
+                }
+            }
+            Ok(out) => failures.push(format!(
+                "{name}: exited {:?}\nstderr:\n{}",
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            )),
+            Err(e) => failures.push(format!("{name}: failed to spawn: {e}")),
+        }
+    }
+    assert!(failures.is_empty(), "example failures:\n{}", failures.join("\n"));
+}

@@ -119,8 +119,7 @@ fn runtime_errors_are_reported_not_panicked() {
         }
     ";
     let program = compile(source, "down").expect("compiles");
-    let mut opts = autobatch::core::ExecOptions::default();
-    opts.stack_depth = 4;
+    let opts = autobatch::core::ExecOptions { stack_depth: 4, ..Default::default() };
     let ab = Autobatcher::with_options(
         program,
         autobatch::core::KernelRegistry::new(),

@@ -10,6 +10,14 @@
 //! branching. RNG primitives are excluded here because their draws are
 //! keyed by batch-member id (their member-consistency is covered by the
 //! NUTS native-vs-batched tests).
+//!
+//! Determinism: the `seed` strategy below, like every proptest input, is
+//! drawn from the vendored deterministic proptest harness — cases are a
+//! pure function of `(PROPTEST_SEED, test name, case index)`, and the
+//! program generator itself derives everything from `seed` through
+//! `StdRng::seed_from_u64`. A failing case therefore reproduces bit-for-
+//! bit on any machine with the same `PROPTEST_SEED` (default 0); set
+//! `PROPTEST_CASES` to widen or narrow the sweep.
 
 use autobatch::core::{
     lower, DynSchedule, DynamicVm, ExecOptions, ExecStrategy, KernelRegistry, LocalStaticVm,
@@ -103,7 +111,7 @@ fn random_program(seed: u64) -> lsab::Program {
         fb.copy(&pool, &x);
         for &(bi, ui, unary_first) in &straight {
             if unary_first {
-                let u = fb.emit(un_ops[ui].clone(), &[pool.clone()]);
+                let u = fb.emit(un_ops[ui].clone(), std::slice::from_ref(&pool));
                 let c = fb.const_f64(0.75);
                 fb.assign(&pool, bin_ops[bi].clone(), &[u, c]);
             } else {

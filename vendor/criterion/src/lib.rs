@@ -1,0 +1,155 @@
+//! Offline, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses: `Criterion`, `BenchmarkId`, benchmark groups,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up, timed
+//! over `sample_size` samples, and its median per-iteration wall-clock
+//! time is printed. There are no plots, no statistics beyond the median,
+//! and no baseline comparisons — enough for `cargo bench` to produce
+//! meaningful numbers without the crates.io dependency tree.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value
+/// (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `{function_name}/{parameter}`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A benchmark id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the most recent `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median over the configured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call keeps cold-start effects (lazy allocation,
+        // first-touch faults) out of the measurement.
+        std_black_box(routine());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                std_black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.last_median = Some(times[times.len() / 2]);
+    }
+}
+
+/// A set of related benchmarks reported under a common prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.samples = n;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { samples: self.samples, last_median: None };
+        f(&mut b);
+        match b.last_median {
+            Some(t) => println!("{}/{}: median {:?} ({} samples)", self.name, id, t, self.samples),
+            None => println!("{}/{}: no measurement (b.iter never called)", self.name, id),
+        }
+    }
+
+    /// Benchmark `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        let text = id.text.clone();
+        self.run_one(&text, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, routine: R) -> &mut Self {
+        let text = id.into();
+        self.run_one(&text, routine);
+        self
+    }
+
+    /// Finish the group (upstream criterion emits summary artifacts
+    /// here; this harness prints as it goes).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 20, _criterion: self }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, routine: R) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function("bench", routine);
+        group.finish();
+        self
+    }
+}
+
+/// Bundle benchmark functions into one runner, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

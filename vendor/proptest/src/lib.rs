@@ -1,0 +1,173 @@
+//! Offline, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses: the [`proptest!`] macro, the [`Strategy`](strategy::Strategy)
+//! trait over ranges / [`any`](strategy::any) / [`collection::vec`],
+//! [`ProptestConfig`](test_runner::ProptestConfig), and the
+//! `prop_assert*` macros.
+//!
+//! # Determinism
+//!
+//! Unlike upstream proptest (which seeds from OS entropy unless given a
+//! failure-persistence file), this stand-in is deterministic by
+//! construction: every case's RNG is derived from
+//! `(PROPTEST_SEED, test name, case index)`, so a failure reproduces on
+//! every machine and every run. Two environment knobs keep CI flexible:
+//!
+//! - `PROPTEST_CASES` — changes the *default* per-test case count;
+//!   as in upstream proptest, an explicit `ProptestConfig::with_cases`
+//!   in the test source still wins;
+//! - `PROPTEST_SEED` — changes the base seed (default `0`) to explore a
+//!   different slice of the input space.
+//!
+//! Shrinking is not implemented; failures report the case index and the
+//! seed needed to replay them.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for [`vec`]: an exact length or a length
+    /// range (subset of `proptest::collection::SizeRange`).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "vec size range is empty");
+            SizeRange { lo, hi_inclusive: hi }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Build a strategy for vectors whose elements are drawn from
+    /// `element` and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.uniform_usize(self.size.lo, self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property; on failure the harness reports
+/// the failing case and replay seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item expands to a normal `#[test]` that runs the body over
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let base_seed = $crate::test_runner::base_seed();
+                for case in 0..cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        base_seed,
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {case}/{cases} \
+                             (replay with PROPTEST_SEED={base_seed})",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
