@@ -79,6 +79,13 @@ enum Event {
     Launch(LaunchRecord),
     Logical(LaunchRecord),
     Superstep,
+    /// Batch membership change: `joined` members admitted / `left`
+    /// members retired, leaving `total_after` live members.
+    Membership {
+        joined: usize,
+        left: usize,
+        total_after: usize,
+    },
 }
 
 /// A priced execution trace.
@@ -88,6 +95,9 @@ pub struct Trace {
     sim_time: f64,
     launches: u64,
     supersteps: u64,
+    members_admitted: u64,
+    members_retired: u64,
+    peak_members: usize,
     per_kernel: BTreeMap<String, KernelStats>,
     logical: BTreeMap<String, KernelStats>,
     events: Option<Vec<Event>>,
@@ -101,6 +111,9 @@ impl Trace {
             sim_time: 0.0,
             launches: 0,
             supersteps: 0,
+            members_admitted: 0,
+            members_retired: 0,
+            peak_members: 0,
             per_kernel: BTreeMap::new(),
             logical: BTreeMap::new(),
             events: None,
@@ -146,6 +159,11 @@ impl Trace {
                 }
                 Event::Logical(r) => out.record_logical(r),
                 Event::Superstep => out.superstep(),
+                Event::Membership {
+                    joined,
+                    left,
+                    total_after,
+                } => out.membership(*joined, *left, *total_after),
             }
         }
         out
@@ -197,6 +215,42 @@ impl Trace {
         s.flops += rec.flops;
         s.active_members += rec.active_members as u64;
         s.total_members += rec.total_members as u64;
+    }
+
+    /// Record a batch-membership change: `joined` members admitted and
+    /// `left` members retired, leaving `total_after` live members.
+    ///
+    /// Dynamic-admission runtimes report every admission/retirement here
+    /// so launch accounting stays truthful as the member set changes: the
+    /// per-launch `total_members` in subsequent [`LaunchRecord`]s reflects
+    /// the new batch width, and this method keeps the aggregate admission
+    /// counters and the peak batch size in sync.
+    pub fn membership(&mut self, joined: usize, left: usize, total_after: usize) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event::Membership {
+                joined,
+                left,
+                total_after,
+            });
+        }
+        self.members_admitted += joined as u64;
+        self.members_retired += left as u64;
+        self.peak_members = self.peak_members.max(total_after);
+    }
+
+    /// Total members ever admitted into the traced batch.
+    pub fn members_admitted(&self) -> u64 {
+        self.members_admitted
+    }
+
+    /// Total members retired (completed and compacted out).
+    pub fn members_retired(&self) -> u64 {
+        self.members_retired
+    }
+
+    /// Largest live batch size observed across membership changes.
+    pub fn peak_members(&self) -> usize {
+        self.peak_members
     }
 
     /// Record one runtime superstep (block selection + host control).
@@ -273,6 +327,9 @@ impl Trace {
         self.sim_time = 0.0;
         self.launches = 0;
         self.supersteps = 0;
+        self.members_admitted = 0;
+        self.members_retired = 0;
+        self.peak_members = 0;
         self.per_kernel.clear();
         self.logical.clear();
         if let Some(ev) = self.events.as_mut() {
@@ -400,6 +457,24 @@ mod tests {
             total_members: 1,
         });
         assert!((t - 1.0).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn membership_counters_track_admission_and_peak() {
+        let mut tr = Trace::recording(Backend::hybrid_cpu());
+        tr.membership(4, 0, 4);
+        tr.membership(2, 1, 5);
+        tr.membership(0, 5, 0);
+        assert_eq!(tr.members_admitted(), 6);
+        assert_eq!(tr.members_retired(), 6);
+        assert_eq!(tr.peak_members(), 5);
+        // Membership survives replay and is cleared by reset.
+        let re = tr.replay_as(Backend::hybrid_cpu());
+        assert_eq!(re.members_admitted(), 6);
+        assert_eq!(re.peak_members(), 5);
+        tr.reset();
+        assert_eq!(tr.members_admitted(), 0);
+        assert_eq!(tr.peak_members(), 0);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Serving throughput — dynamic batch admission vs sequential fixed
+//! batches, on the divergent workloads of
+//! `examples/batch_divergent_workload.rs`.
+//!
+//! Three execution modes over the same request stream:
+//!
+//! - **join-at-entry** — the `autobatch-serve` server admits pending
+//!   requests into the in-flight batch whenever a lane frees up;
+//! - **drain+refill** — the same server, but admission waits for the
+//!   machine to empty (sequential fixed batches through the serving
+//!   stack);
+//! - **one-shot batches** — a fixed-size batch loop with no serving
+//!   layer at all: plain `PcVm::run` for binom, and one `PcMachine` per
+//!   chunk for NUTS so every chain runs under the same RNG member key as
+//!   in the served modes (trajectory lengths depend on the draws; all
+//!   three rows must price identical trajectories).
+//!
+//! Workloads: recursive binomial coefficients `C(n, k)` whose recursion
+//! tree depends on both inputs, and NUTS on Neal's funnel, whose
+//! trajectory lengths vary wildly per chain. Both are priced on the
+//! hybrid CPU backend. Expected shape: join-at-entry wins because
+//! stragglers no longer serialize the queue — fresh requests share block
+//! launches with members deep in recursion (the paper's pc batching at
+//! work), so supersteps per request drop.
+//!
+//! Usage: `serve_throughput [requests] [batch]` (defaults 48, 8).
+//! `--smoke` runs a tiny configuration for CI and still writes the
+//! `results/BENCH_serve_throughput.json` artifact.
+
+use std::sync::Arc;
+
+use autobatch_accel::{Backend, Trace};
+use autobatch_bench::{fmt_sig, json_str, print_table, write_csv, write_json};
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions, PcMachine, PcVm};
+use autobatch_lang::compile;
+use autobatch_models::NealsFunnel;
+use autobatch_nuts::{BatchNuts, NutsConfig};
+use autobatch_serve::{AdmissionPolicy, BatchServer, NutsServer, Request};
+use autobatch_tensor::{CounterRng, Tensor};
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+struct ModeResult {
+    mode: &'static str,
+    supersteps: u64,
+    launches: u64,
+    sim_time: f64,
+}
+
+/// Divergent (n, k) request stream: every fourth request is a straggler
+/// with a large recursion tree, the rest are shallow.
+fn binom_stream(n_requests: usize) -> Vec<(i64, i64)> {
+    (0..n_requests)
+        .map(|i| {
+            if i % 4 == 0 {
+                (14 + (i % 3) as i64, 7)
+            } else {
+                (3 + (i % 5) as i64, 1 + (i % 2) as i64)
+            }
+        })
+        .collect()
+}
+
+/// Run the three modes — two serving policies plus the one-shot
+/// fixed-batch baseline — each against a fresh [`Trace`]. The workload
+/// itself lives in the two closures.
+fn run_modes(
+    batch: usize,
+    mut serve: impl FnMut(AdmissionPolicy, &mut Trace),
+    mut one_shot: impl FnMut(&mut Trace),
+) -> Vec<ModeResult> {
+    let mut out = Vec::new();
+    for (mode, policy) in [
+        (
+            "join-at-entry",
+            Some(AdmissionPolicy::JoinAtEntry {
+                max_batch: batch,
+                min_utilization: 1.0,
+            }),
+        ),
+        (
+            "drain+refill",
+            Some(AdmissionPolicy::DrainAndRefill { max_batch: batch }),
+        ),
+        ("one-shot batches", None),
+    ] {
+        let mut tr = Trace::new(Backend::hybrid_cpu());
+        match policy {
+            Some(policy) => serve(policy, &mut tr),
+            None => one_shot(&mut tr),
+        }
+        out.push(ModeResult {
+            mode,
+            supersteps: tr.supersteps(),
+            launches: tr.launches(),
+            sim_time: tr.sim_time(),
+        });
+    }
+    out
+}
+
+fn binom_modes(n_requests: usize, batch: usize) -> Vec<ModeResult> {
+    let program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (pc, _) = lower(&program, LoweringOptions::default()).expect("binom lowers");
+    let opts = ExecOptions::default();
+    let stream = binom_stream(n_requests);
+    run_modes(
+        batch,
+        |policy, tr| {
+            let mut server =
+                BatchServer::new(&pc, KernelRegistry::new(), opts, policy).expect("server");
+            for (i, &(n, k)) in stream.iter().enumerate() {
+                server
+                    .submit(Request {
+                        id: i as u64,
+                        inputs: vec![
+                            Tensor::from_i64(&[n], &[1]).expect("n"),
+                            Tensor::from_i64(&[k], &[1]).expect("k"),
+                        ],
+                        seed: i as u64,
+                    })
+                    .expect("submit");
+            }
+            let done = server.run_until_idle(Some(tr)).expect("serve");
+            assert_eq!(done.len(), stream.len());
+        },
+        |tr| {
+            // binom draws no randomness, so the classic PcVm::run with
+            // its identity lane keys prices the identical workload.
+            let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
+            for chunk in stream.chunks(batch) {
+                let ns: Vec<i64> = chunk.iter().map(|&(n, _)| n).collect();
+                let ks: Vec<i64> = chunk.iter().map(|&(_, k)| k).collect();
+                vm.run(
+                    &[
+                        Tensor::from_i64(&ns, &[ns.len()]).expect("ns"),
+                        Tensor::from_i64(&ks, &[ks.len()]).expect("ks"),
+                    ],
+                    Some(tr),
+                )
+                .expect("batch runs");
+            }
+        },
+    )
+}
+
+fn funnel_modes(n_requests: usize, batch: usize) -> Vec<ModeResult> {
+    let dim = 5;
+    let cfg = NutsConfig {
+        step_size: 0.2,
+        n_trajectories: 3,
+        max_depth: 6,
+        leapfrog_steps: 2,
+        seed: 31,
+    };
+    let nuts = BatchNuts::new(Arc::new(NealsFunnel::new(dim)), cfg).expect("NUTS compiles");
+    let rng = CounterRng::new(64);
+    let q0: Vec<Tensor> = (0..n_requests)
+        .map(|i| rng.normal_batch(&[i as i64], &[dim]).row(0).expect("row"))
+        .collect();
+    run_modes(
+        batch,
+        |policy, tr| {
+            let mut server = NutsServer::new(&nuts, policy).expect("server");
+            for (i, q) in q0.iter().enumerate() {
+                server.submit(i as u64, q, i as u64).expect("submit");
+            }
+            let done = server.run_until_idle(Some(tr)).expect("serve");
+            assert_eq!(done.len(), n_requests);
+        },
+        |tr| {
+            // NUTS trajectories depend on the RNG member keys, so the
+            // fixed-batch baseline must run each chain under the same key
+            // the served modes use (its request index) — otherwise the
+            // modes price different trajectories, not different
+            // scheduling. One PcMachine per chunk, admitted up front and
+            // run to empty, is exactly a one-shot batch with chosen keys.
+            for (c, chunk) in q0.chunks(batch).enumerate() {
+                let mut m = PcMachine::new(
+                    nuts.lowered(),
+                    nuts.registry().clone(),
+                    nuts.exec_options(),
+                );
+                let inputs: Vec<Vec<Tensor>> = chunk
+                    .iter()
+                    .map(|q| nuts.request_inputs(q).expect("inputs"))
+                    .collect();
+                let reqs: Vec<(&[Tensor], u64)> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, ins)| (ins.as_slice(), (c * batch + j) as u64))
+                    .collect();
+                m.admit_batch(&reqs, Some(tr)).expect("admit");
+                let done = m.run_to_completion(Some(tr)).expect("batch runs");
+                assert_eq!(done.len(), chunk.len());
+            }
+        },
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pos: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let (n_requests, batch) = if smoke {
+        (8, 4)
+    } else {
+        (
+            pos.first().copied().unwrap_or(48),
+            pos.get(1).copied().unwrap_or(8),
+        )
+    };
+
+    let header = [
+        "workload",
+        "mode",
+        "requests",
+        "batch",
+        "supersteps",
+        "launches",
+        "sim-time-s",
+        "req-per-s",
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (workload, results) in [
+        ("binom", binom_modes(n_requests, batch)),
+        ("funnel-nuts", funnel_modes(n_requests, batch)),
+    ] {
+        for r in &results {
+            let throughput = n_requests as f64 / r.sim_time;
+            rows.push(vec![
+                workload.to_string(),
+                r.mode.to_string(),
+                n_requests.to_string(),
+                batch.to_string(),
+                r.supersteps.to_string(),
+                r.launches.to_string(),
+                fmt_sig(r.sim_time),
+                fmt_sig(throughput),
+            ]);
+            json.push(vec![
+                ("workload", json_str(workload)),
+                ("mode", json_str(r.mode)),
+                ("requests", n_requests.to_string()),
+                ("batch", batch.to_string()),
+                ("supersteps", r.supersteps.to_string()),
+                ("launches", r.launches.to_string()),
+                ("sim_time_s", format!("{:.9}", r.sim_time)),
+                ("requests_per_s", format!("{:.6}", throughput)),
+            ]);
+        }
+        let dynamic = results
+            .iter()
+            .find(|r| r.mode == "join-at-entry")
+            .expect("mode present");
+        let sequential = results
+            .iter()
+            .find(|r| r.mode == "drain+refill")
+            .expect("mode present");
+        println!(
+            "{workload}: dynamic admission {} vs sequential {} → speedup {:.2}×",
+            fmt_sig(dynamic.sim_time),
+            fmt_sig(sequential.sim_time),
+            sequential.sim_time / dynamic.sim_time,
+        );
+    }
+    print_table(
+        "Serving throughput: dynamic admission vs fixed batches (hybrid-cpu)",
+        &header,
+        &rows,
+    );
+    write_csv("serve_throughput.csv", &header, &rows);
+    write_json("BENCH_serve_throughput.json", &json);
+}

@@ -82,6 +82,37 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("wrote {}", path.display());
 }
 
+/// Write a flat list of `(key, value)` records as a JSON array of
+/// objects under `results/` — the `BENCH_*.json` perf-trajectory
+/// artifacts CI uploads. Values are emitted verbatim, so pass
+/// already-JSON-formatted numbers or quoted strings.
+///
+/// # Panics
+///
+/// Panics on I/O failure — the harness has nowhere sensible to recover to.
+pub fn write_json(name: &str, rows: &[Vec<(&str, String)>]) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create json");
+    writeln!(f, "[").expect("write");
+    for (i, row) in rows.iter().enumerate() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(f, "  {{{}}}{comma}", fields.join(", ")).expect("write row");
+    }
+    writeln!(f, "]").expect("write");
+    println!("wrote {}", path.display());
+}
+
+/// Quote a string for [`write_json`] values.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
 /// Format a float compactly for tables.
 pub fn fmt_sig(x: f64) -> String {
     if x == 0.0 {

@@ -94,6 +94,7 @@ pub struct PcVm<'p> {
     opts: ExecOptions,
 }
 
+#[derive(Debug)]
 struct State {
     z: usize,
     pc_top: Vec<usize>,
@@ -101,6 +102,34 @@ struct State {
     pc_stack: Vec<Vec<usize>>,
     stacked: BTreeMap<Var, StackVar>,
     registers: BTreeMap<Var, Option<Tensor>>,
+    /// Per-member RNG key: the `member` argument handed to the
+    /// counter-based RNG. A one-shot [`PcVm::run`] uses the lane index;
+    /// [`PcMachine`] assigns each admitted request its own key so a
+    /// member's draws are identical whether it runs alone or joins a
+    /// batch mid-flight, in any admission order.
+    member_keys: Vec<u64>,
+}
+
+impl State {
+    fn new(p: &Program, z: usize) -> State {
+        let n_blocks = p.blocks.len();
+        State {
+            z,
+            pc_top: vec![p.entry.0; z],
+            pc_stack: vec![vec![n_blocks]; z], // exit sentinel at the bottom
+            stacked: p
+                .stacked_vars()
+                .into_iter()
+                .map(|v| (v, StackVar::new(z)))
+                .collect(),
+            registers: p
+                .register_vars()
+                .into_iter()
+                .map(|v| (v, None))
+                .collect(),
+            member_keys: (0..z as u64).collect(),
+        }
+    }
 }
 
 impl<'p> PcVm<'p> {
@@ -160,21 +189,7 @@ impl<'p> PcVm<'p> {
             }
         }
         let n_blocks = p.blocks.len();
-        let mut st = State {
-            z,
-            pc_top: vec![p.entry.0; z],
-            pc_stack: vec![vec![n_blocks]; z], // exit sentinel at the bottom
-            stacked: p
-                .stacked_vars()
-                .into_iter()
-                .map(|v| (v, StackVar::new(z)))
-                .collect(),
-            registers: p
-                .register_vars()
-                .into_iter()
-                .map(|v| (v, None))
-                .collect(),
-        };
+        let mut st = State::new(p, z);
         // Algorithm 2's "PUSH T onto x": bind the batch inputs.
         let all = vec![true; z];
         for (v, t) in p.inputs.iter().zip(inputs) {
@@ -190,115 +205,7 @@ impl<'p> PcVm<'p> {
                     limit: self.opts.max_supersteps,
                 });
             }
-            let active: Vec<bool> = st.pc_top.iter().map(|&pc| pc == i).collect();
-            let active_idx: Vec<usize> = (0..z).filter(|&b| active[b]).collect();
-            if let Some(t) = trace.as_deref_mut() {
-                t.superstep();
-            }
-            let fused = trace
-                .as_deref()
-                .map(|t| !matches!(t.backend().mode, DispatchMode::Eager))
-                .unwrap_or(false);
-            let functional = trace
-                .as_deref()
-                .map(|t| t.functional_stack_updates())
-                .unwrap_or(false);
-
-            let mut temps: BTreeMap<Var, Tensor> = BTreeMap::new();
-            let mut block_cost = OpCost::default();
-            let mut block_random_bytes = 0.0f64;
-            let block = &p.blocks[i].clone();
-            for op in &block.ops {
-                match op {
-                    Op::Compute { outs, prim, ins } => {
-                        let cost = self.exec_compute(
-                            &mut st,
-                            &mut temps,
-                            prim,
-                            outs,
-                            ins,
-                            &active,
-                            &active_idx,
-                            &rng,
-                            &mut trace,
-                            &mut block_random_bytes,
-                            fused,
-                            functional,
-                        )?;
-                        block_cost.flops += cost.flops;
-                        block_cost.bytes += cost.bytes;
-                        block_cost.parallel = block_cost.parallel.max(cost.parallel);
-                    }
-                    Op::Pop { var } => {
-                        let (seq, rand) =
-                            self.pop_var(&mut st, var, &active, &active_idx, &mut trace, fused, functional)?;
-                        block_random_bytes += seq + rand;
-                    }
-                }
-            }
-            // Terminator.
-            match &block.term {
-                Terminator::Jump(t) => {
-                    for &b in &active_idx {
-                        st.pc_top[b] = t.0;
-                    }
-                }
-                Terminator::Branch { cond, then_, else_ } => {
-                    let c = self.read_var(&st, &temps, cond, "branch")?;
-                    let cv = c.as_bool()?;
-                    // Under gather/scatter the condition may be a
-                    // compacted temp (one row per *active* member).
-                    let compacted = cv.len() == active_idx.len() && cv.len() != z;
-                    for (pos, &b) in active_idx.iter().enumerate() {
-                        let bit = if compacted { cv[pos] } else { cv[b] };
-                        st.pc_top[b] = if bit { then_.0 } else { else_.0 };
-                    }
-                }
-                Terminator::PushJump { enter, resume } => {
-                    for &b in &active_idx {
-                        if st.pc_stack[b].len() >= self.opts.stack_depth {
-                            return Err(VmError::StackOverflow {
-                                var: Var::new("%pc"),
-                                limit: self.opts.stack_depth,
-                            });
-                        }
-                        st.pc_stack[b].push(resume.0);
-                        st.pc_top[b] = enter.0;
-                    }
-                    // pc stack traffic: one index per active member.
-                    let (seq, rand) =
-                        pc_traffic(&mut trace, self.opts.stack_depth, z, active_idx.len(), fused);
-                    block_random_bytes += seq + rand;
-                }
-                Terminator::Return => {
-                    for &b in &active_idx {
-                        match st.pc_stack[b].pop() {
-                            Some(r) => st.pc_top[b] = r,
-                            None => {
-                                return Err(VmError::StackUnderflow {
-                                    var: Var::new("%pc"),
-                                })
-                            }
-                        }
-                    }
-                    let (seq, rand) =
-                        pc_traffic(&mut trace, self.opts.stack_depth, z, active_idx.len(), fused);
-                    block_random_bytes += seq + rand;
-                }
-            }
-            if fused {
-                if let Some(t) = trace.as_deref_mut() {
-                    t.launch(&LaunchRecord {
-                        kernel: format!("block:{i}"),
-                        flops: block_cost.flops,
-                        bytes: block_cost.bytes,
-                        random_bytes: block_random_bytes,
-                        parallel: block_cost.parallel.max(1),
-                        active_members: active_idx.len(),
-                        total_members: z,
-                    });
-                }
-            }
+            let active = self.run_block(&mut st, i, &rng, &mut trace)?;
             if let Some(obs) = observer.as_deref_mut() {
                 let stacks: BTreeMap<Var, StackSnapshot> = st
                     .stacked
@@ -328,6 +235,135 @@ impl<'p> PcVm<'p> {
             .iter()
             .map(|o| self.read_var(&st, &BTreeMap::new(), o, "outputs"))
             .collect()
+    }
+
+    /// Execute one superstep on block `i`: all ops, the terminator, and
+    /// (under fused dispatch) the single block launch. Returns the active
+    /// mask of the step. Shared between the one-shot [`PcVm::run`] loop
+    /// and the incremental [`PcMachine::step`].
+    fn run_block(
+        &self,
+        st: &mut State,
+        i: usize,
+        rng: &CounterRng,
+        trace: &mut Option<&mut Trace>,
+    ) -> Result<Vec<bool>> {
+        let p = self.program;
+        let z = st.z;
+        let active: Vec<bool> = st.pc_top.iter().map(|&pc| pc == i).collect();
+        let active_idx: Vec<usize> = (0..z).filter(|&b| active[b]).collect();
+        if let Some(t) = trace.as_deref_mut() {
+            t.superstep();
+        }
+        let fused = trace
+            .as_deref()
+            .map(|t| !matches!(t.backend().mode, DispatchMode::Eager))
+            .unwrap_or(false);
+        let functional = trace
+            .as_deref()
+            .map(|t| t.functional_stack_updates())
+            .unwrap_or(false);
+
+        let mut temps: BTreeMap<Var, Tensor> = BTreeMap::new();
+        let mut block_cost = OpCost::default();
+        let mut block_random_bytes = 0.0f64;
+        let block = &p.blocks[i];
+        for op in &block.ops {
+            match op {
+                Op::Compute { outs, prim, ins } => {
+                    let cost = self.exec_compute(
+                        st,
+                        &mut temps,
+                        prim,
+                        outs,
+                        ins,
+                        &active,
+                        &active_idx,
+                        rng,
+                        trace,
+                        &mut block_random_bytes,
+                        fused,
+                        functional,
+                    )?;
+                    block_cost.flops += cost.flops;
+                    block_cost.bytes += cost.bytes;
+                    block_cost.parallel = block_cost.parallel.max(cost.parallel);
+                }
+                Op::Pop { var } => {
+                    let (seq, rand) =
+                        self.pop_var(st, var, &active, &active_idx, trace, fused, functional)?;
+                    block_random_bytes += seq + rand;
+                }
+            }
+        }
+        // Terminator.
+        match &block.term {
+            Terminator::Jump(t) => {
+                for &b in &active_idx {
+                    st.pc_top[b] = t.0;
+                }
+            }
+            Terminator::Branch { cond, then_, else_ } => {
+                let c = self.read_var(st, &temps, cond, "branch")?;
+                let cv = c.as_bool()?;
+                // Under gather/scatter the condition may be a
+                // compacted temp (one row per *active* member).
+                let compacted = cv.len() == active_idx.len() && cv.len() != z;
+                for (pos, &b) in active_idx.iter().enumerate() {
+                    let bit = if compacted { cv[pos] } else { cv[b] };
+                    st.pc_top[b] = if bit { then_.0 } else { else_.0 };
+                }
+            }
+            Terminator::PushJump { enter, resume } => {
+                for &b in &active_idx {
+                    // The bottom exit sentinel is not a real frame:
+                    // members may hold `stack_depth` return addresses,
+                    // matching the data stacks' capacity, so pc and data
+                    // stacks overflow at the same recursion depth.
+                    if st.pc_stack[b].len() > self.opts.stack_depth {
+                        return Err(VmError::StackOverflow {
+                            var: Var::new("%pc"),
+                            limit: self.opts.stack_depth,
+                        });
+                    }
+                    st.pc_stack[b].push(resume.0);
+                    st.pc_top[b] = enter.0;
+                }
+                // pc stack traffic: one index per active member.
+                let (seq, rand) =
+                    pc_traffic(trace, self.opts.stack_depth, z, active_idx.len(), fused);
+                block_random_bytes += seq + rand;
+            }
+            Terminator::Return => {
+                for &b in &active_idx {
+                    match st.pc_stack[b].pop() {
+                        Some(r) => st.pc_top[b] = r,
+                        None => {
+                            return Err(VmError::StackUnderflow {
+                                var: Var::new("%pc"),
+                            })
+                        }
+                    }
+                }
+                let (seq, rand) =
+                    pc_traffic(trace, self.opts.stack_depth, z, active_idx.len(), fused);
+                block_random_bytes += seq + rand;
+            }
+        }
+        if fused {
+            if let Some(t) = trace.as_deref_mut() {
+                t.launch(&LaunchRecord {
+                    kernel: format!("block:{i}"),
+                    flops: block_cost.flops,
+                    bytes: block_cost.bytes,
+                    random_bytes: block_random_bytes,
+                    parallel: block_cost.parallel.max(1),
+                    active_members: active_idx.len(),
+                    total_members: z,
+                });
+            }
+        }
+        Ok(active)
     }
 
     /// Execute one `Compute` op under the configured strategy.
@@ -371,8 +407,7 @@ impl<'p> PcVm<'p> {
                     .iter()
                     .map(|v| self.read_var_mut_temps(st, temps, v))
                     .collect::<Result<_>>()?;
-                let members: Vec<u64> = (0..z as u64).collect();
-                let results = eval_prim(prim, &inputs, &members, rng, &self.registry)?;
+                let results = eval_prim(prim, &inputs, &st.member_keys, rng, &self.registry)?;
                 let cost = prim_cost(prim, &inputs, &results, &self.registry);
                 (results, cost, 0.0)
             }
@@ -389,7 +424,7 @@ impl<'p> PcVm<'p> {
                         }
                     })
                     .collect::<Result<_>>()?;
-                let members: Vec<u64> = active_idx.iter().map(|&b| b as u64).collect();
+                let members: Vec<u64> = active_idx.iter().map(|&b| st.member_keys[b]).collect();
                 let results = eval_prim(prim, &inputs, &members, rng, &self.registry)?;
                 let cost = prim_cost(prim, &inputs, &results, &self.registry);
                 let moved: f64 = inputs
@@ -639,6 +674,394 @@ impl<'p> PcVm<'p> {
     }
 }
 
+/// A member retired from a [`PcMachine`]: its admission ticket, RNG key,
+/// and the program outputs for that member (each tensor `[1, elem..]`).
+#[derive(Debug, Clone)]
+pub struct Retired {
+    /// The ticket returned by [`PcMachine::admit`].
+    pub ticket: u64,
+    /// The RNG member key the request ran under.
+    pub key: u64,
+    /// One `[1, elem..]` tensor per program output.
+    pub outputs: Vec<Tensor>,
+}
+
+/// An incremental program-counter VM supporting **dynamic batch
+/// admission**: members join an in-flight batch at the entry block (with
+/// fresh stacks) and are compacted out once their pc top hits the exit.
+///
+/// Because every random draw is keyed by `(seed, member_key, counter)`
+/// and each lane carries its own `member_key`, a member's results are
+/// bit-identical whether it runs alone or joins a busy batch mid-flight —
+/// admission order cannot perturb results. This is what turns the
+/// one-shot batched VM into a serving runtime (see the `autobatch-serve`
+/// crate).
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_core::{lower, KernelRegistry, LoweringOptions, PcMachine, ExecOptions};
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_tensor::Tensor;
+///
+/// let (program, _) = lower(&fibonacci_program(), LoweringOptions::default())?;
+/// let mut m = PcMachine::new(&program, KernelRegistry::new(), ExecOptions::default());
+/// m.admit(&[Tensor::from_i64(&[6], &[1])?], 0, None)?;
+/// m.step(None)?; // ... and mid-flight:
+/// m.admit(&[Tensor::from_i64(&[9], &[1])?], 1, None)?;
+/// let done = m.run_to_completion(None)?;
+/// let mut fib: Vec<i64> = done
+///     .iter()
+///     .map(|r| r.outputs[0].as_i64().map(|v| v[0]))
+///     .collect::<Result<_, _>>()?;
+/// fib.sort_unstable();
+/// assert_eq!(fib, vec![13, 55]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PcMachine<'p> {
+    vm: PcVm<'p>,
+    st: State,
+    rng: CounterRng,
+    /// Lane → admission ticket.
+    tickets: Vec<u64>,
+    next_ticket: u64,
+    steps: u64,
+    last_active: usize,
+}
+
+impl<'p> PcMachine<'p> {
+    /// Create an empty machine (no members) for a lowered program.
+    pub fn new(program: &'p Program, registry: KernelRegistry, opts: ExecOptions) -> Self {
+        let rng = CounterRng::new(opts.seed);
+        let st = State::new(program, 0);
+        PcMachine {
+            vm: PcVm::new(program, registry, opts),
+            st,
+            rng,
+            tickets: Vec::new(),
+            next_ticket: 0,
+            steps: 0,
+            last_active: 0,
+        }
+    }
+
+    /// The program this machine executes.
+    pub fn program(&self) -> &Program {
+        self.vm.program
+    }
+
+    /// Live members (running + finished-but-not-yet-retired).
+    pub fn live(&self) -> usize {
+        self.st.z
+    }
+
+    /// Members whose pc top has not yet reached the exit.
+    pub fn running(&self) -> usize {
+        let n_blocks = self.vm.program.blocks.len();
+        self.st.pc_top.iter().filter(|&&pc| pc < n_blocks).count()
+    }
+
+    /// Members that finished and are waiting to be retired.
+    pub fn finished(&self) -> usize {
+        self.live() - self.running()
+    }
+
+    /// Supersteps executed so far (counts toward
+    /// [`ExecOptions::max_supersteps`]).
+    pub fn supersteps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Active members in the most recent superstep (0 before any step).
+    /// Admission policies read this as a utilization signal.
+    pub fn last_active(&self) -> usize {
+        self.last_active
+    }
+
+    /// Supersteps left before [`ExecOptions::max_supersteps`] trips —
+    /// the limit is cumulative over the machine's lifetime. Zero means
+    /// [`PcMachine::step`] can only error from here on; admission layers
+    /// check this so they never strand fresh work in a machine that
+    /// cannot run it.
+    pub fn step_budget_remaining(&self) -> u64 {
+        self.vm.opts.max_supersteps.saturating_sub(self.steps)
+    }
+
+    /// Admission tickets of the live members, lane by lane.
+    pub fn tickets(&self) -> &[u64] {
+        &self.tickets
+    }
+
+    /// Admit one member at the entry block with fresh stacks. `inputs`
+    /// holds one `[1, elem..]` tensor per program input; `key` is the RNG
+    /// member key the lane draws under. Returns an admission ticket.
+    ///
+    /// All existing lanes are untouched: buffers grow by one zeroed lane
+    /// (exactly the state a fresh batch starts from), so live members'
+    /// results are unchanged by the admission. To admit several members
+    /// at once, [`PcMachine::admit_batch`] grows every buffer a single
+    /// time instead of once per member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadInputs`] on arity or shape mismatch.
+    pub fn admit(
+        &mut self,
+        inputs: &[Tensor],
+        key: u64,
+        trace: Option<&mut Trace>,
+    ) -> Result<u64> {
+        self.admit_batch(&[(inputs, key)], trace)
+            .map(|tickets| tickets[0])
+    }
+
+    /// Admit several members at once: each entry holds one `[1, elem..]`
+    /// tensor per program input plus the lane's RNG member key. Every
+    /// per-member buffer grows by `requests.len()` zeroed lanes in a
+    /// single pad (one copy of the live state, however many members
+    /// join), so a full batch refill costs the same as one admission.
+    /// Returns one admission ticket per request, in order.
+    ///
+    /// Programs are shape-polymorphic (like [`PcVm::run`], which accepts
+    /// any consistently-shaped batch), so the machine's **first**
+    /// admission fixes each input's element shape and dtype for the
+    /// machine's lifetime — the buffers keep their trailing shape even
+    /// when every lane retires — and all later admissions are validated
+    /// against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadInputs`] on arity mismatch, non-row inputs,
+    /// or disagreement with the established element shapes/dtypes;
+    /// validation happens before the machine is touched.
+    pub fn admit_batch(
+        &mut self,
+        requests: &[(&[Tensor], u64)],
+        trace: Option<&mut Trace>,
+    ) -> Result<Vec<u64>> {
+        let k = requests.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let p = self.vm.program;
+        for (inputs, _) in requests {
+            if inputs.len() != p.inputs.len() {
+                return Err(VmError::BadInputs {
+                    what: format!("expected {} inputs, got {}", p.inputs.len(), inputs.len()),
+                });
+            }
+            for t in *inputs {
+                if t.rank() == 0 || t.shape()[0] != 1 {
+                    return Err(VmError::BadInputs {
+                        what: format!(
+                            "admitted inputs must be single-member rows [1, ..], got {:?}",
+                            t.shape()
+                        ),
+                    });
+                }
+            }
+        }
+        // Stack the requests' rows per program input — [k, elem..] each —
+        // before any growth, so cross-request shape mismatches surface
+        // while the machine is still untouched.
+        let stacked_inputs: Vec<Tensor> = (0..p.inputs.len())
+            .map(|j| {
+                let rows: Vec<Tensor> = requests.iter().map(|(ins, _)| ins[j].clone()).collect();
+                Tensor::concat_rows(&rows).map_err(VmError::from)
+            })
+            .collect::<Result<_>>()?;
+        // The rows must also agree with the *live* lanes' buffers: a
+        // masked store silently reallocates on shape or dtype change, so
+        // a mismatched admission would zero or corrupt in-flight members.
+        // Check against whatever full-width buffer the var currently
+        // holds — still before the machine is touched.
+        for (v, rows) in p.inputs.iter().zip(&stacked_inputs) {
+            let live = if let Some(s) = self.st.stacked.get(v) {
+                s.top
+                    .as_ref()
+                    .map(|t| (t.shape()[1..].to_vec(), t.dtype()))
+                    .or_else(|| s.store.as_ref().map(|t| (t.shape()[2..].to_vec(), t.dtype())))
+            } else {
+                self.st
+                    .registers
+                    .get(v)
+                    .and_then(|slot| slot.as_ref())
+                    .map(|t| (t.shape()[1..].to_vec(), t.dtype()))
+            };
+            if let Some((elem, dtype)) = live {
+                if rows.shape()[1..] != elem[..] || rows.dtype() != dtype {
+                    return Err(VmError::BadInputs {
+                        what: format!(
+                            "admitted input {v} rows are {:?} {:?}, but the live \
+                             batch holds {:?} {:?}",
+                            &rows.shape()[1..],
+                            rows.dtype(),
+                            elem,
+                            dtype
+                        ),
+                    });
+                }
+            }
+        }
+        let z = self.st.z;
+        // Grow every per-member structure by k zeroed lanes at once.
+        self.st.z = z + k;
+        self.st.pc_top.extend(std::iter::repeat_n(p.entry.0, k));
+        self.st
+            .pc_stack
+            .extend(std::iter::repeat_n(vec![p.blocks.len()], k)); // exit sentinel
+        self.st.member_keys.extend(requests.iter().map(|&(_, key)| key));
+        for s in self.st.stacked.values_mut() {
+            s.sp.extend(std::iter::repeat_n(0, k));
+            if let Some(top) = &s.top {
+                s.top = Some(top.pad_rows(k)?);
+            }
+            if let Some(store) = &s.store {
+                s.store = Some(store.pad_axis1(k)?);
+            }
+        }
+        for slot in self.st.registers.values_mut() {
+            if let Some(t) = slot {
+                *slot = Some(t.pad_rows(k)?);
+            }
+        }
+        // Bind the inputs into the new lanes only.
+        let mut active = vec![false; z + k];
+        active[z..].fill(true);
+        let new_lanes: Vec<usize> = (z..z + k).collect();
+        for (v, rows) in p.inputs.iter().zip(stacked_inputs) {
+            let mut shape = rows.shape().to_vec();
+            shape[0] = z + k;
+            let mut full = Tensor::zeros(rows.dtype(), &shape);
+            full.scatter_rows(&new_lanes, &rows)?;
+            self.vm.write_var(
+                &mut self.st,
+                v,
+                full,
+                &active,
+                &mut BTreeMap::new(),
+                WriteKind::Update,
+                false,
+            )?;
+        }
+        let tickets: Vec<u64> = (self.next_ticket..self.next_ticket + k as u64).collect();
+        self.next_ticket += k as u64;
+        self.tickets.extend_from_slice(&tickets);
+        if let Some(t) = trace {
+            t.membership(k, 0, self.st.z);
+        }
+        Ok(tickets)
+    }
+
+    /// Run one superstep. Returns `false` (and does nothing) when no
+    /// member is runnable — all lanes are finished or the machine is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`PcVm::run`]; the superstep count is cumulative over the
+    /// machine's lifetime.
+    pub fn step(&mut self, mut trace: Option<&mut Trace>) -> Result<bool> {
+        let n_blocks = self.vm.program.blocks.len();
+        let Some(i) = select_block(&self.st.pc_top, n_blocks, self.vm.opts.heuristic) else {
+            self.last_active = 0;
+            return Ok(false);
+        };
+        self.steps += 1;
+        if self.steps > self.vm.opts.max_supersteps {
+            return Err(VmError::StepLimit {
+                limit: self.vm.opts.max_supersteps,
+            });
+        }
+        let active = self.vm.run_block(&mut self.st, i, &self.rng, &mut trace)?;
+        self.last_active = active.iter().filter(|&&a| a).count();
+        Ok(true)
+    }
+
+    /// Retire every finished member: read its outputs, then compact its
+    /// lane out of all batch structures (the member-set shrink of dynamic
+    /// admission). Returns the retired members in lane order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates output-read errors.
+    pub fn retire_finished(&mut self, trace: Option<&mut Trace>) -> Result<Vec<Retired>> {
+        let p = self.vm.program;
+        let n_blocks = p.blocks.len();
+        let done: Vec<usize> = (0..self.st.z)
+            .filter(|&b| self.st.pc_top[b] >= n_blocks)
+            .collect();
+        if done.is_empty() {
+            return Ok(Vec::new());
+        }
+        let outs_full: Vec<Tensor> = p
+            .outputs
+            .iter()
+            .map(|o| self.vm.read_var(&self.st, &BTreeMap::new(), o, "outputs"))
+            .collect::<Result<_>>()?;
+        let mut retired = Vec::with_capacity(done.len());
+        for &b in &done {
+            let outputs: Vec<Tensor> = outs_full
+                .iter()
+                .map(|t| t.gather_rows(&[b]).map_err(VmError::from))
+                .collect::<Result<_>>()?;
+            retired.push(Retired {
+                ticket: self.tickets[b],
+                key: self.st.member_keys[b],
+                outputs,
+            });
+        }
+        // Compact the surviving lanes together.
+        let keep: Vec<usize> = (0..self.st.z)
+            .filter(|&b| self.st.pc_top[b] < n_blocks)
+            .collect();
+        self.st.pc_top = keep.iter().map(|&b| self.st.pc_top[b]).collect();
+        self.st.pc_stack = keep
+            .iter()
+            .map(|&b| std::mem::take(&mut self.st.pc_stack[b]))
+            .collect();
+        self.st.member_keys = keep.iter().map(|&b| self.st.member_keys[b]).collect();
+        self.tickets = keep.iter().map(|&b| self.tickets[b]).collect();
+        for s in self.st.stacked.values_mut() {
+            s.sp = keep.iter().map(|&b| s.sp[b]).collect();
+            if let Some(top) = &s.top {
+                s.top = Some(top.gather_rows(&keep)?);
+            }
+            if let Some(store) = &s.store {
+                s.store = Some(store.select_axis1(&keep)?);
+            }
+        }
+        for slot in self.st.registers.values_mut() {
+            if let Some(t) = slot {
+                *slot = Some(t.gather_rows(&keep)?);
+            }
+        }
+        self.st.z = keep.len();
+        if let Some(t) = trace {
+            t.membership(0, done.len(), self.st.z);
+        }
+        Ok(retired)
+    }
+
+    /// Step until no member is runnable, retiring as members finish.
+    /// Returns all members retired during the call.
+    ///
+    /// # Errors
+    ///
+    /// As [`PcMachine::step`] / [`PcMachine::retire_finished`].
+    pub fn run_to_completion(&mut self, mut trace: Option<&mut Trace>) -> Result<Vec<Retired>> {
+        let mut all = Vec::new();
+        loop {
+            all.extend(self.retire_finished(trace.as_deref_mut())?);
+            if !self.step(trace.as_deref_mut())? {
+                all.extend(self.retire_finished(trace.as_deref_mut())?);
+                return Ok(all);
+            }
+        }
+    }
+}
+
 /// Masked write into an optional full-width slot.
 fn masked_store(slot: &mut Option<Tensor>, value: Tensor, active: &[bool]) -> Result<()> {
     if value.rank() == 0 || value.shape()[0] != active.len() {
@@ -861,6 +1284,317 @@ mod tests {
         let a = lsab_vm.run(std::slice::from_ref(&input), None).unwrap();
         let b = pc_vm.run(std::slice::from_ref(&input), None).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stack_overflow_error_identical_across_strategies() {
+        // The masked push path guards `sp >= stack_depth` before the
+        // scatter; both execution strategies must surface the exact same
+        // VmError (not, e.g., a tensor bounds error from the scatter).
+        let p = fibonacci_program();
+        for lopts in [LoweringOptions::default(), LoweringOptions::unoptimized()] {
+            let (pc, _) = lower(&p, lopts).unwrap();
+            let errs: Vec<VmError> = [ExecStrategy::Masking, ExecStrategy::GatherScatter]
+                .into_iter()
+                .map(|strategy| {
+                    let opts = ExecOptions {
+                        strategy,
+                        stack_depth: 4,
+                        ..ExecOptions::default()
+                    };
+                    let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
+                    // One deep member among shallow ones: overflow happens
+                    // while only a subset is active.
+                    vm.run(&[Tensor::from_i64(&[1, 25, 2], &[3]).unwrap()], None)
+                        .unwrap_err()
+                })
+                .collect();
+            assert!(
+                matches!(errs[0], VmError::StackOverflow { .. }),
+                "{:?}",
+                errs[0]
+            );
+            assert_eq!(errs[0], errs[1], "strategies disagree under {lopts:?}");
+        }
+    }
+
+    #[test]
+    fn stack_underflow_error_identical_across_strategies() {
+        // A hand-built program that pops a never-pushed stacked variable.
+        use autobatch_ir::pcab::{Block, VarClass};
+        use autobatch_ir::BlockId;
+        let x = Var::new("x");
+        let prog = Program {
+            blocks: vec![Block {
+                ops: vec![Op::Pop { var: x.clone() }],
+                term: Terminator::Return,
+            }],
+            entry: BlockId(0),
+            inputs: vec![x.clone()],
+            outputs: vec![x.clone()],
+            classes: [(x.clone(), VarClass::Stacked)].into_iter().collect(),
+        };
+        prog.validate().unwrap();
+        let errs: Vec<VmError> = [ExecStrategy::Masking, ExecStrategy::GatherScatter]
+            .into_iter()
+            .map(|strategy| {
+                let opts = ExecOptions {
+                    strategy,
+                    ..ExecOptions::default()
+                };
+                let vm = PcVm::new(&prog, KernelRegistry::new(), opts);
+                vm.run(&[Tensor::from_i64(&[1, 2], &[2]).unwrap()], None)
+                    .unwrap_err()
+            })
+            .collect();
+        assert_eq!(errs[0], VmError::StackUnderflow { var: x });
+        assert_eq!(errs[0], errs[1]);
+    }
+
+    #[test]
+    fn pc_and_data_stacks_overflow_at_the_same_depth() {
+        // The pc stack's bottom exit sentinel is not a real frame: a
+        // member may hold `stack_depth` return addresses, exactly the
+        // data stacks' frame capacity.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::unoptimized()).unwrap();
+        let opts = ExecOptions {
+            stack_depth: 3,
+            ..ExecOptions::default()
+        };
+        let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
+        // Depth-3 recursion fits; depth-4 overflows — wherever the limit
+        // bites first, it is the same limit for pc and data stacks.
+        assert!(vm.run(&[Tensor::from_i64(&[4], &[1]).unwrap()], None).is_ok());
+        let err = vm.run(&[Tensor::from_i64(&[7], &[1]).unwrap()], None);
+        assert!(matches!(err, Err(VmError::StackOverflow { limit: 3, .. })), "{err:?}");
+    }
+
+    #[test]
+    fn machine_matches_one_shot_run() {
+        // Admitting everyone up front and running to completion is the
+        // same as PcVm::run (identity member keys).
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let ns = [0i64, 3, 11, 7, 1];
+        let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let oneshot = vm
+            .run(&[Tensor::from_i64(&ns, &[ns.len()]).unwrap()], None)
+            .unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        for (b, &n) in ns.iter().enumerate() {
+            m.admit(&[Tensor::from_i64(&[n], &[1]).unwrap()], b as u64, None)
+                .unwrap();
+        }
+        let mut done = m.run_to_completion(None).unwrap();
+        done.sort_by_key(|r| r.ticket);
+        let got: Vec<i64> = done
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
+        assert_eq!(got, oneshot[0].as_i64().unwrap());
+        assert_eq!(m.live(), 0);
+    }
+
+    #[test]
+    fn mid_flight_admission_is_bit_identical_to_solo_run() {
+        // The headline property of dynamic admission: a member admitted
+        // into a busy batch computes exactly what it computes alone,
+        // because RNG draws are keyed by the member key, not the lane.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let opts = ExecOptions::default();
+
+        // Solo run of the late request under key 77.
+        let mut solo = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        solo.admit(&[Tensor::from_i64(&[9], &[1]).unwrap()], 77, None)
+            .unwrap();
+        let solo_out = solo.run_to_completion(None).unwrap();
+
+        // Same request joins an in-flight batch halfway through.
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        m.admit(&[Tensor::from_i64(&[12], &[1]).unwrap()], 1, None)
+            .unwrap();
+        m.admit(&[Tensor::from_i64(&[8], &[1]).unwrap()], 2, None)
+            .unwrap();
+        for _ in 0..7 {
+            assert!(m.step(None).unwrap());
+        }
+        let late = m
+            .admit(&[Tensor::from_i64(&[9], &[1]).unwrap()], 77, None)
+            .unwrap();
+        let done = m.run_to_completion(None).unwrap();
+        let joined = done.iter().find(|r| r.ticket == late).unwrap();
+        assert_eq!(joined.key, 77);
+        assert_eq!(joined.outputs, solo_out[0].outputs);
+        // And the early members were not perturbed either.
+        let first = done.iter().find(|r| r.ticket == 0).unwrap();
+        assert_eq!(first.outputs[0].as_i64().unwrap(), &[233]);
+    }
+
+    #[test]
+    fn admit_batch_matches_sequential_admits() {
+        // One k-lane pad must be indistinguishable from k single
+        // admissions: same tickets, same keys, bit-identical outputs.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let ns = [5i64, 12, 2, 9];
+        let inputs: Vec<Vec<Tensor>> = ns
+            .iter()
+            .map(|&n| vec![Tensor::from_i64(&[n], &[1]).unwrap()])
+            .collect();
+
+        let mut seq = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        for (i, ins) in inputs.iter().enumerate() {
+            let t = seq.admit(ins, 100 + i as u64, None).unwrap();
+            assert_eq!(t, i as u64);
+        }
+        let mut seq_done = seq.run_to_completion(None).unwrap();
+        seq_done.sort_by_key(|r| r.ticket);
+
+        let mut batched = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let reqs: Vec<(&[Tensor], u64)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, ins)| (ins.as_slice(), 100 + i as u64))
+            .collect();
+        let tickets = batched.admit_batch(&reqs, None).unwrap();
+        assert_eq!(tickets, vec![0, 1, 2, 3]);
+        let mut bat_done = batched.run_to_completion(None).unwrap();
+        bat_done.sort_by_key(|r| r.ticket);
+
+        for (a, b) in seq_done.iter().zip(&bat_done) {
+            assert_eq!(a.ticket, b.ticket);
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.outputs, b.outputs);
+        }
+        // A batch admitted into a non-empty machine also behaves: shape
+        // errors are detected before any growth.
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        m.admit(&inputs[0], 0, None).unwrap();
+        let bad = [Tensor::from_i64(&[1, 2], &[2]).unwrap()];
+        assert!(m.admit_batch(&[(&bad[..], 1)], None).is_err());
+        assert_eq!(m.live(), 1, "failed batch admission must not grow the machine");
+    }
+
+    #[test]
+    fn first_admission_fixes_the_input_spec_across_drains() {
+        // Programs are shape-polymorphic, so the machine's first
+        // admission defines each input's element shape/dtype — and the
+        // spec must survive a full drain (buffers keep their trailing
+        // shape at zero lanes), so a later mismatched request is still
+        // rejected instead of silently re-defining the spec.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        m.admit(&[Tensor::from_i64(&[6], &[1]).unwrap()], 0, None)
+            .unwrap();
+        let done = m.run_to_completion(None).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(m.live(), 0, "machine fully drained");
+        let wide = [Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()];
+        let err = m.admit_batch(&[(&wide[..], 1)], None);
+        assert!(
+            matches!(err, Err(VmError::BadInputs { .. })),
+            "spec must survive the drain, got {err:?}"
+        );
+        // A spec-conforming request is still welcome.
+        m.admit(&[Tensor::from_i64(&[7], &[1]).unwrap()], 2, None)
+            .unwrap();
+        let done = m.run_to_completion(None).unwrap();
+        assert_eq!(done[0].outputs[0].as_i64().unwrap(), &[21]);
+    }
+
+    #[test]
+    fn admission_rejects_rows_that_mismatch_the_live_batch() {
+        // Regression: a row whose trailing shape or dtype disagrees with
+        // the in-flight lanes' buffers must be rejected at admission with
+        // VmError::BadInputs — not accepted and left to corrupt or zero
+        // live members' state deep inside a later superstep.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        m.admit(&[Tensor::from_i64(&[11], &[1]).unwrap()], 0, None)
+            .unwrap();
+        for _ in 0..4 {
+            assert!(m.step(None).unwrap());
+        }
+        // Wrong trailing shape: [1, 2] rows against a scalar-element var.
+        let wide = [Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()];
+        let err = m.admit_batch(&[(&wide[..], 1)], None);
+        assert!(
+            matches!(err, Err(VmError::BadInputs { .. })),
+            "wide row must be rejected, got {err:?}"
+        );
+        // Wrong dtype: f64 rows against an i64 var.
+        let misdtyped = [Tensor::from_f64(&[3.0], &[1]).unwrap()];
+        let err = m.admit_batch(&[(&misdtyped[..], 1)], None);
+        assert!(
+            matches!(err, Err(VmError::BadInputs { .. })),
+            "mis-dtyped row must be rejected, got {err:?}"
+        );
+        // The in-flight member is untouched and completes correctly.
+        assert_eq!(m.live(), 1);
+        let done = m.run_to_completion(None).unwrap();
+        assert_eq!(done[0].outputs[0].as_i64().unwrap(), &[144]);
+    }
+
+    #[test]
+    fn retirement_compacts_lanes_and_keeps_results() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        m.admit(&[Tensor::from_i64(&[2], &[1]).unwrap()], 0, None)
+            .unwrap();
+        m.admit(&[Tensor::from_i64(&[15], &[1]).unwrap()], 1, None)
+            .unwrap();
+        // Step until the short member finishes while the long one runs.
+        let mut retired = Vec::new();
+        while retired.is_empty() {
+            assert!(m.step(None).unwrap(), "short member never finished");
+            retired = m.retire_finished(None).unwrap();
+        }
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].outputs[0].as_i64().unwrap(), &[2]);
+        assert_eq!(m.live(), 1, "finished lane was compacted out");
+        // The survivor still completes correctly in its compacted lane.
+        let rest = m.run_to_completion(None).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].outputs[0].as_i64().unwrap(), &[987]);
+    }
+
+    #[test]
+    fn machine_membership_is_traced() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let mut tr = Trace::new(Backend::hybrid_cpu());
+        m.admit(&[Tensor::from_i64(&[5], &[1]).unwrap()], 0, Some(&mut tr))
+            .unwrap();
+        m.admit(&[Tensor::from_i64(&[6], &[1]).unwrap()], 1, Some(&mut tr))
+            .unwrap();
+        m.run_to_completion(Some(&mut tr)).unwrap();
+        assert_eq!(tr.members_admitted(), 2);
+        assert_eq!(tr.members_retired(), 2);
+        assert_eq!(tr.peak_members(), 2);
+        assert!(tr.supersteps() > 0);
+        assert!(tr.sim_time() > 0.0);
+    }
+
+    #[test]
+    fn machine_rejects_bad_admissions() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        // Wrong arity.
+        assert!(m.admit(&[], 0, None).is_err());
+        // Multi-row admission is rejected (one member per admit).
+        assert!(m
+            .admit(&[Tensor::from_i64(&[1, 2], &[2]).unwrap()], 0, None)
+            .is_err());
+        // Machine unchanged.
+        assert_eq!(m.live(), 0);
+        assert!(!m.step(None).unwrap());
     }
 
     #[test]

@@ -24,9 +24,11 @@ pub struct ParameterSummary {
     pub q95: f64,
     /// Rank-normalized split-`R̂`.
     pub rhat: f64,
-    /// Bulk effective sample size.
+    /// Bulk effective sample size. Degenerate (constant) chains report
+    /// the sentinel `0.0` — see [`summarize`].
     pub ess_bulk: f64,
-    /// Tail effective sample size.
+    /// Tail effective sample size. Degenerate (constant) chains report
+    /// the sentinel `0.0` — see [`summarize`].
     pub ess_tail: f64,
 }
 
@@ -58,6 +60,15 @@ impl fmt::Display for ParameterSummary {
 
 /// Summarize one scalar parameter from its per-chain draw series.
 ///
+/// Degenerate inputs are handled without `NaN` poisoning: [`ess`](crate::ess)
+/// and [`tail_ess`](crate::tail_ess) return `NaN` for constant chains
+/// (zero variance carries no autocorrelation information), which this
+/// summary maps to the documented sentinel `0.0` — "no effective
+/// samples" — so downstream comparisons like `ess_bulk >= 100.0` and
+/// [`ParameterSummary::looks_converged`] stay well-defined and report
+/// the degenerate case as unconverged. `mcse_mean` for a constant chain
+/// is `0.0` (the mean estimate has zero spread).
+///
 /// # Errors
 ///
 /// Returns a [`DiagError`](crate::DiagError) if chains are absent,
@@ -80,12 +91,26 @@ pub fn summarize<C: AsRef<[f64]>>(chains: &[C]) -> Result<ParameterSummary> {
     let pooled: Vec<f64> = chains.iter().flat_map(|c| c.as_ref().iter().copied()).collect();
     let m = mean(&pooled);
     let sd = sample_var(&pooled).sqrt();
-    let ess_b = bulk_ess(chains)?;
-    let ess_t = tail_ess(chains)?;
+    // NaN from the ESS estimators marks a degenerate (constant) chain
+    // set; propagate the documented "no effective samples" sentinel.
+    let ess_b = match bulk_ess(chains)? {
+        e if e.is_nan() => 0.0,
+        e => e,
+    };
+    let ess_t = match tail_ess(chains)? {
+        e if e.is_nan() => 0.0,
+        e => e,
+    };
     Ok(ParameterSummary {
         mean: m,
         sd,
-        mcse_mean: if ess_b > 0.0 { sd / ess_b.sqrt() } else { f64::NAN },
+        mcse_mean: if ess_b > 0.0 {
+            sd / ess_b.sqrt()
+        } else if sd == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        },
         q05: pooled_quantile(chains, 0.05)?,
         median: pooled_quantile(chains, 0.5)?,
         q95: pooled_quantile(chains, 0.95)?,
@@ -137,6 +162,25 @@ mod tests {
         let s = summarize(&chains).unwrap();
         assert!(!s.looks_converged(), "{s}");
         assert!(s.rhat > 1.1);
+    }
+
+    #[test]
+    fn constant_chains_summarize_without_nan_poisoning() {
+        // A stuck sampler: both chains sit at the same constant. ess /
+        // tail_ess return NaN for this input; the summary must propagate
+        // the documented 0.0 sentinel so comparisons stay well-defined.
+        let chains = [vec![2.5; 64], vec![2.5; 64]];
+        let s = summarize(&chains).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ess_bulk, 0.0, "bulk ESS sentinel");
+        assert_eq!(s.ess_tail, 0.0, "tail ESS sentinel");
+        assert_eq!(s.mcse_mean, 0.0);
+        assert!(!s.ess_bulk.is_nan() && !s.ess_tail.is_nan());
+        // Downstream comparisons behave: the degenerate case reads as
+        // unconverged, not as NaN-always-false surprises.
+        assert!(!s.looks_converged());
+        assert!(s.ess_bulk < 100.0 && s.ess_tail < 100.0);
     }
 
     #[test]

@@ -83,6 +83,38 @@ impl BatchNuts {
         self.cfg
     }
 
+    /// The model dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The kernel registry binding the model's log-density gradient.
+    pub fn registry(&self) -> &KernelRegistry {
+        &self.registry
+    }
+
+    /// Assemble the single-request inputs for one chain — each tensor
+    /// `[1, elem..]` — ready for dynamic admission into an in-flight
+    /// batch (the `autobatch-serve` driver). `q0` is the chain's initial
+    /// position, `[d]` or `[1, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q0` has the wrong shape.
+    pub fn request_inputs(&self, q0: &Tensor) -> Result<Vec<Tensor>> {
+        let row = match q0.shape() {
+            [d] if *d == self.dim => q0.reshape(&[1, self.dim]).expect("rank change only"),
+            [1, d] if *d == self.dim => q0.clone(),
+            other => {
+                return Err(NutsError::Shape(format!(
+                    "q0 must be [{d}] or [1, {d}], got {other:?}",
+                    d = self.dim
+                )))
+            }
+        };
+        self.batch_inputs(&row)
+    }
+
     /// Execution options used by both runtimes: the config's seed, and a
     /// stack depth limit covering `max_depth` recursion plus the driver
     /// frames.

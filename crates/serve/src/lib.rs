@@ -1,0 +1,877 @@
+//! # autobatch-serve
+//!
+//! A serving layer over the program-counter autobatching VM: requests
+//! arrive one at a time, are merged into an **in-flight** batched
+//! execution under an [`AdmissionPolicy`], and leave with per-request
+//! results — the "sustained multi-request traffic" mode the ROADMAP's
+//! north star asks for, in the spirit of on-the-fly batchers like
+//! ACRoBat (Fegade et al., 2023).
+//!
+//! The two policies contrast the classic serving trade-off:
+//!
+//! - [`AdmissionPolicy::JoinAtEntry`] — pending requests join the live
+//!   batch at the program entry block whenever capacity is free and
+//!   utilization has dropped below a threshold. Stragglers no longer
+//!   serialize the queue: fresh requests ride along in the same
+//!   supersteps, and the paper's pc batching lets them share block
+//!   launches with members deep in recursion.
+//! - [`AdmissionPolicy::DrainAndRefill`] — the baseline: wait until the
+//!   machine is empty, then admit a full batch. Equivalent to running
+//!   sequential fixed-size batches.
+//!
+//! Correctness does not depend on the policy: every request's draws come
+//! from the counter-based RNG keyed by `(seed, member_key, counter)`,
+//! so results are bit-identical across admission orders and batch
+//! compositions (asserted by this crate's tests and the workspace
+//! property suite).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+
+use autobatch_accel::Trace;
+use autobatch_core::{ExecOptions, KernelRegistry, PcMachine, VmError};
+use autobatch_ir::pcab::Program;
+use autobatch_tensor::Tensor;
+
+pub mod nuts_driver;
+
+pub use nuts_driver::{ChainResponse, NutsServer};
+
+/// Errors from the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The underlying VM failed.
+    Vm(VmError),
+    /// A request does not fit the served program.
+    BadRequest(String),
+    /// The policy configuration is unusable (e.g. zero capacity).
+    BadPolicy(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Vm(e) => write!(f, "vm error: {e}"),
+            ServeError::BadRequest(what) => write!(f, "bad request: {what}"),
+            ServeError::BadPolicy(what) => write!(f, "bad policy: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for ServeError {
+    fn from(e: VmError) -> ServeError {
+        ServeError::Vm(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// When pending requests are merged into the in-flight batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Join the live batch at the entry block whenever a lane is free and
+    /// batch utilization has dropped below `min_utilization` (fraction of
+    /// live members active in the last superstep; `1.0` admits whenever
+    /// there is capacity). `max_batch` bounds the live member count.
+    JoinAtEntry {
+        /// Maximum live members.
+        max_batch: usize,
+        /// Utilization threshold below which pending requests join.
+        min_utilization: f64,
+    },
+    /// Admit only into an empty machine, `max_batch` requests at a time —
+    /// the sequential fixed-batch baseline.
+    DrainAndRefill {
+        /// Batch size per refill.
+        max_batch: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    fn max_batch(&self) -> usize {
+        match *self {
+            AdmissionPolicy::JoinAtEntry { max_batch, .. }
+            | AdmissionPolicy::DrainAndRefill { max_batch } => max_batch,
+        }
+    }
+}
+
+/// One queued request: per-request inputs (each `[1, elem..]`) and a
+/// per-request RNG seed.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen request id, echoed in the [`Response`].
+    pub id: u64,
+    /// One `[1, elem..]` tensor per program input.
+    pub inputs: Vec<Tensor>,
+    /// Per-request RNG seed: the member key its lane draws under. Equal
+    /// seeds give equal draw streams, whatever the batch around them.
+    pub seed: u64,
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request id.
+    pub id: u64,
+    /// One `[1, elem..]` tensor per program output.
+    pub outputs: Vec<Tensor>,
+    /// Superstep at which the request was admitted.
+    pub admitted_at: u64,
+    /// Superstep at which the request retired.
+    pub retired_at: u64,
+}
+
+/// A batch server owning a request queue and an in-flight [`PcMachine`].
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_core::{lower, KernelRegistry, LoweringOptions, ExecOptions};
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_serve::{AdmissionPolicy, BatchServer, Request};
+/// use autobatch_tensor::Tensor;
+///
+/// let (program, _) = lower(&fibonacci_program(), LoweringOptions::default())?;
+/// let policy = AdmissionPolicy::JoinAtEntry { max_batch: 4, min_utilization: 1.0 };
+/// let mut server = BatchServer::new(&program, KernelRegistry::new(), ExecOptions::default(), policy)?;
+/// for (id, n) in [(0u64, 6i64), (1, 9), (2, 3)] {
+///     server.submit(Request { id, inputs: vec![Tensor::from_i64(&[n], &[1])?], seed: id })?;
+/// }
+/// let mut done = server.run_until_idle(None)?;
+/// done.sort_by_key(|r| r.id);
+/// assert_eq!(done[1].outputs[0].as_i64()?, &[55]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchServer<'p> {
+    machine: PcMachine<'p>,
+    policy: AdmissionPolicy,
+    queue: VecDeque<Request>,
+    /// ticket → (request id, admission superstep).
+    in_flight: Vec<(u64, u64, u64)>,
+    /// Completed responses not yet handed to the caller. Buffered on the
+    /// server so work finished before a mid-run error is not dropped with
+    /// it — the next successful [`BatchServer::run_until_idle`] returns it.
+    ready: Vec<Response>,
+    /// Set when a superstep failed mid-execution. Per-member state may be
+    /// half-mutated at that point (some lanes executed the block's ops
+    /// before the error surfaced), so driving the machine further would
+    /// corrupt innocent members; every later run refuses with this error.
+    poisoned: Option<ServeError>,
+    /// The machine's cumulative superstep budget, kept to report
+    /// [`VmError::StepLimit`] when exhaustion blocks pending admissions.
+    step_limit: u64,
+    submitted: u64,
+    completed: u64,
+}
+
+impl<'p> BatchServer<'p> {
+    /// Create a server for a lowered program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadPolicy`] if the policy's batch capacity
+    /// is zero.
+    pub fn new(
+        program: &'p Program,
+        registry: KernelRegistry,
+        opts: ExecOptions,
+        policy: AdmissionPolicy,
+    ) -> Result<BatchServer<'p>> {
+        if policy.max_batch() == 0 {
+            return Err(ServeError::BadPolicy("max_batch must be positive".into()));
+        }
+        Ok(BatchServer {
+            step_limit: opts.max_supersteps,
+            machine: PcMachine::new(program, registry, opts),
+            policy,
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            ready: Vec::new(),
+            poisoned: None,
+            submitted: 0,
+            completed: 0,
+        })
+    }
+
+    /// The admission policy in force.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Requests waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently inside the in-flight batch.
+    pub fn in_flight(&self) -> usize {
+        self.machine.live()
+    }
+
+    /// Requests submitted over the server's lifetime.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Requests completed over the server's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Supersteps executed by the in-flight machine.
+    pub fn supersteps(&self) -> u64 {
+        self.machine.supersteps()
+    }
+
+    /// Enqueue a request. Validation is shallow (arity only); shape
+    /// errors surface at admission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] on input arity mismatch.
+    pub fn submit(&mut self, request: Request) -> Result<()> {
+        let want = self.machine.program().inputs.len();
+        if request.inputs.len() != want {
+            return Err(ServeError::BadRequest(format!(
+                "program takes {} inputs, request {} has {}",
+                want,
+                request.id,
+                request.inputs.len()
+            )));
+        }
+        self.queue.push_back(request);
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Admit pending requests according to the policy.
+    fn admit_pending(&mut self, trace: &mut Option<&mut Trace>) -> Result<()> {
+        let cap = self.policy.max_batch();
+        let free = cap.saturating_sub(self.machine.live());
+        if self.queue.is_empty() || free == 0 {
+            return Ok(());
+        }
+        // A machine whose cumulative step budget is exhausted can only
+        // error: admitting into it would strand the requests (no longer
+        // pending, never retirable). Leave them in the queue instead.
+        if self.machine.step_budget_remaining() == 0 {
+            return Ok(());
+        }
+        // The refill decision is made once, against the state *before*
+        // any admission: an empty machine always refills to capacity
+        // (both policies must guarantee progress — and this is exactly
+        // what makes DrainAndRefill a fixed-batch baseline rather than a
+        // serial one).
+        let admit = match self.policy {
+            _ if self.machine.live() == 0 => true,
+            AdmissionPolicy::JoinAtEntry {
+                min_utilization, ..
+            } => {
+                // `min_utilization >= 1.0` means "admit whenever there is
+                // capacity": full lockstep (util == 1.0) must not block
+                // admission under that setting.
+                let util =
+                    self.machine.last_active() as f64 / self.machine.live() as f64;
+                min_utilization >= 1.0 || util < min_utilization
+            }
+            AdmissionPolicy::DrainAndRefill { .. } => false,
+        };
+        if !admit {
+            return Ok(());
+        }
+        let batch: Vec<Request> = (0..free.min(self.queue.len()))
+            .map(|_| self.queue.pop_front().expect("checked non-empty"))
+            .collect();
+        let admitted = {
+            let reqs: Vec<(&[Tensor], u64)> =
+                batch.iter().map(|r| (r.inputs.as_slice(), r.seed)).collect();
+            self.machine.admit_batch(&reqs, trace.as_deref_mut())
+        };
+        let tickets = match admitted {
+            Ok(tickets) => tickets,
+            Err(_) => {
+                // Admission validates before touching the machine, so
+                // in-flight members are intact — but the batch error does
+                // not say *which* request is bad. Retry one at a time:
+                // innocent requests are admitted, and the first offender
+                // goes back to the queue head (followed by the requests
+                // behind it), where [`BatchServer::reject`] can drop it.
+                // Nothing is lost silently.
+                let mut offender: Option<(Request, ServeError)> = None;
+                let mut rest = Vec::new();
+                for r in batch {
+                    if offender.is_some() {
+                        rest.push(r);
+                    } else {
+                        match self.machine.admit(&r.inputs, r.seed, trace.as_deref_mut()) {
+                            Ok(ticket) => self.in_flight.push((
+                                ticket,
+                                r.id,
+                                self.machine.supersteps(),
+                            )),
+                            Err(e) => offender = Some((r, e.into())),
+                        }
+                    }
+                }
+                return match offender {
+                    Some((r, e)) => {
+                        for r in rest.into_iter().rev() {
+                            self.queue.push_front(r);
+                        }
+                        self.queue.push_front(r);
+                        Err(e)
+                    }
+                    // Defensive: every request fit individually after
+                    // all — everything admitted, nothing to report.
+                    None => Ok(()),
+                };
+            }
+        };
+        for (ticket, req) in tickets.into_iter().zip(&batch) {
+            self.in_flight
+                .push((ticket, req.id, self.machine.supersteps()));
+        }
+        Ok(())
+    }
+
+    /// Retire finished members into the [`BatchServer::ready`] buffer.
+    fn collect_retired(&mut self, trace: &mut Option<&mut Trace>) -> Result<()> {
+        for r in self.machine.retire_finished(trace.as_deref_mut())? {
+            let pos = self
+                .in_flight
+                .iter()
+                .position(|(t, _, _)| *t == r.ticket)
+                .expect("retired member was admitted by this server");
+            let (_, id, admitted_at) = self.in_flight.swap_remove(pos);
+            self.completed += 1;
+            self.ready.push(Response {
+                id,
+                outputs: r.outputs,
+                admitted_at,
+                retired_at: self.machine.supersteps(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drop and return the request at the head of the queue — the one a
+    /// failed admission names. Lets a caller unblock the server after
+    /// [`BatchServer::run_until_idle`] returns an admission error without
+    /// losing the requests queued behind it.
+    pub fn reject(&mut self) -> Option<Request> {
+        self.queue.pop_front()
+    }
+
+    /// Take the responses completed so far without driving the machine —
+    /// the way to salvage finished work after an unrecoverable execution
+    /// error has [poisoned](BatchServer::poisoned) the server.
+    pub fn take_ready(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// The execution error that poisoned this server, if any. A poisoned
+    /// server refuses to run (the failed superstep left per-member state
+    /// half-mutated); drain [`BatchServer::take_ready`] and rebuild.
+    pub fn poisoned(&self) -> Option<&ServeError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Drive the server until the queue and the machine are both empty,
+    /// returning every completed request (in completion order) —
+    /// including any that completed before a previous call errored out.
+    ///
+    /// # Errors
+    ///
+    /// Three failure classes, with different recovery stories:
+    ///
+    /// - **Admission errors** ([`ServeError::Vm`] with
+    ///   [`VmError::BadInputs`]) are recoverable: in-flight members are
+    ///   intact, innocent requests popped alongside the offender are
+    ///   admitted anyway, and the offender itself is back at the queue
+    ///   head, where [`BatchServer::reject`] can drop it. Responses
+    ///   already completed stay buffered for the next successful call.
+    ///   Nothing is silently lost. ("Offender" means mismatched against
+    ///   the batch's established input spec: programs are
+    ///   shape-polymorphic, so the server's *first* admission fixes each
+    ///   input's element shape and dtype for its lifetime — submitters
+    ///   must agree on request shapes up front, as a malformed first
+    ///   request would define the spec the rest are judged by.)
+    /// - **The step limit** ([`VmError::StepLimit`], cumulative over the
+    ///   machine's lifetime) fires *before* a block executes, so state
+    ///   stays consistent: the server is not poisoned, and later calls
+    ///   still retire finished members — they just cannot step further.
+    ///   Queued requests stay pending (never admitted into the exhausted
+    ///   machine), where [`BatchServer::reject`] can still drain them.
+    /// - **Execution errors** (stack overflow/underflow) surface
+    ///   mid-superstep, after some lanes already ran the block's ops —
+    ///   the machine's state is half-mutated and re-driving it would
+    ///   corrupt innocent members. The server is *poisoned*: this and
+    ///   every later call return the error. Salvage completed work with
+    ///   [`BatchServer::take_ready`] and rebuild the server.
+    pub fn run_until_idle(&mut self, mut trace: Option<&mut Trace>) -> Result<Vec<Response>> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        loop {
+            self.collect_retired(&mut trace)?;
+            self.admit_pending(&mut trace)?;
+            let stepped = match self.machine.step(trace.as_deref_mut()) {
+                Ok(stepped) => stepped,
+                Err(e) => {
+                    let e = ServeError::from(e);
+                    // The step-limit check fires *before* the block
+                    // executes, so the machine is still consistent: don't
+                    // poison — later calls can still retire finished
+                    // members (they just cannot step any further).
+                    if !matches!(e, ServeError::Vm(VmError::StepLimit { .. })) {
+                        self.poisoned = Some(e.clone());
+                    }
+                    return Err(e);
+                }
+            };
+            if !stepped {
+                self.collect_retired(&mut trace)?;
+                if self.queue.is_empty() && self.machine.live() == 0 {
+                    return Ok(std::mem::take(&mut self.ready));
+                }
+                // Nothing stepped and requests remain: the only way
+                // admit_pending can refuse an empty machine is an
+                // exhausted step budget. Surface the exhaustion rather
+                // than spinning on a machine that can never run again.
+                if self.machine.step_budget_remaining() == 0 {
+                    return Err(ServeError::Vm(VmError::StepLimit {
+                        limit: self.step_limit,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_core::{lower, LoweringOptions};
+    use autobatch_ir::build::fibonacci_program;
+
+    fn fib_requests(ns: &[i64]) -> Vec<Request> {
+        ns.iter()
+            .enumerate()
+            .map(|(i, &n)| Request {
+                id: i as u64,
+                inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
+                seed: 1000 + i as u64,
+            })
+            .collect()
+    }
+
+    fn serve(ns: &[i64], policy: AdmissionPolicy) -> (Vec<Response>, u64) {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(ns) {
+            server.submit(r).unwrap();
+        }
+        let mut out = server.run_until_idle(None).unwrap();
+        out.sort_by_key(|r| r.id);
+        (out, server.supersteps())
+    }
+
+    const NS: [i64; 10] = [14, 2, 9, 1, 12, 5, 16, 3, 10, 7];
+    const FIB: [i64; 10] = [610, 2, 55, 1, 233, 8, 1597, 3, 89, 21];
+
+    #[test]
+    fn join_at_entry_serves_all_requests_correctly() {
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 3,
+            min_utilization: 1.0,
+        };
+        let (out, _) = serve(&NS, policy);
+        let got: Vec<i64> = out.iter().map(|r| r.outputs[0].as_i64().unwrap()[0]).collect();
+        assert_eq!(got, FIB);
+        // Some request genuinely joined mid-flight.
+        assert!(
+            out.iter().any(|r| r.admitted_at > 0),
+            "no mid-flight admission happened"
+        );
+    }
+
+    #[test]
+    fn drain_and_refill_serves_all_requests_correctly() {
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 3 };
+        let (out, _) = serve(&NS, policy);
+        let got: Vec<i64> = out.iter().map(|r| r.outputs[0].as_i64().unwrap()[0]).collect();
+        assert_eq!(got, FIB);
+        // Refill batches never overlap: every admission happens when the
+        // machine is empty, i.e. at a superstep where all prior
+        // responses already retired.
+        for r in &out {
+            assert!(r.retired_at >= r.admitted_at);
+        }
+    }
+
+    #[test]
+    fn policies_and_admission_orders_agree_bitwise() {
+        let policies = [
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 2,
+                min_utilization: 1.0,
+            },
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 8,
+                min_utilization: 0.5,
+            },
+            AdmissionPolicy::DrainAndRefill { max_batch: 4 },
+            AdmissionPolicy::DrainAndRefill { max_batch: 1 },
+        ];
+        let (reference, _) = serve(&NS, policies[0]);
+        for p in &policies[1..] {
+            let (out, _) = serve(&NS, *p);
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.outputs, b.outputs, "results differ under {p:?}");
+            }
+        }
+        // Reversed submission order: same per-request results.
+        let rev_ns: Vec<i64> = NS.iter().rev().copied().collect();
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let mut server = BatchServer::new(
+            &pc,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            policies[0],
+        )
+        .unwrap();
+        for (i, &n) in rev_ns.iter().enumerate() {
+            let orig = NS.len() - 1 - i;
+            server
+                .submit(Request {
+                    id: orig as u64,
+                    inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
+                    seed: 1000 + orig as u64,
+                })
+                .unwrap();
+        }
+        let mut out = server.run_until_idle(None).unwrap();
+        out.sort_by_key(|r| r.id);
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.outputs, b.outputs, "admission order perturbed results");
+        }
+    }
+
+    #[test]
+    fn drain_and_refill_fills_whole_batches() {
+        // Regression: the refill decision is made against the *pre*-
+        // admission state, so an empty machine refills all the way to
+        // max_batch — not one request (a serial baseline in disguise).
+        use autobatch_accel::{Backend, Trace};
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 3 };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(&[9, 5, 11, 7, 3, 8, 6]) {
+            server.submit(r).unwrap();
+        }
+        let mut tr = Trace::new(Backend::hybrid_cpu());
+        let out = server.run_until_idle(Some(&mut tr)).unwrap();
+        assert_eq!(out.len(), 7);
+        assert_eq!(tr.peak_members(), 3, "refill must reach max_batch");
+    }
+
+    #[test]
+    fn join_at_entry_admits_into_lockstep_batch_with_free_lane() {
+        // Regression: `min_utilization: 1.0` means "admit whenever there
+        // is capacity". Members running in lockstep hold utilization at
+        // exactly 1.0, which must not block a pending request from
+        // taking a freed lane.
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 3,
+            min_utilization: 1.0,
+        };
+        // Request 0 retires early; 1 and 2 are identical, so the
+        // survivors run in perfect lockstep while 3 waits.
+        let (out, _) = serve(&[2, 9, 9, 9], policy);
+        let late = &out[3];
+        let lockstep_end = out[1].retired_at.min(out[2].retired_at);
+        assert!(
+            late.admitted_at < lockstep_end,
+            "request 3 (admitted at {}) should have joined the lockstep \
+             batch before it drained (at {})",
+            late.admitted_at,
+            lockstep_end
+        );
+    }
+
+    #[test]
+    fn dynamic_admission_beats_sequential_fixed_batches() {
+        // The serving claim: on a divergent workload, join-at-entry keeps
+        // lanes busy while drain-and-refill serializes behind stragglers.
+        use autobatch_accel::Backend;
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        // Divergent depths: each refill batch contains one straggler.
+        let ns: Vec<i64> = (0..24).map(|i| if i % 4 == 0 { 17 } else { 2 + (i % 3) }).collect();
+        let mut times = Vec::new();
+        for policy in [
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 4,
+                min_utilization: 1.0,
+            },
+            AdmissionPolicy::DrainAndRefill { max_batch: 4 },
+        ] {
+            let mut server = BatchServer::new(
+                &pc,
+                KernelRegistry::new(),
+                ExecOptions::default(),
+                policy,
+            )
+            .unwrap();
+            for r in fib_requests(&ns) {
+                server.submit(r).unwrap();
+            }
+            let mut tr = Trace::new(Backend::hybrid_cpu());
+            let out = server.run_until_idle(Some(&mut tr)).unwrap();
+            assert_eq!(out.len(), ns.len());
+            times.push(tr.sim_time());
+        }
+        assert!(
+            times[0] < times[1],
+            "dynamic admission ({}) should beat drain-and-refill ({})",
+            times[0],
+            times[1]
+        );
+    }
+
+    #[test]
+    fn failed_admission_requeues_requests_and_loses_nothing() {
+        // A bad-shaped request errors at admission; the requests popped
+        // alongside it go back into the queue, in-flight members stay
+        // intact, and responses completed before the error are returned
+        // by the next successful run — nothing is silently lost.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 1.0,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        // Two long requests fill the machine; a short one retires first
+        // and frees a lane for the poisoned request.
+        for r in fib_requests(&[12, 2]) {
+            server.submit(r).unwrap();
+        }
+        server
+            .submit(Request {
+                id: 2,
+                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
+                seed: 2,
+            })
+            .unwrap();
+        for mut r in fib_requests(&[5]) {
+            r.id = 3;
+            server.submit(r).unwrap();
+        }
+        let err = server.run_until_idle(None);
+        assert!(matches!(err, Err(ServeError::Vm(_))), "got {err:?}");
+        // The poisoned request is back at the queue head with the good
+        // one behind it; the long member is still in flight.
+        assert_eq!(server.pending(), 2);
+        assert_eq!(server.in_flight(), 1);
+        // Drop the poisoned request and finish: every good request's
+        // response arrives, including the one completed before the error.
+        let rejected = server.reject().unwrap();
+        assert_eq!(rejected.id, 2);
+        let mut out = server.run_until_idle(None).unwrap();
+        out.sort_by_key(|r| r.id);
+        let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+        let got: Vec<i64> = out.iter().map(|r| r.outputs[0].as_i64().unwrap()[0]).collect();
+        assert_eq!(got, vec![233, 2, 8], "fib(12), fib(2), fib(5)");
+    }
+
+    #[test]
+    fn failed_batch_admission_admits_innocents_and_heads_the_offender() {
+        // When the offender is popped *behind* innocent requests, the
+        // innocents must be admitted (not re-queued behind a recovery
+        // that would drop them) and the offender must end up at the
+        // queue head, where `reject` removes exactly the bad request.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 1.0,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(&[9]) {
+            server.submit(r).unwrap();
+        }
+        server
+            .submit(Request {
+                id: 1,
+                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
+                seed: 1,
+            })
+            .unwrap();
+        let err = server.run_until_idle(None);
+        assert!(matches!(err, Err(ServeError::Vm(_))), "got {err:?}");
+        assert_eq!(server.in_flight(), 1, "the good request was admitted");
+        assert_eq!(server.pending(), 1, "only the offender is queued");
+        assert_eq!(server.reject().unwrap().id, 1, "offender at the head");
+        let out = server.run_until_idle(None).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[0].outputs[0].as_i64().unwrap(), &[55]);
+    }
+
+    #[test]
+    fn step_limit_does_not_poison_and_finished_work_remains_retirable() {
+        // The cumulative step limit fires before a block executes, so the
+        // machine is consistent: the server must not poison itself, and a
+        // member that finished before the limit is still retired/returned.
+        use autobatch_core::VmError;
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let opts = ExecOptions {
+            max_supersteps: 30,
+            ..ExecOptions::default()
+        };
+        // max_batch 2 leaves a free lane after the short member retires,
+        // so the post-limit admission gate (not the capacity check) is
+        // what must keep later submissions out of the dead machine.
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 2 };
+        let mut server = BatchServer::new(&pc, KernelRegistry::new(), opts, policy).unwrap();
+        for r in fib_requests(&[2, 15]) {
+            server.submit(r).unwrap();
+        }
+        let err = server.run_until_idle(None).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Vm(VmError::StepLimit { .. })),
+            "{err:?}"
+        );
+        assert!(server.poisoned().is_none(), "step limit must not poison");
+        // Requests submitted after exhaustion must stay pending — never
+        // admitted into a machine that can only error — so they remain
+        // reachable through `reject`.
+        for mut r in fib_requests(&[4]) {
+            r.id = 2;
+            server.submit(r).unwrap();
+        }
+        let in_flight_before = server.in_flight();
+        assert_eq!(in_flight_before, 1, "long member still in flight");
+        // A later call re-raises the limit, but the completed response
+        // survives for salvage and the queue is untouched.
+        assert_eq!(server.run_until_idle(None).unwrap_err(), err);
+        assert_eq!(server.in_flight(), in_flight_before, "no stranded admission");
+        assert_eq!(server.reject().map(|r| r.id), Some(2));
+        let ready = server.take_ready();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].outputs[0].as_i64().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn exhaustion_with_pending_requests_errors_instead_of_spinning() {
+        // Regression: if the step budget runs out exactly as the machine
+        // drains while requests are still queued, run_until_idle must
+        // surface StepLimit — not busy-loop on a machine that can never
+        // step again with admissions refused.
+        use autobatch_core::VmError;
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 1 };
+        // Measure the supersteps one fib(2) request needs end to end.
+        let mut probe =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(&[2]) {
+            probe.submit(r).unwrap();
+        }
+        probe.run_until_idle(None).unwrap();
+        let steps = probe.supersteps();
+        // Budget for exactly one request, two submitted.
+        let opts = ExecOptions {
+            max_supersteps: steps,
+            ..ExecOptions::default()
+        };
+        let mut server = BatchServer::new(&pc, KernelRegistry::new(), opts, policy).unwrap();
+        for r in fib_requests(&[2, 2]) {
+            server.submit(r).unwrap();
+        }
+        let err = server.run_until_idle(None).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Vm(VmError::StepLimit { .. })),
+            "{err:?}"
+        );
+        assert!(server.poisoned().is_none());
+        // The completed request is salvageable, the other stays queued.
+        assert_eq!(server.take_ready().len(), 1);
+        assert_eq!(server.pending(), 1);
+    }
+
+    #[test]
+    fn execution_error_poisons_server_but_completed_work_is_salvageable() {
+        // An execution error (here: stack overflow) surfaces mid-
+        // superstep, with per-member state half-mutated — re-driving the
+        // machine would corrupt innocent members. The server must refuse
+        // further runs, while work completed before the failure stays
+        // retrievable.
+        use autobatch_core::VmError;
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let opts = ExecOptions {
+            stack_depth: 16,
+            ..ExecOptions::default()
+        };
+        // Serial batches make the order deterministic: request 0 fully
+        // completes (and is buffered) before request 1 is even admitted.
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 1 };
+        let mut server = BatchServer::new(&pc, KernelRegistry::new(), opts, policy).unwrap();
+        for r in fib_requests(&[2, 40]) {
+            server.submit(r).unwrap();
+        }
+        let err = server.run_until_idle(None).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Vm(VmError::StackOverflow { .. })),
+            "{err:?}"
+        );
+        // Poisoned: every later run refuses with the same error.
+        assert_eq!(server.run_until_idle(None).unwrap_err(), err);
+        assert!(server.poisoned().is_some());
+        // The request that completed before the failure is salvageable.
+        let ready = server.take_ready();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].id, 0);
+        assert_eq!(ready[0].outputs[0].as_i64().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn bad_requests_and_policies_rejected() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        assert!(matches!(
+            BatchServer::new(
+                &pc,
+                KernelRegistry::new(),
+                ExecOptions::default(),
+                AdmissionPolicy::DrainAndRefill { max_batch: 0 },
+            ),
+            Err(ServeError::BadPolicy(_))
+        ));
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 2 };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        let err = server.submit(Request {
+            id: 0,
+            inputs: vec![],
+            seed: 0,
+        });
+        assert!(matches!(err, Err(ServeError::BadRequest(_))));
+    }
+}

@@ -389,6 +389,139 @@ impl Tensor {
         Tensor::new(data, &out_shape).expect("volume matches by construction")
     }
 
+    /// Append `extra` zero rows along axis 0: `[Z, ..] -> [Z + extra, ..]`.
+    ///
+    /// This is the growth primitive of dynamic batch admission — newly
+    /// admitted members land in freshly zeroed lanes, exactly the state a
+    /// fresh batch would start from.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors.
+    pub fn pad_rows(&self, extra: usize) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::InvalidAxis { axis: 0, rank: 0 });
+        }
+        let mut shape = self.shape().to_vec();
+        shape[0] = extra;
+        Tensor::concat_rows(&[self.clone(), Tensor::zeros(self.dtype(), &shape)])
+    }
+
+    /// Append `extra` zero columns along axis 1:
+    /// `[D, Z, ..] -> [D, Z + extra, ..]`.
+    ///
+    /// Grows a stack-storage tensor when members are admitted into an
+    /// in-flight batch; every depth level gains zeroed lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for tensors of rank < 2.
+    pub fn pad_axis1(&self, extra: usize) -> Result<Tensor> {
+        if self.rank() < 2 {
+            return Err(TensorError::InvalidAxis {
+                axis: 1,
+                rank: self.rank(),
+            });
+        }
+        let d = self.shape()[0];
+        let z = self.shape()[1];
+        let el: usize = self.shape()[2..].iter().product();
+        let mut out_shape = self.shape().to_vec();
+        out_shape[1] = z + extra;
+        let data = match self.data() {
+            Data::F64(v) => {
+                let mut out = vec![0.0; d * (z + extra) * el];
+                for depth in 0..d {
+                    out[depth * (z + extra) * el..depth * (z + extra) * el + z * el]
+                        .copy_from_slice(&v[depth * z * el..(depth + 1) * z * el]);
+                }
+                Data::F64(out)
+            }
+            Data::I64(v) => {
+                let mut out = vec![0; d * (z + extra) * el];
+                for depth in 0..d {
+                    out[depth * (z + extra) * el..depth * (z + extra) * el + z * el]
+                        .copy_from_slice(&v[depth * z * el..(depth + 1) * z * el]);
+                }
+                Data::I64(out)
+            }
+            Data::Bool(v) => {
+                let mut out = vec![false; d * (z + extra) * el];
+                for depth in 0..d {
+                    out[depth * (z + extra) * el..depth * (z + extra) * el + z * el]
+                        .copy_from_slice(&v[depth * z * el..(depth + 1) * z * el]);
+                }
+                Data::Bool(out)
+            }
+        };
+        Tensor::new(data, &out_shape)
+    }
+
+    /// Select columns along axis 1: `[D, Z, ..] -> [D, indices.len(), ..]`
+    /// with `out[d, j, ..] = self[d, indices[j], ..]`.
+    ///
+    /// Compacts a stack-storage tensor when members retire from an
+    /// in-flight batch (the surviving lanes are gathered together).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for tensors of rank < 2 or out-of-range indices.
+    pub fn select_axis1(&self, indices: &[usize]) -> Result<Tensor> {
+        if self.rank() < 2 {
+            return Err(TensorError::InvalidAxis {
+                axis: 1,
+                rank: self.rank(),
+            });
+        }
+        let d = self.shape()[0];
+        let z = self.shape()[1];
+        let el: usize = self.shape()[2..].iter().product();
+        for &i in indices {
+            if i >= z {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    len: z,
+                    op: "select_axis1",
+                });
+            }
+        }
+        let mut out_shape = self.shape().to_vec();
+        out_shape[1] = indices.len();
+        let data = match self.data() {
+            Data::F64(v) => {
+                let mut out = Vec::with_capacity(d * indices.len() * el);
+                for depth in 0..d {
+                    for &i in indices {
+                        let base = (depth * z + i) * el;
+                        out.extend_from_slice(&v[base..base + el]);
+                    }
+                }
+                Data::F64(out)
+            }
+            Data::I64(v) => {
+                let mut out = Vec::with_capacity(d * indices.len() * el);
+                for depth in 0..d {
+                    for &i in indices {
+                        let base = (depth * z + i) * el;
+                        out.extend_from_slice(&v[base..base + el]);
+                    }
+                }
+                Data::I64(out)
+            }
+            Data::Bool(v) => {
+                let mut out = Vec::with_capacity(d * indices.len() * el);
+                for depth in 0..d {
+                    for &i in indices {
+                        let base = (depth * z + i) * el;
+                        out.extend_from_slice(&v[base..base + el]);
+                    }
+                }
+                Data::Bool(out)
+            }
+        };
+        Tensor::new(data, &out_shape)
+    }
+
     /// Concatenate tensors along axis 0. All inputs must agree on dtype
     /// and trailing shape.
     ///
@@ -545,6 +678,45 @@ mod tests {
         let b = r.broadcast_rows(3);
         assert_eq!(b.shape(), &[3, 2]);
         assert_eq!(b.as_f64().unwrap(), &[3.0, 4.0, 3.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pad_rows_appends_zero_lanes() {
+        let t = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let p = t.pad_rows(2).unwrap();
+        assert_eq!(p.shape(), &[4, 2]);
+        assert_eq!(p.as_f64().unwrap(), &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(Tensor::scalar(1.0).pad_rows(1).is_err());
+    }
+
+    #[test]
+    fn pad_axis1_grows_every_depth_level() {
+        // Stack [D=2, Z=2]: depths keep their values, new lanes are zero.
+        let t = Tensor::from_i64(&[1, 2, 10, 20], &[2, 2]).unwrap();
+        let p = t.pad_axis1(1).unwrap();
+        assert_eq!(p.shape(), &[2, 3]);
+        assert_eq!(p.as_i64().unwrap(), &[1, 2, 0, 10, 20, 0]);
+        assert!(Tensor::from_i64(&[1], &[1]).unwrap().pad_axis1(1).is_err());
+    }
+
+    #[test]
+    fn select_axis1_compacts_lanes() {
+        // Stack [D=2, Z=3, 1].
+        let t = Tensor::from_f64(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0], &[2, 3, 1]).unwrap();
+        let s = t.select_axis1(&[2, 0]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 1]);
+        assert_eq!(s.as_f64().unwrap(), &[2.0, 0.0, 12.0, 10.0]);
+        assert!(t.select_axis1(&[3]).is_err());
+        // Empty selection shrinks to zero lanes.
+        assert_eq!(t.select_axis1(&[]).unwrap().shape(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn pad_then_select_roundtrip() {
+        let t = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let grown = t.pad_axis1(3).unwrap();
+        let back = grown.select_axis1(&[0, 1]).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! - [`models`] — the evaluation's target log-densities;
 //! - [`nuts`] — the No-U-Turn Sampler, recursive and batched;
 //! - [`diagnostics`] — cross-chain convergence diagnostics (`R̂`, ESS),
-//!   the practice the paper's batching is meant to enable.
+//!   the practice the paper's batching is meant to enable;
+//! - [`serve`] — dynamic batch admission: a request server that merges
+//!   incoming work into an in-flight batched execution.
 //!
 //! # Quickstart
 //!
@@ -45,4 +47,5 @@ pub use autobatch_ir as ir;
 pub use autobatch_lang as lang;
 pub use autobatch_models as models;
 pub use autobatch_nuts as nuts;
+pub use autobatch_serve as serve;
 pub use autobatch_tensor as tensor;

@@ -20,11 +20,12 @@
 //! `PROPTEST_CASES` to widen or narrow the sweep.
 
 use autobatch::core::{
-    lower, DynSchedule, DynamicVm, ExecOptions, ExecStrategy, KernelRegistry, LocalStaticVm,
-    LoweringOptions, PcVm,
+    lower, BlockHeuristic, DynSchedule, DynamicVm, ExecOptions, ExecStrategy, KernelRegistry,
+    LocalStaticVm, LoweringOptions, PcVm,
 };
 use autobatch::ir::build::ProgramBuilder;
 use autobatch::ir::{lsab, Prim, Var};
+use autobatch::serve::{AdmissionPolicy, BatchServer, Request};
 use autobatch::tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -245,6 +246,103 @@ proptest! {
                 .run(&inputs, None)
                 .expect("dynamic runs");
             prop_assert_eq!(&batch, &dy, "dynamic agrees under {:?}", schedule);
+        }
+    }
+
+    #[test]
+    fn pc_results_bit_identical_across_heuristics_and_strategies(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 2..5),
+        ns in proptest::collection::vec(0i64..6, 2..5),
+    ) {
+        // The paper's §2 claim: any non-starving block-selection
+        // heuristic is correct, under either primitive execution
+        // strategy — and not just "correct" but bit-identical, because
+        // each member's per-lane computation is untouched by scheduling.
+        let z = xs.len().min(ns.len());
+        let xs = &xs[..z];
+        let ns = &ns[..z];
+        let p = random_program(seed);
+        let (lowered, _) = lower(&p, LoweringOptions::default()).expect("lowers");
+        let inputs = vec![
+            Tensor::from_f64(xs, &[z]).expect("x input"),
+            Tensor::from_i64(ns, &[z]).expect("n input"),
+        ];
+        let mut outs = Vec::new();
+        for heuristic in [BlockHeuristic::EarliestBlock, BlockHeuristic::MostActive] {
+            for strategy in [ExecStrategy::Masking, ExecStrategy::GatherScatter] {
+                let opts = ExecOptions { heuristic, strategy, ..ExecOptions::default() };
+                let out = PcVm::new(&lowered, KernelRegistry::new(), opts)
+                    .run(&inputs, None)
+                    .expect("pc runs");
+                outs.push(((heuristic, strategy), out));
+            }
+        }
+        let (_, reference) = &outs[0];
+        for (combo, out) in &outs[1..] {
+            prop_assert_eq!(reference, out, "divergence under {:?}", combo);
+        }
+    }
+
+    #[test]
+    fn admission_order_cannot_perturb_results(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 3..6),
+        ns in proptest::collection::vec(0i64..6, 3..6),
+        order_seed in any::<u64>(),
+    ) {
+        // Dynamic batch admission: each request's outputs are
+        // bit-identical whether it is served alone, in a one-shot batch,
+        // or admitted into an in-flight batch in any order.
+        let z = xs.len().min(ns.len());
+        let xs = &xs[..z];
+        let ns = &ns[..z];
+        let p = random_program(seed);
+        let (lowered, _) = lower(&p, LoweringOptions::default()).expect("lowers");
+
+        // Reference: the one-shot batch.
+        let inputs = vec![
+            Tensor::from_f64(xs, &[z]).expect("x input"),
+            Tensor::from_i64(ns, &[z]).expect("n input"),
+        ];
+        let reference = PcVm::new(&lowered, KernelRegistry::new(), ExecOptions::default())
+            .run(&inputs, None)
+            .expect("pc runs");
+
+        // A shuffled submission order with a tight batch capacity, so
+        // later requests join mid-flight.
+        let mut order: Vec<usize> = (0..z).collect();
+        let mut orng = StdRng::seed_from_u64(order_seed);
+        for i in (1..z).rev() {
+            order.swap(i, orng.gen_range(0..i + 1));
+        }
+        let policy = AdmissionPolicy::JoinAtEntry { max_batch: 2, min_utilization: 1.0 };
+        let mut server =
+            BatchServer::new(&lowered, KernelRegistry::new(), ExecOptions::default(), policy)
+                .expect("server");
+        for &b in &order {
+            server
+                .submit(Request {
+                    id: b as u64,
+                    inputs: vec![
+                        Tensor::from_f64(&[xs[b]], &[1]).expect("x"),
+                        Tensor::from_i64(&[ns[b]], &[1]).expect("n"),
+                    ],
+                    seed: b as u64,
+                })
+                .expect("submit");
+        }
+        let mut served = server.run_until_idle(None).expect("serve");
+        served.sort_by_key(|r| r.id);
+        for (b, r) in served.iter().enumerate() {
+            let want = reference[0].gather_rows(&[b]).expect("row");
+            prop_assert_eq!(
+                &r.outputs[0],
+                &want,
+                "member {} perturbed by admission order {:?}",
+                b,
+                &order
+            );
         }
     }
 
