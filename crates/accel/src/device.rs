@@ -164,8 +164,14 @@ mod tests {
         // faster lanes win. That is the crossover shape of Figure 5.
         let per_elem = 1000.0;
         let big = 1 << 20;
-        assert!(cpu.vector_time(per_elem * big as f64, big) > gpu.vector_time(per_elem * big as f64, big));
+        assert!(
+            cpu.vector_time(per_elem * big as f64, big)
+                > gpu.vector_time(per_elem * big as f64, big)
+        );
         let small = 64;
-        assert!(cpu.vector_time(per_elem * small as f64, small) < gpu.vector_time(per_elem * small as f64, small));
+        assert!(
+            cpu.vector_time(per_elem * small as f64, small)
+                < gpu.vector_time(per_elem * small as f64, small)
+        );
     }
 }

@@ -183,7 +183,8 @@ impl Trace {
         } else {
             b.device.vector_time(rec.flops, rec.parallel)
         };
-        let mem = b.device.mem_time(rec.bytes) + b.device.mem_time(rec.random_bytes) * b.gather_penalty;
+        let mem =
+            b.device.mem_time(rec.bytes) + b.device.mem_time(rec.random_bytes) * b.gather_penalty;
         // Compute and memory overlap on real hardware; dispatch does not.
         let t = b.launch_overhead + compute.max(mem);
         if let Some(ev) = self.events.as_mut() {
@@ -251,6 +252,63 @@ impl Trace {
     /// Largest live batch size observed across membership changes.
     pub fn peak_members(&self) -> usize {
         self.peak_members
+    }
+
+    /// Members currently live according to membership accounting:
+    /// admitted minus retired. Shard routers key their least-loaded
+    /// decision on this (together with the queue depth), so the load
+    /// signal comes from the same accounting that prices launches.
+    pub fn live_members(&self) -> u64 {
+        self.members_admitted - self.members_retired
+    }
+
+    /// Fold another trace, assumed to have run **concurrently** on its
+    /// own host thread, into this one:
+    ///
+    /// - `sim_time` becomes the *maximum* of the two (parallel shards
+    ///   overlap in wall-clock time, they do not serialize);
+    /// - launches, supersteps, membership counters, and per-kernel
+    ///   statistics (timed and logical) are summed, so aggregate
+    ///   utilization over the whole fleet stays truthful;
+    /// - `peak_members` is summed — an upper bound on the simultaneous
+    ///   live members across shards (per-shard peaks need not coincide
+    ///   in time, but capacity planning wants the bound).
+    ///
+    /// The merged trace does not carry a replayable event stream: the
+    /// interleaving of concurrent shards is not a single recorded run,
+    /// so event recording is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two traces price against different backends —
+    /// summed statistics would be meaningless across cost models.
+    pub fn merge_parallel(&mut self, other: &Trace) {
+        assert_eq!(
+            self.backend, other.backend,
+            "merge_parallel requires a shared backend"
+        );
+        self.sim_time = self.sim_time.max(other.sim_time);
+        self.launches += other.launches;
+        self.supersteps += other.supersteps;
+        self.members_admitted += other.members_admitted;
+        self.members_retired += other.members_retired;
+        self.peak_members += other.peak_members;
+        for (k, s) in &other.per_kernel {
+            let dst = self.per_kernel.entry(k.clone()).or_default();
+            dst.launches += s.launches;
+            dst.flops += s.flops;
+            dst.time += s.time;
+            dst.active_members += s.active_members;
+            dst.total_members += s.total_members;
+        }
+        for (k, s) in &other.logical {
+            let dst = self.logical.entry(k.clone()).or_default();
+            dst.launches += s.launches;
+            dst.flops += s.flops;
+            dst.active_members += s.active_members;
+            dst.total_members += s.total_members;
+        }
+        self.events = None;
     }
 
     /// Record one runtime superstep (block selection + host control).
@@ -368,7 +426,10 @@ mod tests {
     fn launch_accumulates_time_and_stats() {
         let mut tr = Trace::new(Backend::native_cpu());
         let t = tr.launch(&LaunchRecord::compute("grad", 3.0e9, 1));
-        assert!(t > 0.9 && t < 1.1, "3 Gflops at 3 Gflop/s scalar ≈ 1 s, got {t}");
+        assert!(
+            t > 0.9 && t < 1.1,
+            "3 Gflops at 3 Gflop/s scalar ≈ 1 s, got {t}"
+        );
         assert_eq!(tr.launches(), 1);
         assert_eq!(tr.kernel_stats("grad").unwrap().launches, 1);
         assert!(tr.sim_time() > 0.0);
@@ -475,6 +536,70 @@ mod tests {
         tr.reset();
         assert_eq!(tr.members_admitted(), 0);
         assert_eq!(tr.peak_members(), 0);
+    }
+
+    #[test]
+    fn live_members_tracks_admission_minus_retirement() {
+        let mut tr = Trace::new(Backend::hybrid_cpu());
+        assert_eq!(tr.live_members(), 0);
+        tr.membership(4, 0, 4);
+        assert_eq!(tr.live_members(), 4);
+        tr.membership(2, 3, 3);
+        assert_eq!(tr.live_members(), 3);
+        tr.membership(0, 3, 0);
+        assert_eq!(tr.live_members(), 0);
+    }
+
+    #[test]
+    fn merge_parallel_overlaps_time_and_sums_stats() {
+        let mut a = Trace::new(Backend::hybrid_cpu());
+        let mut b = Trace::new(Backend::hybrid_cpu());
+        a.superstep();
+        a.launch(&LaunchRecord {
+            kernel: "grad".into(),
+            flops: 100.0,
+            bytes: 0.0,
+            random_bytes: 0.0,
+            parallel: 4,
+            active_members: 2,
+            total_members: 4,
+        });
+        a.membership(4, 0, 4);
+        for _ in 0..3 {
+            b.superstep();
+        }
+        b.launch(&LaunchRecord {
+            kernel: "grad".into(),
+            flops: 100.0,
+            bytes: 0.0,
+            random_bytes: 0.0,
+            parallel: 4,
+            active_members: 4,
+            total_members: 4,
+        });
+        b.membership(2, 2, 0);
+        let (ta, tb) = (a.sim_time(), b.sim_time());
+        a.merge_parallel(&b);
+        // Concurrent shards overlap: wall-clock is the max, not the sum.
+        assert_eq!(a.sim_time(), ta.max(tb));
+        assert_eq!(a.supersteps(), 4);
+        assert_eq!(a.launches(), 2);
+        assert_eq!(a.members_admitted(), 6);
+        assert_eq!(a.members_retired(), 2);
+        assert_eq!(a.peak_members(), 4);
+        // Utilization aggregates across shards: (2 + 4) / (4 + 4).
+        assert_eq!(a.utilization("grad"), 0.75);
+        let g = a.kernel_stats("grad").unwrap();
+        assert_eq!(g.launches, 2);
+        assert_eq!(g.flops, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared backend")]
+    fn merge_parallel_rejects_mismatched_backends() {
+        let mut a = Trace::new(Backend::hybrid_cpu());
+        let b = Trace::new(Backend::xla_cpu());
+        a.merge_parallel(&b);
     }
 
     #[test]

@@ -368,7 +368,10 @@ fn accumulate(adj: &mut [Option<Tensor>], id: NodeId, g: Tensor) -> Result<()> {
 ///
 /// Panics if `x` is not `f64` or shapes change under perturbation.
 pub fn finite_difference<F: Fn(&Tensor) -> f64>(f: F, x: &Tensor, eps: f64) -> Tensor {
-    let base = x.as_f64().expect("finite_difference needs f64 input").to_vec();
+    let base = x
+        .as_f64()
+        .expect("finite_difference needs f64 input")
+        .to_vec();
     let mut grad = vec![0.0; base.len()];
     for i in 0..base.len() {
         let mut plus = base.clone();

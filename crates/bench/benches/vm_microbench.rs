@@ -25,10 +25,14 @@ fn bench_fib(c: &mut Criterion) {
             let vm = LocalStaticVm::new(&program, KernelRegistry::new(), ExecOptions::default());
             b.iter(|| vm.run(input, None).expect("runs"));
         });
-        group.bench_with_input(BenchmarkId::new("program-counter", z), &input, |b, input| {
-            let vm = PcVm::new(&lowered, KernelRegistry::new(), ExecOptions::default());
-            b.iter(|| vm.run(input, None).expect("runs"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("program-counter", z),
+            &input,
+            |b, input| {
+                let vm = PcVm::new(&lowered, KernelRegistry::new(), ExecOptions::default());
+                b.iter(|| vm.run(input, None).expect("runs"));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("dynamic", z), &input, |b, input| {
             let vm = DynamicVm::new(&program, KernelRegistry::new(), ExecOptions::default());
             b.iter(|| vm.run(input, None).expect("runs"));

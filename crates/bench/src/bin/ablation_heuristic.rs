@@ -49,7 +49,9 @@ fn main() {
     for z in geometric_batches(max_batch) {
         let (s1, u1, t1) = run(&nuts, z, BlockHeuristic::EarliestBlock);
         let (s2, u2, t2) = run(&nuts, z, BlockHeuristic::MostActive);
-        println!("batch {z}: earliest {s1} steps (util {u1:.3}), most-active {s2} steps (util {u2:.3})");
+        println!(
+            "batch {z}: earliest {s1} steps (util {u1:.3}), most-active {s2} steps (util {u2:.3})"
+        );
         rows.push(vec![
             z.to_string(),
             s1.to_string(),
@@ -76,6 +78,7 @@ fn run(nuts: &BatchNuts, z: usize, heuristic: BlockHeuristic) -> (u64, f64, f64)
         ..nuts.exec_options()
     };
     let mut tr = Trace::new(Backend::xla_cpu());
-    nuts.run_pc_opts(&q0, Some(&mut tr), opts).expect("nuts runs");
+    nuts.run_pc_opts(&q0, Some(&mut tr), opts)
+        .expect("nuts runs");
     (tr.supersteps(), tr.utilization("grad"), tr.sim_time())
 }

@@ -42,7 +42,9 @@ fn main() {
     let fib = fibonacci_program();
     // Price the gradient at the paper's logistic-regression cost so the
     // compute-vs-traffic trade-off is at full scale.
-    let model = Arc::new(PricedAs::as_paper_logistic(CorrelatedGaussian::new(50, 0.8)));
+    let model = Arc::new(PricedAs::as_paper_logistic(CorrelatedGaussian::new(
+        50, 0.8,
+    )));
     let nuts = BatchNuts::new(
         model,
         NutsConfig {
@@ -111,6 +113,7 @@ fn run_nuts(nuts: &BatchNuts, z: usize, strategy: ExecStrategy) -> f64 {
         ..nuts.exec_options()
     };
     let mut tr = Trace::new(device_only());
-    nuts.run_local_opts(&q0, Some(&mut tr), opts).expect("nuts runs");
+    nuts.run_local_opts(&q0, Some(&mut tr), opts)
+        .expect("nuts runs");
     tr.sim_time()
 }

@@ -1,0 +1,138 @@
+//! CI perf-regression gate over the `BENCH_*.json` artifacts.
+//!
+//! Compares every `BENCH_*.json` present in the baseline directory
+//! against the same-named file in the fresh directory, matching rows on
+//! their key fields (workload/mode/workers/requests/batch) and failing
+//! when `requests_per_s` drops more than the tolerance below baseline
+//! — or when a baseline row disappears (coverage loss). The benchmark
+//! numbers come from the deterministic simulated cost model, so in CI
+//! the comparison is exact-reproducible: any failure is a real code
+//! change, not machine noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate [--baseline DIR] [--fresh DIR] [--tolerance FRACTION]
+//! ```
+//!
+//! Defaults: `--baseline results/baselines --fresh results
+//! --tolerance 0.20`. Exits non-zero on any gate failure.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use autobatch_bench::gate::{check_regression, parse_flat_json, Row, METRIC};
+
+fn parse_file(path: &Path) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_flat_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run(baseline_dir: &Path, fresh_dir: &Path, tolerance: f64) -> Result<Vec<String>, String> {
+    let mut baselines: Vec<PathBuf> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("{}: {e}", baseline_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines under {}",
+            baseline_dir.display()
+        ));
+    }
+    let mut failures = Vec::new();
+    for base_path in baselines {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("filtered on file name")
+            .to_string();
+        let fresh_path = fresh_dir.join(&name);
+        if !fresh_path.exists() {
+            failures.push(format!(
+                "{name}: fresh artifact missing at {}",
+                fresh_path.display()
+            ));
+            continue;
+        }
+        let base_rows = parse_file(&base_path)?;
+        let fresh_rows = parse_file(&fresh_path)?;
+        let file_failures = check_regression(&base_rows, &fresh_rows, tolerance);
+        if file_failures.is_empty() {
+            println!(
+                "gate OK: {name} — {} baseline rows within {:.0}% of {METRIC}",
+                base_rows.len(),
+                tolerance * 100.0
+            );
+        }
+        failures.extend(file_failures.into_iter().map(|f| format!("{name}: {f}")));
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_dir = PathBuf::from("results/baselines");
+    let mut fresh_dir = PathBuf::from("results");
+    let mut tolerance = 0.20_f64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--baseline" => match flag_value(&mut i) {
+                Some(v) => baseline_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--baseline needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fresh" => match flag_value(&mut i) {
+                Some(v) => fresh_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--fresh needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match flag_value(&mut i).and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if (0.0..1.0).contains(&v) => tolerance = v,
+                _ => {
+                    eprintln!("--tolerance needs a fraction in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_gate [--baseline DIR] [--fresh DIR] [--tolerance FRACTION]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match run(&baseline_dir, &fresh_dir, tolerance) {
+        Ok(failures) if failures.is_empty() => {
+            println!("perf-regression gate passed");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("perf-regression gate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -57,14 +57,46 @@ fn main() {
     let nuts = BatchNuts::new(model.clone(), cfg).expect("NUTS compiles");
 
     let configs = [
-        Config { name: "pc-xla-gpu", vm: Vm::Pc, backend: Backend::xla_gpu() },
-        Config { name: "pc-xla-cpu", vm: Vm::Pc, backend: Backend::xla_cpu() },
-        Config { name: "hybrid-gpu", vm: Vm::Lsab, backend: Backend::hybrid_gpu() },
-        Config { name: "hybrid-cpu", vm: Vm::Lsab, backend: Backend::hybrid_cpu() },
-        Config { name: "lsab-eager-gpu", vm: Vm::Lsab, backend: Backend::eager_gpu() },
-        Config { name: "lsab-eager-cpu", vm: Vm::Lsab, backend: Backend::eager_cpu() },
-        Config { name: "eager-unbatched", vm: Vm::Unbatched, backend: Backend::eager_cpu() },
-        Config { name: "stan-native", vm: Vm::Native, backend: Backend::native_cpu() },
+        Config {
+            name: "pc-xla-gpu",
+            vm: Vm::Pc,
+            backend: Backend::xla_gpu(),
+        },
+        Config {
+            name: "pc-xla-cpu",
+            vm: Vm::Pc,
+            backend: Backend::xla_cpu(),
+        },
+        Config {
+            name: "hybrid-gpu",
+            vm: Vm::Lsab,
+            backend: Backend::hybrid_gpu(),
+        },
+        Config {
+            name: "hybrid-cpu",
+            vm: Vm::Lsab,
+            backend: Backend::hybrid_cpu(),
+        },
+        Config {
+            name: "lsab-eager-gpu",
+            vm: Vm::Lsab,
+            backend: Backend::eager_gpu(),
+        },
+        Config {
+            name: "lsab-eager-cpu",
+            vm: Vm::Lsab,
+            backend: Backend::eager_cpu(),
+        },
+        Config {
+            name: "eager-unbatched",
+            vm: Vm::Unbatched,
+            backend: Backend::eager_cpu(),
+        },
+        Config {
+            name: "stan-native",
+            vm: Vm::Native,
+            backend: Backend::native_cpu(),
+        },
     ];
 
     let batches = geometric_batches(max_batch);
@@ -145,7 +177,9 @@ fn measure_flat(nuts: &BatchNuts, vm: Vm, backend: Backend, model: &dyn Model) -
             let q0 = initial_positions(4, model.dim());
             let native = NativeNuts::new(model, nuts.config());
             let mut trace = Trace::new(backend);
-            let (_, stats) = native.run_chains(&q0, Some(&mut trace)).expect("native runs");
+            let (_, stats) = native
+                .run_chains(&q0, Some(&mut trace))
+                .expect("native runs");
             stats.grads as f64 / trace.sim_time()
         }
         _ => unreachable!(),

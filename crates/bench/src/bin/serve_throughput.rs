@@ -189,11 +189,8 @@ fn funnel_modes(n_requests: usize, batch: usize) -> Vec<ModeResult> {
             // scheduling. One PcMachine per chunk, admitted up front and
             // run to empty, is exactly a one-shot batch with chosen keys.
             for (c, chunk) in q0.chunks(batch).enumerate() {
-                let mut m = PcMachine::new(
-                    nuts.lowered(),
-                    nuts.registry().clone(),
-                    nuts.exec_options(),
-                );
+                let mut m =
+                    PcMachine::new(nuts.lowered(), nuts.registry().clone(), nuts.exec_options());
                 let inputs: Vec<Vec<Tensor>> = chunk
                     .iter()
                     .map(|q| nuts.request_inputs(q).expect("inputs"))

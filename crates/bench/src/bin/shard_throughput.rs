@@ -1,0 +1,245 @@
+//! Sharded serving throughput — the multi-worker `ShardedServer` vs a
+//! single worker, on the divergent workloads of
+//! `examples/batch_divergent_workload.rs`.
+//!
+//! For each workload the same request stream is served at 1, 2, and 4
+//! workers (each worker a `BatchServer` + `PcMachine` of its own, batch
+//! width `batch` per shard, join-at-entry admission). Time is the
+//! fleet wall-clock from the aggregated [`Trace`]: shards run
+//! concurrently on their own host threads, so the aggregate `sim_time`
+//! is the *slowest shard*, not the sum — exactly what
+//! `Trace::merge_parallel` computes. The cost model is deterministic,
+//! so every row is bit-reproducible and safe to gate CI on.
+//!
+//! Workloads:
+//!
+//! - **divergent-binom** — recursive binomial coefficients `C(n, k)`
+//!   with per-request (n, k) spread over coprime strides, so every
+//!   shard sees a representative mix of shallow and deep recursions;
+//! - **funnel-nuts** — NUTS chains on Neal's funnel, whose trajectory
+//!   lengths vary wildly per chain.
+//!
+//! Usage: `shard_throughput [requests] [batch]` (defaults 48, 8).
+//! `--smoke` runs a tiny configuration for CI and still writes the
+//! `results/BENCH_shard_throughput.json` artifact the regression gate
+//! compares against `results/baselines/`.
+
+use std::sync::Arc;
+
+use autobatch_accel::{Backend, Trace};
+use autobatch_bench::{fmt_sig, json_str, print_table, write_csv, write_json};
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
+use autobatch_ir::pcab::Program;
+use autobatch_lang::compile;
+use autobatch_models::NealsFunnel;
+use autobatch_nuts::{BatchNuts, NutsConfig};
+use autobatch_serve::{AdmissionPolicy, Request, ShardedServer};
+use autobatch_tensor::{CounterRng, Tensor};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+/// Divergent (n, k) stream with costs spread over strides 7 and 5 —
+/// coprime to every worker count in the sweep, so least-loaded
+/// round-robin routing gives each shard a representative mix instead of
+/// aligning all stragglers onto one shard.
+fn binom_stream(n_requests: usize) -> Vec<(i64, i64)> {
+    (0..n_requests)
+        .map(|i| {
+            let n = 10 + (i * 5 % 7) as i64; // 10..=16
+            let k = 2 + (i * 3 % 5) as i64; // 2..=6
+            (n, k)
+        })
+        .collect()
+}
+
+struct ShardResult {
+    workers: usize,
+    supersteps: u64,
+    launches: u64,
+    /// Fleet wall-clock: the slowest shard's simulated time.
+    sim_time: f64,
+}
+
+/// Serve `requests` through a `ShardedServer` at each worker count.
+fn sweep_workers(
+    program: &Program,
+    registry: &KernelRegistry,
+    opts: ExecOptions,
+    batch: usize,
+    requests: &[Request],
+) -> Vec<ShardResult> {
+    WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let policy = AdmissionPolicy::JoinAtEntry {
+                max_batch: batch,
+                min_utilization: 1.0,
+            };
+            let mut server = ShardedServer::new(
+                program,
+                registry.clone(),
+                opts,
+                policy,
+                workers,
+                Backend::hybrid_cpu(),
+            )
+            .expect("server");
+            for r in requests {
+                server.submit(r.clone()).expect("submit");
+            }
+            let done = server.run_until_idle().expect("serve");
+            assert_eq!(done.len(), requests.len());
+            let agg: Trace = server.aggregated_trace();
+            ShardResult {
+                workers,
+                supersteps: agg.supersteps(),
+                launches: agg.launches(),
+                sim_time: agg.sim_time(),
+            }
+        })
+        .collect()
+}
+
+fn binom_requests(n_requests: usize) -> Vec<Request> {
+    binom_stream(n_requests)
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, k))| Request {
+            id: i as u64,
+            inputs: vec![
+                Tensor::from_i64(&[n], &[1]).expect("n"),
+                Tensor::from_i64(&[k], &[1]).expect("k"),
+            ],
+            seed: i as u64,
+        })
+        .collect()
+}
+
+fn funnel_requests(nuts: &BatchNuts, n_requests: usize) -> Vec<Request> {
+    let rng = CounterRng::new(64);
+    (0..n_requests)
+        .map(|i| {
+            let q = rng
+                .normal_batch(&[i as i64], &[nuts.dim()])
+                .row(0)
+                .expect("row");
+            Request {
+                id: i as u64,
+                inputs: nuts.request_inputs(&q).expect("inputs"),
+                seed: i as u64,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pos: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let (n_requests, batch) = if smoke {
+        (12, 4)
+    } else {
+        (
+            pos.first().copied().unwrap_or(48),
+            pos.get(1).copied().unwrap_or(8),
+        )
+    };
+
+    let binom_program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (binom_pc, _) = lower(&binom_program, LoweringOptions::default()).expect("binom lowers");
+    let binom_results = sweep_workers(
+        &binom_pc,
+        &KernelRegistry::new(),
+        ExecOptions::default(),
+        batch,
+        &binom_requests(n_requests),
+    );
+
+    let cfg = NutsConfig {
+        step_size: 0.2,
+        n_trajectories: 3,
+        max_depth: 6,
+        leapfrog_steps: 2,
+        seed: 31,
+    };
+    let nuts = BatchNuts::new(Arc::new(NealsFunnel::new(5)), cfg).expect("NUTS compiles");
+    let funnel_results = sweep_workers(
+        nuts.lowered(),
+        nuts.registry(),
+        nuts.exec_options(),
+        batch,
+        &funnel_requests(&nuts, n_requests),
+    );
+
+    let header = [
+        "workload",
+        "workers",
+        "requests",
+        "batch",
+        "supersteps",
+        "launches",
+        "sim-time-s",
+        "req-per-s",
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (workload, results) in [
+        ("divergent-binom", binom_results),
+        ("funnel-nuts", funnel_results),
+    ] {
+        for r in &results {
+            let throughput = n_requests as f64 / r.sim_time;
+            rows.push(vec![
+                workload.to_string(),
+                r.workers.to_string(),
+                n_requests.to_string(),
+                batch.to_string(),
+                r.supersteps.to_string(),
+                r.launches.to_string(),
+                fmt_sig(r.sim_time),
+                fmt_sig(throughput),
+            ]);
+            json.push(vec![
+                ("workload", json_str(workload)),
+                ("workers", r.workers.to_string()),
+                ("requests", n_requests.to_string()),
+                ("batch", batch.to_string()),
+                ("supersteps", r.supersteps.to_string()),
+                ("launches", r.launches.to_string()),
+                ("sim_time_s", format!("{:.9}", r.sim_time)),
+                ("requests_per_s", format!("{:.6}", throughput)),
+            ]);
+        }
+        let one = &results[0];
+        let four = results.last().expect("sweep is non-empty");
+        println!(
+            "{workload}: 1 worker {} vs {} workers {} → speedup {:.2}×",
+            fmt_sig(one.sim_time),
+            four.workers,
+            fmt_sig(four.sim_time),
+            one.sim_time / four.sim_time,
+        );
+    }
+    print_table(
+        "Sharded serving throughput: workers vs fleet wall-clock (hybrid-cpu)",
+        &header,
+        &rows,
+    );
+    write_csv("shard_throughput.csv", &header, &rows);
+    write_json("BENCH_shard_throughput.json", &json);
+}

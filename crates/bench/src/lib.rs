@@ -82,10 +82,25 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("wrote {}", path.display());
 }
 
-/// Write a flat list of `(key, value)` records as a JSON array of
-/// objects under `results/` — the `BENCH_*.json` perf-trajectory
-/// artifacts CI uploads. Values are emitted verbatim, so pass
-/// already-JSON-formatted numbers or quoted strings.
+/// Render a flat list of `(key, value)` records as a JSON array of
+/// objects — the `BENCH_*.json` perf-trajectory schema. Values are
+/// emitted verbatim, so pass already-JSON-formatted numbers or quoted
+/// strings (via [`json_str`]). The output round-trips through
+/// [`gate::parse_flat_json`]; the schema test suite holds the two ends
+/// together.
+pub fn render_json(rows: &[Vec<(&str, String)>]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let fields: Vec<String> = row.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("  {{{}}}{comma}\n", fields.join(", ")));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write [`render_json`] output under `results/` (created if needed) —
+/// the `BENCH_*.json` artifacts CI uploads and gates on.
 ///
 /// # Panics
 ///
@@ -94,17 +109,7 @@ pub fn write_json(name: &str, rows: &[Vec<(&str, String)>]) {
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
-    let mut f = fs::File::create(&path).expect("create json");
-    writeln!(f, "[").expect("write");
-    for (i, row) in rows.iter().enumerate() {
-        let fields: Vec<String> = row
-            .iter()
-            .map(|(k, v)| format!("\"{k}\": {v}"))
-            .collect();
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(f, "  {{{}}}{comma}", fields.join(", ")).expect("write row");
-    }
-    writeln!(f, "]").expect("write");
+    fs::write(&path, render_json(rows)).expect("write json");
     println!("wrote {}", path.display());
 }
 
@@ -121,5 +126,245 @@ pub fn fmt_sig(x: f64) -> String {
         format!("{x:.3e}")
     } else {
         format!("{x:.3}")
+    }
+}
+
+/// The CI perf-regression gate: parse `BENCH_*.json` artifacts and
+/// compare a fresh run against a committed baseline, failing on
+/// throughput regressions beyond a tolerance.
+///
+/// The whole workspace builds offline (no serde), so this module
+/// carries a minimal parser for exactly the flat schema
+/// [`render_json`] emits: a JSON array of flat
+/// objects whose values are strings or numbers.
+pub mod gate {
+    use std::collections::BTreeMap;
+
+    /// A value in a flat benchmark row.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// A JSON string.
+        Str(String),
+        /// A JSON number.
+        Num(f64),
+    }
+
+    impl JsonValue {
+        /// The numeric value, if this is a number.
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                JsonValue::Num(x) => Some(*x),
+                JsonValue::Str(_) => None,
+            }
+        }
+
+        /// Canonical display for row keys and reports.
+        pub fn display(&self) -> String {
+            match self {
+                JsonValue::Str(s) => s.clone(),
+                JsonValue::Num(x) => {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        format!("{}", *x as i64)
+                    } else {
+                        format!("{x}")
+                    }
+                }
+            }
+        }
+    }
+
+    /// One benchmark row: field name → value.
+    pub type Row = BTreeMap<String, JsonValue>;
+
+    /// The metric the regression gate compares.
+    pub const METRIC: &str = "requests_per_s";
+
+    /// Fields identifying a row across runs; rows are matched between
+    /// baseline and fresh artifacts on every key field they carry.
+    pub const KEY_FIELDS: &[&str] = &["workload", "mode", "workers", "requests", "batch"];
+
+    /// Parse a flat `BENCH_*.json` artifact: a JSON array of objects
+    /// whose values are double-quoted strings (escapes `\\` and `\"`)
+    /// or numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned message on any malformed input.
+    pub fn parse_flat_json(text: &str) -> Result<Vec<Row>, String> {
+        let mut p = Parser {
+            chars: text.char_indices().peekable(),
+            text,
+        };
+        p.skip_ws();
+        p.expect('[')?;
+        let mut rows = Vec::new();
+        p.skip_ws();
+        if p.eat(']') {
+            return p.finish(rows);
+        }
+        loop {
+            rows.push(p.parse_object()?);
+            p.skip_ws();
+            if p.eat(',') {
+                p.skip_ws();
+                continue;
+            }
+            p.expect(']')?;
+            return p.finish(rows);
+        }
+    }
+
+    struct Parser<'t> {
+        chars: std::iter::Peekable<std::str::CharIndices<'t>>,
+        text: &'t str,
+    }
+
+    impl Parser<'_> {
+        fn pos(&mut self) -> usize {
+            self.chars.peek().map_or(self.text.len(), |&(i, _)| i)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.chars.peek(), Some(&(_, c)) if c.is_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn eat(&mut self, want: char) -> bool {
+            if matches!(self.chars.peek(), Some(&(_, c)) if c == want) {
+                self.chars.next();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn expect(&mut self, want: char) -> Result<(), String> {
+            let at = self.pos();
+            if self.eat(want) {
+                Ok(())
+            } else {
+                Err(format!("expected '{want}' at byte {at}"))
+            }
+        }
+
+        fn finish(&mut self, rows: Vec<Row>) -> Result<Vec<Row>, String> {
+            self.skip_ws();
+            match self.chars.peek() {
+                None => Ok(rows),
+                Some(&(i, c)) => Err(format!("trailing '{c}' at byte {i}")),
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Row, String> {
+            self.skip_ws();
+            self.expect('{')?;
+            let mut row = Row::new();
+            self.skip_ws();
+            if self.eat('}') {
+                return Ok(row);
+            }
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.expect(':')?;
+                self.skip_ws();
+                let value = self.parse_value()?;
+                row.insert(key, value);
+                self.skip_ws();
+                if self.eat(',') {
+                    continue;
+                }
+                self.expect('}')?;
+                return Ok(row);
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<JsonValue, String> {
+            match self.chars.peek() {
+                Some(&(_, '"')) => Ok(JsonValue::Str(self.parse_string()?)),
+                Some(&(_, c)) if c == '-' || c == '+' || c.is_ascii_digit() => {
+                    let start = self.pos();
+                    while matches!(
+                        self.chars.peek(),
+                        Some(&(_, c)) if c == '-' || c == '+' || c == '.'
+                            || c == 'e' || c == 'E' || c.is_ascii_digit()
+                    ) {
+                        self.chars.next();
+                    }
+                    let end = self.pos();
+                    self.text[start..end]
+                        .parse::<f64>()
+                        .map(JsonValue::Num)
+                        .map_err(|e| format!("bad number at byte {start}: {e}"))
+                }
+                Some(&(i, c)) => Err(format!("unexpected '{c}' at byte {i}")),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            let mut s = String::new();
+            loop {
+                match self.chars.next() {
+                    Some((_, '"')) => return Ok(s),
+                    Some((i, '\\')) => match self.chars.next() {
+                        Some((_, '"')) => s.push('"'),
+                        Some((_, '\\')) => s.push('\\'),
+                        other => return Err(format!("unsupported escape at byte {i}: {other:?}")),
+                    },
+                    Some((_, c)) => s.push(c),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+    }
+
+    /// The identity of a row: every [`KEY_FIELDS`] entry it carries,
+    /// rendered `field=value` and joined. Rows from baseline and fresh
+    /// artifacts match when their keys are equal.
+    pub fn row_key(row: &Row) -> String {
+        KEY_FIELDS
+            .iter()
+            .filter_map(|&f| row.get(f).map(|v| format!("{f}={}", v.display())))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Compare `fresh` against `baseline` row by row. A failure is
+    /// reported when a baseline row is missing from the fresh run
+    /// (coverage loss) or when its [`METRIC`] dropped by more than
+    /// `tolerance` (e.g. `0.2` = fail below 80% of baseline). Rows only
+    /// present in the fresh run pass (new coverage is welcome).
+    /// Returns human-readable failure lines; empty means the gate holds.
+    pub fn check_regression(baseline: &[Row], fresh: &[Row], tolerance: f64) -> Vec<String> {
+        let fresh_by_key: BTreeMap<String, &Row> = fresh.iter().map(|r| (row_key(r), r)).collect();
+        let mut failures = Vec::new();
+        for base in baseline {
+            let key = row_key(base);
+            let Some(new) = fresh_by_key.get(&key) else {
+                failures.push(format!("[{key}] missing from the fresh run"));
+                continue;
+            };
+            let Some(base_metric) = base.get(METRIC).and_then(JsonValue::as_num) else {
+                failures.push(format!("[{key}] baseline row lacks numeric {METRIC}"));
+                continue;
+            };
+            let Some(new_metric) = new.get(METRIC).and_then(JsonValue::as_num) else {
+                failures.push(format!("[{key}] fresh row lacks numeric {METRIC}"));
+                continue;
+            };
+            let floor = base_metric * (1.0 - tolerance);
+            if new_metric < floor {
+                failures.push(format!(
+                    "[{key}] {METRIC} regressed: {new_metric:.6} < {floor:.6} \
+                     (baseline {base_metric:.6}, tolerance {:.0}%)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+        failures
     }
 }

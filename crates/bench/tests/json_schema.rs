@@ -1,0 +1,148 @@
+//! Schema contract between the `BENCH_*.json` writers and the CI
+//! perf-regression gate: what `write_json` emits must parse back, carry
+//! the fields the gate matches rows on, and trip the gate on an
+//! injected slowdown.
+
+use autobatch_bench::gate::{
+    check_regression, parse_flat_json, row_key, JsonValue, Row, KEY_FIELDS, METRIC,
+};
+use autobatch_bench::{json_str, render_json};
+
+/// A row exactly as the throughput bins build one.
+fn bench_row(workload: &str, workers: usize, throughput: f64) -> Vec<(&'static str, String)> {
+    vec![
+        ("workload", json_str(workload)),
+        ("workers", workers.to_string()),
+        ("requests", "48".to_string()),
+        ("batch", "8".to_string()),
+        ("supersteps", "12345".to_string()),
+        ("launches", "12345".to_string()),
+        ("sim_time_s", format!("{:.9}", 48.0 / throughput)),
+        ("requests_per_s", format!("{throughput:.6}")),
+    ]
+}
+
+fn rendered_rows(rows: &[Vec<(&str, String)>]) -> Vec<Row> {
+    parse_flat_json(&render_json(rows)).expect("write_json output must parse")
+}
+
+#[test]
+fn write_json_output_round_trips_through_the_gate_parser() {
+    let rows = vec![
+        bench_row("divergent-binom", 1, 0.0125),
+        bench_row("divergent-binom", 4, 0.05),
+        bench_row("funnel-nuts", 2, 0.17),
+    ];
+    let parsed = rendered_rows(&rows);
+    assert_eq!(parsed.len(), 3);
+    for (src, row) in rows.iter().zip(&parsed) {
+        // Every written field survives with its name.
+        assert_eq!(src.len(), row.len());
+        for (k, _) in src {
+            assert!(row.contains_key(*k), "field {k} lost in round-trip");
+        }
+    }
+    assert_eq!(
+        parsed[0].get("workload"),
+        Some(&JsonValue::Str("divergent-binom".into()))
+    );
+    assert_eq!(parsed[1].get("workers"), Some(&JsonValue::Num(4.0)));
+    assert_eq!(
+        parsed[1].get(METRIC).and_then(JsonValue::as_num),
+        Some(0.05)
+    );
+}
+
+#[test]
+fn rows_carry_the_fields_the_regression_gate_reads() {
+    let parsed = rendered_rows(&[bench_row("divergent-binom", 4, 0.05)]);
+    let row = &parsed[0];
+    // The compared metric is present and numeric.
+    assert!(
+        row.get(METRIC).and_then(JsonValue::as_num).is_some(),
+        "bench rows must carry numeric {METRIC}"
+    );
+    // At least two key fields identify the row, and they land in its key.
+    let key = row_key(row);
+    let present: Vec<&&str> = KEY_FIELDS
+        .iter()
+        .filter(|f| row.contains_key(**f))
+        .collect();
+    assert!(present.len() >= 2, "too few key fields: {key}");
+    assert!(key.contains("workload=divergent-binom"));
+    assert!(key.contains("workers=4"));
+    // Rows differing only in a key field get distinct keys.
+    let other = rendered_rows(&[bench_row("divergent-binom", 1, 0.0125)]);
+    assert_ne!(key, row_key(&other[0]));
+}
+
+#[test]
+fn gate_passes_identical_runs_and_catches_injected_slowdown() {
+    let baseline = rendered_rows(&[
+        bench_row("divergent-binom", 1, 0.0125),
+        bench_row("divergent-binom", 4, 0.05),
+    ]);
+    // Identical rerun: deterministic sim-time numbers compare exactly.
+    assert_eq!(
+        check_regression(&baseline, &baseline, 0.20),
+        Vec::<String>::new()
+    );
+    // 10% down is inside the 20% tolerance; improvements always pass.
+    let wobble = rendered_rows(&[
+        bench_row("divergent-binom", 1, 0.0125 * 0.9),
+        bench_row("divergent-binom", 4, 0.05 * 1.5),
+    ]);
+    assert!(check_regression(&baseline, &wobble, 0.20).is_empty());
+    // An injected >20% slowdown on one row fails the gate, naming it.
+    let slowed = rendered_rows(&[
+        bench_row("divergent-binom", 1, 0.0125),
+        bench_row("divergent-binom", 4, 0.05 * 0.75),
+    ]);
+    let failures = check_regression(&baseline, &slowed, 0.20);
+    assert_eq!(failures.len(), 1);
+    assert!(failures[0].contains("workers=4"), "{failures:?}");
+    assert!(failures[0].contains("regressed"), "{failures:?}");
+}
+
+#[test]
+fn gate_fails_on_coverage_loss_but_not_on_new_rows() {
+    let baseline = rendered_rows(&[
+        bench_row("divergent-binom", 1, 0.0125),
+        bench_row("funnel-nuts", 1, 0.17),
+    ]);
+    let fresh = rendered_rows(&[
+        bench_row("divergent-binom", 1, 0.0125),
+        // funnel-nuts row gone; a brand-new workload appears.
+        bench_row("new-workload", 2, 1.0),
+    ]);
+    let failures = check_regression(&baseline, &fresh, 0.20);
+    assert_eq!(failures.len(), 1);
+    assert!(failures[0].contains("workload=funnel-nuts"), "{failures:?}");
+    assert!(failures[0].contains("missing"), "{failures:?}");
+}
+
+#[test]
+fn parser_handles_escapes_and_rejects_malformed_input() {
+    let rows = vec![vec![
+        ("name", json_str(r#"quote " and \ backslash"#)),
+        ("x", "1.5e-3".to_string()),
+    ]];
+    let parsed = rendered_rows(&rows);
+    assert_eq!(
+        parsed[0].get("name"),
+        Some(&JsonValue::Str(r#"quote " and \ backslash"#.into()))
+    );
+    assert_eq!(parsed[0].get("x").and_then(JsonValue::as_num), Some(1.5e-3));
+    assert!(parse_flat_json("[]").unwrap().is_empty());
+    for bad in [
+        "",
+        "{",
+        "[{]",
+        r#"[{"a": }]"#,
+        r#"[{"a": 1} {"b": 2}]"#,
+        r#"[{"a": 1}] trailing"#,
+        r#"[{"a": "unterminated}]"#,
+    ] {
+        assert!(parse_flat_json(bad).is_err(), "accepted malformed: {bad}");
+    }
+}

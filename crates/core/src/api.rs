@@ -188,8 +188,7 @@ impl BatchedFn {
                 .into());
             }
         }
-        let inner =
-            Autobatcher::with_options(program, registry, exec, LoweringOptions::default())?;
+        let inner = Autobatcher::with_options(program, registry, exec, LoweringOptions::default())?;
         debug_assert_eq!(
             inner.lowering_stats().stacked_vars,
             0,

@@ -229,7 +229,10 @@ impl<'p> DynamicVm<'p> {
             let mut entries = 0usize;
             for (ti, th) in threads.iter().enumerate() {
                 if let Some(req) = &th.pending {
-                    agenda.entry(signature(&req.prim, &req.ins)).or_default().push(ti);
+                    agenda
+                        .entry(signature(&req.prim, &req.ins))
+                        .or_default()
+                        .push(ti);
                     entries += 1;
                 }
             }
@@ -371,9 +374,10 @@ impl<'p> DynamicVm<'p> {
                         th.frames.pop();
                         match th.frames.last_mut() {
                             Some(caller) => {
-                                let outs = caller.call_outs.take().expect(
-                                    "returning into a frame with an in-flight call",
-                                );
+                                let outs = caller
+                                    .call_outs
+                                    .take()
+                                    .expect("returning into a frame with an in-flight call");
                                 for (o, r) in outs.iter().zip(rets) {
                                     caller.env.insert(o.clone(), r);
                                 }
@@ -490,10 +494,10 @@ fn lookup(env: &BTreeMap<Var, Tensor>, v: &Var, context: &str) -> Result<Tensor>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lsab_vm::LocalStaticVm;
     use autobatch_accel::Backend;
     use autobatch_ir::build::{fibonacci_program, ProgramBuilder};
     use autobatch_ir::Prim;
-    use crate::lsab_vm::LocalStaticVm;
 
     fn opts() -> ExecOptions {
         ExecOptions::default()

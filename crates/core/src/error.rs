@@ -79,13 +79,20 @@ impl fmt::Display for VmError {
             }
             VmError::StackUnderflow { var } => write!(f, "stack underflow on `{var}`"),
             VmError::StepLimit { limit } => {
-                write!(f, "superstep limit {limit} exceeded (non-terminating member?)")
+                write!(
+                    f,
+                    "superstep limit {limit} exceeded (non-terminating member?)"
+                )
             }
             VmError::HostRecursionLimit { limit } => {
                 write!(f, "host recursion depth limit {limit} exceeded")
             }
             VmError::UnknownKernel { name } => write!(f, "unknown external kernel `{name}`"),
-            VmError::KernelArity { name, expected, got } => write!(
+            VmError::KernelArity {
+                name,
+                expected,
+                got,
+            } => write!(
                 f,
                 "kernel `{name}` arity mismatch: expected {}/{} in/out, got {}/{}",
                 expected.0, expected.1, got.0, got.1
@@ -131,7 +138,11 @@ mod tests {
             limit: 32,
         };
         assert!(e.to_string().contains("n"));
-        let t: VmError = TensorError::MaskLength { expected: 1, got: 2 }.into();
+        let t: VmError = TensorError::MaskLength {
+            expected: 1,
+            got: 2,
+        }
+        .into();
         assert!(std::error::Error::source(&t).is_some());
     }
 }

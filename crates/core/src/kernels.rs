@@ -74,9 +74,11 @@ impl KernelRegistry {
     ///
     /// Returns [`VmError::UnknownKernel`] if absent.
     pub fn get(&self, name: &str) -> Result<&Arc<dyn ExternalKernel>> {
-        self.kernels.get(name).ok_or_else(|| VmError::UnknownKernel {
-            name: name.to_string(),
-        })
+        self.kernels
+            .get(name)
+            .ok_or_else(|| VmError::UnknownKernel {
+                name: name.to_string(),
+            })
     }
 
     /// Names of all registered kernels.
@@ -154,9 +156,22 @@ pub fn eval_prim(
         Prim::Tanh => one(inputs[0].tanh()?),
         Prim::NegI => one(inputs[0].neg_i64()?),
         Prim::Not => one(inputs[0].not()?),
-        Prim::Add | Prim::Sub | Prim::Mul | Prim::Div | Prim::Pow | Prim::Min2 | Prim::Max2
-        | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge | Prim::EqE | Prim::NeE | Prim::And
-        | Prim::Or | Prim::Xor => {
+        Prim::Add
+        | Prim::Sub
+        | Prim::Mul
+        | Prim::Div
+        | Prim::Pow
+        | Prim::Min2
+        | Prim::Max2
+        | Prim::Lt
+        | Prim::Le
+        | Prim::Gt
+        | Prim::Ge
+        | Prim::EqE
+        | Prim::NeE
+        | Prim::And
+        | Prim::Or
+        | Prim::Xor => {
             let (a, b) = align_pair(&inputs[0], &inputs[1])?;
             let r = match prim {
                 Prim::Add => a.add(&b)?,
@@ -259,10 +274,13 @@ pub fn prim_cost(
         .sum();
     let (flops, parallel) = match prim {
         Prim::External(name) => {
-            let rows = outputs
-                .first()
-                .or(inputs.first())
-                .map_or(0, |t| if t.rank() == 0 { 1 } else { t.shape()[0] });
+            let rows = outputs.first().or(inputs.first()).map_or(0, |t| {
+                if t.rank() == 0 {
+                    1
+                } else {
+                    t.shape()[0]
+                }
+            });
             match registry.get(name) {
                 Ok(k) => (
                     k.flops_per_member(inputs) * rows as f64,
@@ -321,9 +339,14 @@ mod tests {
     fn rng_prims_advance_counter_and_depend_on_member() {
         let (rng, reg) = env();
         let counters = Tensor::from_i64(&[5, 5], &[2]).unwrap();
-        let out =
-            eval_prim(&Prim::RandUniform, std::slice::from_ref(&counters), &[0, 1], &rng, &reg)
-                .unwrap();
+        let out = eval_prim(
+            &Prim::RandUniform,
+            std::slice::from_ref(&counters),
+            &[0, 1],
+            &rng,
+            &reg,
+        )
+        .unwrap();
         let u = out[0].as_f64().unwrap();
         assert_ne!(u[0], u[1], "different members draw differently");
         assert_eq!(out[1].as_i64().unwrap(), &[6, 6]);
@@ -337,8 +360,14 @@ mod tests {
         let (rng, reg) = env();
         let counters = Tensor::from_i64(&[0, 1], &[2]).unwrap();
         let template = Tensor::zeros(DType::F64, &[2, 4]);
-        let out =
-            eval_prim(&Prim::RandNormalLike, &[counters, template], &[0, 1], &rng, &reg).unwrap();
+        let out = eval_prim(
+            &Prim::RandNormalLike,
+            &[counters, template],
+            &[0, 1],
+            &rng,
+            &reg,
+        )
+        .unwrap();
         assert_eq!(out[0].shape(), &[2, 4]);
     }
 
@@ -369,9 +398,14 @@ mod tests {
         let (rng, mut reg) = env();
         reg.register("double", Arc::new(Doubler));
         let x = Tensor::from_f64(&[1.0, 2.0], &[2, 1]).unwrap();
-        let out =
-            eval_prim(&Prim::external("double"), std::slice::from_ref(&x), &[0, 1], &rng, &reg)
-                .unwrap();
+        let out = eval_prim(
+            &Prim::external("double"),
+            std::slice::from_ref(&x),
+            &[0, 1],
+            &rng,
+            &reg,
+        )
+        .unwrap();
         assert_eq!(out[0].as_f64().unwrap(), &[2.0, 4.0]);
         let cost = prim_cost(&Prim::external("double"), &[x], &out, &reg);
         assert_eq!(cost.flops, 2.0); // 1 flop/member × 2 members

@@ -278,9 +278,7 @@ pub fn lower(
             }
             // Terminator of the final segment.
             let term = match &b.term {
-                lsab::Terminator::Jump(t) => {
-                    pcab::Terminator::Jump(BlockId(seg_start[&(fi, t.0)]))
-                }
+                lsab::Terminator::Jump(t) => pcab::Terminator::Jump(BlockId(seg_start[&(fi, t.0)])),
                 lsab::Terminator::Branch { cond, then_, else_ } => pcab::Terminator::Branch {
                     cond: mangle(&f.name, cond),
                     then_: BlockId(seg_start[&(fi, then_.0)]),
@@ -564,7 +562,10 @@ mod tests {
     fn pop_push_elimination_fires_on_consecutive_saves() {
         let p = double_call_with_saved_var();
         let (_, with) = lower(&p, LoweringOptions::default()).unwrap();
-        let no_elim = LoweringOptions { pop_push_elimination: false, ..LoweringOptions::default() };
+        let no_elim = LoweringOptions {
+            pop_push_elimination: false,
+            ..LoweringOptions::default()
+        };
         let (_, without) = lower(&p, no_elim).unwrap();
         assert!(with.eliminated_pairs > 0, "elimination fired: {with:?}");
         assert!(with.pushes < without.pushes);
@@ -684,7 +685,10 @@ mod tests {
         };
         let (_, s_off) = lower(&p, no_demote).unwrap();
         assert!(s_on.register_vars > 0, "demotion found registers: {s_on:?}");
-        assert_eq!(s_off.register_vars, 0, "demotion off leaves none: {s_off:?}");
+        assert_eq!(
+            s_off.register_vars, 0,
+            "demotion off leaves none: {s_off:?}"
+        );
         assert!(
             s_off.stacked_vars > s_on.stacked_vars,
             "undemoted registers become stacks: {s_off:?} vs {s_on:?}"

@@ -173,21 +173,15 @@ impl<'p> LocalStaticVm<'p> {
             let fused = ctx
                 .trace
                 .as_deref()
-                .map(|t| {
-                    !matches!(
-                        t.backend().mode,
-                        autobatch_accel::DispatchMode::Eager
-                    )
-                })
+                .map(|t| !matches!(t.backend().mode, autobatch_accel::DispatchMode::Eager))
                 .unwrap_or(false);
             let mut block_cost = OpCost::default();
             let block = &f.blocks[i];
             for op in &block.ops {
                 match op {
                     Op::Prim { outs, prim, ins } => {
-                        let cost = self.exec_prim(
-                            ctx, &mut env, prim, outs, ins, &local, &local_idx, z,
-                        )?;
+                        let cost =
+                            self.exec_prim(ctx, &mut env, prim, outs, ins, &local, &local_idx, z)?;
                         if fused {
                             block_cost.flops += cost.flops;
                             block_cost.bytes += cost.bytes;
@@ -205,8 +199,7 @@ impl<'p> LocalStaticVm<'p> {
                             .iter()
                             .map(|v| lookup(&env, v, &f.name))
                             .collect::<Result<_>>()?;
-                        let rets =
-                            self.run_function(ctx, *callee, args, &local, depth + 1)?;
+                        let rets = self.run_function(ctx, *callee, args, &local, depth + 1)?;
                         for (o, r) in outs.iter().zip(rets) {
                             write_masked(&mut env, o, r, &local)?;
                         }
@@ -246,10 +239,7 @@ impl<'p> LocalStaticVm<'p> {
                 });
             }
         }
-        f.outputs
-            .iter()
-            .map(|o| lookup(&env, o, &f.name))
-            .collect()
+        f.outputs.iter().map(|o| lookup(&env, o, &f.name)).collect()
     }
 
     /// Execute one primitive under the configured strategy, recording
@@ -429,7 +419,12 @@ fn lookup(env: &BTreeMap<Var, Tensor>, v: &Var, context: &str) -> Result<Tensor>
 }
 
 /// Masked write of a full-width result: active rows take the new value.
-fn write_masked(env: &mut BTreeMap<Var, Tensor>, var: &Var, value: Tensor, mask: &[bool]) -> Result<()> {
+fn write_masked(
+    env: &mut BTreeMap<Var, Tensor>,
+    var: &Var,
+    value: Tensor,
+    mask: &[bool],
+) -> Result<()> {
     if value.rank() == 0 || value.shape()[0] != mask.len() {
         // A kernel (or corrupted program) produced a result whose batch
         // width disagrees with the batch — refusing here prevents silent
@@ -602,7 +597,10 @@ mod tests {
         let mut tr = Trace::new(Backend::hybrid_cpu());
         vm.run(&[Tensor::from_i64(&[5, 6], &[2]).unwrap()], Some(&mut tr))
             .unwrap();
-        assert!(tr.kernel_stats("add").is_none(), "no per-prim timed launches");
+        assert!(
+            tr.kernel_stats("add").is_none(),
+            "no per-prim timed launches"
+        );
         assert!(
             tr.kernels().any(|(k, _)| k.starts_with("block:")),
             "fused block launches present"
@@ -632,10 +630,7 @@ mod tests {
     fn wrong_input_arity_is_error() {
         let p = fibonacci_program();
         let vm = LocalStaticVm::new(&p, KernelRegistry::new(), vm_opts());
-        assert!(matches!(
-            vm.run(&[], None),
-            Err(VmError::BadInputs { .. })
-        ));
+        assert!(matches!(vm.run(&[], None), Err(VmError::BadInputs { .. })));
     }
 
     #[test]

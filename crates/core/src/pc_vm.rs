@@ -122,11 +122,7 @@ impl State {
                 .into_iter()
                 .map(|v| (v, StackVar::new(z)))
                 .collect(),
-            registers: p
-                .register_vars()
-                .into_iter()
-                .map(|v| (v, None))
-                .collect(),
+            registers: p.register_vars().into_iter().map(|v| (v, None)).collect(),
             member_keys: (0..z as u64).collect(),
         }
     }
@@ -193,7 +189,15 @@ impl<'p> PcVm<'p> {
         // Algorithm 2's "PUSH T onto x": bind the batch inputs.
         let all = vec![true; z];
         for (v, t) in p.inputs.iter().zip(inputs) {
-            self.write_var(&mut st, v, t.clone(), &all, &mut BTreeMap::new(), WriteKind::Update, false)?;
+            self.write_var(
+                &mut st,
+                v,
+                t.clone(),
+                &all,
+                &mut BTreeMap::new(),
+                WriteKind::Update,
+                false,
+            )?;
         }
 
         let rng = CounterRng::new(self.opts.seed);
@@ -470,11 +474,7 @@ impl<'p> PcVm<'p> {
                     // Expand to full width by scattering into the current
                     // value (or zeros when absent).
                     let mut full = match self.peek_var(st, &var) {
-                        Some(t)
-                            if t.dtype() == r.dtype() && t.shape()[1..] == r.shape()[1..] =>
-                        {
-                            t
-                        }
+                        Some(t) if t.dtype() == r.dtype() && t.shape()[1..] == r.shape()[1..] => t,
                         _ => {
                             let mut shape = r.shape().to_vec();
                             shape[0] = z;
@@ -507,7 +507,13 @@ impl<'p> PcVm<'p> {
         }
     }
 
-    fn read_var(&self, st: &State, temps: &BTreeMap<Var, Tensor>, v: &Var, ctx: &str) -> Result<Tensor> {
+    fn read_var(
+        &self,
+        st: &State,
+        temps: &BTreeMap<Var, Tensor>,
+        v: &Var,
+        ctx: &str,
+    ) -> Result<Tensor> {
         if let Some(t) = temps.get(v) {
             return Ok(t.clone());
         }
@@ -601,7 +607,9 @@ impl<'p> PcVm<'p> {
                     // compiled autobatching losing to the hybrid at very
                     // large batch sizes.
                     let seq = if functional {
-                        s.store.as_ref().map_or(0.0, |st| 2.0 * st.size_bytes() as f64)
+                        s.store
+                            .as_ref()
+                            .map_or(0.0, |st| 2.0 * st.size_bytes() as f64)
                     } else {
                         0.0
                     };
@@ -638,32 +646,34 @@ impl<'p> PcVm<'p> {
             var: var.clone(),
             context: "pop of unknown stacked variable".into(),
         })?;
-        let store = s.store.as_ref().ok_or(VmError::StackUnderflow {
-            var: var.clone(),
-        })?;
+        let store = s
+            .store
+            .as_ref()
+            .ok_or(VmError::StackUnderflow { var: var.clone() })?;
         for &b in active_idx {
             if s.sp[b] == 0 {
                 return Err(VmError::StackUnderflow { var: var.clone() });
             }
         }
-        let depths: Vec<usize> = s
-            .sp
-            .iter()
-            .enumerate()
-            .map(|(b, &d)| if active[b] { d - 1 } else { 0 })
-            .collect();
+        let depths: Vec<usize> =
+            s.sp.iter()
+                .enumerate()
+                .map(|(b, &d)| if active[b] { d - 1 } else { 0 })
+                .collect();
         let restored = store.gather_at_depth(&depths)?;
         masked_store(&mut s.top, restored, active)?;
         for &b in active_idx {
             s.sp[b] -= 1;
         }
         let top = s.top.as_ref().expect("pop restores a value");
-        let bytes = (top.len() / z.max(1) * active_idx.len()) as f64
-            * top.dtype().size_bytes() as f64;
+        let bytes =
+            (top.len() / z.max(1) * active_idx.len()) as f64 * top.dtype().size_bytes() as f64;
         // Functional semantics rebuild the stack buffer on pop as well
         // (the while-loop state tuple is immutable).
         let seq = if functional {
-            s.store.as_ref().map_or(0.0, |st| 2.0 * st.size_bytes() as f64)
+            s.store
+                .as_ref()
+                .map_or(0.0, |st| 2.0 * st.size_bytes() as f64)
         } else {
             0.0
         };
@@ -689,6 +699,13 @@ pub struct Retired {
 /// An incremental program-counter VM supporting **dynamic batch
 /// admission**: members join an in-flight batch at the entry block (with
 /// fresh stacks) and are compacted out once their pc top hits the exit.
+///
+/// The machine is `Send` (all member state is owned; external kernels
+/// are `Send + Sync` by trait bound), so a sharded serving runtime can
+/// hand each machine to its own worker thread — each shard drives its
+/// machine independently while borrowing the shared lowered [`Program`].
+/// This is asserted at compile time (see the `send_handoff` assertions
+/// in this module), not just by convention.
 ///
 /// Because every random draw is keyed by `(seed, member_key, counter)`
 /// and each lane carries its own `member_key`, a member's results are
@@ -806,12 +823,7 @@ impl<'p> PcMachine<'p> {
     /// # Errors
     ///
     /// Returns [`VmError::BadInputs`] on arity or shape mismatch.
-    pub fn admit(
-        &mut self,
-        inputs: &[Tensor],
-        key: u64,
-        trace: Option<&mut Trace>,
-    ) -> Result<u64> {
+    pub fn admit(&mut self, inputs: &[Tensor], key: u64, trace: Option<&mut Trace>) -> Result<u64> {
         self.admit_batch(&[(inputs, key)], trace)
             .map(|tickets| tickets[0])
     }
@@ -881,7 +893,11 @@ impl<'p> PcMachine<'p> {
                 s.top
                     .as_ref()
                     .map(|t| (t.shape()[1..].to_vec(), t.dtype()))
-                    .or_else(|| s.store.as_ref().map(|t| (t.shape()[2..].to_vec(), t.dtype())))
+                    .or_else(|| {
+                        s.store
+                            .as_ref()
+                            .map(|t| (t.shape()[2..].to_vec(), t.dtype()))
+                    })
             } else {
                 self.st
                     .registers
@@ -911,7 +927,9 @@ impl<'p> PcMachine<'p> {
         self.st
             .pc_stack
             .extend(std::iter::repeat_n(vec![p.blocks.len()], k)); // exit sentinel
-        self.st.member_keys.extend(requests.iter().map(|&(_, key)| key));
+        self.st
+            .member_keys
+            .extend(requests.iter().map(|&(_, key)| key));
         for s in self.st.stacked.values_mut() {
             s.sp.extend(std::iter::repeat_n(0, k));
             if let Some(top) = &s.top {
@@ -1062,6 +1080,27 @@ impl<'p> PcMachine<'p> {
     }
 }
 
+/// Compile-time proof of the Send-safe machine handoff contract: a
+/// sharded serving runtime moves whole machines (and their retired
+/// results) into worker threads that outlive no borrow but the shared
+/// program. If a non-`Send` type (an `Rc`, a raw pointer, a
+/// thread-bound RNG) ever sneaks into the member state, this fails to
+/// compile rather than failing at the first multi-worker deployment.
+mod send_handoff {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[allow(dead_code)]
+    fn machine_handoff_is_send() {
+        assert_send::<super::PcVm<'_>>();
+        assert_send::<super::PcMachine<'_>>();
+        assert_send::<super::Retired>();
+        assert_send::<crate::kernels::KernelRegistry>();
+        // The lowered program is shared immutably across worker threads.
+        assert_sync::<autobatch_ir::pcab::Program>();
+    }
+}
+
 /// Masked write into an optional full-width slot.
 fn masked_store(slot: &mut Option<Tensor>, value: Tensor, active: &[bool]) -> Result<()> {
     if value.rank() == 0 || value.shape()[0] != active.len() {
@@ -1093,7 +1132,13 @@ fn masked_store(slot: &mut Option<Tensor>, value: Tensor, active: &[bool]) -> Re
     Ok(())
 }
 
-fn record_stack_launch(trace: &mut Option<&mut Trace>, seq: f64, rand: f64, active: usize, z: usize) {
+fn record_stack_launch(
+    trace: &mut Option<&mut Trace>,
+    seq: f64,
+    rand: f64,
+    active: usize,
+    z: usize,
+) {
     if let Some(t) = trace.as_deref_mut() {
         t.launch(&LaunchRecord {
             kernel: "stack".into(),
@@ -1130,9 +1175,7 @@ fn pc_traffic(
 /// Block selection over pc tops (all members still in flight).
 fn select_block(pc_top: &[usize], n_blocks: usize, heuristic: BlockHeuristic) -> Option<usize> {
     match heuristic {
-        BlockHeuristic::EarliestBlock => {
-            pc_top.iter().copied().filter(|&p| p < n_blocks).min()
-        }
+        BlockHeuristic::EarliestBlock => pc_top.iter().copied().filter(|&p| p < n_blocks).min(),
         BlockHeuristic::MostActive => {
             let mut counts = vec![0usize; n_blocks];
             for &p in pc_top {
@@ -1178,19 +1221,28 @@ mod tests {
 
     #[test]
     fn fibonacci_gather_scatter_strategy() {
-        let opts = ExecOptions { strategy: ExecStrategy::GatherScatter, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            strategy: ExecStrategy::GatherScatter,
+            ..ExecOptions::default()
+        };
         assert_eq!(fib_vm_run(&[6, 7, 8, 9], opts), vec![13, 21, 34, 55]);
     }
 
     #[test]
     fn fibonacci_most_active_heuristic() {
-        let opts = ExecOptions { heuristic: BlockHeuristic::MostActive, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            heuristic: BlockHeuristic::MostActive,
+            ..ExecOptions::default()
+        };
         assert_eq!(fib_vm_run(&[3, 9, 1], opts), vec![3, 55, 1]);
     }
 
     #[test]
     fn fibonacci_without_top_caching() {
-        let opts = ExecOptions { cache_stack_tops: false, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            cache_stack_tops: false,
+            ..ExecOptions::default()
+        };
         assert_eq!(fib_vm_run(&[5, 8], opts), vec![8, 34]);
     }
 
@@ -1209,13 +1261,13 @@ mod tests {
     fn stack_overflow_reported() {
         let p = fibonacci_program();
         let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
-        let opts = ExecOptions { stack_depth: 4, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            stack_depth: 4,
+            ..ExecOptions::default()
+        };
         let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
         let err = vm.run(&[Tensor::from_i64(&[25], &[1]).unwrap()], None);
-        assert!(
-            matches!(err, Err(VmError::StackOverflow { .. })),
-            "{err:?}"
-        );
+        assert!(matches!(err, Err(VmError::StackOverflow { .. })), "{err:?}");
     }
 
     #[test]
@@ -1254,22 +1306,16 @@ mod tests {
         let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
         let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
         let mut tr = Trace::new(Backend::xla_cpu());
-        vm.run(
-            &[Tensor::from_i64(&[8, 9], &[2]).unwrap()],
-            Some(&mut tr),
-        )
-        .unwrap();
+        vm.run(&[Tensor::from_i64(&[8, 9], &[2]).unwrap()], Some(&mut tr))
+            .unwrap();
         assert!(tr.supersteps() > 0);
         assert!(tr.kernels().any(|(k, _)| k.starts_with("block:")));
         // Fused mode folds stack traffic into block launches.
         assert!(tr.sim_time() > 0.0);
         // Eager mode shows explicit stack launches.
         let mut tr2 = Trace::new(Backend::eager_cpu());
-        vm.run(
-            &[Tensor::from_i64(&[8, 9], &[2]).unwrap()],
-            Some(&mut tr2),
-        )
-        .unwrap();
+        vm.run(&[Tensor::from_i64(&[8, 9], &[2]).unwrap()], Some(&mut tr2))
+            .unwrap();
         assert!(tr2.kernel_stats("stack").is_some());
     }
 
@@ -1365,9 +1411,14 @@ mod tests {
         let vm = PcVm::new(&pc, KernelRegistry::new(), opts);
         // Depth-3 recursion fits; depth-4 overflows — wherever the limit
         // bites first, it is the same limit for pc and data stacks.
-        assert!(vm.run(&[Tensor::from_i64(&[4], &[1]).unwrap()], None).is_ok());
+        assert!(vm
+            .run(&[Tensor::from_i64(&[4], &[1]).unwrap()], None)
+            .is_ok());
         let err = vm.run(&[Tensor::from_i64(&[7], &[1]).unwrap()], None);
-        assert!(matches!(err, Err(VmError::StackOverflow { limit: 3, .. })), "{err:?}");
+        assert!(
+            matches!(err, Err(VmError::StackOverflow { limit: 3, .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -1474,7 +1525,11 @@ mod tests {
         m.admit(&inputs[0], 0, None).unwrap();
         let bad = [Tensor::from_i64(&[1, 2], &[2]).unwrap()];
         assert!(m.admit_batch(&[(&bad[..], 1)], None).is_err());
-        assert_eq!(m.live(), 1, "failed batch admission must not grow the machine");
+        assert_eq!(
+            m.live(),
+            1,
+            "failed batch admission must not grow the machine"
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ fn all_runtimes_agree(p: &lsab::Program, inputs: &[Tensor]) -> Vec<Tensor> {
     for lopts in [LoweringOptions::default(), LoweringOptions::unoptimized()] {
         let (pc, _) = lower(p, lopts).expect("lowers");
         let vm = PcVm::new(&pc, KernelRegistry::new(), ExecOptions::default());
-        assert_eq!(vm.run(inputs, None).expect("pc runs"), reference, "{lopts:?}");
+        assert_eq!(
+            vm.run(inputs, None).expect("pc runs"),
+            reference,
+            "{lopts:?}"
+        );
     }
     let gs = LocalStaticVm::new(
         p,
@@ -114,10 +118,18 @@ fn mutual_recursion_batch() {
     let p = pb.finish(even).unwrap();
     let out = all_runtimes_agree(&p, &[Tensor::from_i64(&[0, 1, 2, 3, 4], &[5]).unwrap()]);
     fn ge(n: i64) -> i64 {
-        if n <= 0 { 1 } else { go(n - 1) + 10 * n }
+        if n <= 0 {
+            1
+        } else {
+            go(n - 1) + 10 * n
+        }
     }
     fn go(n: i64) -> i64 {
-        if n <= 0 { 0 } else { ge(n - 1) + 100 * n }
+        if n <= 0 {
+            0
+        } else {
+            ge(n - 1) + 100 * n
+        }
     }
     for (i, &n) in [0i64, 1, 2, 3, 4].iter().enumerate() {
         assert_eq!(out[0].as_i64().unwrap()[i], ge(n), "even({n})");

@@ -167,7 +167,10 @@ fn pop_on_register_program_rejected_at_validation() {
         .run(&[Tensor::from_f64(&[1.0], &[1]).unwrap()], None)
         .unwrap_err();
     assert!(
-        matches!(err, VmError::Unbound { .. } | VmError::StackUnderflow { .. }),
+        matches!(
+            err,
+            VmError::Unbound { .. } | VmError::StackUnderflow { .. }
+        ),
         "{err:?}"
     );
 }

@@ -62,7 +62,10 @@ pub fn split_in_half<C: AsRef<[f64]>>(chains: &[C]) -> Vec<Vec<f64>> {
 pub fn pooled_quantile<C: AsRef<[f64]>>(chains: &[C], p: f64) -> Result<f64> {
     assert!((0.0..=1.0).contains(&p), "quantile p must be in [0, 1]");
     validate(chains, 1)?;
-    let mut pool: Vec<f64> = chains.iter().flat_map(|c| c.as_ref().iter().copied()).collect();
+    let mut pool: Vec<f64> = chains
+        .iter()
+        .flat_map(|c| c.as_ref().iter().copied())
+        .collect();
     pool.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
     let h = p * (pool.len() - 1) as f64;
     let lo = h.floor() as usize;

@@ -11,12 +11,7 @@ pub fn autocovariance(x: &[f64], max_lag: usize) -> Vec<f64> {
     let m = mean(x);
     let max_lag = max_lag.min(n.saturating_sub(1));
     (0..=max_lag)
-        .map(|t| {
-            (0..n - t)
-                .map(|i| (x[i] - m) * (x[i + t] - m))
-                .sum::<f64>()
-                / n as f64
-        })
+        .map(|t| (0..n - t).map(|i| (x[i] - m) * (x[i + t] - m)).sum::<f64>() / n as f64)
         .collect()
 }
 
@@ -88,8 +83,7 @@ fn ess_of(chains: &[Vec<f64>]) -> f64 {
         .map(|x| (x - grand) * (x - grand))
         .sum::<f64>()
         / (m as f64 - 1.0).max(1.0);
-    let var_plus = (n as f64 - 1.0) / n as f64 * w
-        + if m > 1 { b_over_n } else { 0.0 };
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + if m > 1 { b_over_n } else { 0.0 };
     if var_plus == 0.0 || !var_plus.is_finite() {
         return f64::NAN;
     }

@@ -16,7 +16,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -91,12 +92,7 @@ pub fn rank_normalize<C: AsRef<[f64]>>(chains: &[C]) -> Vec<Vec<f64>> {
     let mut order: Vec<(f64, usize, usize)> = chains
         .iter()
         .enumerate()
-        .flat_map(|(j, c)| {
-            c.as_ref()
-                .iter()
-                .enumerate()
-                .map(move |(i, &v)| (v, j, i))
-        })
+        .flat_map(|(j, c)| c.as_ref().iter().enumerate().map(move |(i, &v)| (v, j, i)))
         .collect();
     order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite draws"));
 

@@ -36,7 +36,10 @@ impl ParameterSummary {
     /// Stan's rule of thumb: `R̂ ≤ 1.01` and both ESS ≥ 100 per chain...
     /// here simplified to ≥ 100 total, which suits small test batches.
     pub fn looks_converged(&self) -> bool {
-        self.rhat.is_finite() && self.rhat < 1.01 && self.ess_bulk >= 100.0 && self.ess_tail >= 100.0
+        self.rhat.is_finite()
+            && self.rhat < 1.01
+            && self.ess_bulk >= 100.0
+            && self.ess_tail >= 100.0
     }
 }
 
@@ -88,7 +91,10 @@ impl fmt::Display for ParameterSummary {
 /// ```
 pub fn summarize<C: AsRef<[f64]>>(chains: &[C]) -> Result<ParameterSummary> {
     validate(chains, 8)?;
-    let pooled: Vec<f64> = chains.iter().flat_map(|c| c.as_ref().iter().copied()).collect();
+    let pooled: Vec<f64> = chains
+        .iter()
+        .flat_map(|c| c.as_ref().iter().copied())
+        .collect();
     let m = mean(&pooled);
     let sd = sample_var(&pooled).sqrt();
     // NaN from the ESS estimators marks a degenerate (constant) chain

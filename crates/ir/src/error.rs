@@ -80,20 +80,36 @@ impl fmt::Display for IrError {
             IrError::BadFunc { func, len } => {
                 write!(f, "function {func} out of range ({len} functions)")
             }
-            IrError::BadArity { what, expected, got } => {
-                write!(f, "arity mismatch in {what}: expected {expected}, got {got}")
+            IrError::BadArity {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch in {what}: expected {expected}, got {got}"
+                )
             }
             IrError::BadCall { callee, what } => write!(f, "bad call to {callee}: {what}"),
             IrError::UnassignedRead { var, func, block } => match func {
                 Some(fid) => {
-                    write!(f, "variable `{var}` may be read before assignment in {fid}/{block}")
+                    write!(
+                        f,
+                        "variable `{var}` may be read before assignment in {fid}/{block}"
+                    )
                 }
-                None => write!(f, "variable `{var}` may be read before assignment in {block}"),
+                None => write!(
+                    f,
+                    "variable `{var}` may be read before assignment in {block}"
+                ),
             },
             IrError::EmptyFunction { func } => write!(f, "function {func} has no blocks"),
             IrError::NoEntry => write!(f, "program has no entry function"),
             IrError::BadVarClass { var, what } => {
-                write!(f, "variable `{var}` used inconsistently with its class: {what}")
+                write!(
+                    f,
+                    "variable `{var}` used inconsistently with its class: {what}"
+                )
             }
             IrError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
         }

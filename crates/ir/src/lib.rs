@@ -42,8 +42,8 @@ pub mod build;
 mod error;
 pub mod lsab;
 pub mod pcab;
-mod prim;
 pub mod pretty;
+mod prim;
 mod var;
 
 pub use error::{IrError, Result};

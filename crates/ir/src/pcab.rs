@@ -164,10 +164,9 @@ impl Program {
             .flat_map(|b| &b.ops)
             .map(|op| match op {
                 Op::Pop { .. } => 1,
-                Op::Compute { outs, .. } => outs
-                    .iter()
-                    .filter(|(_, k)| *k == WriteKind::Push)
-                    .count(),
+                Op::Compute { outs, .. } => {
+                    outs.iter().filter(|(_, k)| *k == WriteKind::Push).count()
+                }
             })
             .sum()
     }

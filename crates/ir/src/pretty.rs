@@ -10,7 +10,11 @@ use crate::var::FuncId;
 pub fn lsab_listing(p: &lsab::Program) -> String {
     let mut s = String::new();
     for (fi, f) in p.funcs.iter().enumerate() {
-        let marker = if FuncId(fi) == p.entry { " (entry)" } else { "" };
+        let marker = if FuncId(fi) == p.entry {
+            " (entry)"
+        } else {
+            ""
+        };
         let params: Vec<String> = f.params.iter().map(|v| v.to_string()).collect();
         let outs: Vec<String> = f.outputs.iter().map(|v| v.to_string()).collect();
         let _ = writeln!(

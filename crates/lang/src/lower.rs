@@ -60,7 +60,10 @@ pub fn compile_module(module: &Module, entry: &str) -> Result<lsab::Program> {
         fn_ids.insert(f.name.clone(), pb.declare(&f.name, &params, &outputs));
     }
     let entry_id = *fn_ids.get(entry).ok_or_else(|| {
-        LangError::new(format!("entry function `{entry}` not found"), Default::default())
+        LangError::new(
+            format!("entry function `{entry}` not found"),
+            Default::default(),
+        )
     })?;
     let ctx = Ctx {
         tables: &tables,
@@ -283,9 +286,8 @@ fn lower_expr(
             if ctx.tables.externs.contains_key(name) {
                 return Ok((fb.emit(Prim::external(name), &arg_vars), *out_ty));
             }
-            let prim = builtin_prim(name, &arg_tys).ok_or_else(|| {
-                LangError::new(format!("unknown function `{name}`"), *pos)
-            })?;
+            let prim = builtin_prim(name, &arg_tys)
+                .ok_or_else(|| LangError::new(format!("unknown function `{name}`"), *pos))?;
             Ok((fb.emit(prim, &arg_vars), *out_ty))
         }
     }

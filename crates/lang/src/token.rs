@@ -103,7 +103,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
     let mut col = 1u32;
     macro_rules! push {
         ($tok:expr, $pos:expr) => {
-            out.push(Token { tok: $tok, pos: $pos })
+            out.push(Token {
+                tok: $tok,
+                pos: $pos,
+            })
         };
     }
     while i < bytes.len() {
@@ -253,7 +256,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;
@@ -312,7 +317,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 col += len;
             }
             other => {
-                return Err(LangError::new(format!("unexpected character `{other}`"), pos));
+                return Err(LangError::new(
+                    format!("unexpected character `{other}`"),
+                    pos,
+                ));
             }
         }
     }

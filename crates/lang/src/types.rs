@@ -99,10 +99,7 @@ impl Tables {
 }
 
 fn tys(ts: &[Ty]) -> String {
-    ts.iter()
-        .map(Ty::to_string)
-        .collect::<Vec<_>>()
-        .join(", ")
+    ts.iter().map(Ty::to_string).collect::<Vec<_>>().join(", ")
 }
 
 /// Resolve a builtin's signature for the given argument types.
@@ -184,9 +181,10 @@ pub fn type_of_expr(env: &TypeEnv, tables: &Tables, e: &Expr) -> Result<Ty> {
         Expr::Int(_, _) => Ok(Ty::Int),
         Expr::Float(_, _) => Ok(Ty::Float),
         Expr::Bool(_, _) => Ok(Ty::Bool),
-        Expr::Var(name, pos) => env.get(name).copied().ok_or_else(|| {
-            LangError::new(format!("unknown variable `{name}`"), *pos)
-        }),
+        Expr::Var(name, pos) => env
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::new(format!("unknown variable `{name}`"), *pos)),
         Expr::Unary { op, expr, pos } => {
             let t = type_of_expr(env, tables, expr)?;
             match (op, t) {
@@ -331,7 +329,10 @@ fn check_block(
             } => {
                 let ct = type_of_expr(env, tables, cond)?;
                 if ct != Ty::Bool {
-                    return Err(LangError::new(format!("if condition is {ct}, not bool"), *pos));
+                    return Err(LangError::new(
+                        format!("if condition is {ct}, not bool"),
+                        *pos,
+                    ));
                 }
                 let mut then_env = env.clone();
                 check_block(then_blk, &mut then_env, declared, tables)?;
@@ -371,7 +372,10 @@ fn value_types(n: usize, value: &Expr, env: &TypeEnv, tables: &Tables) -> Result
             let sig = tables.call_signature(name, &arg_tys, *pos)?;
             if sig.outputs.len() != n {
                 return Err(LangError::new(
-                    format!("`{name}` returns {} values, pattern binds {n}", sig.outputs.len()),
+                    format!(
+                        "`{name}` returns {} values, pattern binds {n}",
+                        sig.outputs.len()
+                    ),
                     *pos,
                 ));
             }
@@ -428,8 +432,8 @@ mod tests {
 
     #[test]
     fn condition_must_be_bool() {
-        let err = check("fn f(x: int) -> (y: int) { if x { y = 1; } else { y = 0; } }")
-            .unwrap_err();
+        let err =
+            check("fn f(x: int) -> (y: int) { if x { y = 1; } else { y = 0; } }").unwrap_err();
         assert!(err.message.contains("bool"));
     }
 
@@ -489,9 +493,8 @@ mod tests {
     #[test]
     fn select_requires_matching_branches() {
         check("fn f(c: bool, a: vec, b: vec) -> (r: vec) { r = select(c, a, b); }").unwrap();
-        let err =
-            check("fn f(c: bool, a: vec, b: float) -> (r: vec) { r = select(c, a, b); }")
-                .unwrap_err();
+        let err = check("fn f(c: bool, a: vec, b: float) -> (r: vec) { r = select(c, a, b); }")
+            .unwrap_err();
         assert!(err.message.contains("select"));
     }
 

@@ -149,7 +149,10 @@ mod tests {
         let g = m.grad(&q0.reshape(&[1, 4]).unwrap()).unwrap();
         let fd = finite_difference(
             |x| {
-                m.logp(&x.reshape(&[1, 4]).unwrap()).unwrap().as_f64().unwrap()[0]
+                m.logp(&x.reshape(&[1, 4]).unwrap())
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()[0]
             },
             &q0,
             1e-6,

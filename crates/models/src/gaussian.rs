@@ -99,9 +99,7 @@ impl Model for CorrelatedGaussian {
         // -0.5 qᵀPq (normalizing constant omitted — MCMC only needs the
         // density up to a constant).
         let pq = self.precision_apply(q)?;
-        q.mul(&pq)?
-            .sum_last_axis()?
-            .mul(&Tensor::scalar(-0.5))
+        q.mul(&pq)?.sum_last_axis()?.mul(&Tensor::scalar(-0.5))
     }
 
     fn grad(&self, q: &Tensor) -> Result<Tensor> {

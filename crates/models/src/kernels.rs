@@ -72,7 +72,11 @@ mod tests {
     fn registry_exposes_grad_and_logp() {
         let reg = model_registry(Arc::new(StdNormal::new(2)));
         let q = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
-        let g = reg.get("grad").unwrap().eval(std::slice::from_ref(&q)).unwrap();
+        let g = reg
+            .get("grad")
+            .unwrap()
+            .eval(std::slice::from_ref(&q))
+            .unwrap();
         assert_eq!(g[0].as_f64().unwrap(), &[-1.0, -2.0, -3.0, -4.0]);
         let lp = reg.get("logp").unwrap().eval(&[q]).unwrap();
         assert_eq!(lp[0].shape(), &[2]);

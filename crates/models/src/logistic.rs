@@ -55,7 +55,11 @@ impl LogisticRegression {
         for i in 0..n {
             let logit: f64 = (0..dim).map(|j| xv[i * dim + j] * beta[j]).sum();
             let p = 1.0 / (1.0 + (-logit).exp());
-            yv.push(if rng.uniform(2, i as i64) < p { 1.0 } else { 0.0 });
+            yv.push(if rng.uniform(2, i as i64) < p {
+                1.0
+            } else {
+                0.0
+            });
         }
         LogisticRegression {
             x: Tensor::from_f64(&xv, &[n, dim]).expect("shape by construction"),
@@ -169,7 +173,12 @@ mod tests {
         let total = t.add(fit, prior).unwrap();
         let tape_grad = t.backward(total).unwrap()[&beta].clone();
         let hand = m.grad(&q0.reshape(&[1, 5]).unwrap()).unwrap();
-        for (a, b) in hand.as_f64().unwrap().iter().zip(tape_grad.as_f64().unwrap()) {
+        for (a, b) in hand
+            .as_f64()
+            .unwrap()
+            .iter()
+            .zip(tape_grad.as_f64().unwrap())
+        {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }

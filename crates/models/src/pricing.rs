@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn paper_logistic_pricing() {
         let priced = PricedAs::as_paper_logistic(StdNormal::new(5));
-        assert_eq!(priced.grad_flops(), 4.0 * 10_000.0 * 100.0 + 12.0 * 10_000.0);
+        assert_eq!(
+            priced.grad_flops(),
+            4.0 * 10_000.0 * 100.0 + 12.0 * 10_000.0
+        );
         assert_eq!(priced.parallel_width(), 10_000);
     }
 }

@@ -41,7 +41,10 @@ impl EightSchools {
     pub fn new(y: Vec<f64>, sigma: Vec<f64>) -> EightSchools {
         assert!(!y.is_empty(), "need at least one school");
         assert_eq!(y.len(), sigma.len(), "y and sigma must align");
-        assert!(sigma.iter().all(|&s| s > 0.0), "standard errors must be positive");
+        assert!(
+            sigma.iter().all(|&s| s > 0.0),
+            "standard errors must be positive"
+        );
         EightSchools { y, sigma }
     }
 
@@ -209,9 +212,7 @@ mod tests {
         q[0] = 5.0; // mu
         q[1] = 0.0; // log tau = 0 → tau = 1
         q[2] = 2.0; // eta_1
-        let theta = m
-            .effects(&Tensor::from_f64(&q, &[10]).unwrap())
-            .unwrap();
+        let theta = m.effects(&Tensor::from_f64(&q, &[10]).unwrap()).unwrap();
         let t = theta.as_f64().unwrap();
         assert_eq!(t.len(), 8);
         assert!((t[0] - 7.0).abs() < 1e-12); // 5 + 1·2
@@ -224,7 +225,9 @@ mod tests {
         let bad = Tensor::zeros(autobatch_tensor::DType::F64, &[2, 4]);
         assert!(m.logp(&bad).is_err());
         assert!(m.grad(&bad).is_err());
-        assert!(m.effects(&Tensor::zeros(autobatch_tensor::DType::F64, &[4])).is_err());
+        assert!(m
+            .effects(&Tensor::zeros(autobatch_tensor::DType::F64, &[4]))
+            .is_err());
     }
 
     #[test]
@@ -243,10 +246,20 @@ mod tests {
         q_small[1] = -2.0;
         q_big[1] = 2.0;
         let gs = m
-            .grad(&Tensor::from_f64(&q_small, &[10]).unwrap().reshape(&[1, 10]).unwrap())
+            .grad(
+                &Tensor::from_f64(&q_small, &[10])
+                    .unwrap()
+                    .reshape(&[1, 10])
+                    .unwrap(),
+            )
             .unwrap();
         let gb = m
-            .grad(&Tensor::from_f64(&q_big, &[10]).unwrap().reshape(&[1, 10]).unwrap())
+            .grad(
+                &Tensor::from_f64(&q_big, &[10])
+                    .unwrap()
+                    .reshape(&[1, 10])
+                    .unwrap(),
+            )
             .unwrap();
         let (gs, gb) = (gs.as_f64().unwrap(), gb.as_f64().unwrap());
         // η-gradients at η = 0 are r·τ; bigger τ ⇒ bigger magnitude.

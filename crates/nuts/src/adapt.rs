@@ -277,7 +277,11 @@ mod tests {
         for _ in 0..100 {
             da.update(0.05);
         }
-        assert!(da.adapted_step_size() < 0.05, "eps = {}", da.adapted_step_size());
+        assert!(
+            da.adapted_step_size() < 0.05,
+            "eps = {}",
+            da.adapted_step_size()
+        );
     }
 
     #[test]
@@ -286,7 +290,11 @@ mod tests {
         for _ in 0..100 {
             da.update(1.0);
         }
-        assert!(da.adapted_step_size() > 0.1, "eps = {}", da.adapted_step_size());
+        assert!(
+            da.adapted_step_size() > 0.1,
+            "eps = {}",
+            da.adapted_step_size()
+        );
     }
 
     #[test]
@@ -353,7 +361,13 @@ mod tests {
         let q0 = Tensor::zeros(DType::F64, &[8]);
         let adapted = adapter.warmup(&q0, 0, 150).unwrap();
         // The tail of the acceptance series should hover near the target.
-        let tail: Vec<f64> = adapted.accept_stats.iter().rev().take(50).copied().collect();
+        let tail: Vec<f64> = adapted
+            .accept_stats
+            .iter()
+            .rev()
+            .take(50)
+            .copied()
+            .collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!(
             (mean - 0.8).abs() < 0.17,

@@ -89,14 +89,21 @@ impl<'m> IterativeNuts<'m> {
             // Momentum + slice variable.
             let p0 = rng.normal_batch_for(&[member], &[counter], &[d]);
             counter += 1;
-            let e0 = rng.exponential_batch_for(&[member], &[counter], &[]).as_f64()?[0];
+            let e0 = rng
+                .exponential_batch_for(&[member], &[counter], &[])
+                .as_f64()?[0];
             counter += 1;
-            let joint0 =
-                self.logp(&q, &mut stats)? - 0.5 * p0.dot_last_axis(&p0)?.as_f64()?[0];
+            let joint0 = self.logp(&q, &mut stats)? - 0.5 * p0.dot_last_axis(&p0)?.as_f64()?[0];
             let log_u = joint0 - e0;
 
-            let mut minus = Edge { q: q.clone(), p: p0.clone() };
-            let mut plus = Edge { q: q.clone(), p: p0 };
+            let mut minus = Edge {
+                q: q.clone(),
+                p: p0.clone(),
+            };
+            let mut plus = Edge {
+                q: q.clone(),
+                p: p0,
+            };
             let mut n: i64 = 1;
             let mut s = true;
             let mut j = 0i64;
@@ -117,9 +124,15 @@ impl<'m> IterativeNuts<'m> {
                     &mut stats,
                 )?;
                 if v < 0.0 {
-                    minus = Edge { q: tree.q_edge.clone(), p: tree.p_edge.clone() };
+                    minus = Edge {
+                        q: tree.q_edge.clone(),
+                        p: tree.p_edge.clone(),
+                    };
                 } else {
-                    plus = Edge { q: tree.q_edge.clone(), p: tree.p_edge.clone() };
+                    plus = Edge {
+                        q: tree.q_edge.clone(),
+                        p: tree.p_edge.clone(),
+                    };
                 }
                 let ua = rng.uniform_batch_for(&[member], &[counter], &[]).as_f64()?[0];
                 counter += 1;
@@ -139,7 +152,13 @@ impl<'m> IterativeNuts<'m> {
         Ok(self.model.logp(q)?.as_f64()?[0])
     }
 
-    fn leapfrog(&self, q: &Tensor, p: &Tensor, dt: f64, stats: &mut IterStats) -> Result<(Tensor, Tensor)> {
+    fn leapfrog(
+        &self,
+        q: &Tensor,
+        p: &Tensor,
+        dt: f64,
+        stats: &mut IterStats,
+    ) -> Result<(Tensor, Tensor)> {
         let mut q2 = q.clone();
         let mut p2 = p.clone();
         let half = Tensor::scalar(0.5 * dt);
@@ -172,7 +191,10 @@ impl<'m> IterativeNuts<'m> {
     ) -> Result<IterTree> {
         let total: u64 = 1 << j;
         let mut checkpoints: Vec<Option<Edge>> = vec![None; (j as usize) + 1];
-        let mut cur = Edge { q: q0.clone(), p: p0.clone() };
+        let mut cur = Edge {
+            q: q0.clone(),
+            p: p0.clone(),
+        };
         let mut qprop: Option<Tensor> = None;
         let mut n: i64 = 0;
         let mut s = true;
@@ -183,14 +205,15 @@ impl<'m> IterativeNuts<'m> {
             cur = Edge { q: q1, p: p1 };
             leaves += 1;
             stats.leaves += 1;
-            let joint =
-                self.logp(&cur.q, stats)? - 0.5 * cur.p.dot_last_axis(&cur.p)?.as_f64()?[0];
+            let joint = self.logp(&cur.q, stats)? - 0.5 * cur.p.dot_last_axis(&cur.p)?.as_f64()?[0];
             if log_u <= joint {
                 n += 1;
                 // Reservoir sampling: uniform among admissible leaves —
                 // distributionally the same proposal as the recursive
                 // pairwise swaps.
-                let u = rng.uniform_batch_for(&[member], &[*counter], &[]).as_f64()?[0];
+                let u = rng
+                    .uniform_batch_for(&[member], &[*counter], &[])
+                    .as_f64()?[0];
                 *counter += 1;
                 if u * (n as f64) < 1.0 {
                     qprop = Some(cur.q.clone());
@@ -350,7 +373,11 @@ mod tests {
                     let tree = it
                         .build_iterative(&q0, &p0, log_u, v, j, &rng, 0, &mut counter, &mut stats)
                         .unwrap();
-                    let mut rec = RecRef { model: &model, cfg: c, leaves: 0 };
+                    let mut rec = RecRef {
+                        model: &model,
+                        cfg: c,
+                        leaves: 0,
+                    };
                     let (_qm, _pm, qp, pp, n, s) = rec.build(&q0, &p0, log_u, v, j);
                     assert_eq!(tree.n, n, "admissible count (v={v}, j={j}, slack={slack})");
                     assert_eq!(tree.s, s, "stop flag (v={v}, j={j}, slack={slack})");

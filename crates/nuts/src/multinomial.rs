@@ -370,9 +370,11 @@ impl Ctx<'_> {
             j += 1;
         }
         self.stats.depths.push(j as u32);
-        self.stats
-            .accept_stats
-            .push(if n_alpha > 0 { alpha / n_alpha as f64 } else { 0.0 });
+        self.stats.accept_stats.push(if n_alpha > 0 {
+            alpha / n_alpha as f64
+        } else {
+            0.0
+        });
         Ok(q_out)
     }
 }
@@ -459,7 +461,9 @@ mod tests {
         c.n_trajectories = 25;
         let z = 30;
         let q0 = Tensor::zeros(DType::F64, &[z, 3]);
-        let (qm, _) = MultinomialNuts::new(&model, c).run_chains(&q0, None).unwrap();
+        let (qm, _) = MultinomialNuts::new(&model, c)
+            .run_chains(&q0, None)
+            .unwrap();
         let (qs, _) = NativeNuts::new(&model, c).run_chains(&q0, None).unwrap();
         let var = |t: &Tensor| {
             let v = t.as_f64().unwrap();
@@ -467,7 +471,10 @@ mod tests {
             v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
         };
         let (vm, vs) = (var(&qm), var(&qs));
-        assert!(vm / vs < 4.0 && vs / vm < 4.0, "multinomial {vm} vs slice {vs}");
+        assert!(
+            vm / vs < 4.0 && vs / vm < 4.0,
+            "multinomial {vm} vs slice {vs}"
+        );
     }
 
     #[test]

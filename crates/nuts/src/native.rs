@@ -420,9 +420,11 @@ impl Ctx<'_> {
             j += 1;
         }
         self.stats.depths.push(j as u32);
-        self.stats
-            .accept_stats
-            .push(if n_alpha > 0 { alpha / n_alpha as f64 } else { 0.0 });
+        self.stats.accept_stats.push(if n_alpha > 0 {
+            alpha / n_alpha as f64
+        } else {
+            0.0
+        });
         Ok(q_out)
     }
 }

@@ -307,11 +307,8 @@ mod tests {
         let model = StdNormal::new(3);
         let cfg = small_cfg();
         let nuts = BatchNuts::new(Arc::new(model.clone()), cfg).unwrap();
-        let q0 = Tensor::from_f64(
-            &[0.0, 0.0, 0.0, 1.0, -1.0, 0.5, 2.0, 0.1, -0.7],
-            &[3, 3],
-        )
-        .unwrap();
+        let q0 =
+            Tensor::from_f64(&[0.0, 0.0, 0.0, 1.0, -1.0, 0.5, 2.0, 0.1, -0.7], &[3, 3]).unwrap();
 
         let local = nuts.run_local(&q0, None).unwrap();
         let pc = nuts.run_pc(&q0, None).unwrap();
@@ -321,7 +318,9 @@ mod tests {
 
         let native = NativeNuts::new(&model, cfg);
         for b in 0..3 {
-            let (qf, _) = native.run_chain(&q0.row(b).unwrap(), b as u64, None).unwrap();
+            let (qf, _) = native
+                .run_chain(&q0.row(b).unwrap(), b as u64, None)
+                .unwrap();
             let batched_row = local.row(b).unwrap();
             let a = qf.as_f64().unwrap();
             let c = batched_row.as_f64().unwrap();
@@ -425,7 +424,9 @@ mod tests {
         let bad_eps = Tensor::full(&[3], 0.1);
         assert!(nuts.run_pc_with(&q0, &bad_eps, 1, &good_ctr, None).is_err());
         let bad_q = Tensor::zeros(DType::F64, &[2, 4]);
-        assert!(nuts.run_pc_with(&bad_q, &good_eps, 1, &good_ctr, None).is_err());
+        assert!(nuts
+            .run_pc_with(&bad_q, &good_eps, 1, &good_ctr, None)
+            .is_err());
     }
 
     #[test]

@@ -36,8 +36,10 @@ use autobatch_ir::pcab::Program;
 use autobatch_tensor::Tensor;
 
 pub mod nuts_driver;
+pub mod shard;
 
 pub use nuts_driver::{ChainResponse, NutsServer};
+pub use shard::{ShardPlan, ShardedServer};
 
 /// Errors from the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -284,8 +286,7 @@ impl<'p> BatchServer<'p> {
                 // `min_utilization >= 1.0` means "admit whenever there is
                 // capacity": full lockstep (util == 1.0) must not block
                 // admission under that setting.
-                let util =
-                    self.machine.last_active() as f64 / self.machine.live() as f64;
+                let util = self.machine.last_active() as f64 / self.machine.live() as f64;
                 min_utilization >= 1.0 || util < min_utilization
             }
             AdmissionPolicy::DrainAndRefill { .. } => false,
@@ -297,8 +298,10 @@ impl<'p> BatchServer<'p> {
             .map(|_| self.queue.pop_front().expect("checked non-empty"))
             .collect();
         let admitted = {
-            let reqs: Vec<(&[Tensor], u64)> =
-                batch.iter().map(|r| (r.inputs.as_slice(), r.seed)).collect();
+            let reqs: Vec<(&[Tensor], u64)> = batch
+                .iter()
+                .map(|r| (r.inputs.as_slice(), r.seed))
+                .collect();
             self.machine.admit_batch(&reqs, trace.as_deref_mut())
         };
         let tickets = match admitted {
@@ -318,11 +321,10 @@ impl<'p> BatchServer<'p> {
                         rest.push(r);
                     } else {
                         match self.machine.admit(&r.inputs, r.seed, trace.as_deref_mut()) {
-                            Ok(ticket) => self.in_flight.push((
-                                ticket,
-                                r.id,
-                                self.machine.supersteps(),
-                            )),
+                            Ok(ticket) => {
+                                self.in_flight
+                                    .push((ticket, r.id, self.machine.supersteps()))
+                            }
                             Err(e) => offender = Some((r, e.into())),
                         }
                     }
@@ -501,7 +503,10 @@ mod tests {
             min_utilization: 1.0,
         };
         let (out, _) = serve(&NS, policy);
-        let got: Vec<i64> = out.iter().map(|r| r.outputs[0].as_i64().unwrap()[0]).collect();
+        let got: Vec<i64> = out
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
         assert_eq!(got, FIB);
         // Some request genuinely joined mid-flight.
         assert!(
@@ -514,7 +519,10 @@ mod tests {
     fn drain_and_refill_serves_all_requests_correctly() {
         let policy = AdmissionPolicy::DrainAndRefill { max_batch: 3 };
         let (out, _) = serve(&NS, policy);
-        let got: Vec<i64> = out.iter().map(|r| r.outputs[0].as_i64().unwrap()[0]).collect();
+        let got: Vec<i64> = out
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
         assert_eq!(got, FIB);
         // Refill batches never overlap: every admission happens when the
         // machine is empty, i.e. at a superstep where all prior
@@ -623,7 +631,9 @@ mod tests {
         use autobatch_accel::Backend;
         let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
         // Divergent depths: each refill batch contains one straggler.
-        let ns: Vec<i64> = (0..24).map(|i| if i % 4 == 0 { 17 } else { 2 + (i % 3) }).collect();
+        let ns: Vec<i64> = (0..24)
+            .map(|i| if i % 4 == 0 { 17 } else { 2 + (i % 3) })
+            .collect();
         let mut times = Vec::new();
         for policy in [
             AdmissionPolicy::JoinAtEntry {
@@ -632,13 +642,9 @@ mod tests {
             },
             AdmissionPolicy::DrainAndRefill { max_batch: 4 },
         ] {
-            let mut server = BatchServer::new(
-                &pc,
-                KernelRegistry::new(),
-                ExecOptions::default(),
-                policy,
-            )
-            .unwrap();
+            let mut server =
+                BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy)
+                    .unwrap();
             for r in fib_requests(&ns) {
                 server.submit(r).unwrap();
             }
@@ -698,7 +704,10 @@ mod tests {
         out.sort_by_key(|r| r.id);
         let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 3]);
-        let got: Vec<i64> = out.iter().map(|r| r.outputs[0].as_i64().unwrap()[0]).collect();
+        let got: Vec<i64> = out
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
         assert_eq!(got, vec![233, 2, 8], "fib(12), fib(2), fib(5)");
     }
 
@@ -773,7 +782,11 @@ mod tests {
         // A later call re-raises the limit, but the completed response
         // survives for salvage and the queue is untouched.
         assert_eq!(server.run_until_idle(None).unwrap_err(), err);
-        assert_eq!(server.in_flight(), in_flight_before, "no stranded admission");
+        assert_eq!(
+            server.in_flight(),
+            in_flight_before,
+            "no stranded admission"
+        );
         assert_eq!(server.reject().map(|r| r.id), Some(2));
         let ready = server.take_ready();
         assert_eq!(ready.len(), 1);

@@ -121,8 +121,8 @@ impl<'n> NutsServer<'n> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autobatch_nuts::NutsConfig;
     use autobatch_models::{CorrelatedGaussian, NealsFunnel, StdNormal};
+    use autobatch_nuts::NutsConfig;
     use autobatch_tensor::CounterRng;
     use std::sync::Arc;
 
@@ -166,7 +166,10 @@ mod tests {
         busy.submit(0, &q_late, 42).unwrap();
         let all = busy.run_until_idle(None).unwrap();
         let joined = all.iter().find(|r| r.id == 0).unwrap();
-        assert_eq!(joined.position, solo[0].position, "admission perturbed draws");
+        assert_eq!(
+            joined.position, solo[0].position,
+            "admission perturbed draws"
+        );
         assert_eq!(joined.counter, solo[0].counter);
     }
 

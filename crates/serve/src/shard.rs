@@ -1,0 +1,770 @@
+//! Sharded multi-worker serving: scaling the batch server *across*
+//! machines, not just lanes.
+//!
+//! A single [`BatchServer`] saturates one host thread: every superstep
+//! is host control (block selection, masking) followed by one fused
+//! device launch. [`ShardedServer`] partitions the request stream across
+//! N worker threads, each owning its own `BatchServer` (and so its own
+//! `PcMachine`), and drives them concurrently with scoped threads — the
+//! Send-safe machine handoff asserted in `autobatch-core`.
+//!
+//! Three design points:
+//!
+//! - **Routing** is least-loaded: each shard's load is its live member
+//!   count from [`Trace`] membership accounting plus its queue depth, so
+//!   the routing signal comes from the same accounting that prices
+//!   launches. Ties break toward the lowest shard index, which makes
+//!   routing — and therefore the whole sharded run — deterministic.
+//! - **Aggregation** preserves per-request ordering: every submission
+//!   gets a global sequence number, and [`ShardedServer::take_ready`]
+//!   merges the shards' completions back into submission order.
+//! - **Poison/drain**: one shard's execution error must not lose another
+//!   shard's completed work. A failed shard's already-completed
+//!   responses are salvaged into the shared ready buffer, its queued
+//!   requests can be re-routed to healthy shards
+//!   ([`ShardedServer::drain_poisoned`]), and routing skips poisoned
+//!   shards from then on.
+//!
+//! Shard sizing is not hardcoded: [`ShardPlan::for_backend`] derives the
+//! worker count and per-shard batch width from the [`Backend`] cost
+//! profile, in the spirit of backend-description-driven retargeting.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use autobatch_accel::{Backend, Trace};
+use autobatch_core::{ExecOptions, KernelRegistry};
+use autobatch_ir::pcab::Program;
+
+use crate::{AdmissionPolicy, BatchServer, Request, Response, Result, ServeError};
+
+/// A backend-derived sharding configuration: how many worker threads to
+/// run and how wide each worker's batch should be.
+///
+/// The sizing rule prices the serving trade-off the [`Backend`] profile
+/// exposes: host control per superstep (`superstep_overhead`) serializes
+/// *within* a shard but runs concurrently *across* shards, so
+/// host-control-bound backends want many narrow shards; per-launch
+/// device dispatch (`launch_overhead`) is amortized over however many
+/// members share the fused launch, so launch-bound backends want few
+/// wide shards. The per-shard width floor is their ratio:
+/// `ceil(launch_overhead / superstep_overhead)`.
+///
+/// A backend with no host control loop at all (`superstep_overhead ==
+/// 0`, e.g. the native scalar baseline) has nothing for extra workers to
+/// parallelize away in this model, so it plans a single shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Worker threads, each owning one `BatchServer`.
+    pub workers: usize,
+    /// Per-shard batch capacity (live members per worker).
+    pub shard_batch: usize,
+}
+
+impl ShardPlan {
+    /// Size a plan for `backend`, expecting `expected_concurrent`
+    /// requests in flight at a time, with at most `max_workers` worker
+    /// threads (typically the host's core budget).
+    ///
+    /// Guarantees: `1 <= workers <= max(max_workers, 1)` and
+    /// `workers * shard_batch >= max(expected_concurrent, 1)`.
+    pub fn for_backend(
+        backend: &Backend,
+        expected_concurrent: usize,
+        max_workers: usize,
+    ) -> ShardPlan {
+        let expected = expected_concurrent.max(1);
+        let max_workers = max_workers.max(1);
+        let width_floor = if backend.superstep_overhead > 0.0 {
+            let f = (backend.launch_overhead / backend.superstep_overhead).ceil();
+            (f as usize).clamp(1, expected)
+        } else {
+            expected
+        };
+        let workers = (expected / width_floor).clamp(1, max_workers);
+        let shard_batch = expected.div_ceil(workers);
+        ShardPlan {
+            workers,
+            shard_batch,
+        }
+    }
+
+    /// The admission policy the plan implies for each shard: join at
+    /// entry whenever the shard has a free lane, bounded by the planned
+    /// per-shard width.
+    pub fn policy(&self) -> AdmissionPolicy {
+        AdmissionPolicy::JoinAtEntry {
+            max_batch: self.shard_batch,
+            min_utilization: 1.0,
+        }
+    }
+}
+
+/// One worker's state: its server, its private trace, and the last error
+/// it surfaced (poisoning or recoverable).
+#[derive(Debug)]
+struct Shard<'p> {
+    server: BatchServer<'p>,
+    trace: Trace,
+    last_error: Option<ServeError>,
+}
+
+impl Shard<'_> {
+    /// Routing load: live members per membership accounting + queued.
+    fn load(&self) -> usize {
+        self.trace.live_members() as usize + self.server.pending()
+    }
+
+    fn poisoned(&self) -> bool {
+        self.server.poisoned().is_some()
+    }
+}
+
+/// A serving runtime that partitions requests across worker threads,
+/// each owning its own [`BatchServer`] + `PcMachine`.
+///
+/// Results are deterministic: routing is a pure function of submission
+/// order and shard loads, each shard's execution is deterministic, and
+/// aggregation orders responses by submission sequence — thread
+/// scheduling cannot perturb anything the caller observes. Per-request
+/// results are bit-identical to an unsharded run because every lane's
+/// draws are keyed by the request seed, not by placement.
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_accel::Backend;
+/// use autobatch_core::{lower, KernelRegistry, LoweringOptions, ExecOptions};
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_serve::{AdmissionPolicy, Request, ShardedServer};
+/// use autobatch_tensor::Tensor;
+///
+/// let (program, _) = lower(&fibonacci_program(), LoweringOptions::default())?;
+/// let policy = AdmissionPolicy::JoinAtEntry { max_batch: 2, min_utilization: 1.0 };
+/// let mut server = ShardedServer::new(
+///     &program,
+///     KernelRegistry::new(),
+///     ExecOptions::default(),
+///     policy,
+///     2,
+///     Backend::hybrid_cpu(),
+/// )?;
+/// for (id, n) in [(0u64, 6i64), (1, 9), (2, 3)] {
+///     server.submit(Request { id, inputs: vec![Tensor::from_i64(&[n], &[1])?], seed: id })?;
+/// }
+/// let done = server.run_until_idle()?;
+/// // Aggregation preserves submission order across shards.
+/// let ids: Vec<u64> = done.iter().map(|r| r.id).collect();
+/// assert_eq!(ids, vec![0, 1, 2]);
+/// assert_eq!(done[1].outputs[0].as_i64()?, &[55]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedServer<'p> {
+    shards: Vec<Shard<'p>>,
+    backend: Backend,
+    /// Next global submission sequence number.
+    next_seq: u64,
+    /// Request id → submission sequence numbers, FIFO per id. Unique
+    /// ids give strict per-request ordering; duplicate in-flight ids
+    /// occupy that id's submission slots in completion order (the
+    /// server cannot tell twin requests apart), so callers that need
+    /// strict request↔response pairing must use unique ids.
+    order: BTreeMap<u64, VecDeque<u64>>,
+    /// Completed responses awaiting [`ShardedServer::take_ready`],
+    /// tagged with their submission sequence.
+    ready: Vec<(u64, Response)>,
+}
+
+impl<'p> ShardedServer<'p> {
+    /// Create a sharded server: `workers` shards, each a [`BatchServer`]
+    /// under `policy`, each priced against its own [`Trace`] of
+    /// `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadPolicy`] if `workers` is zero or the
+    /// per-shard policy is unusable.
+    pub fn new(
+        program: &'p Program,
+        registry: KernelRegistry,
+        opts: ExecOptions,
+        policy: AdmissionPolicy,
+        workers: usize,
+        backend: Backend,
+    ) -> Result<ShardedServer<'p>> {
+        if workers == 0 {
+            return Err(ServeError::BadPolicy(
+                "a sharded server needs at least one worker".into(),
+            ));
+        }
+        let shards = (0..workers)
+            .map(|_| {
+                Ok(Shard {
+                    server: BatchServer::new(program, registry.clone(), opts, policy)?,
+                    trace: Trace::new(backend),
+                    last_error: None,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedServer {
+            shards,
+            backend,
+            next_seq: 0,
+            order: BTreeMap::new(),
+            ready: Vec::new(),
+        })
+    }
+
+    /// Create a sharded server sized by a backend-derived [`ShardPlan`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedServer::new`].
+    pub fn with_plan(
+        program: &'p Program,
+        registry: KernelRegistry,
+        opts: ExecOptions,
+        plan: &ShardPlan,
+        backend: Backend,
+    ) -> Result<ShardedServer<'p>> {
+        ShardedServer::new(
+            program,
+            registry,
+            opts,
+            plan.policy(),
+            plan.workers,
+            backend,
+        )
+    }
+
+    /// Number of shards (worker threads per run).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queued requests across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.server.pending()).sum()
+    }
+
+    /// Requests accepted by [`ShardedServer::submit`] over the server's
+    /// lifetime. Counted at the router, not by summing the shards'
+    /// counters: [`ShardedServer::drain_poisoned`] re-submits moved
+    /// requests to their new shard, which would double-count them.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Requests completed over the server's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.server.completed()).sum()
+    }
+
+    /// The routing load of shard `i`: live members (per [`Trace`]
+    /// membership accounting) plus queue depth.
+    pub fn shard_load(&self, i: usize) -> usize {
+        self.shards[i].load()
+    }
+
+    /// The private execution trace of shard `i`.
+    pub fn shard_trace(&self, i: usize) -> &Trace {
+        &self.shards[i].trace
+    }
+
+    /// Indices of shards poisoned by an execution error. A poisoned
+    /// shard refuses to run; its queue can be re-routed with
+    /// [`ShardedServer::drain_poisoned`].
+    pub fn poisoned_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].poisoned())
+            .collect()
+    }
+
+    /// The last error each shard surfaced, if any (poisoning or
+    /// recoverable), by shard index.
+    pub fn shard_errors(&self) -> Vec<(usize, ServeError)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.last_error.clone().map(|e| (i, e)))
+            .collect()
+    }
+
+    /// The fleet-wide trace: per-shard traces folded with
+    /// [`Trace::merge_parallel`] — wall-clock is the slowest shard
+    /// (shards overlap), launches/supersteps/membership/utilization are
+    /// summed across the fleet.
+    pub fn aggregated_trace(&self) -> Trace {
+        let mut out = Trace::new(self.backend);
+        for s in &self.shards {
+            out.merge_parallel(&s.trace);
+        }
+        out
+    }
+
+    /// Enqueue a request on the least-loaded healthy shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] on arity mismatch; if every
+    /// shard is poisoned, returns the first shard's poison error.
+    pub fn submit(&mut self, request: Request) -> Result<()> {
+        let seq = self.next_seq;
+        let id = request.id;
+        self.route(request)?;
+        // Only a successful enqueue consumes a sequence number.
+        self.next_seq += 1;
+        self.order.entry(id).or_default().push_back(seq);
+        Ok(())
+    }
+
+    /// Route to the least-loaded healthy shard (lowest index on ties).
+    fn route(&mut self, request: Request) -> Result<()> {
+        let target = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].poisoned())
+            .min_by_key(|&i| (self.shards[i].load(), i));
+        match target {
+            Some(i) => self.shards[i].server.submit(request),
+            None => Err(self
+                .shards
+                .iter()
+                .find_map(|s| s.server.poisoned().cloned())
+                .expect("no healthy shard implies a poisoned one")),
+        }
+    }
+
+    /// Drop and return the request at the head of shard `i`'s queue —
+    /// the one a failed admission on that shard names.
+    pub fn reject_on(&mut self, shard: usize) -> Option<Request> {
+        self.shards[shard].server.reject()
+    }
+
+    /// Re-route every request queued on a poisoned shard to the healthy
+    /// shards, preserving each request's original submission sequence
+    /// (aggregation order is unchanged). Returns how many requests
+    /// moved.
+    ///
+    /// # Errors
+    ///
+    /// If no healthy shard exists, nothing is moved and the first
+    /// poison error is returned — the queues stay drainable via
+    /// [`ShardedServer::reject_on`].
+    pub fn drain_poisoned(&mut self) -> Result<usize> {
+        if self.shards.iter().all(|s| s.poisoned()) {
+            return Err(self
+                .shards
+                .iter()
+                .find_map(|s| s.server.poisoned().cloned())
+                .expect("all shards poisoned"));
+        }
+        let mut stranded = Vec::new();
+        for s in &mut self.shards {
+            if s.poisoned() {
+                while let Some(r) = s.server.reject() {
+                    stranded.push(r);
+                }
+            }
+        }
+        let moved = stranded.len();
+        for r in stranded {
+            // Healthy shards exist, so routing cannot fail for capacity;
+            // arity was validated at the original submission.
+            self.route(r)?;
+        }
+        Ok(moved)
+    }
+
+    /// Take every completed response aggregated so far, in submission
+    /// order — including responses salvaged from shards that later
+    /// failed. The way to recover finished work after
+    /// [`ShardedServer::run_until_idle`] reports a shard error.
+    pub fn take_ready(&mut self) -> Vec<Response> {
+        for shard in &mut self.shards {
+            for r in shard.server.take_ready() {
+                let seq = Self::pop_seq(&mut self.order, r.id);
+                self.ready.push((seq, r));
+            }
+        }
+        self.ready.sort_by_key(|&(seq, _)| seq);
+        std::mem::take(&mut self.ready)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    fn pop_seq(order: &mut BTreeMap<u64, VecDeque<u64>>, id: u64) -> u64 {
+        match order.get_mut(&id) {
+            Some(q) => {
+                let seq = q.pop_front().unwrap_or(u64::MAX);
+                if q.is_empty() {
+                    order.remove(&id);
+                }
+                seq
+            }
+            // Defensive: an id this server never assigned sorts last.
+            None => u64::MAX,
+        }
+    }
+
+    /// Drive every shard to idle **concurrently**, one scoped worker
+    /// thread per shard, and return all completed responses in
+    /// submission order.
+    ///
+    /// Shards already poisoned by a previous call are skipped (they
+    /// cannot run); their error is *not* re-raised, so healthy shards
+    /// keep serving.
+    ///
+    /// # Errors
+    ///
+    /// If any shard errors this call, the first such error (by shard
+    /// index) is returned — but no completed work is lost: every
+    /// response finished by any shard, including work a failing shard
+    /// completed before its error, stays buffered for
+    /// [`ShardedServer::take_ready`]. Recoverable per-shard errors
+    /// (failed admissions, step-limit exhaustion) follow the
+    /// [`BatchServer::run_until_idle`] contract shard-locally:
+    /// [`ShardedServer::reject_on`] unblocks the named shard.
+    pub fn run_until_idle(&mut self) -> Result<Vec<Response>> {
+        let results: Vec<Option<Result<Vec<Response>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        if shard.server.poisoned().is_some() {
+                            return None;
+                        }
+                        Some(shard.server.run_until_idle(Some(&mut shard.trace)))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut first_error: Option<ServeError> = None;
+        for (i, outcome) in results.into_iter().enumerate() {
+            match outcome {
+                None => {} // poisoned before this call; skipped
+                Some(Ok(responses)) => {
+                    self.shards[i].last_error = None;
+                    for r in responses {
+                        let seq = Self::pop_seq(&mut self.order, r.id);
+                        self.ready.push((seq, r));
+                    }
+                }
+                Some(Err(e)) => {
+                    // Salvage whatever the failing shard completed
+                    // before the error (take_ready never drives the
+                    // machine, so this is safe even when poisoned).
+                    for r in self.shards[i].server.take_ready() {
+                        let seq = Self::pop_seq(&mut self.order, r.id);
+                        self.ready.push((seq, r));
+                    }
+                    self.shards[i].last_error = Some(e.clone());
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(self.take_ready()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_core::{lower, LoweringOptions, VmError};
+    use autobatch_ir::build::fibonacci_program;
+    use autobatch_tensor::Tensor;
+
+    fn fib_request(id: u64, n: i64) -> Request {
+        Request {
+            id,
+            inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
+            seed: 1000 + id,
+        }
+    }
+
+    fn sharded(
+        policy: AdmissionPolicy,
+        workers: usize,
+        opts: ExecOptions,
+        program: &Program,
+    ) -> ShardedServer<'_> {
+        ShardedServer::new(
+            program,
+            KernelRegistry::new(),
+            opts,
+            policy,
+            workers,
+            Backend::hybrid_cpu(),
+        )
+        .unwrap()
+    }
+
+    const NS: [i64; 10] = [14, 2, 9, 1, 12, 5, 16, 3, 10, 7];
+    const FIB: [i64; 10] = [610, 2, 55, 1, 233, 8, 1597, 3, 89, 21];
+
+    #[test]
+    fn sharded_serving_is_correct_and_submission_ordered() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        for workers in [1, 2, 3, 4] {
+            let policy = AdmissionPolicy::JoinAtEntry {
+                max_batch: 3,
+                min_utilization: 1.0,
+            };
+            let mut server = sharded(policy, workers, ExecOptions::default(), &pc);
+            for (id, &n) in NS.iter().enumerate() {
+                server.submit(fib_request(id as u64, n)).unwrap();
+            }
+            let done = server.run_until_idle().unwrap();
+            // Submission order is preserved without any caller-side sort,
+            // whatever the per-shard completion interleaving was.
+            let ids: Vec<u64> = done.iter().map(|r| r.id).collect();
+            assert_eq!(ids, (0..NS.len() as u64).collect::<Vec<_>>());
+            let got: Vec<i64> = done
+                .iter()
+                .map(|r| r.outputs[0].as_i64().unwrap()[0])
+                .collect();
+            assert_eq!(got, FIB, "wrong results at {workers} workers");
+            assert_eq!(server.completed(), NS.len() as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_results_are_bit_identical_to_single_server() {
+        // Placement cannot perturb results: lanes draw under the request
+        // seed, not the shard or lane index.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 1.0,
+        };
+        let mut single =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for (id, &n) in NS.iter().enumerate() {
+            single.submit(fib_request(id as u64, n)).unwrap();
+        }
+        let mut reference = single.run_until_idle(None).unwrap();
+        reference.sort_by_key(|r| r.id);
+        for workers in [2, 4] {
+            let mut server = sharded(policy, workers, ExecOptions::default(), &pc);
+            for (id, &n) in NS.iter().enumerate() {
+                server.submit(fib_request(id as u64, n)).unwrap();
+            }
+            let done = server.run_until_idle().unwrap();
+            for (a, b) in reference.iter().zip(&done) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.outputs, b.outputs, "sharding perturbed request {}", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn router_balances_queue_depth_across_shards() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 4,
+            min_utilization: 1.0,
+        };
+        let mut server = sharded(policy, 4, ExecOptions::default(), &pc);
+        for id in 0..8u64 {
+            server.submit(fib_request(id, 5)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(server.shard_load(i), 2, "shard {i} unbalanced");
+        }
+        assert_eq!(server.pending(), 8);
+    }
+
+    #[test]
+    fn one_shards_poison_does_not_lose_other_shards_work() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let opts = ExecOptions {
+            stack_depth: 16,
+            ..ExecOptions::default()
+        };
+        // Serial per-shard batches make per-shard completion order
+        // deterministic: shard 0 serves ids 0 then 2 (fib(2), then the
+        // overflowing fib(40)); shard 1 serves ids 1 and 3.
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 1 };
+        let mut server = sharded(policy, 2, opts, &pc);
+        for (id, n) in [(0u64, 2i64), (1, 5), (2, 40), (3, 7)] {
+            server.submit(fib_request(id, n)).unwrap();
+        }
+        let err = server.run_until_idle().unwrap_err();
+        assert!(
+            matches!(err, ServeError::Vm(VmError::StackOverflow { .. })),
+            "{err:?}"
+        );
+        assert_eq!(server.poisoned_shards(), vec![0]);
+        // Every completed response survives — including shard 0's own
+        // pre-error completion — in submission order.
+        let ready = server.take_ready();
+        let ids: Vec<u64> = ready.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+        let got: Vec<i64> = ready
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
+        assert_eq!(got, vec![2, 8, 21], "fib(2), fib(5), fib(7)");
+        // New work routes around the poisoned shard and keeps serving;
+        // the dead shard's error is not re-raised. (The poisoned shard
+        // still carries its never-retired member as load — routing skips
+        // it by health, not by load.)
+        server.submit(fib_request(4, 6)).unwrap();
+        let done = server.run_until_idle().unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].outputs[0].as_i64().unwrap(), &[13]);
+        assert_eq!(
+            server.shard_errors().len(),
+            1,
+            "shard 0's error stays on record"
+        );
+    }
+
+    #[test]
+    fn drain_poisoned_reroutes_stranded_requests() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let opts = ExecOptions {
+            stack_depth: 16,
+            ..ExecOptions::default()
+        };
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 1 };
+        let mut server = sharded(policy, 2, opts, &pc);
+        // Shard 0 receives the poisonous fib(40) first, then fib(9) and
+        // fib(3) queue behind it; shard 1 gets fib(5) and fib(7).
+        for (id, n) in [(0u64, 40i64), (1, 5), (2, 9), (3, 7), (4, 3)] {
+            server.submit(fib_request(id, n)).unwrap();
+        }
+        let err = server.run_until_idle().unwrap_err();
+        assert!(matches!(err, ServeError::Vm(VmError::StackOverflow { .. })));
+        assert_eq!(server.poisoned_shards(), vec![0]);
+        // fib(9) and fib(3) are stranded behind the dead machine; move
+        // them to the healthy shard and finish serving.
+        let moved = server.drain_poisoned().unwrap();
+        assert_eq!(moved, 2);
+        // Re-routing is not a new submission: the lifetime counter must
+        // not double-count the moved requests.
+        assert_eq!(server.submitted(), 5);
+        let done = server.run_until_idle().unwrap();
+        let ids: Vec<u64> = done.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![1, 2, 3, 4],
+            "original submission order survives re-routing"
+        );
+        let got: Vec<i64> = done
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
+        assert_eq!(got, vec![8, 55, 21, 3]);
+    }
+
+    #[test]
+    fn aggregated_trace_sums_membership_and_overlaps_time() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 4,
+            min_utilization: 1.0,
+        };
+        let mut server = sharded(policy, 2, ExecOptions::default(), &pc);
+        for (id, &n) in NS.iter().enumerate() {
+            server.submit(fib_request(id as u64, n)).unwrap();
+        }
+        server.run_until_idle().unwrap();
+        let agg = server.aggregated_trace();
+        assert_eq!(agg.members_admitted(), NS.len() as u64);
+        assert_eq!(agg.members_retired(), NS.len() as u64);
+        let per_shard_time = (0..2)
+            .map(|i| server.shard_trace(i).sim_time())
+            .collect::<Vec<_>>();
+        assert_eq!(
+            agg.sim_time(),
+            per_shard_time.iter().cloned().fold(0.0, f64::max),
+            "fleet wall-clock is the slowest shard"
+        );
+        assert_eq!(
+            agg.supersteps(),
+            (0..2)
+                .map(|i| server.shard_trace(i).supersteps())
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn plan_is_parameterized_by_the_backend_profile() {
+        // Host-control-bound profiles shard all the way down.
+        let plan = ShardPlan::for_backend(&Backend::hybrid_cpu(), 16, 4);
+        assert_eq!(plan.workers, 4);
+        assert_eq!(plan.shard_batch, 4);
+        let plan = ShardPlan::for_backend(&Backend::xla_cpu(), 16, 8);
+        assert_eq!(plan.workers, 8);
+        assert_eq!(plan.shard_batch, 2);
+        // A launch-bound profile (dispatch dwarfs host control) keeps
+        // shards wide instead: width floor = launch / superstep = 8.
+        let mut launch_bound = Backend::hybrid_cpu();
+        launch_bound.launch_overhead = 80e-3;
+        launch_bound.superstep_overhead = 10e-3;
+        let plan = ShardPlan::for_backend(&launch_bound, 16, 8);
+        assert_eq!(plan.workers, 2);
+        assert_eq!(plan.shard_batch, 8);
+        // No host control loop at all (native scalar): one shard.
+        let plan = ShardPlan::for_backend(&Backend::native_cpu(), 16, 8);
+        assert_eq!(plan.workers, 1);
+        // Invariants on degenerate inputs.
+        let plan = ShardPlan::for_backend(&Backend::hybrid_cpu(), 0, 0);
+        assert_eq!(plan.workers, 1);
+        assert!(plan.shard_batch >= 1);
+        // Capacity always covers the expected concurrency.
+        for expected in [1usize, 3, 7, 16, 33] {
+            for max_workers in [1usize, 2, 5, 8] {
+                let p = ShardPlan::for_backend(&Backend::hybrid_cpu(), expected, max_workers);
+                assert!(p.workers <= max_workers);
+                assert!(p.workers * p.shard_batch >= expected);
+            }
+        }
+    }
+
+    #[test]
+    fn with_plan_builds_a_working_server() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let plan = ShardPlan::for_backend(&Backend::hybrid_cpu(), 8, 4);
+        let mut server = ShardedServer::with_plan(
+            &pc,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            &plan,
+            Backend::hybrid_cpu(),
+        )
+        .unwrap();
+        assert_eq!(server.shards(), 4);
+        for (id, &n) in NS.iter().enumerate() {
+            server.submit(fib_request(id as u64, n)).unwrap();
+        }
+        let done = server.run_until_idle().unwrap();
+        let got: Vec<i64> = done
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
+        assert_eq!(got, FIB);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let err = ShardedServer::new(
+            &pc,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            AdmissionPolicy::DrainAndRefill { max_batch: 1 },
+            0,
+            Backend::hybrid_cpu(),
+        );
+        assert!(matches!(err, Err(ServeError::BadPolicy(_))));
+    }
+}

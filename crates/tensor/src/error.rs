@@ -68,16 +68,25 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
             }
             TensorError::DTypeMismatch { got, expected, op } => {
-                write!(f, "dtype mismatch in `{op}`: got {got}, expected {expected}")
+                write!(
+                    f,
+                    "dtype mismatch in `{op}`: got {got}, expected {expected}"
+                )
             }
             TensorError::InvalidAxis { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::IndexOutOfBounds { index, len, op } => {
-                write!(f, "index {index} out of bounds for axis of length {len} in `{op}`")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis of length {len} in `{op}`"
+                )
             }
             TensorError::DataLength { expected, got } => {
-                write!(f, "data length {got} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape volume {expected}"
+                )
             }
             TensorError::MaskLength { expected, got } => {
                 write!(f, "mask length {got} does not match axis length {expected}")

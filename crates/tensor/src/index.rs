@@ -283,7 +283,12 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error on rank/shape/dtype mismatch or depth out of range.
-    pub fn scatter_at_depth(&mut self, depths: &[usize], mask: &[bool], src: &Tensor) -> Result<()> {
+    pub fn scatter_at_depth(
+        &mut self,
+        depths: &[usize],
+        mask: &[bool],
+        src: &Tensor,
+    ) -> Result<()> {
         if self.rank() < 2 {
             return Err(TensorError::InvalidAxis {
                 axis: 1,
@@ -538,10 +543,7 @@ impl Tensor {
         }
         let mut total = 0;
         for p in parts {
-            if p.rank() == 0
-                || p.shape()[1..] != first.shape()[1..]
-                || p.dtype() != first.dtype()
-            {
+            if p.rank() == 0 || p.shape()[1..] != first.shape()[1..] || p.dtype() != first.dtype() {
                 return Err(TensorError::ShapeMismatch {
                     lhs: first.shape().to_vec(),
                     rhs: p.shape().to_vec(),
@@ -628,28 +630,21 @@ mod tests {
     #[test]
     fn depth_gather_scatter() {
         // Stack of shape [D=2, Z=3] with distinct values.
-        let mut stack =
-            Tensor::from_f64(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0], &[2, 3]).unwrap();
+        let mut stack = Tensor::from_f64(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0], &[2, 3]).unwrap();
         let top = stack.gather_at_depth(&[0, 1, 0]).unwrap();
         assert_eq!(top.as_f64().unwrap(), &[0.0, 11.0, 2.0]);
         let src = Tensor::from_f64(&[7.0, 8.0, 9.0], &[3]).unwrap();
         stack
             .scatter_at_depth(&[1, 0, 1], &[true, true, false], &src)
             .unwrap();
-        assert_eq!(
-            stack.as_f64().unwrap(),
-            &[0.0, 8.0, 2.0, 7.0, 11.0, 12.0]
-        );
+        assert_eq!(stack.as_f64().unwrap(), &[0.0, 8.0, 2.0, 7.0, 11.0, 12.0]);
     }
 
     #[test]
     fn depth_gather_with_element_shape() {
         // Stack [D=2, Z=2, 2].
-        let stack = Tensor::from_f64(
-            &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0],
-            &[2, 2, 2],
-        )
-        .unwrap();
+        let stack =
+            Tensor::from_f64(&[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0], &[2, 2, 2]).unwrap();
         let top = stack.gather_at_depth(&[1, 0]).unwrap();
         assert_eq!(top.shape(), &[2, 2]);
         assert_eq!(top.as_f64().unwrap(), &[10.0, 11.0, 2.0, 3.0]);
@@ -685,7 +680,10 @@ mod tests {
         let t = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         let p = t.pad_rows(2).unwrap();
         assert_eq!(p.shape(), &[4, 2]);
-        assert_eq!(p.as_f64().unwrap(), &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            p.as_f64().unwrap(),
+            &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]
+        );
         assert!(Tensor::scalar(1.0).pad_rows(1).is_err());
     }
 

@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn all_last_axis() {
-        let t =
-            Tensor::from_bool(&[true, true, true, false], &[2, 2]).unwrap();
+        let t = Tensor::from_bool(&[true, true, true, false], &[2, 2]).unwrap();
         let s = t.all_last_axis().unwrap();
         assert_eq!(s.as_bool().unwrap(), &[true, false]);
     }

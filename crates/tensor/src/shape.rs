@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(broadcast_shapes(&[4], &[4], "t").unwrap(), vec![4]);
         assert_eq!(broadcast_shapes(&[3, 1], &[1, 4], "t").unwrap(), vec![3, 4]);
         assert_eq!(broadcast_shapes(&[], &[2, 2], "t").unwrap(), vec![2, 2]);
-        assert_eq!(broadcast_shapes(&[5, 1, 3], &[7, 1], "t").unwrap(), vec![5, 7, 3]);
+        assert_eq!(
+            broadcast_shapes(&[5, 1, 3], &[7, 1], "t").unwrap(),
+            vec![5, 7, 3]
+        );
     }
 
     #[test]

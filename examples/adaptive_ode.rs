@@ -70,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ks = [0.1, 0.5, 1.0, 4.0, 10.0, 25.0, 0.2, 8.0];
     let tols = [1e-3, 1e-5, 1e-4, 1e-6, 1e-4, 1e-5, 1e-7, 1e-6];
     let out = f.call(
-        &[
-            Tensor::from_f64(&ks, &[8])?,
-            Tensor::from_f64(&tols, &[8])?,
-        ],
+        &[Tensor::from_f64(&ks, &[8])?, Tensor::from_f64(&tols, &[8])?],
         None,
     )?;
     let y = out[0].as_f64()?;

@@ -13,7 +13,7 @@ use autobatch::core::Autobatcher;
 use autobatch::lang::compile;
 use autobatch::models::NealsFunnel;
 use autobatch::nuts::{BatchNuts, NutsConfig};
-use autobatch::serve::{AdmissionPolicy, NutsServer};
+use autobatch::serve::{AdmissionPolicy, NutsServer, Request, ShardPlan, ShardedServer};
 use autobatch::tensor::{CounterRng, Tensor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -96,6 +96,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serve_trace.supersteps()
     );
     assert_eq!(served.len(), chains);
-    assert!(joined_mid_flight > 0, "no request joined an in-flight batch");
+    assert!(
+        joined_mid_flight > 0,
+        "no request joined an in-flight batch"
+    );
+    // Single-server responses arrive in completion order; index by chain
+    // for the comparison below.
+    let mut served = served;
+    served.sort_by_key(|r| r.id);
+
+    // ---- Part 4: sharding the fleet across worker threads -------------
+    // One BatchServer saturates one host thread. The ShardedServer
+    // partitions the same chains across workers (least-loaded routing),
+    // each worker driving its own PcMachine; the ShardPlan derives the
+    // worker count and per-shard width from the backend's cost profile.
+    let backend = Backend::hybrid_cpu();
+    let plan = ShardPlan::for_backend(&backend, chains, 4);
+    let mut fleet = ShardedServer::with_plan(
+        nuts.lowered(),
+        nuts.registry().clone(),
+        nuts.exec_options(),
+        &plan,
+        backend,
+    )?;
+    for i in 0..chains as u64 {
+        let q = q0.row(i as usize)?;
+        fleet.submit(Request {
+            id: i,
+            inputs: nuts.request_inputs(&q)?,
+            seed: i,
+        })?;
+    }
+    let sharded = fleet.run_until_idle()?;
+    let agg = fleet.aggregated_trace();
+    println!(
+        "\nsharded the same {} chains over {} workers (batch {} each): \
+         fleet wall-clock {:.1}s vs single-server {:.1}s, {} supersteps total",
+        sharded.len(),
+        plan.workers,
+        plan.shard_batch,
+        agg.sim_time(),
+        serve_trace.sim_time(),
+        agg.supersteps(),
+    );
+    assert_eq!(sharded.len(), chains);
+    // Aggregation preserves submission order across shards.
+    assert!(sharded.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    // Per-chain results are placement-independent: the sharded fleet
+    // reproduces the single server's positions bit for bit.
+    for (r, s) in served.iter().zip(&sharded) {
+        assert_eq!(
+            r.position,
+            s.outputs[0].reshape(&[dim])?,
+            "sharding perturbed chain {}",
+            r.id
+        );
+    }
+    assert!(
+        agg.sim_time() < serve_trace.sim_time(),
+        "the sharded fleet should beat one worker on wall-clock"
+    );
     Ok(())
 }

@@ -51,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ns: Vec<i64> = vec![4, 8, 10, 12, 14, 6];
     let ks: Vec<i64> = vec![2, 4, 3, 6, 7, 1];
     let out = ab.run_pc(
-        &[
-            Tensor::from_i64(&ns, &[6])?,
-            Tensor::from_i64(&ks, &[6])?,
-        ],
+        &[Tensor::from_i64(&ns, &[6])?, Tensor::from_i64(&ks, &[6])?],
         None,
     )?;
     let c = out[0].as_i64()?;

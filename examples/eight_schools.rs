@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let eps_t = Tensor::from_f64(&eps, &[chains])?;
     let mut counters = Tensor::from_i64(
-        &adapted.iter().map(|c| c.state.counter()).collect::<Vec<_>>(),
+        &adapted
+            .iter()
+            .map(|c| c.state.counter())
+            .collect::<Vec<_>>(),
         &[chains],
     )?;
 

@@ -12,9 +12,7 @@
 //!
 //! Run with: `cargo run --example fibonacci_trace`
 
-use autobatch::core::{
-    lower, ExecOptions, KernelRegistry, LocalStaticVm, LoweringOptions, PcVm,
-};
+use autobatch::core::{lower, ExecOptions, KernelRegistry, LocalStaticVm, LoweringOptions, PcVm};
 use autobatch::ir::build::fibonacci_program;
 use autobatch::ir::Var;
 use autobatch::tensor::Tensor;
@@ -63,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if !(10..=20).contains(&step) {
             return;
         }
-        let mask: String = o.active.iter().map(|&a| if a { '#' } else { '.' }).collect();
+        let mask: String = o
+            .active
+            .iter()
+            .map(|&a| if a { '#' } else { '.' })
+            .collect();
         println!(
             "step {step:>3}  block b{}  active [{mask}]  pc-top {:?}  pc-depth {:?}",
             o.block, o.pc_top, o.pc_depth

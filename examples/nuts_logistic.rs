@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nnative sampler: {} gradients, {} leaves, {} divergences",
         stats.grads, stats.leaves, stats.divergences
     );
-    println!("tree depths per trajectory (chain-major): {:?}", stats.depths);
+    println!(
+        "tree depths per trajectory (chain-major): {:?}",
+        stats.depths
+    );
 
     // Price the same batched run under different simulated backends.
     println!("\nsimulated cost of the identical batched run ({chains} chains):");

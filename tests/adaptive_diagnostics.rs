@@ -43,7 +43,10 @@ fn warmup_then_batched_draws_pass_diagnostics_on_std_normal() {
     )
     .expect("eps");
     let mut counters = Tensor::from_i64(
-        &adapted.iter().map(|c| c.state.counter()).collect::<Vec<_>>(),
+        &adapted
+            .iter()
+            .map(|c| c.state.counter())
+            .collect::<Vec<_>>(),
         &[chains],
     )
     .expect("counters");
@@ -51,7 +54,9 @@ fn warmup_then_batched_draws_pass_diagnostics_on_std_normal() {
     // Collect the coordinate-0 series per chain from batched draws.
     let mut series: Vec<Vec<f64>> = (0..chains).map(|_| Vec::with_capacity(draws)).collect();
     for _ in 0..draws {
-        let (q2, c2) = nuts.run_pc_with(&q, &eps, 1, &counters, None).expect("draw");
+        let (q2, c2) = nuts
+            .run_pc_with(&q, &eps, 1, &counters, None)
+            .expect("draw");
         q = q2;
         counters = c2;
         let v = q.as_f64().expect("f64");

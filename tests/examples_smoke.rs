@@ -100,5 +100,9 @@ fn every_example_runs() {
             Err(e) => failures.push(format!("{name}: failed to spawn: {e}")),
         }
     }
-    assert!(failures.is_empty(), "example failures:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "example failures:\n{}",
+        failures.join("\n")
+    );
 }

@@ -33,7 +33,8 @@ fn pc_rate(nuts: &BatchNuts, backend: Backend, z: usize, d: usize) -> f64 {
     let mut tr = Trace::new(backend);
     let mut opts = nuts.exec_options();
     opts.stack_depth = 64;
-    nuts.run_pc_opts(&starts(z, d), Some(&mut tr), opts).expect("runs");
+    nuts.run_pc_opts(&starts(z, d), Some(&mut tr), opts)
+        .expect("runs");
     tr.useful_count("grad") as f64 / tr.sim_time()
 }
 
@@ -64,7 +65,9 @@ fn fig5_batching_scales_and_baselines_are_flat() {
     // baseline by a wide margin.
     let native = NativeNuts::new(model.as_ref(), nuts.config());
     let mut tr = Trace::new(Backend::native_cpu());
-    let (_, stats) = native.run_chains(&starts(4, d), Some(&mut tr)).expect("native");
+    let (_, stats) = native
+        .run_chains(&starts(4, d), Some(&mut tr))
+        .expect("native");
     let stan = stats.grads as f64 / tr.sim_time();
     let unbatched = lsab_rate(&nuts, Backend::eager_cpu(), 1, d);
     assert!(
@@ -79,20 +82,31 @@ fn fig5_crossovers_match_paper_bands() {
     let d = model.dim();
     let native = NativeNuts::new(model.as_ref(), nuts.config());
     let mut tr = Trace::new(Backend::native_cpu());
-    let (_, stats) = native.run_chains(&starts(4, d), Some(&mut tr)).expect("native");
+    let (_, stats) = native
+        .run_chains(&starts(4, d), Some(&mut tr))
+        .expect("native");
     let stan = stats.grads as f64 / tr.sim_time();
 
     // The paper: fully XLA-compiled autobatching matches Stan at a batch
     // of "just ten". Accept a band of [2, 64].
     let below = pc_rate(&nuts, Backend::xla_cpu(), 2, d);
     let above = pc_rate(&nuts, Backend::xla_cpu(), 64, d);
-    assert!(below < stan, "pc-xla-cpu below Stan at Z=2: {below} vs {stan}");
-    assert!(above > stan, "pc-xla-cpu above Stan by Z=64: {above} vs {stan}");
+    assert!(
+        below < stan,
+        "pc-xla-cpu below Stan at Z=2: {below} vs {stan}"
+    );
+    assert!(
+        above > stan,
+        "pc-xla-cpu above Stan by Z=64: {above} vs {stan}"
+    );
 
     // Eager local-static autobatching crosses much later ("a few
     // hundred"): still below Stan at Z=32.
     let eager32 = lsab_rate(&nuts, Backend::eager_cpu(), 32, d);
-    assert!(eager32 < stan, "eager still below Stan at Z=32: {eager32} vs {stan}");
+    assert!(
+        eager32 < stan,
+        "eager still below Stan at Z=32: {eager32} vs {stan}"
+    );
 }
 
 #[test]
@@ -141,9 +155,11 @@ fn fig5_gpu_dominates_at_large_batch_and_hybrid_wins_asymptotically() {
     let mut tr_pc = Trace::recording(Backend::xla_cpu());
     let mut opts = nuts.exec_options();
     opts.stack_depth = 64;
-    nuts.run_pc_opts(&starts(z, d), Some(&mut tr_pc), opts).expect("runs");
+    nuts.run_pc_opts(&starts(z, d), Some(&mut tr_pc), opts)
+        .expect("runs");
     let mut tr_hy = Trace::recording(Backend::hybrid_cpu());
-    nuts.run_local(&starts(z, d), Some(&mut tr_hy)).expect("runs");
+    nuts.run_local(&starts(z, d), Some(&mut tr_hy))
+        .expect("runs");
 
     let pc_asym = asymptotic_rate(&tr_pc, Backend::xla_cpu());
     let hy_asym = asymptotic_rate(&tr_hy, Backend::hybrid_cpu());

@@ -66,7 +66,10 @@ fn extern_kernels_flow_through_the_pipeline() {
     let v = out[0].as_f64().unwrap();
     for (i, &x) in v.iter().enumerate() {
         let start: f64 = [4.0, -4.0, 2.0, 8.0, 0.0, -8.0][i];
-        assert!(x.abs() <= start.abs() + 1e-12, "moved toward 0: {x} from {start}");
+        assert!(
+            x.abs() <= start.abs() + 1e-12,
+            "moved toward 0: {x} from {start}"
+        );
     }
     // Member 1 took twice the steps: strictly closer to the origin.
     assert!(v[3].abs() < 8.0 * 0.9f64.powi(10));
@@ -119,7 +122,10 @@ fn runtime_errors_are_reported_not_panicked() {
         }
     ";
     let program = compile(source, "down").expect("compiles");
-    let opts = autobatch::core::ExecOptions { stack_depth: 4, ..Default::default() };
+    let opts = autobatch::core::ExecOptions {
+        stack_depth: 4,
+        ..Default::default()
+    };
     let ab = Autobatcher::with_options(
         program,
         autobatch::core::KernelRegistry::new(),
@@ -129,8 +135,13 @@ fn runtime_errors_are_reported_not_panicked() {
     .expect("builds");
     let deep = Tensor::from_i64(&[100], &[1]).unwrap();
     let err = ab.run_pc(&[deep], None).unwrap_err();
-    assert!(matches!(err, autobatch::core::VmError::StackOverflow { .. }));
+    assert!(matches!(
+        err,
+        autobatch::core::VmError::StackOverflow { .. }
+    ));
     // Shallow input still fine under the same limit.
-    let ok = ab.run_pc(&[Tensor::from_i64(&[3], &[1]).unwrap()], None).unwrap();
+    let ok = ab
+        .run_pc(&[Tensor::from_i64(&[3], &[1]).unwrap()], None)
+        .unwrap();
     assert_eq!(ok[0].as_i64().unwrap(), &[3]);
 }

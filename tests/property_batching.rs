@@ -19,13 +19,14 @@
 //! bit on any machine with the same `PROPTEST_SEED` (default 0); set
 //! `PROPTEST_CASES` to widen or narrow the sweep.
 
+use autobatch::accel::Backend;
 use autobatch::core::{
     lower, BlockHeuristic, DynSchedule, DynamicVm, ExecOptions, ExecStrategy, KernelRegistry,
     LocalStaticVm, LoweringOptions, PcVm,
 };
 use autobatch::ir::build::ProgramBuilder;
 use autobatch::ir::{lsab, Prim, Var};
-use autobatch::serve::{AdmissionPolicy, BatchServer, Request};
+use autobatch::serve::{AdmissionPolicy, BatchServer, Request, ShardedServer};
 use autobatch::tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -50,7 +51,9 @@ fn random_program(seed: u64) -> lsab::Program {
 
     let double_recursion = rng.gen_bool(0.4);
     let helper_branch_on_acc = rng.gen_bool(0.5);
-    let h_expr_ops: Vec<usize> = (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..bin_ops.len())).collect();
+    let h_expr_ops: Vec<usize> = (0..rng.gen_range(1..4))
+        .map(|_| rng.gen_range(0..bin_ops.len()))
+        .collect();
 
     pb.define(helper, |fb| {
         let n = fb.param(0);
@@ -99,7 +102,13 @@ fn random_program(seed: u64) -> lsab::Program {
 
     let n_straight = rng.gen_range(1..6);
     let straight: Vec<(usize, usize, bool)> = (0..n_straight)
-        .map(|_| (rng.gen_range(0..bin_ops.len()), rng.gen_range(0..un_ops.len()), rng.gen_bool(0.5)))
+        .map(|_| {
+            (
+                rng.gen_range(0..bin_ops.len()),
+                rng.gen_range(0..un_ops.len()),
+                rng.gen_bool(0.5),
+            )
+        })
         .collect();
     let with_if = rng.gen_bool(0.7);
     let with_loop = rng.gen_bool(0.7);
@@ -175,7 +184,12 @@ fn run_lsab(p: &lsab::Program, inputs: &[Tensor], strategy: ExecStrategy) -> Vec
         .expect("lsab runs")
 }
 
-fn run_pc(p: &lsab::Program, inputs: &[Tensor], lopts: LoweringOptions, cache: bool) -> Vec<Tensor> {
+fn run_pc(
+    p: &lsab::Program,
+    inputs: &[Tensor],
+    lopts: LoweringOptions,
+    cache: bool,
+) -> Vec<Tensor> {
     let (lowered, _) = lower(p, lopts).expect("lowers");
     let opts = ExecOptions {
         cache_stack_tops: cache,
@@ -341,6 +355,86 @@ proptest! {
                 &want,
                 "member {} perturbed by admission order {:?}",
                 b,
+                &order
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_and_routing_cannot_perturb_results(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 3..8),
+        ns in proptest::collection::vec(0i64..6, 3..8),
+        workers in 1usize..5,
+        shard_batch in 1usize..4,
+        order_seed in any::<u64>(),
+    ) {
+        // Sharded serving: however the request stream is partitioned
+        // across worker threads (worker count, per-shard batch width,
+        // submission order — and therefore least-loaded routing), every
+        // request's outputs are bit-identical to the unsharded server's,
+        // and aggregation returns them in submission order.
+        let z = xs.len().min(ns.len());
+        let xs = &xs[..z];
+        let ns = &ns[..z];
+        let p = random_program(seed);
+        let (lowered, _) = lower(&p, LoweringOptions::default()).expect("lowers");
+        let request = |b: usize| Request {
+            id: b as u64,
+            inputs: vec![
+                Tensor::from_f64(&[xs[b]], &[1]).expect("x"),
+                Tensor::from_i64(&[ns[b]], &[1]).expect("n"),
+            ],
+            seed: b as u64,
+        };
+
+        // Reference: the single-server run, in submission order.
+        let policy = AdmissionPolicy::JoinAtEntry { max_batch: 2, min_utilization: 1.0 };
+        let mut single =
+            BatchServer::new(&lowered, KernelRegistry::new(), ExecOptions::default(), policy)
+                .expect("server");
+        for b in 0..z {
+            single.submit(request(b)).expect("submit");
+        }
+        let mut reference = single.run_until_idle(None).expect("serve");
+        reference.sort_by_key(|r| r.id);
+
+        // Sharded run under a shuffled submission order.
+        let mut order: Vec<usize> = (0..z).collect();
+        let mut orng = StdRng::seed_from_u64(order_seed);
+        for i in (1..z).rev() {
+            order.swap(i, orng.gen_range(0..i + 1));
+        }
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: shard_batch,
+            min_utilization: 1.0,
+        };
+        let mut sharded = ShardedServer::new(
+            &lowered,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            policy,
+            workers,
+            Backend::hybrid_cpu(),
+        )
+        .expect("sharded server");
+        for &b in &order {
+            sharded.submit(request(b)).expect("submit");
+        }
+        let served = sharded.run_until_idle().expect("serve");
+        // Aggregation preserves the (shuffled) submission order.
+        let got_ids: Vec<u64> = served.iter().map(|r| r.id).collect();
+        let want_ids: Vec<u64> = order.iter().map(|&b| b as u64).collect();
+        prop_assert_eq!(got_ids, want_ids, "aggregation broke submission order");
+        for r in &served {
+            let want = &reference[r.id as usize];
+            prop_assert_eq!(
+                &r.outputs,
+                &want.outputs,
+                "request {} perturbed by sharding ({} workers, batch {}, order {:?})",
+                r.id,
+                workers,
+                shard_batch,
                 &order
             );
         }

@@ -29,12 +29,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark id `{function_name}/{parameter}`.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// A benchmark id from a parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -81,16 +85,27 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { samples: self.samples, last_median: None };
+        let mut b = Bencher {
+            samples: self.samples,
+            last_median: None,
+        };
         f(&mut b);
         match b.last_median {
-            Some(t) => println!("{}/{}: median {:?} ({} samples)", self.name, id, t, self.samples),
+            Some(t) => println!(
+                "{}/{}: median {:?} ({} samples)",
+                self.name, id, t, self.samples
+            ),
             None => println!("{}/{}: no measurement (b.iter never called)", self.name, id),
         }
     }
 
     /// Benchmark `routine` against a borrowed input.
-    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, routine: R) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: R,
+    ) -> &mut Self
     where
         R: FnOnce(&mut Bencher, &I),
     {
@@ -100,7 +115,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a closure with no external input.
-    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, routine: R) -> &mut Self {
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        routine: R,
+    ) -> &mut Self {
         let text = id.into();
         self.run_one(&text, routine);
         self
@@ -118,11 +137,19 @@ pub struct Criterion {}
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), samples: 20, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            _criterion: self,
+        }
     }
 
     /// Benchmark a standalone closure.
-    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, routine: R) -> &mut Self {
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        routine: R,
+    ) -> &mut Self {
         let id = id.into();
         let mut group = self.benchmark_group(id.clone());
         group.bench_function("bench", routine);

@@ -32,7 +32,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`]: an exact length or a length
+    /// A size specification for [`vec()`]: an exact length or a length
     /// range (subset of `proptest::collection::SizeRange`).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -42,14 +42,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "vec size range is empty");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
@@ -57,7 +63,10 @@ pub mod collection {
         fn from(r: RangeInclusive<usize>) -> Self {
             let (lo, hi) = r.into_inner();
             assert!(lo <= hi, "vec size range is empty");
-            SizeRange { lo, hi_inclusive: hi }
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
         }
     }
 
@@ -71,7 +80,10 @@ pub mod collection {
     /// Build a strategy for vectors whose elements are drawn from
     /// `element` and whose length is drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -77,7 +77,9 @@ impl TestRng {
         let seed = base_seed
             .wrapping_add(h)
             .wrapping_add((case as u64).wrapping_mul(0x9e3779b97f4a7c15));
-        TestRng { inner: StdRng::seed_from_u64(seed) }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Next 64 uniform bits.
