@@ -21,7 +21,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use autobatch_bench::gate::{check_regression, parse_flat_json, Row, METRIC};
+use autobatch_bench::gate::{check_regression, parse_flat_json, Row};
 
 fn parse_file(path: &Path) -> Result<Vec<Row>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -65,7 +65,8 @@ fn run(baseline_dir: &Path, fresh_dir: &Path, tolerance: f64) -> Result<Vec<Stri
         let file_failures = check_regression(&base_rows, &fresh_rows, tolerance);
         if file_failures.is_empty() {
             println!(
-                "gate OK: {name} — {} baseline rows within {:.0}% of {METRIC}",
+                "gate OK: {name} — {} baseline rows within tolerance on every gated metric \
+                 (base {:.0}%)",
                 base_rows.len(),
                 tolerance * 100.0
             );

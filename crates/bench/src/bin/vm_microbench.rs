@@ -1,0 +1,265 @@
+//! Host-side microbench of the program-counter interpreter hot loop.
+//!
+//! Unlike the simulated-accelerator benches (`serve_throughput`,
+//! `shard_throughput`), this bin measures the **real Rust interpreter**:
+//! wall-clock nanoseconds per superstep and heap allocations per
+//! superstep (via a counting global allocator), on the two committed
+//! bench workloads. Allocation counts depend only on the code path, so
+//! they are bit-reproducible across machines and safe to gate exactly;
+//! wall-clock is gated with a wide tolerance (see `gate::METRICS`).
+//!
+//! Each workload runs twice: once with the fused elementwise fast path
+//! (the default) and once with fusion disabled, so the JSON rows record
+//! both the host-time win and the launch-count reduction the fusion
+//! contributes under eager dispatch.
+//!
+//! Usage: `vm_microbench [--smoke]`. Writes
+//! `results/BENCH_vm_microbench.json` for the CI perf-regression gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use autobatch_accel::{Backend, Trace};
+use autobatch_bench::{fmt_sig, json_str, print_table, write_json};
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions, PcMachine};
+use autobatch_ir::pcab::Program;
+use autobatch_lang::compile;
+use autobatch_models::NealsFunnel;
+use autobatch_nuts::{BatchNuts, NutsConfig};
+use autobatch_tensor::{CounterRng, Tensor};
+
+/// A pass-through allocator that counts allocations, so the bench can
+/// report allocations/superstep of the interpreter hot loop.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Measured {
+    supersteps: u64,
+    ns_per_superstep: f64,
+    allocs_per_superstep: f64,
+    /// Timed kernel launches under eager dispatch (fusion-sensitive).
+    eager_launches: u64,
+}
+
+/// Drive every request through one `PcMachine` to completion and time
+/// the whole serve loop (admission, supersteps, retirement).
+fn run_machine(
+    program: &Program,
+    registry: &KernelRegistry,
+    opts: ExecOptions,
+    requests: &[(Vec<Tensor>, u64)],
+    reps: usize,
+) -> Measured {
+    // Warm-up pass (first-touch allocations, lazy buffers).
+    let mut warm = PcMachine::new(program, registry.clone(), opts);
+    admit_all(&mut warm, requests);
+    warm.run_to_completion(None).expect("warm-up runs");
+    let supersteps_once = warm.supersteps();
+
+    // Take the fastest rep: the minimum is the standard noise-robust
+    // microbench statistic (scheduling hiccups only ever add time).
+    // Allocation counts are identical across reps by construction.
+    let mut best_ns_per_step = f64::INFINITY;
+    let mut allocs_per_step = 0.0f64;
+    for _ in 0..reps {
+        let mut m = PcMachine::new(program, registry.clone(), opts);
+        admit_all(&mut m, requests);
+        ALLOCATIONS.store(0, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let done = m.run_to_completion(None).expect("runs");
+        let dt = t0.elapsed();
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(done.len(), requests.len());
+        let steps = m.supersteps() as f64;
+        best_ns_per_step = best_ns_per_step.min(dt.as_nanos() as f64 / steps);
+        allocs_per_step = allocs as f64 / steps;
+    }
+
+    // Launch accounting under eager dispatch (every primitive its own
+    // launch unless the fused fast path folds a chain).
+    let mut tr = Trace::new(Backend::eager_cpu());
+    let mut m = PcMachine::new(program, registry.clone(), opts);
+    admit_all(&mut m, requests);
+    m.run_to_completion(Some(&mut tr)).expect("traced run");
+
+    Measured {
+        supersteps: supersteps_once,
+        ns_per_superstep: best_ns_per_step,
+        allocs_per_superstep: allocs_per_step,
+        eager_launches: tr.launches(),
+    }
+}
+
+fn admit_all(m: &mut PcMachine<'_>, requests: &[(Vec<Tensor>, u64)]) {
+    let reqs: Vec<(&[Tensor], u64)> = requests
+        .iter()
+        .map(|(ins, key)| (ins.as_slice(), *key))
+        .collect();
+    m.admit_batch(&reqs, None).expect("admission");
+}
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+fn binom_requests(n_requests: usize) -> Vec<(Vec<Tensor>, u64)> {
+    (0..n_requests)
+        .map(|i| {
+            let n = 10 + (i * 5 % 7) as i64;
+            let k = 2 + (i * 3 % 5) as i64;
+            (
+                vec![
+                    Tensor::from_i64(&[n], &[1]).expect("n"),
+                    Tensor::from_i64(&[k], &[1]).expect("k"),
+                ],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn funnel_requests(nuts: &BatchNuts, n_requests: usize) -> Vec<(Vec<Tensor>, u64)> {
+    let rng = CounterRng::new(64);
+    (0..n_requests)
+        .map(|i| {
+            let q = rng
+                .normal_batch(&[i as i64], &[nuts.dim()])
+                .row(0)
+                .expect("row");
+            (nuts.request_inputs(&q).expect("inputs"), i as u64)
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_requests, reps) = if smoke { (12, 5) } else { (48, 7) };
+
+    let binom_program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (binom_pc, _) = lower(&binom_program, LoweringOptions::default()).expect("binom lowers");
+    let cfg = NutsConfig {
+        step_size: 0.2,
+        n_trajectories: 3,
+        max_depth: 6,
+        leapfrog_steps: 2,
+        seed: 31,
+    };
+    let nuts = BatchNuts::new(Arc::new(NealsFunnel::new(5)), cfg).expect("NUTS compiles");
+
+    let header = [
+        "workload",
+        "mode",
+        "batch",
+        "supersteps",
+        "ns-per-superstep",
+        "allocs-per-superstep",
+        "eager-launches",
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut launches_by_mode: Vec<(String, &'static str, u64)> = Vec::new();
+
+    for (workload, program, registry, base_opts, requests) in [
+        (
+            "divergent-binom",
+            &binom_pc,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            binom_requests(n_requests),
+        ),
+        (
+            "funnel-nuts",
+            nuts.lowered(),
+            nuts.registry().clone(),
+            nuts.exec_options(),
+            funnel_requests(&nuts, n_requests),
+        ),
+    ] {
+        for (mode, fuse) in [("fused", true), ("unfused", false)] {
+            let opts = ExecOptions {
+                fuse_elementwise: fuse,
+                ..base_opts
+            };
+            let m = run_machine(program, &registry, opts, &requests, reps);
+            launches_by_mode.push((workload.to_string(), mode, m.eager_launches));
+            rows.push(vec![
+                workload.to_string(),
+                mode.to_string(),
+                n_requests.to_string(),
+                m.supersteps.to_string(),
+                fmt_sig(m.ns_per_superstep),
+                fmt_sig(m.allocs_per_superstep),
+                m.eager_launches.to_string(),
+            ]);
+            json.push(vec![
+                ("workload", json_str(workload)),
+                ("mode", json_str(mode)),
+                ("batch", n_requests.to_string()),
+                ("supersteps", m.supersteps.to_string()),
+                ("ns_per_superstep", format!("{:.1}", m.ns_per_superstep)),
+                (
+                    "supersteps_per_s",
+                    format!("{:.1}", 1e9 / m.ns_per_superstep),
+                ),
+                (
+                    "allocs_per_superstep",
+                    format!("{:.4}", m.allocs_per_superstep),
+                ),
+                ("eager_launches", m.eager_launches.to_string()),
+            ]);
+        }
+    }
+
+    // The fused fast path must strictly reduce eager launch counts on
+    // both workloads — the cost-model half of the acceptance criterion.
+    for pair in launches_by_mode.chunks(2) {
+        let [(workload, _, fused), (_, _, unfused)] = pair else {
+            unreachable!("modes come in pairs");
+        };
+        println!("{workload}: eager launches fused {fused} vs unfused {unfused}");
+        assert!(
+            fused < unfused,
+            "{workload}: fusion did not reduce launches ({fused} vs {unfused})"
+        );
+    }
+
+    print_table(
+        "PC interpreter host microbench (real wall-clock, counting allocator)",
+        &header,
+        &rows,
+    );
+    write_json("BENCH_vm_microbench.json", &json);
+}

@@ -176,8 +176,39 @@ pub mod gate {
     /// One benchmark row: field name → value.
     pub type Row = BTreeMap<String, JsonValue>;
 
-    /// The metric the regression gate compares.
+    /// The primary metric the regression gate compares (simulated
+    /// serving throughput).
     pub const METRIC: &str = "requests_per_s";
+
+    /// Which way a metric is allowed to move.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Direction {
+        /// A drop below `baseline × (1 − tolerance)` fails.
+        HigherIsBetter,
+        /// A rise above `baseline × (1 + tolerance)` fails.
+        LowerIsBetter,
+    }
+
+    /// Every metric the gate knows, with its direction and a per-metric
+    /// tolerance scale applied to the caller's base tolerance:
+    ///
+    /// - `requests_per_s` — simulated throughput; deterministic cost
+    ///   model, so the base tolerance applies as-is;
+    /// - `supersteps_per_s` — **host** wall-clock interpreter speed
+    ///   from `vm_microbench`; machine-dependent, so the tolerance is
+    ///   tripled (a 20% base gate fails only below 40% of baseline);
+    /// - `allocs_per_superstep` — heap allocations per superstep from
+    ///   the counting allocator; a pure code-path property,
+    ///   bit-reproducible across machines, gated at a quarter of the
+    ///   base tolerance and in the *lower-is-better* direction.
+    ///
+    /// A row is gated on every metric it carries; rows carrying none
+    /// fail (the gate would otherwise silently stop guarding them).
+    pub const METRICS: &[(&str, Direction, f64)] = &[
+        (METRIC, Direction::HigherIsBetter, 1.0),
+        ("supersteps_per_s", Direction::HigherIsBetter, 3.0),
+        ("allocs_per_superstep", Direction::LowerIsBetter, 0.25),
+    ];
 
     /// Fields identifying a row across runs; rows are matched between
     /// baseline and fresh artifacts on every key field they carry.
@@ -335,8 +366,10 @@ pub mod gate {
 
     /// Compare `fresh` against `baseline` row by row. A failure is
     /// reported when a baseline row is missing from the fresh run
-    /// (coverage loss) or when its [`METRIC`] dropped by more than
-    /// `tolerance` (e.g. `0.2` = fail below 80% of baseline). Rows only
+    /// (coverage loss), or when any [`METRICS`] entry the baseline row
+    /// carries regressed beyond its direction-aware, scaled tolerance
+    /// (e.g. base `0.2` = `requests_per_s` fails below 80% of
+    /// baseline, `allocs_per_superstep` fails above 105%). Rows only
     /// present in the fresh run pass (new coverage is welcome).
     /// Returns human-readable failure lines; empty means the gate holds.
     pub fn check_regression(baseline: &[Row], fresh: &[Row], tolerance: f64) -> Vec<String> {
@@ -348,21 +381,42 @@ pub mod gate {
                 failures.push(format!("[{key}] missing from the fresh run"));
                 continue;
             };
-            let Some(base_metric) = base.get(METRIC).and_then(JsonValue::as_num) else {
+            let mut gated = 0;
+            for &(metric, direction, scale) in METRICS {
+                let Some(base_metric) = base.get(metric).and_then(JsonValue::as_num) else {
+                    continue;
+                };
+                gated += 1;
+                let Some(new_metric) = new.get(metric).and_then(JsonValue::as_num) else {
+                    failures.push(format!("[{key}] fresh row lacks numeric {metric}"));
+                    continue;
+                };
+                let tol = (tolerance * scale).clamp(0.0, 0.95);
+                match direction {
+                    Direction::HigherIsBetter => {
+                        let floor = base_metric * (1.0 - tol);
+                        if new_metric < floor {
+                            failures.push(format!(
+                                "[{key}] {metric} regressed: {new_metric:.6} < {floor:.6} \
+                                 (baseline {base_metric:.6}, tolerance {:.0}%)",
+                                tol * 100.0
+                            ));
+                        }
+                    }
+                    Direction::LowerIsBetter => {
+                        let ceiling = base_metric * (1.0 + tol);
+                        if new_metric > ceiling {
+                            failures.push(format!(
+                                "[{key}] {metric} regressed: {new_metric:.6} > {ceiling:.6} \
+                                 (baseline {base_metric:.6}, tolerance {:.0}%)",
+                                tol * 100.0
+                            ));
+                        }
+                    }
+                }
+            }
+            if gated == 0 {
                 failures.push(format!("[{key}] baseline row lacks numeric {METRIC}"));
-                continue;
-            };
-            let Some(new_metric) = new.get(METRIC).and_then(JsonValue::as_num) else {
-                failures.push(format!("[{key}] fresh row lacks numeric {METRIC}"));
-                continue;
-            };
-            let floor = base_metric * (1.0 - tolerance);
-            if new_metric < floor {
-                failures.push(format!(
-                    "[{key}] {METRIC} regressed: {new_metric:.6} < {floor:.6} \
-                     (baseline {base_metric:.6}, tolerance {:.0}%)",
-                    tolerance * 100.0
-                ));
             }
         }
         failures

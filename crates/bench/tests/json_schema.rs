@@ -146,3 +146,34 @@ fn parser_handles_escapes_and_rejects_malformed_input() {
         assert!(parse_flat_json(bad).is_err(), "accepted malformed: {bad}");
     }
 }
+
+#[test]
+fn gate_checks_host_metrics_with_scaled_direction_aware_tolerances() {
+    let row = |steps_per_s: f64, allocs: f64| -> Vec<(&'static str, String)> {
+        vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str("fused")),
+            ("batch", "12".to_string()),
+            ("supersteps_per_s", format!("{steps_per_s:.1}")),
+            ("allocs_per_superstep", format!("{allocs:.4}")),
+        ]
+    };
+    let baseline = rendered_rows(&[row(1000.0, 10.0)]);
+
+    // Host wall-clock gets 3× the base tolerance: at 0.2 base, the
+    // floor is 40% of baseline. A 50% drop passes; a 70% drop fails.
+    assert!(check_regression(&baseline, &rendered_rows(&[row(500.0, 10.0)]), 0.20).is_empty());
+    let failures = check_regression(&baseline, &rendered_rows(&[row(300.0, 10.0)]), 0.20);
+    assert_eq!(failures.len(), 1);
+    assert!(failures[0].contains("supersteps_per_s"), "{failures:?}");
+
+    // Allocation counts are deterministic: 0.25× the base tolerance,
+    // lower-is-better. +4% passes; +10% fails.
+    assert!(check_regression(&baseline, &rendered_rows(&[row(1000.0, 10.4)]), 0.20).is_empty());
+    let failures = check_regression(&baseline, &rendered_rows(&[row(1000.0, 11.0)]), 0.20);
+    assert_eq!(failures.len(), 1);
+    assert!(failures[0].contains("allocs_per_superstep"), "{failures:?}");
+
+    // Fewer allocations or faster supersteps never fail.
+    assert!(check_regression(&baseline, &rendered_rows(&[row(5000.0, 1.0)]), 0.20).is_empty());
+}

@@ -22,6 +22,23 @@
 //! gather/scatter, block-selection heuristic — the paper's §2 "free
 //! choices") and priced against simulated accelerator backends via
 //! [`autobatch_accel::Trace`].
+//!
+//! # Performance architecture
+//!
+//! The program-counter interpreter's superstep loop is allocation-free
+//! in the steady state: each machine owns a scratch arena (active
+//! mask, active-index list, member keys, pop depths, block-local
+//! temporaries) that is cleared per superstep, never reallocated, and
+//! tensors are copy-on-write so state reads and observer snapshots
+//! share buffers instead of deep-copying. On top of that, each basic
+//! block is planned once into **fused elementwise regions** —
+//! straight-line runs of elementwise primitives executed as a single
+//! loop with per-element virtual registers and priced as a single
+//! launch ([`ExecOptions::fuse_elementwise`]; the fused loop applies
+//! the exact scalar functions of the allocating kernels, so results
+//! are bit-identical, and any runtime shape/dtype surprise falls back
+//! to per-op execution). See the repository README's "Performance
+//! architecture" section for the measured effect.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,6 +46,7 @@
 mod api;
 mod dynamic_vm;
 mod error;
+mod fusion;
 mod kernels;
 mod lowering;
 mod lsab_vm;

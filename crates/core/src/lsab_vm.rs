@@ -156,6 +156,13 @@ impl<'p> LocalStaticVm<'p> {
             env.insert(p.clone(), t.clone());
         }
         let mut pc = vec![0usize; z];
+        // Per-invocation scratch for the locally active set: refilled
+        // every superstep, allocated once (the host-recursive runtime
+        // cannot share one arena across invocations the way the
+        // program-counter machine does, but the inner loop stays
+        // allocation-free).
+        let mut local: Vec<bool> = Vec::with_capacity(z);
+        let mut local_idx: Vec<usize> = Vec::with_capacity(z);
 
         while let Some(i) = select_block(&pc, active, n_blocks, self.opts.heuristic) {
             ctx.steps += 1;
@@ -165,8 +172,10 @@ impl<'p> LocalStaticVm<'p> {
                 });
             }
             // Locally active set A' = members of A waiting at block i.
-            let local: Vec<bool> = (0..z).map(|b| active[b] && pc[b] == i).collect();
-            let local_idx: Vec<usize> = (0..z).filter(|&b| local[b]).collect();
+            local.clear();
+            local.extend((0..z).map(|b| active[b] && pc[b] == i));
+            local_idx.clear();
+            local_idx.extend((0..z).filter(|&b| local[b]));
             if let Some(t) = ctx.trace.as_deref_mut() {
                 t.superstep();
             }

@@ -74,6 +74,13 @@ pub struct ExecOptions {
     pub dyn_schedule: DynSchedule,
     /// RNG seed for the counter-based random primitives.
     pub seed: u64,
+    /// Whether the program-counter runtime executes straight-line chains
+    /// of same-shape elementwise primitives as one fused loop (and one
+    /// fused launch in the [`Trace`](autobatch_accel::Trace) cost
+    /// model). Fusion is bit-identical to per-primitive execution — the
+    /// fused loop applies the exact same scalar functions in the same
+    /// order — so this knob only exists for ablation and benchmarking.
+    pub fuse_elementwise: bool,
 }
 
 impl Default for ExecOptions {
@@ -87,6 +94,7 @@ impl Default for ExecOptions {
             cache_stack_tops: true,
             dyn_schedule: DynSchedule::Agenda,
             seed: 0,
+            fuse_elementwise: true,
         }
     }
 }

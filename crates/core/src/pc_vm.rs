@@ -15,9 +15,10 @@ use std::collections::BTreeMap;
 use autobatch_accel::{DispatchMode, LaunchRecord, Trace};
 use autobatch_ir::pcab::{Op, Program, Terminator, WriteKind};
 use autobatch_ir::{Prim, Var};
-use autobatch_tensor::{CounterRng, Tensor};
+use autobatch_tensor::{CounterRng, DType, Data, Tensor};
 
 use crate::error::{Result, VmError};
+use crate::fusion::{self, FusedRegion};
 use crate::kernels::{eval_prim, prim_cost, KernelRegistry, OpCost};
 use crate::options::{BlockHeuristic, ExecOptions, ExecStrategy};
 
@@ -44,6 +45,11 @@ impl StackVar {
 
 /// A point-in-time copy of one stacked variable, for observers (the
 /// paper's Figure 3 visualization).
+///
+/// Tensors are copy-on-write, so taking a snapshot shares the live
+/// buffers instead of deep-copying them: the per-superstep observer
+/// cost is O(1) per tensor plus the stack-pointer vector, and the
+/// machine transparently copies a buffer only on its next write to it.
 #[derive(Debug, Clone)]
 pub struct StackSnapshot {
     /// Frames beneath the top, `[D, Z, elem..]`, if ever pushed.
@@ -65,7 +71,9 @@ pub struct PcObservation<'a> {
     pub pc_top: &'a [usize],
     /// Per-member pc stack depths (frames beneath the top).
     pub pc_depth: Vec<usize>,
-    /// Stacked-variable state (cloned; observer-only cost).
+    /// Stacked-variable state (O(1) copy-on-write shares of the live
+    /// buffers; the machine copies on its next write, never the
+    /// observer).
     pub stacks: BTreeMap<Var, StackSnapshot>,
 }
 
@@ -92,6 +100,83 @@ pub struct PcVm<'p> {
     program: &'p Program,
     registry: KernelRegistry,
     opts: ExecOptions,
+    /// Per-block fused elementwise regions (see [`crate::fusion`]),
+    /// planned once at construction.
+    plans: Vec<Vec<FusedRegion>>,
+    /// Variable → storage slot, resolved once at construction so the
+    /// superstep loop indexes dense vectors instead of walking
+    /// string-keyed maps per operand.
+    slot_of: BTreeMap<Var, Slot>,
+    /// Stacked variables in slot order (the program's sorted order).
+    stacked_vars: Vec<Var>,
+}
+
+/// Storage slot of a persistent variable: an index into the state's
+/// stacked or register vector. Variables without a slot are block-local
+/// temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Stacked(usize),
+    Register(usize),
+}
+
+/// Block-local temporary bindings of one superstep. A plain vector
+/// with linear lookup: blocks bind at most a handful of temporaries,
+/// so this beats a tree map and — living in the scratch arena — keeps
+/// its capacity across supersteps instead of reallocating nodes.
+#[derive(Debug, Default)]
+struct Temps(Vec<(Var, Tensor)>);
+
+impl Temps {
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    fn get(&self, v: &Var) -> Option<&Tensor> {
+        self.0.iter().find(|(k, _)| k == v).map(|(_, t)| t)
+    }
+
+    fn insert(&mut self, v: Var, t: Tensor) {
+        match self.0.iter_mut().find(|(k, _)| *k == v) {
+            Some(slot) => slot.1 = t,
+            None => self.0.push((v, t)),
+        }
+    }
+}
+
+/// Reused per-superstep buffers: the VM's scratch arena. Everything
+/// here is logically dead between supersteps; keeping the allocations
+/// alive makes the steady-state superstep loop allocation-free for all
+/// bookkeeping (masks, index lists, stack depths, fused-loop registers).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Active mask of the current superstep.
+    active: Vec<bool>,
+    /// Indices of the active members.
+    active_idx: Vec<usize>,
+    /// Gathered member keys (gather/scatter strategy).
+    members: Vec<u64>,
+    /// Per-member stack depths for pops.
+    depths: Vec<usize>,
+    /// Per-element virtual registers of the fused fast path.
+    regs_f64: Vec<f64>,
+    /// Integer sibling of `regs_f64`.
+    regs_i64: Vec<i64>,
+    /// Per-external member-broadcast flags of the fused fast path.
+    ext_bcast: Vec<bool>,
+    /// Per-def wideness flags of the fused fast path.
+    def_wide: Vec<bool>,
+    /// Reused operand buffer for per-op primitive evaluation.
+    inputs: Vec<Tensor>,
+    /// Block-local temporary bindings (cleared each superstep).
+    temps: Temps,
+    /// Per-block, per-region negative cache: `true` once a fused region
+    /// fell back (mixed runtime shapes or dtypes). Falling back is
+    /// always correct, and a region's shape pattern is fixed by the
+    /// program's variables, so one failed validation disables the
+    /// region for this machine instead of paying the check every
+    /// superstep.
+    fused_off: Vec<Vec<bool>>,
 }
 
 #[derive(Debug)]
@@ -100,14 +185,18 @@ struct State {
     pc_top: Vec<usize>,
     /// Per-member pc frames beneath the top.
     pc_stack: Vec<Vec<usize>>,
-    stacked: BTreeMap<Var, StackVar>,
-    registers: BTreeMap<Var, Option<Tensor>>,
+    /// Stacked-variable storage, indexed by [`Slot::Stacked`].
+    stacked: Vec<StackVar>,
+    /// Register storage, indexed by [`Slot::Register`].
+    registers: Vec<Option<Tensor>>,
     /// Per-member RNG key: the `member` argument handed to the
     /// counter-based RNG. A one-shot [`PcVm::run`] uses the lane index;
     /// [`PcMachine`] assigns each admitted request its own key so a
     /// member's draws are identical whether it runs alone or joins a
     /// batch mid-flight, in any admission order.
     member_keys: Vec<u64>,
+    /// Reused per-superstep buffers (see [`Scratch`]).
+    scratch: Scratch,
 }
 
 impl State {
@@ -117,13 +206,10 @@ impl State {
             z,
             pc_top: vec![p.entry.0; z],
             pc_stack: vec![vec![n_blocks]; z], // exit sentinel at the bottom
-            stacked: p
-                .stacked_vars()
-                .into_iter()
-                .map(|v| (v, StackVar::new(z)))
-                .collect(),
-            registers: p.register_vars().into_iter().map(|v| (v, None)).collect(),
+            stacked: p.stacked_vars().iter().map(|_| StackVar::new(z)).collect(),
+            registers: vec![None; p.register_vars().len()],
             member_keys: (0..z as u64).collect(),
+            scratch: Scratch::default(),
         }
     }
 }
@@ -131,10 +217,22 @@ impl State {
 impl<'p> PcVm<'p> {
     /// Create a VM for a lowered program.
     pub fn new(program: &'p Program, registry: KernelRegistry, opts: ExecOptions) -> Self {
+        let stacked_vars = program.stacked_vars();
+        let mut slot_of: BTreeMap<Var, Slot> = stacked_vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), Slot::Stacked(i)))
+            .collect();
+        for (i, v) in program.register_vars().into_iter().enumerate() {
+            slot_of.insert(v, Slot::Register(i));
+        }
         PcVm {
             program,
             registry,
             opts,
+            plans: fusion::plan_program(program),
+            slot_of,
+            stacked_vars,
         }
     }
 
@@ -194,7 +292,7 @@ impl<'p> PcVm<'p> {
                 v,
                 t.clone(),
                 &all,
-                &mut BTreeMap::new(),
+                &mut Temps::default(),
                 WriteKind::Update,
                 false,
             )?;
@@ -209,11 +307,14 @@ impl<'p> PcVm<'p> {
                     limit: self.opts.max_supersteps,
                 });
             }
-            let active = self.run_block(&mut st, i, &rng, &mut trace)?;
+            self.run_block(&mut st, i, &rng, &mut trace)?;
             if let Some(obs) = observer.as_deref_mut() {
-                let stacks: BTreeMap<Var, StackSnapshot> = st
-                    .stacked
+                // Tensor clones here are O(1) copy-on-write shares; the
+                // machine pays a buffer copy only on its next write.
+                let stacks: BTreeMap<Var, StackSnapshot> = self
+                    .stacked_vars
                     .iter()
+                    .zip(&st.stacked)
                     .map(|(v, s)| {
                         (
                             v.clone(),
@@ -227,7 +328,7 @@ impl<'p> PcVm<'p> {
                     .collect();
                 obs(&PcObservation {
                     block: i,
-                    active: &active,
+                    active: &st.scratch.active,
                     pc_top: &st.pc_top,
                     pc_depth: st.pc_stack.iter().map(Vec::len).collect(),
                     stacks,
@@ -237,25 +338,35 @@ impl<'p> PcVm<'p> {
         // Read outputs at their final tops.
         p.outputs
             .iter()
-            .map(|o| self.read_var(&st, &BTreeMap::new(), o, "outputs"))
+            .map(|o| self.read_var(&st, &Temps::default(), o, "outputs"))
             .collect()
     }
 
     /// Execute one superstep on block `i`: all ops, the terminator, and
-    /// (under fused dispatch) the single block launch. Returns the active
-    /// mask of the step. Shared between the one-shot [`PcVm::run`] loop
-    /// and the incremental [`PcMachine::step`].
+    /// (under fused dispatch) the single block launch. Returns the
+    /// number of active members; the active mask itself stays in the
+    /// state's scratch arena (`st.scratch.active`). Shared between the
+    /// one-shot [`PcVm::run`] loop and the incremental
+    /// [`PcMachine::step`].
     fn run_block(
         &self,
         st: &mut State,
         i: usize,
         rng: &CounterRng,
         trace: &mut Option<&mut Trace>,
-    ) -> Result<Vec<bool>> {
+    ) -> Result<usize> {
         let p = self.program;
         let z = st.z;
-        let active: Vec<bool> = st.pc_top.iter().map(|&pc| pc == i).collect();
-        let active_idx: Vec<usize> = (0..z).filter(|&b| active[b]).collect();
+        // Borrow the scratch arena for the superstep; restored on every
+        // successful exit (error paths simply leave fresh buffers).
+        let mut scratch = std::mem::take(&mut st.scratch);
+        scratch.active.clear();
+        scratch.active.extend(st.pc_top.iter().map(|&pc| pc == i));
+        scratch.active_idx.clear();
+        scratch
+            .active_idx
+            .extend((0..z).filter(|&b| scratch.active[b]));
+        let n_active = scratch.active_idx.len();
         if let Some(t) = trace.as_deref_mut() {
             t.superstep();
         }
@@ -268,12 +379,46 @@ impl<'p> PcVm<'p> {
             .map(|t| t.functional_stack_updates())
             .unwrap_or(false);
 
-        let mut temps: BTreeMap<Var, Tensor> = BTreeMap::new();
+        if scratch.fused_off.len() != self.plans.len() {
+            scratch.fused_off = self.plans.iter().map(|b| vec![false; b.len()]).collect();
+        }
+        let mut temps = std::mem::take(&mut scratch.temps);
+        temps.clear();
         let mut block_cost = OpCost::default();
         let mut block_random_bytes = 0.0f64;
         let block = &p.blocks[i];
-        for op in &block.ops {
-            match op {
+        let plan = &self.plans[i];
+        let mut next_region = 0usize;
+        let mut op_idx = 0usize;
+        while op_idx < block.ops.len() {
+            // Fused fast path: execute a whole elementwise region as one
+            // loop when the planner found one here and the runtime
+            // shapes allow it; otherwise fall through to per-op
+            // execution of the same ops.
+            if self.opts.fuse_elementwise {
+                if let Some(region) = plan.get(next_region).filter(|r| r.start == op_idx) {
+                    let region_idx = next_region;
+                    next_region += 1;
+                    if !scratch.fused_off[i][region_idx] {
+                        if self.try_exec_fused(
+                            st,
+                            &mut temps,
+                            region,
+                            &mut scratch,
+                            trace,
+                            &mut block_random_bytes,
+                            &mut block_cost,
+                            fused,
+                            functional,
+                        )? {
+                            op_idx += region.len;
+                            continue;
+                        }
+                        scratch.fused_off[i][region_idx] = true;
+                    }
+                }
+            }
+            match &block.ops[op_idx] {
                 Op::Compute { outs, prim, ins } => {
                     let cost = self.exec_compute(
                         st,
@@ -281,8 +426,10 @@ impl<'p> PcVm<'p> {
                         prim,
                         outs,
                         ins,
-                        &active,
-                        &active_idx,
+                        &scratch.active,
+                        &scratch.active_idx,
+                        &mut scratch.members,
+                        &mut scratch.inputs,
                         rng,
                         trace,
                         &mut block_random_bytes,
@@ -294,16 +441,26 @@ impl<'p> PcVm<'p> {
                     block_cost.parallel = block_cost.parallel.max(cost.parallel);
                 }
                 Op::Pop { var } => {
-                    let (seq, rand) =
-                        self.pop_var(st, var, &active, &active_idx, trace, fused, functional)?;
+                    let (seq, rand) = self.pop_var(
+                        st,
+                        var,
+                        &scratch.active,
+                        &scratch.active_idx,
+                        &mut scratch.depths,
+                        trace,
+                        fused,
+                        functional,
+                    )?;
                     block_random_bytes += seq + rand;
                 }
             }
+            op_idx += 1;
         }
+        let active_idx = &scratch.active_idx;
         // Terminator.
         match &block.term {
             Terminator::Jump(t) => {
-                for &b in &active_idx {
+                for &b in active_idx {
                     st.pc_top[b] = t.0;
                 }
             }
@@ -319,7 +476,7 @@ impl<'p> PcVm<'p> {
                 }
             }
             Terminator::PushJump { enter, resume } => {
-                for &b in &active_idx {
+                for &b in active_idx {
                     // The bottom exit sentinel is not a real frame:
                     // members may hold `stack_depth` return addresses,
                     // matching the data stacks' capacity, so pc and data
@@ -334,12 +491,11 @@ impl<'p> PcVm<'p> {
                     st.pc_top[b] = enter.0;
                 }
                 // pc stack traffic: one index per active member.
-                let (seq, rand) =
-                    pc_traffic(trace, self.opts.stack_depth, z, active_idx.len(), fused);
+                let (seq, rand) = pc_traffic(trace, self.opts.stack_depth, z, n_active, fused);
                 block_random_bytes += seq + rand;
             }
             Terminator::Return => {
-                for &b in &active_idx {
+                for &b in active_idx {
                     match st.pc_stack[b].pop() {
                         Some(r) => st.pc_top[b] = r,
                         None => {
@@ -349,8 +505,7 @@ impl<'p> PcVm<'p> {
                         }
                     }
                 }
-                let (seq, rand) =
-                    pc_traffic(trace, self.opts.stack_depth, z, active_idx.len(), fused);
+                let (seq, rand) = pc_traffic(trace, self.opts.stack_depth, z, n_active, fused);
                 block_random_bytes += seq + rand;
             }
         }
@@ -362,12 +517,231 @@ impl<'p> PcVm<'p> {
                     bytes: block_cost.bytes,
                     random_bytes: block_random_bytes,
                     parallel: block_cost.parallel.max(1),
-                    active_members: active_idx.len(),
+                    active_members: n_active,
                     total_members: z,
                 });
             }
         }
-        Ok(active)
+        scratch.temps = temps;
+        st.scratch = scratch;
+        Ok(n_active)
+    }
+
+    /// Execute one fused elementwise region as a single loop over
+    /// elements, if the runtime shapes permit. Returns `false` (having
+    /// done nothing observable) when the region must fall back to
+    /// per-op execution: mixed shapes or dtypes, a `bool` region, a
+    /// dtype with no compiled table, or the uncached-top ablation
+    /// (whose per-read pricing only the per-op path reproduces).
+    ///
+    /// Results are bit-identical to per-op execution: the loop applies
+    /// the same `scalar_ops` functions in the same order, and
+    /// write-back goes through the exact per-op write path in op order.
+    #[allow(clippy::too_many_arguments)]
+    fn try_exec_fused(
+        &self,
+        st: &mut State,
+        temps: &mut Temps,
+        region: &FusedRegion,
+        scratch: &mut Scratch,
+        trace: &mut Option<&mut Trace>,
+        block_random_bytes: &mut f64,
+        block_cost: &mut OpCost,
+        fused: bool,
+        functional: bool,
+    ) -> Result<bool> {
+        if !self.opts.cache_stack_tops {
+            return Ok(false);
+        }
+        let z = st.z;
+        let n_active = scratch.active_idx.len();
+        let gather = self.opts.strategy == ExecStrategy::GatherScatter;
+        // Read the external inputs (O(1) copy-on-write clones),
+        // gathering to the active rows under gather/scatter exactly
+        // like the per-op path.
+        let mut ext_tensors: Vec<Tensor> = Vec::with_capacity(region.exts.len());
+        for v in &region.exts {
+            let t = self.read_var_mut_temps(st, temps, v)?;
+            let t = if gather {
+                if t.rank() > 0 && t.shape()[0] == n_active && n_active != z {
+                    t
+                } else {
+                    t.gather_rows(&scratch.active_idx).map_err(VmError::from)?
+                }
+            } else {
+                t
+            };
+            ext_tensors.push(t);
+        }
+        // The fast path requires a single "wide" shape: every external
+        // either matches it exactly or is a member-scalar `[rows]`
+        // broadcast against it, all sharing one numeric dtype (the
+        // per-op kernels' NumPy broadcast, reproduced per element).
+        // Anything else falls back. A materialized def that never reads
+        // a full-width external would come out wider than the per-op
+        // path's member-narrow result, so those only fuse at scalar
+        // element shape.
+        let rows = if gather { n_active } else { z };
+        let (shape, dtype) = match ext_tensors.iter().max_by_key(|t| t.rank()) {
+            Some(t) => (t.shape().to_vec(), t.dtype()),
+            None => {
+                let d = match (&region.f64_exec, &region.i64_exec) {
+                    (Some(_), None) => DType::F64,
+                    (None, Some(_)) => DType::I64,
+                    _ => return Ok(false),
+                };
+                (vec![rows], d)
+            }
+        };
+        if shape.is_empty() || shape[0] != rows {
+            return Ok(false);
+        }
+        scratch.ext_bcast.clear();
+        for t in &ext_tensors {
+            if t.dtype() != dtype {
+                return Ok(false);
+            }
+            if t.shape() == shape.as_slice() {
+                scratch.ext_bcast.push(false);
+            } else if t.rank() == 1 && t.shape()[0] == rows {
+                scratch.ext_bcast.push(true);
+            } else {
+                return Ok(false);
+            }
+        }
+        let el: usize = shape[1..].iter().product();
+        let n = rows * el;
+        if n == 0 {
+            // Zero-sized tensors: the fused loop would skip member-
+            // narrow materializations entirely (their values exist even
+            // when the element axis is empty). The per-op path handles
+            // the degenerate case; nothing to optimize at zero elements.
+            return Ok(false);
+        }
+        let results: Vec<Tensor> = match dtype {
+            DType::F64 => {
+                let Some(table) = &region.f64_exec else {
+                    return Ok(false);
+                };
+                let exts: Vec<&[f64]> = ext_tensors
+                    .iter()
+                    .map(|t| t.as_f64().expect("dtype checked"))
+                    .collect();
+                materialize_region(
+                    region,
+                    table,
+                    &exts,
+                    &scratch.ext_bcast,
+                    &mut scratch.def_wide,
+                    &shape,
+                    rows,
+                    el,
+                    &mut scratch.regs_f64,
+                    Data::F64,
+                )?
+            }
+            DType::I64 => {
+                let Some(table) = &region.i64_exec else {
+                    return Ok(false);
+                };
+                let exts: Vec<&[i64]> = ext_tensors
+                    .iter()
+                    .map(|t| t.as_i64().expect("dtype checked"))
+                    .collect();
+                materialize_region(
+                    region,
+                    table,
+                    &exts,
+                    &scratch.ext_bcast,
+                    &mut scratch.def_wide,
+                    &shape,
+                    rows,
+                    el,
+                    &mut scratch.regs_i64,
+                    Data::I64,
+                )?
+            }
+            DType::Bool => return Ok(false),
+        };
+        drop(ext_tensors);
+        // Accounting. Logical per-primitive records stay one-per-op
+        // (utilization and flop statistics are fusion-independent); the
+        // *priced* cost is a single fused launch whose memory traffic
+        // counts only the region's external inputs and materialized
+        // outputs — intermediates live in registers, which is exactly
+        // the saving a fusing compiler buys.
+        let total = if gather { n_active } else { z };
+        let elem = 8.0; // f64 and i64 payloads are both 8 bytes
+        let mut flops_total = 0.0f64;
+        for (d, op) in region.ops.iter().enumerate() {
+            // A member-narrow op works over one element per member,
+            // exactly like its per-op evaluation would.
+            let n_op = if scratch.def_wide[d] { n } else { rows };
+            let flops = op.prim.flops_per_element() * n_op as f64;
+            flops_total += flops;
+            let op_bytes = (op.n_ins + 1) as f64 * n_op as f64 * elem;
+            let moved = if gather { op_bytes } else { 0.0 };
+            if let Some(t) = trace.as_deref_mut() {
+                t.record_logical(&LaunchRecord {
+                    kernel: op.prim.kernel_tag(),
+                    flops,
+                    bytes: op_bytes,
+                    random_bytes: moved,
+                    parallel: n_op,
+                    active_members: n_active,
+                    total_members: total,
+                });
+            }
+        }
+        let ext_bytes: f64 = scratch
+            .ext_bcast
+            .iter()
+            .map(|&b| if b { rows as f64 } else { n as f64 } * elem)
+            .sum();
+        let mat_bytes: f64 = region
+            .mats
+            .iter()
+            .map(|&d| if scratch.def_wide[d] { n as f64 } else { rows as f64 } * elem)
+            .sum();
+        let fused_bytes = ext_bytes + mat_bytes;
+        let fused_moved = if gather { fused_bytes } else { 0.0 };
+        *block_random_bytes += fused_moved;
+        block_cost.flops += flops_total;
+        block_cost.bytes += fused_bytes;
+        block_cost.parallel = block_cost.parallel.max(n);
+        if !fused {
+            if let Some(t) = trace.as_deref_mut() {
+                t.launch(&LaunchRecord {
+                    kernel: region.kernel_tag.clone(),
+                    flops: flops_total,
+                    bytes: fused_bytes,
+                    random_bytes: fused_moved,
+                    parallel: n,
+                    active_members: n_active,
+                    total_members: total,
+                });
+            }
+        }
+        // Write back the materialized results through the per-op write
+        // path, in op order (so stack pushes error in the same order as
+        // unfused execution).
+        for (&d, r) in region.mats.iter().zip(results) {
+            let (var, kind) = &region.ops[d].out;
+            self.write_result(
+                st,
+                temps,
+                var,
+                *kind,
+                r,
+                &scratch.active,
+                &scratch.active_idx,
+                trace,
+                block_random_bytes,
+                fused,
+                functional,
+            )?;
+        }
+        Ok(true)
     }
 
     /// Execute one `Compute` op under the configured strategy.
@@ -375,12 +749,14 @@ impl<'p> PcVm<'p> {
     fn exec_compute(
         &self,
         st: &mut State,
-        temps: &mut BTreeMap<Var, Tensor>,
+        temps: &mut Temps,
         prim: &Prim,
         outs: &[(Var, WriteKind)],
         ins: &[Var],
         active: &[bool],
         active_idx: &[usize],
+        members_buf: &mut Vec<u64>,
+        inputs_buf: &mut Vec<Tensor>,
         rng: &CounterRng,
         trace: &mut Option<&mut Trace>,
         block_random_bytes: &mut f64,
@@ -393,8 +769,8 @@ impl<'p> PcVm<'p> {
         // gather from the stack storage.
         if !self.opts.cache_stack_tops {
             for v in ins {
-                if let Some(s) = st.stacked.get(v) {
-                    if let Some(top) = &s.top {
+                if let Some(&Slot::Stacked(slot)) = self.slot_of.get(v) {
+                    if let Some(top) = &st.stacked[slot].top {
                         let bytes = (top.len() / z.max(1) * n_active) as f64
                             * top.dtype().size_bytes() as f64;
                         *block_random_bytes += bytes;
@@ -407,31 +783,30 @@ impl<'p> PcVm<'p> {
         }
         let (results, cost, extra_random) = match self.opts.strategy {
             ExecStrategy::Masking => {
-                let inputs: Vec<Tensor> = ins
-                    .iter()
-                    .map(|v| self.read_var_mut_temps(st, temps, v))
-                    .collect::<Result<_>>()?;
-                let results = eval_prim(prim, &inputs, &st.member_keys, rng, &self.registry)?;
-                let cost = prim_cost(prim, &inputs, &results, &self.registry);
+                inputs_buf.clear();
+                for v in ins {
+                    inputs_buf.push(self.read_var_mut_temps(st, temps, v)?);
+                }
+                let results = eval_prim(prim, inputs_buf, &st.member_keys, rng, &self.registry)?;
+                let cost = prim_cost(prim, inputs_buf, &results, &self.registry);
                 (results, cost, 0.0)
             }
             ExecStrategy::GatherScatter => {
-                let inputs: Vec<Tensor> = ins
-                    .iter()
-                    .map(|v| {
-                        let t = self.read_var_mut_temps(st, temps, v)?;
-                        // Temps are already compacted to the active rows.
-                        if t.rank() > 0 && t.shape()[0] == n_active && n_active != z {
-                            Ok(t)
-                        } else {
-                            t.gather_rows(active_idx).map_err(VmError::from)
-                        }
-                    })
-                    .collect::<Result<_>>()?;
-                let members: Vec<u64> = active_idx.iter().map(|&b| st.member_keys[b]).collect();
-                let results = eval_prim(prim, &inputs, &members, rng, &self.registry)?;
-                let cost = prim_cost(prim, &inputs, &results, &self.registry);
-                let moved: f64 = inputs
+                inputs_buf.clear();
+                for v in ins {
+                    let t = self.read_var_mut_temps(st, temps, v)?;
+                    // Temps are already compacted to the active rows.
+                    if t.rank() > 0 && t.shape()[0] == n_active && n_active != z {
+                        inputs_buf.push(t);
+                    } else {
+                        inputs_buf.push(t.gather_rows(active_idx).map_err(VmError::from)?);
+                    }
+                }
+                members_buf.clear();
+                members_buf.extend(active_idx.iter().map(|&b| st.member_keys[b]));
+                let results = eval_prim(prim, inputs_buf, members_buf, rng, &self.registry)?;
+                let cost = prim_cost(prim, inputs_buf, &results, &self.registry);
+                let moved: f64 = inputs_buf
                     .iter()
                     .chain(&results)
                     .map(|t| t.size_bytes() as f64)
@@ -439,6 +814,10 @@ impl<'p> PcVm<'p> {
                 (results, cost, moved)
             }
         };
+        // Release the operand clones before write-back: a surviving
+        // share of the destination buffer would force the masked store
+        // below into a full copy-on-write instead of an in-place write.
+        inputs_buf.clear();
         *block_random_bytes += extra_random;
         if let Some(t) = trace.as_deref_mut() {
             let total = if self.opts.strategy == ExecStrategy::Masking {
@@ -467,53 +846,85 @@ impl<'p> PcVm<'p> {
                 });
             }
         }
-        // Write back. In gather mode, expand compacted rows first.
-        for ((var, kind), mut r) in outs.iter().cloned().zip(results) {
-            if self.opts.strategy == ExecStrategy::GatherScatter && n_active != z {
-                if st.stacked.contains_key(&var) || st.registers.contains_key(&var) {
-                    // Expand to full width by scattering into the current
-                    // value (or zeros when absent).
-                    let mut full = match self.peek_var(st, &var) {
-                        Some(t) if t.dtype() == r.dtype() && t.shape()[1..] == r.shape()[1..] => t,
-                        _ => {
-                            let mut shape = r.shape().to_vec();
-                            shape[0] = z;
-                            Tensor::zeros(r.dtype(), &shape)
-                        }
-                    };
-                    full.scatter_rows(active_idx, &r)?;
-                    r = full;
-                } else {
-                    // Temps stay compacted.
-                    temps.insert(var.clone(), r);
-                    continue;
-                }
-            }
-            let (seq, rand) = self.write_var(st, &var, r, active, temps, kind, functional)?;
-            *block_random_bytes += seq + rand;
-            if !fused && (seq > 0.0 || rand > 0.0) {
-                record_stack_launch(trace, 0.0, seq + rand, n_active, z);
-            }
+        // Write back (in gather mode, compacted rows expand first).
+        for ((var, kind), r) in outs.iter().cloned().zip(results) {
+            self.write_result(
+                st,
+                temps,
+                &var,
+                kind,
+                r,
+                active,
+                active_idx,
+                trace,
+                block_random_bytes,
+                fused,
+                functional,
+            )?;
         }
         Ok(cost)
     }
 
+    /// Land one computed result on its output variable: expand
+    /// compacted rows under gather/scatter (temps stay compacted), then
+    /// write through the masked store / stack push path, accounting the
+    /// stack traffic. Shared verbatim by the per-op and fused paths, so
+    /// fusion cannot change write semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn write_result(
+        &self,
+        st: &mut State,
+        temps: &mut Temps,
+        var: &Var,
+        kind: WriteKind,
+        mut r: Tensor,
+        active: &[bool],
+        active_idx: &[usize],
+        trace: &mut Option<&mut Trace>,
+        block_random_bytes: &mut f64,
+        fused: bool,
+        functional: bool,
+    ) -> Result<()> {
+        let z = st.z;
+        let n_active = active_idx.len();
+        if self.opts.strategy == ExecStrategy::GatherScatter && n_active != z {
+            if self.slot_of.contains_key(var) {
+                // Expand to full width by scattering into the current
+                // value (or zeros when absent).
+                let mut full = match self.peek_var(st, var) {
+                    Some(t) if t.dtype() == r.dtype() && t.shape()[1..] == r.shape()[1..] => t,
+                    _ => {
+                        let mut shape = r.shape().to_vec();
+                        shape[0] = z;
+                        Tensor::zeros(r.dtype(), &shape)
+                    }
+                };
+                full.scatter_rows(active_idx, &r)?;
+                r = full;
+            } else {
+                // Temps stay compacted.
+                temps.insert(var.clone(), r);
+                return Ok(());
+            }
+        }
+        let (seq, rand) = self.write_var(st, var, r, active, temps, kind, functional)?;
+        *block_random_bytes += seq + rand;
+        if !fused && (seq > 0.0 || rand > 0.0) {
+            record_stack_launch(trace, 0.0, seq + rand, n_active, z);
+        }
+        Ok(())
+    }
+
     /// Current full-width value of a persistent variable, if any.
     fn peek_var(&self, st: &State, v: &Var) -> Option<Tensor> {
-        if let Some(s) = st.stacked.get(v) {
-            s.top.clone()
-        } else {
-            st.registers.get(v).and_then(Clone::clone)
+        match self.slot_of.get(v) {
+            Some(&Slot::Stacked(i)) => st.stacked[i].top.clone(),
+            Some(&Slot::Register(i)) => st.registers[i].clone(),
+            None => None,
         }
     }
 
-    fn read_var(
-        &self,
-        st: &State,
-        temps: &BTreeMap<Var, Tensor>,
-        v: &Var,
-        ctx: &str,
-    ) -> Result<Tensor> {
+    fn read_var(&self, st: &State, temps: &Temps, v: &Var, ctx: &str) -> Result<Tensor> {
         if let Some(t) = temps.get(v) {
             return Ok(t.clone());
         }
@@ -523,12 +934,7 @@ impl<'p> PcVm<'p> {
         })
     }
 
-    fn read_var_mut_temps(
-        &self,
-        st: &State,
-        temps: &BTreeMap<Var, Tensor>,
-        v: &Var,
-    ) -> Result<Tensor> {
+    fn read_var_mut_temps(&self, st: &State, temps: &Temps, v: &Var) -> Result<Tensor> {
         self.read_var(st, temps, v, "compute")
     }
 
@@ -541,12 +947,13 @@ impl<'p> PcVm<'p> {
         var: &Var,
         value: Tensor,
         active: &[bool],
-        temps: &mut BTreeMap<Var, Tensor>,
+        temps: &mut Temps,
         kind: WriteKind,
         functional: bool,
     ) -> Result<(f64, f64)> {
         let z = st.z;
-        if let Some(s) = st.stacked.get_mut(var) {
+        if let Some(&Slot::Stacked(slot)) = self.slot_of.get(var) {
+            let s = &mut st.stacked[slot];
             match kind {
                 WriteKind::Update => {
                     masked_store(&mut s.top, value, active)?;
@@ -578,12 +985,6 @@ impl<'p> PcVm<'p> {
                         shape.extend_from_slice(&elem_shape);
                         s.top = Some(Tensor::zeros(value.dtype(), &shape));
                     }
-                    let top = s.top.as_ref().expect("ensured above").clone();
-                    if s.store.is_none() {
-                        let mut shape = vec![self.opts.stack_depth, z];
-                        shape.extend_from_slice(&top.shape()[1..]);
-                        s.store = Some(Tensor::zeros(top.dtype(), &shape));
-                    }
                     for (b, &a) in active.iter().enumerate() {
                         if a && s.sp[b] >= self.opts.stack_depth {
                             return Err(VmError::StackOverflow {
@@ -592,6 +993,15 @@ impl<'p> PcVm<'p> {
                             });
                         }
                     }
+                    // Move the top out instead of cloning it so the
+                    // masked store below mutates a unique buffer in
+                    // place (a live clone would force a copy-on-write).
+                    let top = s.top.take().expect("ensured above");
+                    if s.store.is_none() {
+                        let mut shape = vec![self.opts.stack_depth, z];
+                        shape.extend_from_slice(&top.shape()[1..]);
+                        s.store = Some(Tensor::zeros(top.dtype(), &shape));
+                    }
                     let store = s.store.as_mut().expect("ensured above");
                     store.scatter_at_depth(&s.sp, active, &top)?;
                     for (b, &a) in active.iter().enumerate() {
@@ -599,8 +1009,9 @@ impl<'p> PcVm<'p> {
                             s.sp[b] += 1;
                         }
                     }
-                    masked_store(&mut s.top, value, active)?;
                     let elem_bytes = top.len() / z.max(1) * top.dtype().size_bytes();
+                    s.top = Some(top);
+                    masked_store(&mut s.top, value, active)?;
                     // Functional semantics copy the whole [D, Z, ..] stack
                     // buffer to produce the "new" stack value — the cost
                     // the paper's §4.1 hypothesis (2) blames for fully
@@ -616,10 +1027,9 @@ impl<'p> PcVm<'p> {
                     Ok((seq, (elem_bytes * n_active) as f64))
                 }
             }
-        } else if st.registers.contains_key(var) {
+        } else if let Some(&Slot::Register(slot)) = self.slot_of.get(var) {
             debug_assert_eq!(kind, WriteKind::Update, "validated: no push to register");
-            let slot = st.registers.get_mut(var).expect("checked contains_key");
-            masked_store(slot, value, active)?;
+            masked_store(&mut st.registers[slot], value, active)?;
             Ok((0.0, 0.0))
         } else {
             // Block-local temporary: plain unmasked binding.
@@ -637,15 +1047,22 @@ impl<'p> PcVm<'p> {
         var: &Var,
         active: &[bool],
         active_idx: &[usize],
+        depths_buf: &mut Vec<usize>,
         trace: &mut Option<&mut Trace>,
         fused: bool,
         functional: bool,
     ) -> Result<(f64, f64)> {
         let z = st.z;
-        let s = st.stacked.get_mut(var).ok_or_else(|| VmError::Unbound {
-            var: var.clone(),
-            context: "pop of unknown stacked variable".into(),
-        })?;
+        let slot = match self.slot_of.get(var) {
+            Some(&Slot::Stacked(i)) => i,
+            _ => {
+                return Err(VmError::Unbound {
+                    var: var.clone(),
+                    context: "pop of unknown stacked variable".into(),
+                })
+            }
+        };
+        let s = &mut st.stacked[slot];
         let store = s
             .store
             .as_ref()
@@ -655,12 +1072,13 @@ impl<'p> PcVm<'p> {
                 return Err(VmError::StackUnderflow { var: var.clone() });
             }
         }
-        let depths: Vec<usize> =
+        depths_buf.clear();
+        depths_buf.extend(
             s.sp.iter()
                 .enumerate()
-                .map(|(b, &d)| if active[b] { d - 1 } else { 0 })
-                .collect();
-        let restored = store.gather_at_depth(&depths)?;
+                .map(|(b, &d)| if active[b] { d - 1 } else { 0 }),
+        );
+        let restored = store.gather_at_depth(depths_buf)?;
         masked_store(&mut s.top, restored, active)?;
         for &b in active_idx {
             s.sp[b] -= 1;
@@ -889,21 +1307,22 @@ impl<'p> PcMachine<'p> {
         // Check against whatever full-width buffer the var currently
         // holds — still before the machine is touched.
         for (v, rows) in p.inputs.iter().zip(&stacked_inputs) {
-            let live = if let Some(s) = self.st.stacked.get(v) {
-                s.top
+            let live = match self.vm.slot_of.get(v) {
+                Some(&Slot::Stacked(i)) => {
+                    let s = &self.st.stacked[i];
+                    s.top
+                        .as_ref()
+                        .map(|t| (t.shape()[1..].to_vec(), t.dtype()))
+                        .or_else(|| {
+                            s.store
+                                .as_ref()
+                                .map(|t| (t.shape()[2..].to_vec(), t.dtype()))
+                        })
+                }
+                Some(&Slot::Register(i)) => self.st.registers[i]
                     .as_ref()
-                    .map(|t| (t.shape()[1..].to_vec(), t.dtype()))
-                    .or_else(|| {
-                        s.store
-                            .as_ref()
-                            .map(|t| (t.shape()[2..].to_vec(), t.dtype()))
-                    })
-            } else {
-                self.st
-                    .registers
-                    .get(v)
-                    .and_then(|slot| slot.as_ref())
-                    .map(|t| (t.shape()[1..].to_vec(), t.dtype()))
+                    .map(|t| (t.shape()[1..].to_vec(), t.dtype())),
+                None => None,
             };
             if let Some((elem, dtype)) = live {
                 if rows.shape()[1..] != elem[..] || rows.dtype() != dtype {
@@ -930,7 +1349,7 @@ impl<'p> PcMachine<'p> {
         self.st
             .member_keys
             .extend(requests.iter().map(|&(_, key)| key));
-        for s in self.st.stacked.values_mut() {
+        for s in self.st.stacked.iter_mut() {
             s.sp.extend(std::iter::repeat_n(0, k));
             if let Some(top) = &s.top {
                 s.top = Some(top.pad_rows(k)?);
@@ -939,7 +1358,7 @@ impl<'p> PcMachine<'p> {
                 s.store = Some(store.pad_axis1(k)?);
             }
         }
-        for slot in self.st.registers.values_mut() {
+        for slot in self.st.registers.iter_mut() {
             if let Some(t) = slot {
                 *slot = Some(t.pad_rows(k)?);
             }
@@ -958,7 +1377,7 @@ impl<'p> PcMachine<'p> {
                 v,
                 full,
                 &active,
-                &mut BTreeMap::new(),
+                &mut Temps::default(),
                 WriteKind::Update,
                 false,
             )?;
@@ -992,8 +1411,7 @@ impl<'p> PcMachine<'p> {
                 limit: self.vm.opts.max_supersteps,
             });
         }
-        let active = self.vm.run_block(&mut self.st, i, &self.rng, &mut trace)?;
-        self.last_active = active.iter().filter(|&&a| a).count();
+        self.last_active = self.vm.run_block(&mut self.st, i, &self.rng, &mut trace)?;
         Ok(true)
     }
 
@@ -1016,7 +1434,7 @@ impl<'p> PcMachine<'p> {
         let outs_full: Vec<Tensor> = p
             .outputs
             .iter()
-            .map(|o| self.vm.read_var(&self.st, &BTreeMap::new(), o, "outputs"))
+            .map(|o| self.vm.read_var(&self.st, &Temps::default(), o, "outputs"))
             .collect::<Result<_>>()?;
         let mut retired = Vec::with_capacity(done.len());
         for &b in &done {
@@ -1041,7 +1459,7 @@ impl<'p> PcMachine<'p> {
             .collect();
         self.st.member_keys = keep.iter().map(|&b| self.st.member_keys[b]).collect();
         self.tickets = keep.iter().map(|&b| self.tickets[b]).collect();
-        for s in self.st.stacked.values_mut() {
+        for s in self.st.stacked.iter_mut() {
             s.sp = keep.iter().map(|&b| s.sp[b]).collect();
             if let Some(top) = &s.top {
                 s.top = Some(top.gather_rows(&keep)?);
@@ -1050,7 +1468,7 @@ impl<'p> PcMachine<'p> {
                 s.store = Some(store.select_axis1(&keep)?);
             }
         }
-        for slot in self.st.registers.values_mut() {
+        for slot in self.st.registers.iter_mut() {
             if let Some(t) = slot {
                 *slot = Some(t.gather_rows(&keep)?);
             }
@@ -1099,6 +1517,52 @@ mod send_handoff {
         // The lowered program is shared immutably across worker threads.
         assert_sync::<autobatch_ir::pcab::Program>();
     }
+}
+
+/// Run one fused region for a concrete element type and build the
+/// materialized result tensors (wide defs at the region shape,
+/// member-narrow defs at `[rows]`). Shared by the `f64` and `i64`
+/// paths so the dtypes cannot diverge.
+#[allow(clippy::too_many_arguments)]
+fn materialize_region<T: Copy + Default>(
+    region: &FusedRegion,
+    table: &[fusion::ExecOp<T>],
+    exts: &[&[T]],
+    ext_bcast: &[bool],
+    def_wide: &mut Vec<bool>,
+    shape: &[usize],
+    rows: usize,
+    el: usize,
+    regs: &mut Vec<T>,
+    wrap: fn(Vec<T>) -> Data,
+) -> Result<Vec<Tensor>> {
+    fusion::def_wideness(table, ext_bcast, def_wide);
+    let n = rows * el;
+    let mut bufs: Vec<Vec<T>> = region
+        .mats
+        .iter()
+        .map(|&d| Vec::with_capacity(if def_wide[d] { n } else { rows }))
+        .collect();
+    fusion::run_region(
+        table,
+        exts,
+        ext_bcast,
+        rows,
+        el,
+        regs,
+        &region.mats,
+        def_wide,
+        &mut bufs,
+    );
+    region
+        .mats
+        .iter()
+        .zip(bufs)
+        .map(|(&d, b)| {
+            let sh: &[usize] = if def_wide[d] { shape } else { &shape[..1] };
+            Tensor::new(wrap(b), sh).map_err(VmError::from)
+        })
+        .collect()
 }
 
 /// Masked write into an optional full-width slot.
@@ -1419,6 +1883,65 @@ mod tests {
             matches!(err, Err(VmError::StackOverflow { limit: 3, .. })),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn fused_region_falls_back_on_zero_sized_elements() {
+        // Regression: a region with a member-narrow materialized def
+        // (the const-derived register `s`) must fall back — not error —
+        // when the wide shape has a zero-sized element axis, matching
+        // per-op execution bit for bit.
+        use autobatch_ir::pcab::{Block, Op, Program, VarClass, WriteKind};
+        use autobatch_ir::{BlockId, Prim};
+        let (x, y, sv, t0) = (Var::new("x"), Var::new("y"), Var::new("s"), Var::new("%t0"));
+        let prog = Program {
+            blocks: vec![Block {
+                ops: vec![
+                    Op::Compute {
+                        outs: vec![(t0.clone(), WriteKind::Update)],
+                        prim: Prim::ConstF64(2.0),
+                        ins: vec![],
+                    },
+                    Op::Compute {
+                        outs: vec![(sv.clone(), WriteKind::Update)],
+                        prim: Prim::Id,
+                        ins: vec![t0.clone()],
+                    },
+                    Op::Compute {
+                        outs: vec![(y.clone(), WriteKind::Update)],
+                        prim: Prim::Mul,
+                        ins: vec![x.clone(), sv.clone()],
+                    },
+                ],
+                term: Terminator::Return,
+            }],
+            entry: BlockId(0),
+            inputs: vec![x.clone()],
+            outputs: vec![y.clone(), sv.clone()],
+            classes: [
+                (x, VarClass::Register),
+                (y, VarClass::Register),
+                (sv, VarClass::Register),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        prog.validate().unwrap();
+        let input = Tensor::zeros(autobatch_tensor::DType::F64, &[2, 0]);
+        let run = |fuse: bool| {
+            let opts = ExecOptions {
+                fuse_elementwise: fuse,
+                ..ExecOptions::default()
+            };
+            PcVm::new(&prog, KernelRegistry::new(), opts)
+                .run(std::slice::from_ref(&input), None)
+                .expect("zero-sized elements must execute")
+        };
+        let fused = run(true);
+        let plain = run(false);
+        assert_eq!(fused, plain);
+        assert_eq!(fused[0].shape(), &[2, 0]);
+        assert_eq!(fused[1].as_f64().unwrap(), &[2.0, 2.0]);
     }
 
     #[test]

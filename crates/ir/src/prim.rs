@@ -180,6 +180,60 @@ impl Prim {
         }
     }
 
+    /// True when the primitive is a pure elementwise map: every output
+    /// element depends only on the same-index input elements (after
+    /// broadcasting), with no internal state, randomness, or
+    /// cross-element reduction. Constants count — they broadcast one
+    /// scalar over the batch. This is the legality condition for the
+    /// runtime's fused fast path: any straight-line run of elementwise
+    /// primitives may execute as a single loop without changing a bit
+    /// of any output.
+    pub fn is_elementwise(&self) -> bool {
+        use Prim::*;
+        matches!(
+            self,
+            ConstF64(_)
+                | ConstI64(_)
+                | ConstBool(_)
+                | FillLike(_)
+                | Id
+                | Neg
+                | Abs
+                | Exp
+                | Ln
+                | Sqrt
+                | Square
+                | Sigmoid
+                | Softplus
+                | Floor
+                | Sin
+                | Cos
+                | Tanh
+                | NegI
+                | Not
+                | Add
+                | Sub
+                | Mul
+                | Div
+                | Pow
+                | Min2
+                | Max2
+                | Lt
+                | Le
+                | Gt
+                | Ge
+                | EqE
+                | NeE
+                | And
+                | Or
+                | Xor
+                | Select
+                | ToF64
+                | ToI64
+                | ToBool
+        )
+    }
+
     /// Approximate floating-point cost per output element, used by the
     /// cost model for non-external kernels. Transcendentals are priced
     /// as a handful of flops, matching throughput-optimized vector math

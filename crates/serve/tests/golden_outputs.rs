@@ -1,0 +1,173 @@
+//! Golden bit-identity regression over the committed bench workloads.
+//!
+//! The perf work on the interpreter hot loop (copy-on-write tensor
+//! storage, the scratch arena, and the fused elementwise fast path) must
+//! never change a single output bit: these tests pin the exact outputs
+//! of the two `BENCH_*` smoke workloads (divergent-binom and
+//! funnel-NUTS, 12 requests each) as FNV-1a digests captured from the
+//! pre-refactor implementation. Any arithmetic or scheduling drift —
+//! fused kernels evaluating in a different order, a COW buffer exposed
+//! mid-write, a scratch buffer leaking state between supersteps — shows
+//! up here as a digest mismatch.
+
+use std::sync::Arc;
+
+use autobatch_accel::Backend;
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
+use autobatch_lang::compile;
+use autobatch_models::NealsFunnel;
+use autobatch_nuts::{BatchNuts, NutsConfig};
+use autobatch_serve::{AdmissionPolicy, Request, Response, ShardedServer};
+use autobatch_tensor::{CounterRng, Data, Tensor};
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+/// FNV-1a over the exact bit patterns of every output tensor, in
+/// response-id order. Any single-bit difference changes the digest.
+fn digest(responses: &[Response]) -> u64 {
+    let mut sorted: Vec<&Response> = responses.iter().collect();
+    sorted.sort_by_key(|r| r.id);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for r in sorted {
+        mix(r.id);
+        for t in &r.outputs {
+            for &d in t.shape() {
+                mix(d as u64);
+            }
+            match t.data() {
+                Data::F64(v) => v.iter().for_each(|x| mix(x.to_bits())),
+                Data::I64(v) => v.iter().for_each(|&x| mix(x as u64)),
+                Data::Bool(v) => v.iter().for_each(|&x| mix(u64::from(x))),
+            }
+        }
+    }
+    h
+}
+
+fn serve_sharded(
+    program: &autobatch_ir::pcab::Program,
+    registry: &KernelRegistry,
+    opts: ExecOptions,
+    requests: Vec<Request>,
+    workers: usize,
+) -> Vec<Response> {
+    let policy = AdmissionPolicy::JoinAtEntry {
+        max_batch: 4,
+        min_utilization: 1.0,
+    };
+    let mut server = ShardedServer::new(
+        program,
+        registry.clone(),
+        opts,
+        policy,
+        workers,
+        Backend::hybrid_cpu(),
+    )
+    .expect("server");
+    for r in requests {
+        server.submit(r).expect("submit");
+    }
+    server.run_until_idle().expect("serve")
+}
+
+/// The divergent-binom smoke stream of `shard_throughput` (12 requests,
+/// coprime strides).
+fn binom_requests() -> Vec<Request> {
+    (0..12)
+        .map(|i| {
+            let n = 10 + (i * 5 % 7) as i64;
+            let k = 2 + (i * 3 % 5) as i64;
+            Request {
+                id: i as u64,
+                inputs: vec![
+                    Tensor::from_i64(&[n], &[1]).expect("n"),
+                    Tensor::from_i64(&[k], &[1]).expect("k"),
+                ],
+                seed: i as u64,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn divergent_binom_outputs_are_bit_identical_to_pre_refactor() {
+    let program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (pc, _) = lower(&program, LoweringOptions::default()).expect("binom lowers");
+    for workers in [1usize, 2] {
+        let done = serve_sharded(
+            &pc,
+            &KernelRegistry::new(),
+            ExecOptions::default(),
+            binom_requests(),
+            workers,
+        );
+        assert_eq!(done.len(), 12);
+        // Spot-check one human-readable value besides the digest:
+        // C(10, 2) = 45 for request 0.
+        let r0 = done.iter().find(|r| r.id == 0).expect("request 0");
+        assert_eq!(r0.outputs[0].as_i64().expect("i64"), &[45]);
+        assert_eq!(
+            digest(&done),
+            6914980814453413019,
+            "binom outputs drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn funnel_nuts_positions_are_bit_identical_to_pre_refactor() {
+    let cfg = NutsConfig {
+        step_size: 0.2,
+        n_trajectories: 3,
+        max_depth: 6,
+        leapfrog_steps: 2,
+        seed: 31,
+    };
+    let nuts = BatchNuts::new(Arc::new(NealsFunnel::new(5)), cfg).expect("NUTS compiles");
+    let rng = CounterRng::new(64);
+    let requests: Vec<Request> = (0..12)
+        .map(|i| {
+            let q = rng
+                .normal_batch(&[i as i64], &[nuts.dim()])
+                .row(0)
+                .expect("row");
+            Request {
+                id: i as u64,
+                inputs: nuts.request_inputs(&q).expect("inputs"),
+                seed: i as u64,
+            }
+        })
+        .collect();
+    for workers in [1usize, 2] {
+        let done = serve_sharded(
+            nuts.lowered(),
+            nuts.registry(),
+            nuts.exec_options(),
+            requests.clone(),
+            workers,
+        );
+        assert_eq!(done.len(), 12);
+        assert_eq!(
+            digest(&done),
+            4923661940693526310,
+            "funnel-NUTS positions drifted at {workers} workers"
+        );
+    }
+}

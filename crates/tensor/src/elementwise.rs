@@ -22,9 +22,8 @@ macro_rules! unary_f64 {
         ///
         /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `f64`.
         pub fn $name(&self) -> Result<Tensor> {
-            let v = self.as_f64()?;
             let f: fn(f64) -> f64 = $f;
-            Tensor::from_f64(&v.iter().map(|&x| f(x)).collect::<Vec<_>>(), self.shape())
+            self.map_f64(f)
         }
     };
 }
@@ -32,59 +31,51 @@ macro_rules! unary_f64 {
 impl Tensor {
     unary_f64!(
         /// Elementwise negation.
-        neg, |x| -x
+        neg, crate::scalar_ops::neg_f64
     );
     unary_f64!(
         /// Elementwise absolute value.
-        abs, f64::abs
+        abs, crate::scalar_ops::abs_f64
     );
     unary_f64!(
         /// Elementwise exponential.
-        exp, f64::exp
+        exp, crate::scalar_ops::exp_f64
     );
     unary_f64!(
         /// Elementwise natural logarithm.
-        ln, f64::ln
+        ln, crate::scalar_ops::ln_f64
     );
     unary_f64!(
         /// Elementwise square root.
-        sqrt, f64::sqrt
+        sqrt, crate::scalar_ops::sqrt_f64
     );
     unary_f64!(
         /// Elementwise sine.
-        sin, f64::sin
+        sin, crate::scalar_ops::sin_f64
     );
     unary_f64!(
         /// Elementwise cosine.
-        cos, f64::cos
+        cos, crate::scalar_ops::cos_f64
     );
     unary_f64!(
         /// Elementwise hyperbolic tangent.
-        tanh, f64::tanh
+        tanh, crate::scalar_ops::tanh_f64
     );
     unary_f64!(
         /// Elementwise logistic sigmoid `1 / (1 + exp(-x))`.
-        sigmoid, |x| 1.0 / (1.0 + (-x).exp())
+        sigmoid, crate::scalar_ops::sigmoid_f64
     );
     unary_f64!(
         /// Elementwise `log(1 + exp(x))`, computed stably.
-        softplus, |x| {
-            if x > 30.0 {
-                x
-            } else if x < -30.0 {
-                x.exp()
-            } else {
-                x.exp().ln_1p()
-            }
-        }
+        softplus, crate::scalar_ops::softplus_f64
     );
     unary_f64!(
         /// Elementwise floor.
-        floor, f64::floor
+        floor, crate::scalar_ops::floor_f64
     );
     unary_f64!(
         /// Elementwise square.
-        square, |x| x * x
+        square, crate::scalar_ops::square_f64
     );
 
     /// Elementwise integer negation.
@@ -94,7 +85,9 @@ impl Tensor {
     /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `i64`.
     pub fn neg_i64(&self) -> Result<Tensor> {
         let v = self.as_i64()?;
-        Tensor::from_i64(&v.iter().map(|&x| -x).collect::<Vec<_>>(), self.shape())
+        self.like(Data::I64(
+            v.iter().map(|&x| crate::scalar_ops::neg_i64(x)).collect(),
+        ))
     }
 
     /// Elementwise logical NOT.
@@ -104,7 +97,7 @@ impl Tensor {
     /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `bool`.
     pub fn not(&self) -> Result<Tensor> {
         let v = self.as_bool()?;
-        Tensor::from_bool(&v.iter().map(|&x| !x).collect::<Vec<_>>(), self.shape())
+        self.like(Data::Bool(v.iter().map(|&x| !x).collect()))
     }
 }
 
@@ -162,11 +155,21 @@ macro_rules! binary_arith {
             match (self.data(), rhs.data()) {
                 (Data::F64(a), Data::F64(b)) => {
                     let ff: fn(f64, f64) -> f64 = $ff;
-                    Tensor::from_f64(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, ff), &p.out_shape)
+                    let out = Data::F64(binary_zip(a, b, &p.lmap, &p.rmap, p.n, ff));
+                    if self.shape() == p.out_shape {
+                        self.like(out)
+                    } else {
+                        Tensor::new(out, &p.out_shape)
+                    }
                 }
                 (Data::I64(a), Data::I64(b)) => {
                     let fi: fn(i64, i64) -> i64 = $fi;
-                    Tensor::from_i64(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, fi), &p.out_shape)
+                    let out = Data::I64(binary_zip(a, b, &p.lmap, &p.rmap, p.n, fi));
+                    if self.shape() == p.out_shape {
+                        self.like(out)
+                    } else {
+                        Tensor::new(out, &p.out_shape)
+                    }
                 }
                 _ => Err(TensorError::DTypeMismatch {
                     got: rhs.dtype(),
@@ -192,11 +195,21 @@ macro_rules! binary_cmp {
             match (self.data(), rhs.data()) {
                 (Data::F64(a), Data::F64(b)) => {
                     let ff: fn(f64, f64) -> bool = $ff;
-                    Tensor::from_bool(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, ff), &p.out_shape)
+                    let out = Data::Bool(binary_zip(a, b, &p.lmap, &p.rmap, p.n, ff));
+                    if self.shape() == p.out_shape {
+                        self.like(out)
+                    } else {
+                        Tensor::new(out, &p.out_shape)
+                    }
                 }
                 (Data::I64(a), Data::I64(b)) => {
                     let fi: fn(i64, i64) -> bool = $fi;
-                    Tensor::from_bool(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, fi), &p.out_shape)
+                    let out = Data::Bool(binary_zip(a, b, &p.lmap, &p.rmap, p.n, fi));
+                    if self.shape() == p.out_shape {
+                        self.like(out)
+                    } else {
+                        Tensor::new(out, &p.out_shape)
+                    }
                 }
                 _ => Err(TensorError::DTypeMismatch {
                     got: rhs.dtype(),
@@ -222,7 +235,10 @@ macro_rules! binary_logic {
             match (self.data(), rhs.data()) {
                 (Data::Bool(a), Data::Bool(b)) => {
                     let f: fn(bool, bool) -> bool = $f;
-                    Tensor::from_bool(&binary_zip(a, b, &p.lmap, &p.rmap, p.n, f), &p.out_shape)
+                    Tensor::new(
+                        Data::Bool(binary_zip(a, b, &p.lmap, &p.rmap, p.n, f)),
+                        &p.out_shape,
+                    )
                 }
                 _ => Err(TensorError::DTypeMismatch {
                     got: rhs.dtype(),
@@ -237,33 +253,33 @@ macro_rules! binary_logic {
 impl Tensor {
     binary_arith!(
         /// Elementwise addition.
-        add, |a, b| a + b, |a, b| a.wrapping_add(b)
+        add, crate::scalar_ops::add_f64, crate::scalar_ops::add_i64
     );
     binary_arith!(
         /// Elementwise subtraction.
-        sub, |a, b| a - b, |a, b| a.wrapping_sub(b)
+        sub, crate::scalar_ops::sub_f64, crate::scalar_ops::sub_i64
     );
     binary_arith!(
         /// Elementwise multiplication.
-        mul, |a, b| a * b, |a, b| a.wrapping_mul(b)
+        mul, crate::scalar_ops::mul_f64, crate::scalar_ops::mul_i64
     );
     binary_arith!(
         /// Elementwise division (integer division truncates toward zero;
         /// integer division by zero yields `0`, mirroring a masked-lane
         /// accelerator that must not fault on inactive data).
-        div, |a, b| a / b, |a, b| if b == 0 { 0 } else { a.wrapping_div(b) }
+        div, crate::scalar_ops::div_f64, crate::scalar_ops::div_i64
     );
     binary_arith!(
         /// Elementwise maximum.
-        max2, |a, b| a.max(b), |a, b| a.max(b)
+        max2, crate::scalar_ops::max2_f64, crate::scalar_ops::max2_i64
     );
     binary_arith!(
         /// Elementwise minimum.
-        min2, |a, b| a.min(b), |a, b| a.min(b)
+        min2, crate::scalar_ops::min2_f64, crate::scalar_ops::min2_i64
     );
     binary_arith!(
         /// Elementwise power (`i64` uses saturating exponent semantics).
-        pow, |a, b| a.powf(b), |a, b| (a as f64).powf(b as f64) as i64
+        pow, crate::scalar_ops::pow_f64, crate::scalar_ops::pow_i64
     );
 
     binary_cmp!(
@@ -329,7 +345,7 @@ impl Tensor {
                         bv[bmap.map(i)]
                     });
                 }
-                Tensor::from_f64(&out, &out_shape)
+                Tensor::new(Data::F64(out), &out_shape)
             }
             (Data::I64(av), Data::I64(bv)) => {
                 let mut out = Vec::with_capacity(n);
@@ -340,7 +356,7 @@ impl Tensor {
                         bv[bmap.map(i)]
                     });
                 }
-                Tensor::from_i64(&out, &out_shape)
+                Tensor::new(Data::I64(out), &out_shape)
             }
             (Data::Bool(av), Data::Bool(bv)) => {
                 let mut out = Vec::with_capacity(n);
@@ -351,7 +367,7 @@ impl Tensor {
                         bv[bmap.map(i)]
                     });
                 }
-                Tensor::from_bool(&out, &out_shape)
+                Tensor::new(Data::Bool(out), &out_shape)
             }
             _ => Err(TensorError::DTypeMismatch {
                 got: b.dtype(),
@@ -359,6 +375,123 @@ impl Tensor {
                 op: "select",
             }),
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // In-place, into-buffer, and fused kernels (the hot-loop variants)
+    // -----------------------------------------------------------------------
+
+    /// Apply a scalar function to every element, allocating the result.
+    ///
+    /// The allocating unary kernels ([`Tensor::exp`], [`Tensor::neg`], …)
+    /// are thin wrappers over this with the matching
+    /// [`scalar_ops`](crate::scalar_ops) function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `f64`.
+    pub fn map_f64<F: Fn(f64) -> f64>(&self, f: F) -> Result<Tensor> {
+        let v = self.as_f64()?;
+        self.like(Data::F64(v.iter().map(|&x| f(x)).collect()))
+    }
+
+    /// Apply a scalar function to every element **in place**: no
+    /// allocation when this tensor's storage is unshared (a shared
+    /// copy-on-write buffer is copied once first, never mutated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `f64`.
+    pub fn map_f64_inplace<F: Fn(f64) -> f64>(&mut self, f: F) -> Result<()> {
+        for x in self.as_f64_mut()? {
+            *x = f(*x);
+        }
+        Ok(())
+    }
+
+    /// Integer sibling of [`Tensor::map_f64_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] unless the dtype is `i64`.
+    pub fn map_i64_inplace<F: Fn(i64) -> i64>(&mut self, f: F) -> Result<()> {
+        for x in self.as_i64_mut()? {
+            *x = f(*x);
+        }
+        Ok(())
+    }
+
+    /// Broadcasting binary combine **into a caller-provided buffer**:
+    /// `out = f(self, rhs)` elementwise, reusing `out`'s storage when it
+    /// is an unshared `f64` buffer (whatever its previous shape). This
+    /// is the scratch-buffer primitive the interpreter's fast paths use
+    /// to keep the superstep loop allocation-free.
+    ///
+    /// Produces bit-identical results to the allocating kernels when
+    /// given the same [`scalar_ops`](crate::scalar_ops) function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are `f64` and broadcastable.
+    pub fn binary_f64_into<F: Fn(f64, f64) -> f64>(
+        &self,
+        rhs: &Tensor,
+        f: F,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        let p = plan(self, rhs, "binary_f64_into")?;
+        let (a, b) = (self.as_f64()?, rhs.as_f64()?);
+        out.reset_f64(&p.out_shape);
+        let o = out.as_f64_mut()?;
+        for (i, slot) in o.iter_mut().enumerate() {
+            *slot = f(a[p.lmap.map(i)], b[p.rmap.map(i)]);
+        }
+        Ok(())
+    }
+
+    /// Fused elementwise `self × b + c` in a single pass, with
+    /// broadcasting. Bit-identical to `self.mul(b)?.add(c)?` — each
+    /// element computes the same two-operation expression (this is *not*
+    /// a hardware FMA with single rounding) — but never materializes the
+    /// product.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless all operands are `f64` and broadcastable.
+    pub fn mul_add(&self, b: &Tensor, c: &Tensor) -> Result<Tensor> {
+        let ab_shape = broadcast_shapes(self.shape(), b.shape(), "mul_add")?;
+        let out_shape = broadcast_shapes(&ab_shape, c.shape(), "mul_add")?;
+        let amap = BroadcastMap::new(self.shape(), &out_shape)?;
+        let bmap = BroadcastMap::new(b.shape(), &out_shape)?;
+        let cmap = BroadcastMap::new(c.shape(), &out_shape)?;
+        let (av, bv, cv) = (self.as_f64()?, b.as_f64()?, c.as_f64()?);
+        let n = volume(&out_shape);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(av[amap.map(i)] * bv[bmap.map(i)] + cv[cmap.map(i)]);
+        }
+        Tensor::new(Data::F64(out), &out_shape)
+    }
+
+    /// Fused in-place `self ← self + alpha × x` (BLAS `axpy`) in a
+    /// single pass. Both tensors must share a shape exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dtype or shape mismatch.
+    pub fn axpy_inplace(&mut self, alpha: f64, x: &Tensor) -> Result<()> {
+        if self.shape() != x.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: x.shape().to_vec(),
+                op: "axpy_inplace",
+            });
+        }
+        let xv = x.as_f64()?;
+        for (s, &v) in self.as_f64_mut()?.iter_mut().zip(xv) {
+            *s += alpha * v;
+        }
+        Ok(())
     }
 
     // -----------------------------------------------------------------------
@@ -372,7 +505,7 @@ impl Tensor {
             Data::I64(v) => v.iter().map(|&x| x as f64).collect(),
             Data::Bool(v) => v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect(),
         };
-        Tensor::new(Data::F64(v), self.shape()).expect("cast preserves volume")
+        self.like(Data::F64(v)).expect("cast preserves volume")
     }
 
     /// Cast to `i64` (floats truncate toward zero; bools become 0/1).
@@ -382,7 +515,7 @@ impl Tensor {
             Data::I64(v) => v.clone(),
             Data::Bool(v) => v.iter().map(|&x| i64::from(x)).collect(),
         };
-        Tensor::new(Data::I64(v), self.shape()).expect("cast preserves volume")
+        self.like(Data::I64(v)).expect("cast preserves volume")
     }
 
     /// Cast to `bool` (nonzero becomes `true`).
@@ -392,7 +525,7 @@ impl Tensor {
             Data::I64(v) => v.iter().map(|&x| x != 0).collect(),
             Data::Bool(v) => v.clone(),
         };
-        Tensor::new(Data::Bool(v), self.shape()).expect("cast preserves volume")
+        self.like(Data::Bool(v)).expect("cast preserves volume")
     }
 
     /// Cast to an arbitrary dtype.

@@ -17,6 +17,19 @@
 //! - a counter-based random source ([`CounterRng`]) whose draws are
 //!   identical whether a logical thread runs alone or inside a batch.
 //!
+//! # Performance architecture
+//!
+//! [`Tensor`] storage is **copy-on-write**: the payload sits behind an
+//! `Arc`, `clone()` is O(1), and every mutating accessor copies the
+//! buffer first if it is shared (see the type-level docs for the full
+//! contract). On top of the allocating kernels, the hot paths get
+//! **in-place and into-buffer variants** ([`Tensor::map_f64_inplace`],
+//! [`Tensor::binary_f64_into`]) plus **fused elementwise ops**
+//! ([`Tensor::mul_add`], [`Tensor::axpy_inplace`]) that traverse the
+//! data once. The scalar functions behind every elementwise kernel are
+//! shared through [`scalar_ops`], so fused and per-kernel execution are
+//! bit-identical by construction.
+//!
 //! Everything operates on whole arrays at once — the SIMD contract that
 //! batching exploits — and every fallible operation returns
 //! [`TensorError`] instead of panicking, so shape bugs in user programs
@@ -45,6 +58,7 @@ mod index;
 mod linalg;
 mod reduce;
 mod rng;
+pub mod scalar_ops;
 pub mod shape;
 mod tensor;
 

@@ -1,6 +1,7 @@
 //! The dense [`Tensor`] type and its constructors/accessors.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::dtype::{DType, Data, Scalar};
 use crate::error::{Result, TensorError};
@@ -14,6 +15,18 @@ use crate::shape::volume;
 /// stack-depth dimension, but `Tensor` itself is plain N-d storage with
 /// no special axes.
 ///
+/// # Copy-on-write storage
+///
+/// The payload lives behind an [`Arc`], so [`Clone`] is O(1) — clones
+/// share storage until one of them is mutated. Every mutating accessor
+/// (`as_*_mut`, [`Tensor::set`], the in-place kernels) goes through
+/// [`Arc::make_mut`], which copies the buffer first if (and only if) it
+/// is shared. A shared buffer is therefore never mutated observably:
+/// holding a clone — an observer snapshot, a cached stack top — is
+/// always safe, and the interpreter's hot loop pays a deep copy only on
+/// the first write after a share, not on every clone. [`Tensor::reshape`]
+/// shares storage with the source for the same reason.
+///
 /// # Examples
 ///
 /// ```
@@ -22,12 +35,21 @@ use crate::shape::volume;
 /// let t = Tensor::from_f64(&[1.0, 2.0, 3.0, 4.0], &[2, 2])?;
 /// assert_eq!(t.shape(), &[2, 2]);
 /// assert_eq!(t.get_f64(&[1, 0])?, 3.0);
+///
+/// // Clones are O(1) and share storage until mutated.
+/// let mut u = t.clone();
+/// assert!(t.shares_storage(&u));
+/// u.set(&[0, 0], 9.0)?;
+/// assert!(!t.shares_storage(&u));
+/// assert_eq!(t.get_f64(&[0, 0])?, 1.0); // the sibling is untouched
 /// # Ok::<(), autobatch_tensor::TensorError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
-    data: Data,
+    /// Shared shape: cloning a tensor must not touch the heap, so the
+    /// dims live behind an `Arc` just like the payload.
+    shape: Arc<[usize]>,
+    data: Arc<Data>,
 }
 
 impl Tensor {
@@ -46,8 +68,8 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            shape: shape.to_vec(),
-            data,
+            shape: Arc::from(shape),
+            data: Arc::new(data),
         })
     }
 
@@ -82,16 +104,16 @@ impl Tensor {
     pub fn scalar(value: impl Into<Scalar>) -> Tensor {
         match value.into() {
             Scalar::F64(x) => Tensor {
-                shape: vec![],
-                data: Data::F64(vec![x]),
+                shape: Arc::from([].as_slice()),
+                data: Arc::new(Data::F64(vec![x])),
             },
             Scalar::I64(x) => Tensor {
-                shape: vec![],
-                data: Data::I64(vec![x]),
+                shape: Arc::from([].as_slice()),
+                data: Arc::new(Data::I64(vec![x])),
             },
             Scalar::Bool(x) => Tensor {
-                shape: vec![],
-                data: Data::Bool(vec![x]),
+                shape: Arc::from([].as_slice()),
+                data: Arc::new(Data::Bool(vec![x])),
             },
         }
     }
@@ -105,24 +127,24 @@ impl Tensor {
             Scalar::Bool(x) => Data::Bool(vec![x; n]),
         };
         Tensor {
-            shape: shape.to_vec(),
-            data,
+            shape: Arc::from(shape),
+            data: Arc::new(data),
         }
     }
 
     /// A zero-filled tensor (`0.0` / `0` / `false`).
     pub fn zeros(dtype: DType, shape: &[usize]) -> Tensor {
         Tensor {
-            shape: shape.to_vec(),
-            data: Data::zeros(dtype, volume(shape)),
+            shape: Arc::from(shape),
+            data: Arc::new(Data::zeros(dtype, volume(shape))),
         }
     }
 
     /// `[0, 1, ..., n-1]` as an `i64` vector.
     pub fn arange(n: usize) -> Tensor {
         Tensor {
-            shape: vec![n],
-            data: Data::I64((0..n as i64).collect()),
+            shape: Arc::from([n].as_slice()),
+            data: Arc::new(Data::I64((0..n as i64).collect())),
         }
     }
 
@@ -161,9 +183,50 @@ impl Tensor {
         &self.data
     }
 
-    /// Extract the raw storage, consuming the tensor.
+    /// Extract the raw storage, consuming the tensor. Copies only when
+    /// the storage is shared with another tensor.
     pub fn into_data(self) -> Data {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether two tensors share one copy-on-write payload. Diagnostic
+    /// only: sharing is an optimization, never an observable semantic.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// A tensor with `self`'s shape and fresh storage, sharing the
+    /// shape allocation — the allocation-minimal way for a kernel to
+    /// build a same-shaped result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len()` differs from
+    /// `self.len()`.
+    pub fn like(&self, data: Data) -> Result<Tensor> {
+        if data.len() != self.len() {
+            return Err(TensorError::DataLength {
+                expected: self.len(),
+                got: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: Arc::clone(&self.shape),
+            data: Arc::new(data),
+        })
+    }
+
+    /// Turn `self` into an `f64` tensor of `shape` whose contents are
+    /// unspecified (zero-filled where freshly grown), reusing the current
+    /// allocation when it is an unshared `f64` buffer. Callers overwrite
+    /// every element before reading.
+    pub(crate) fn reset_f64(&mut self, shape: &[usize]) {
+        let n = volume(shape);
+        self.shape = Arc::from(shape);
+        match Arc::get_mut(&mut self.data) {
+            Some(Data::F64(v)) => v.resize(n, 0.0),
+            _ => self.data = Arc::new(Data::zeros(DType::F64, n)),
+        }
     }
 
     /// Borrow the payload as `&[f64]`.
@@ -172,7 +235,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `f64`.
     pub fn as_f64(&self) -> Result<&[f64]> {
-        match &self.data {
+        match &*self.data {
             Data::F64(v) => Ok(v),
             _ => Err(self.dtype_err("f64", "as_f64")),
         }
@@ -184,7 +247,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `i64`.
     pub fn as_i64(&self) -> Result<&[i64]> {
-        match &self.data {
+        match &*self.data {
             Data::I64(v) => Ok(v),
             _ => Err(self.dtype_err("i64", "as_i64")),
         }
@@ -196,7 +259,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `bool`.
     pub fn as_bool(&self) -> Result<&[bool]> {
-        match &self.data {
+        match &*self.data {
             Data::Bool(v) => Ok(v),
             _ => Err(self.dtype_err("bool", "as_bool")),
         }
@@ -208,7 +271,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `f64`.
     pub fn as_f64_mut(&mut self) -> Result<&mut [f64]> {
-        match &mut self.data {
+        match Arc::make_mut(&mut self.data) {
             Data::F64(v) => Ok(v),
             d => {
                 let got = d.dtype();
@@ -227,7 +290,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `i64`.
     pub fn as_i64_mut(&mut self) -> Result<&mut [i64]> {
-        match &mut self.data {
+        match Arc::make_mut(&mut self.data) {
             Data::I64(v) => Ok(v),
             d => {
                 let got = d.dtype();
@@ -246,7 +309,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::DTypeMismatch`] if the dtype is not `bool`.
     pub fn as_bool_mut(&mut self) -> Result<&mut [bool]> {
-        match &mut self.data {
+        match Arc::make_mut(&mut self.data) {
             Data::Bool(v) => Ok(v),
             d => {
                 let got = d.dtype();
@@ -276,12 +339,12 @@ impl Tensor {
         if index.len() != self.rank() {
             return Err(TensorError::ShapeMismatch {
                 lhs: index.to_vec(),
-                rhs: self.shape.clone(),
+                rhs: self.shape.to_vec(),
                 op: "linear_index",
             });
         }
         let mut lin = 0;
-        for (d, (&i, &dim)) in index.iter().zip(&self.shape).enumerate() {
+        for (d, (&i, &dim)) in index.iter().zip(self.shape.iter()).enumerate() {
             if i >= dim {
                 return Err(TensorError::IndexOutOfBounds {
                     index: i,
@@ -302,7 +365,7 @@ impl Tensor {
     /// Returns an error if the index is invalid.
     pub fn get(&self, index: &[usize]) -> Result<Scalar> {
         let lin = self.linear_index(index)?;
-        Ok(match &self.data {
+        Ok(match &*self.data {
             Data::F64(v) => Scalar::F64(v[lin]),
             Data::I64(v) => Scalar::I64(v[lin]),
             Data::Bool(v) => Scalar::Bool(v[lin]),
@@ -347,7 +410,7 @@ impl Tensor {
     /// not match the tensor's.
     pub fn set(&mut self, index: &[usize], value: impl Into<Scalar>) -> Result<()> {
         let lin = self.linear_index(index)?;
-        match (&mut self.data, value.into()) {
+        match (Arc::make_mut(&mut self.data), value.into()) {
             (Data::F64(v), Scalar::F64(x)) => v[lin] = x,
             (Data::I64(v), Scalar::I64(x)) => v[lin] = x,
             (Data::Bool(v), Scalar::Bool(x)) => v[lin] = x,
@@ -365,6 +428,7 @@ impl Tensor {
     }
 
     /// Reinterpret the tensor with a new shape of the same volume.
+    /// Zero-copy: the result shares the source's storage.
     ///
     /// # Errors
     ///
@@ -377,8 +441,8 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            shape: shape.to_vec(),
-            data: self.data.clone(),
+            shape: Arc::from(shape),
+            data: Arc::clone(&self.data),
         })
     }
 
@@ -394,7 +458,7 @@ impl Tensor {
                 got: self.len(),
             });
         }
-        Ok(match &self.data {
+        Ok(match &*self.data {
             Data::F64(v) => Scalar::F64(v[0]),
             Data::I64(v) => Scalar::I64(v[0]),
             Data::Bool(v) => Scalar::Bool(v[0]),
@@ -406,7 +470,7 @@ impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor<{}>{:?} ", self.dtype(), self.shape)?;
         const MAX: usize = 16;
-        match &self.data {
+        match &*self.data {
             Data::F64(v) => write_truncated(f, v, MAX),
             Data::I64(v) => write_truncated(f, v, MAX),
             Data::Bool(v) => write_truncated(f, v, MAX),

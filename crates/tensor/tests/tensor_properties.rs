@@ -1,7 +1,7 @@
 //! Property tests of the tensor substrate's algebraic invariants — the
 //! kernels both autobatching runtimes are built on.
 
-use autobatch_tensor::{DType, Tensor};
+use autobatch_tensor::{scalar_ops, DType, Tensor};
 use proptest::prelude::*;
 
 fn vec_f64(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -176,5 +176,126 @@ proptest! {
     fn casts_roundtrip_integers(v in proptest::collection::vec(-1000i64..1000, 6)) {
         let t = Tensor::from_i64(&v, &[6]).unwrap();
         prop_assert_eq!(t.to_f64().to_i64(), t);
+    }
+
+    // --- Copy-on-write and the in-place / into-buffer / fused kernels ---
+
+    #[test]
+    fn cow_mutation_never_leaks_into_the_sibling(
+        a in vec_f64(12),
+        idx in 0usize..12,
+        v in -50.0f64..50.0,
+    ) {
+        let base = Tensor::from_f64(&a, &[3, 4]).unwrap();
+        // set()
+        let mut m = base.clone();
+        prop_assert!(m.shares_storage(&base));
+        m.set(&[idx / 4, idx % 4], v).unwrap();
+        prop_assert!(!m.shares_storage(&base));
+        prop_assert_eq!(base.as_f64().unwrap(), &a[..]);
+        // map_f64_inplace()
+        let mut m = base.clone();
+        m.map_f64_inplace(scalar_ops::exp_f64).unwrap();
+        prop_assert_eq!(base.as_f64().unwrap(), &a[..]);
+        prop_assert_eq!(&m, &base.exp().unwrap());
+        // masked_assign_rows()
+        let mut m = base.clone();
+        let src = Tensor::full(&[3, 4], v);
+        m.masked_assign_rows(&[true, false, true], &src).unwrap();
+        prop_assert_eq!(base.as_f64().unwrap(), &a[..]);
+        // as_*_mut on a clone of a clone
+        let mid = base.clone();
+        let mut leaf = mid.clone();
+        leaf.as_f64_mut().unwrap()[0] = v;
+        prop_assert_eq!(&mid, &base);
+        prop_assert_eq!(base.as_f64().unwrap(), &a[..]);
+    }
+
+    #[test]
+    fn in_place_unary_is_bit_identical_to_allocating(a in vec_f64(10)) {
+        for f in [
+            scalar_ops::exp_f64,
+            scalar_ops::sigmoid_f64,
+            scalar_ops::softplus_f64,
+            scalar_ops::abs_f64,
+        ] {
+            let t = Tensor::from_f64(&a, &[5, 2]).unwrap();
+            let allocating = t.map_f64(f).unwrap();
+            let mut inplace = t.clone();
+            inplace.map_f64_inplace(f).unwrap();
+            prop_assert_eq!(&inplace, &allocating);
+        }
+    }
+
+    #[test]
+    fn binary_into_matches_allocating_across_broadcasts(
+        m in vec_f64(12),
+        v in vec_f64(4),
+        c in -50.0f64..50.0,
+    ) {
+        let tm = Tensor::from_f64(&m, &[3, 4]).unwrap();
+        // Same shape, row-vector broadcast, and scalar broadcast, with
+        // a dirty reused scratch tensor of the wrong prior shape.
+        let mut out = Tensor::zeros(DType::F64, &[7]);
+        for rhs in [
+            Tensor::from_f64(&m, &[3, 4]).unwrap(),
+            Tensor::from_f64(&v, &[4]).unwrap(),
+            Tensor::scalar(c),
+        ] {
+            for (f, name) in [
+                (scalar_ops::add_f64 as fn(f64, f64) -> f64, "add"),
+                (scalar_ops::mul_f64 as fn(f64, f64) -> f64, "mul"),
+                (scalar_ops::div_f64 as fn(f64, f64) -> f64, "div"),
+            ] {
+                let allocating = match name {
+                    "add" => tm.add(&rhs).unwrap(),
+                    "mul" => tm.mul(&rhs).unwrap(),
+                    _ => tm.div(&rhs).unwrap(),
+                };
+                tm.binary_f64_into(&rhs, f, &mut out).unwrap();
+                prop_assert_eq!(&out, &allocating, "op {}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_into_tolerates_aliased_scratch(
+        a in vec_f64(8),
+        b in vec_f64(8),
+    ) {
+        let ta = Tensor::from_f64(&a, &[8]).unwrap();
+        let tb = Tensor::from_f64(&b, &[8]).unwrap();
+        // The scratch buffer aliases the left operand's storage: the
+        // copy-on-write contract must keep `ta` intact.
+        let mut out = ta.clone();
+        ta.binary_f64_into(&tb, scalar_ops::add_f64, &mut out).unwrap();
+        prop_assert_eq!(&out, &ta.add(&tb).unwrap());
+        prop_assert_eq!(ta.as_f64().unwrap(), &a[..]);
+    }
+
+    #[test]
+    fn fused_mul_add_and_axpy_match_composed_kernels(
+        a in vec_f64(12),
+        b in vec_f64(12),
+        v in vec_f64(4),
+        alpha in -10.0f64..10.0,
+    ) {
+        let ta = Tensor::from_f64(&a, &[3, 4]).unwrap();
+        let tb = Tensor::from_f64(&b, &[3, 4]).unwrap();
+        let tv = Tensor::from_f64(&v, &[4]).unwrap();
+        // mul_add over equal shapes and over a broadcast operand.
+        prop_assert_eq!(
+            &ta.mul_add(&tb, &ta).unwrap(),
+            &ta.mul(&tb).unwrap().add(&ta).unwrap()
+        );
+        prop_assert_eq!(
+            &ta.mul_add(&tv, &tb).unwrap(),
+            &ta.mul(&tv).unwrap().add(&tb).unwrap()
+        );
+        // axpy: self + alpha·x, composed as the same expression.
+        let mut y = ta.clone();
+        y.axpy_inplace(alpha, &tb).unwrap();
+        let composed = ta.add(&tb.mul(&Tensor::scalar(alpha)).unwrap()).unwrap();
+        prop_assert_eq!(&y, &composed);
     }
 }

@@ -19,7 +19,7 @@
 //! bit on any machine with the same `PROPTEST_SEED` (default 0); set
 //! `PROPTEST_CASES` to widen or narrow the sweep.
 
-use autobatch::accel::Backend;
+use autobatch::accel::{Backend, Trace};
 use autobatch::core::{
     lower, BlockHeuristic, DynSchedule, DynamicVm, ExecOptions, ExecStrategy, KernelRegistry,
     LocalStaticVm, LoweringOptions, PcVm,
@@ -437,6 +437,51 @@ proptest! {
                 shard_batch,
                 &order
             );
+        }
+    }
+
+    #[test]
+    fn elementwise_fusion_cannot_perturb_results(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 2..5),
+        ns in proptest::collection::vec(0i64..6, 2..5),
+    ) {
+        // The fused fast path must be invisible: bit-identical outputs
+        // under every strategy × heuristic, and under eager dispatch it
+        // may only ever *remove* timed launches.
+        let z = xs.len().min(ns.len());
+        let p = random_program(seed);
+        let inputs = vec![
+            Tensor::from_f64(&xs[..z], &[z]).expect("x input"),
+            Tensor::from_i64(&ns[..z], &[z]).expect("n input"),
+        ];
+        let (lowered, _) = lower(&p, LoweringOptions::default()).expect("lowers");
+        for strategy in [ExecStrategy::Masking, ExecStrategy::GatherScatter] {
+            for heuristic in [BlockHeuristic::EarliestBlock, BlockHeuristic::MostActive] {
+                let run = |fuse: bool| {
+                    let opts = ExecOptions {
+                        strategy,
+                        heuristic,
+                        fuse_elementwise: fuse,
+                        ..ExecOptions::default()
+                    };
+                    let mut tr = Trace::new(Backend::eager_cpu());
+                    let out = PcVm::new(&lowered, KernelRegistry::new(), opts)
+                        .run(&inputs, Some(&mut tr))
+                        .expect("pc runs");
+                    (out, tr.launches(), tr.supersteps())
+                };
+                let (fused_out, fused_launches, fused_steps) = run(true);
+                let (plain_out, plain_launches, plain_steps) = run(false);
+                prop_assert_eq!(&fused_out, &plain_out, "outputs drift under fusion");
+                prop_assert_eq!(fused_steps, plain_steps, "fusion altered scheduling");
+                prop_assert!(
+                    fused_launches <= plain_launches,
+                    "fusion added launches: {} > {}",
+                    fused_launches,
+                    plain_launches
+                );
+            }
         }
     }
 
