@@ -1,0 +1,353 @@
+//! Ingress latency/throughput — deadline-driven admission under light
+//! and full load, plus a real TCP loopback pass.
+//!
+//! Three rows over the divergent binomial request stream of
+//! `serve_throughput`:
+//!
+//! - **light-load** (deterministic, baseline-gated) — arrivals spaced
+//!   far apart on the virtual clock, so batches can never fill and only
+//!   the deadline admits. This is the latency-SLO regime: p99 queue
+//!   latency must stay within `max_wait` + one superstep, and the run
+//!   asserts exactly that bound before writing the artifact.
+//! - **full-load** (deterministic, baseline-gated) — every request
+//!   arrives at tick 0, so batches fill instantly and the deadline
+//!   never fires; this row carries the throughput number the gate
+//!   guards, plus the (service-dominated) queue-latency tail.
+//! - **tcp-loopback** (machine-dependent, *not* in the baseline) — the
+//!   same stream pipelined through a real [`IngressServer`] on
+//!   127.0.0.1, reporting wall-clock throughput and the server-stamped
+//!   real queue waits.
+//!
+//! The virtual clock advances one tick per superstep; ticks convert to
+//! seconds at the hybrid-cpu backend's `superstep_overhead`, which
+//! makes every simulated number bit-reproducible across machines. The
+//! TCP row's clock is real nanoseconds.
+//!
+//! Usage: `ingress_throughput [requests]` (default 48). `--smoke` runs
+//! a small configuration for CI and still writes the
+//! `results/BENCH_ingress_throughput.json` artifact.
+
+use std::time::{Duration, Instant};
+
+use autobatch_accel::Backend;
+use autobatch_bench::{fmt_sig, json_str, print_table, write_csv, write_json};
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
+use autobatch_ingress::{IngressClient, IngressConfig, IngressServer};
+use autobatch_ir::pcab::Program;
+use autobatch_lang::compile;
+use autobatch_serve::{AdmissionPolicy, BatchServer, Request};
+use autobatch_tensor::Tensor;
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+/// The deadline SLO for the simulated rows, in ticks (= supersteps).
+const MAX_WAIT_TICKS: u64 = 300;
+
+/// One virtual tick is one superstep; seconds follow from the backend's
+/// host-control cost, keeping the simulated rows machine-independent.
+fn tick_seconds() -> f64 {
+    Backend::hybrid_cpu().superstep_overhead
+}
+
+/// Divergent (n, k) request stream: every fourth request is a straggler
+/// with a large recursion tree, the rest are shallow (the
+/// `serve_throughput` stream, for comparability).
+fn binom_stream(n_requests: usize) -> Vec<(i64, i64)> {
+    (0..n_requests)
+        .map(|i| {
+            if i % 4 == 0 {
+                (14 + (i % 3) as i64, 7)
+            } else {
+                (3 + (i % 5) as i64, 1 + (i % 2) as i64)
+            }
+        })
+        .collect()
+}
+
+fn binom_request(id: u64, n: i64, k: i64) -> Request {
+    Request {
+        id,
+        inputs: vec![
+            Tensor::from_i64(&[n], &[1]).expect("n"),
+            Tensor::from_i64(&[k], &[1]).expect("k"),
+        ],
+        seed: id,
+    }
+}
+
+struct RowOut {
+    mode: &'static str,
+    workers: usize,
+    requests: usize,
+    batch: usize,
+    supersteps: Option<u64>,
+    requests_per_s: f64,
+    p50_latency_s: f64,
+    p99_latency_s: f64,
+    peak_queue_depth: usize,
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct SimOutcome {
+    queued_ticks: Vec<u64>,
+    final_tick: u64,
+    supersteps: u64,
+    peak_queue: usize,
+}
+
+/// Event-driven simulation of a deadline-admission server: arrivals land
+/// at scheduled ticks, each superstep advances the clock one tick, and
+/// idle periods jump straight to the next arrival or head-of-line
+/// deadline (mirroring `run_until_idle`'s fast-forward, but under an
+/// external arrival process).
+fn simulate(program: &Program, max_batch: usize, arrivals: &[(u64, Request)]) -> SimOutcome {
+    let policy = AdmissionPolicy::Deadline {
+        max_batch,
+        max_wait: MAX_WAIT_TICKS,
+    };
+    let mut server = BatchServer::new(
+        program,
+        KernelRegistry::new(),
+        ExecOptions::default(),
+        policy,
+    )
+    .expect("server");
+    let mut responses = Vec::new();
+    let mut now: u64 = 0;
+    let mut next_arrival = 0usize;
+    loop {
+        while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
+            let (at, request) = &arrivals[next_arrival];
+            server.set_clock(*at);
+            server.submit(request.clone()).expect("submit");
+            next_arrival += 1;
+        }
+        server.set_clock(now);
+        if server.poll(None).expect("poll") {
+            now += 1;
+            continue;
+        }
+        // Idle: nothing runnable at `now`. Jump to the next actionable
+        // instant — an arrival or the oldest queued request's deadline.
+        responses.extend(server.take_ready());
+        let deadline = (server.pending() > 0)
+            .then(|| server.next_deadline())
+            .flatten();
+        let upcoming = arrivals.get(next_arrival).map(|&(at, _)| at);
+        match [deadline, upcoming].into_iter().flatten().min() {
+            Some(t) => now = now.max(t),
+            None => break,
+        }
+    }
+    responses.extend(server.take_ready());
+    assert_eq!(responses.len(), arrivals.len(), "all requests served");
+    let mut queued_ticks: Vec<u64> = responses.iter().map(|r| r.queued_ticks).collect();
+    queued_ticks.sort_unstable();
+    SimOutcome {
+        queued_ticks,
+        final_tick: now,
+        supersteps: server.supersteps(),
+        peak_queue: server.peak_pending(),
+    }
+}
+
+fn simulated_row(
+    mode: &'static str,
+    program: &Program,
+    max_batch: usize,
+    arrivals: Vec<(u64, Request)>,
+) -> RowOut {
+    let n = arrivals.len();
+    let out = simulate(program, max_batch, &arrivals);
+    let secs = out.final_tick as f64 * tick_seconds();
+    RowOut {
+        mode,
+        workers: 1,
+        requests: n,
+        batch: max_batch,
+        supersteps: Some(out.supersteps),
+        requests_per_s: n as f64 / secs,
+        p50_latency_s: percentile(&out.queued_ticks, 0.50) as f64 * tick_seconds(),
+        p99_latency_s: percentile(&out.queued_ticks, 0.99) as f64 * tick_seconds(),
+        peak_queue_depth: out.peak_queue,
+    }
+}
+
+/// The same stream through a real TCP server on loopback: wall-clock
+/// throughput and the server-stamped (nanosecond) queue waits.
+fn tcp_row(program: Program, n_requests: usize) -> RowOut {
+    let workers = 2;
+    let batch = 4;
+    let handle = IngressServer::start(
+        program,
+        IngressConfig {
+            workers,
+            max_batch: batch,
+            max_wait: Duration::from_millis(2),
+            ..IngressConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("ingress server");
+    let mut client = IngressClient::connect(handle.addr()).expect("connect");
+    let t0 = Instant::now();
+    for (i, &(n, k)) in binom_stream(n_requests).iter().enumerate() {
+        client
+            .send(
+                i as u64,
+                i as u64,
+                &[
+                    Tensor::from_i64(&[n], &[1]).expect("n"),
+                    Tensor::from_i64(&[k], &[1]).expect("k"),
+                ],
+            )
+            .expect("send");
+    }
+    let mut queued_ns: Vec<u64> = (0..n_requests)
+        .map(|_| client.recv().expect("recv").queued_ticks)
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    drop(client);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, n_requests as u64, "all requests served");
+    queued_ns.sort_unstable();
+    RowOut {
+        mode: "tcp-loopback",
+        workers,
+        requests: n_requests,
+        batch,
+        supersteps: None,
+        requests_per_s: n_requests as f64 / wall,
+        p50_latency_s: percentile(&queued_ns, 0.50) as f64 / 1e9,
+        p99_latency_s: percentile(&queued_ns, 0.99) as f64 / 1e9,
+        peak_queue_depth: stats.peak_queue.max(stats.peak_buffered),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pos: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let n_requests = if smoke {
+        12
+    } else {
+        pos.first().copied().unwrap_or(48)
+    };
+
+    let program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (pc, _) = lower(&program, LoweringOptions::default()).expect("binom lowers");
+    let stream = binom_stream(n_requests);
+
+    // Light load: arrivals spaced wider than any shallow request's
+    // service time against a batch the stream can never fill — only the
+    // deadline can admit.
+    let light: Vec<(u64, Request)> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, k))| (i as u64 * 2_000, binom_request(i as u64, n, k)))
+        .collect();
+    // Full load: everything at tick 0 against a smaller batch, so
+    // admission is fill-driven and the queue drains at service rate.
+    let full: Vec<(u64, Request)> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, k))| (0, binom_request(i as u64, n, k)))
+        .collect();
+
+    let rows_out = vec![
+        simulated_row("light-load", &pc, 8, light),
+        simulated_row("full-load", &pc, 4, full),
+        tcp_row(pc.clone(), n_requests),
+    ];
+
+    // The acceptance bound this bench exists to guard: under light
+    // load, deadline admission caps the p99 queue wait at the SLO plus
+    // one superstep of admission granularity.
+    let light_row = &rows_out[0];
+    let bound = (MAX_WAIT_TICKS + 1) as f64 * tick_seconds();
+    assert!(
+        light_row.p99_latency_s <= bound,
+        "light-load p99 queue latency {:.6}s exceeds max_wait + one superstep = {:.6}s",
+        light_row.p99_latency_s,
+        bound
+    );
+    println!(
+        "light-load p99 queue latency {:.3}s ≤ SLO bound {:.3}s (max_wait {} ticks + 1 superstep)",
+        light_row.p99_latency_s, bound, MAX_WAIT_TICKS
+    );
+
+    let header = [
+        "workload",
+        "mode",
+        "workers",
+        "requests",
+        "batch",
+        "supersteps",
+        "req-per-s",
+        "p50-latency-s",
+        "p99-latency-s",
+        "peak-queue",
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for r in &rows_out {
+        rows.push(vec![
+            "divergent-binom".to_string(),
+            r.mode.to_string(),
+            r.workers.to_string(),
+            r.requests.to_string(),
+            r.batch.to_string(),
+            r.supersteps
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            fmt_sig(r.requests_per_s),
+            fmt_sig(r.p50_latency_s),
+            fmt_sig(r.p99_latency_s),
+            r.peak_queue_depth.to_string(),
+        ]);
+        let mut row = vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str(r.mode)),
+            ("workers", r.workers.to_string()),
+            ("requests", r.requests.to_string()),
+            ("batch", r.batch.to_string()),
+        ];
+        if let Some(s) = r.supersteps {
+            row.push(("supersteps", s.to_string()));
+        }
+        row.extend([
+            ("requests_per_s", format!("{:.6}", r.requests_per_s)),
+            ("p50_latency_s", format!("{:.6}", r.p50_latency_s)),
+            ("p99_latency_s", format!("{:.6}", r.p99_latency_s)),
+            ("peak_queue_depth", r.peak_queue_depth.to_string()),
+        ]);
+        json.push(row);
+    }
+    print_table(
+        "Ingress: deadline admission latency/throughput (hybrid-cpu ticks; tcp row is wall-clock)",
+        &header,
+        &rows,
+    );
+    write_csv("ingress_throughput.csv", &header, &rows);
+    write_json("BENCH_ingress_throughput.json", &json);
+}

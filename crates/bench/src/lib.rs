@@ -200,7 +200,11 @@ pub mod gate {
     /// - `allocs_per_superstep` — heap allocations per superstep from
     ///   the counting allocator; a pure code-path property,
     ///   bit-reproducible across machines, gated at a quarter of the
-    ///   base tolerance and in the *lower-is-better* direction.
+    ///   base tolerance and in the *lower-is-better* direction;
+    /// - `p99_latency_s` — 99th-percentile queue latency under deadline
+    ///   admission (`ingress_throughput`); computed on the
+    ///   deterministic virtual clock, so it is reproducible across
+    ///   machines and gated tightly, *lower-is-better*.
     ///
     /// A row is gated on every metric it carries; rows carrying none
     /// fail (the gate would otherwise silently stop guarding them).
@@ -208,6 +212,7 @@ pub mod gate {
         (METRIC, Direction::HigherIsBetter, 1.0),
         ("supersteps_per_s", Direction::HigherIsBetter, 3.0),
         ("allocs_per_superstep", Direction::LowerIsBetter, 0.25),
+        ("p99_latency_s", Direction::LowerIsBetter, 0.25),
     ];
 
     /// Fields identifying a row across runs; rows are matched between
@@ -392,6 +397,26 @@ pub mod gate {
                     continue;
                 };
                 let tol = (tolerance * scale).clamp(0.0, 0.95);
+                // A zero baseline has no relative band: `baseline ×
+                // (1 ± tol)` collapses to 0, so any nonzero fresh value
+                // fails lower-is-better metrics no matter the tolerance
+                // while higher-is-better metrics are never gated at
+                // all, and a percent-of-baseline report would divide by
+                // zero. Gate such rows on absolute slack in the
+                // metric's own units instead.
+                if base_metric == 0.0 {
+                    let regressed = match direction {
+                        Direction::HigherIsBetter => new_metric < -tol,
+                        Direction::LowerIsBetter => new_metric > tol,
+                    };
+                    if regressed {
+                        failures.push(format!(
+                            "[{key}] {metric} regressed: {new_metric:.6} against a zero \
+                             baseline (absolute slack {tol:.6})"
+                        ));
+                    }
+                    continue;
+                }
                 match direction {
                     Direction::HigherIsBetter => {
                         let floor = base_metric * (1.0 - tol);

@@ -177,3 +177,73 @@ fn gate_checks_host_metrics_with_scaled_direction_aware_tolerances() {
     // Fewer allocations or faster supersteps never fail.
     assert!(check_regression(&baseline, &rendered_rows(&[row(5000.0, 1.0)]), 0.20).is_empty());
 }
+
+#[test]
+fn gate_fails_an_injected_p99_latency_regression() {
+    let row = |p99: f64| -> Vec<(&'static str, String)> {
+        vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str("light-load")),
+            ("workers", "1".to_string()),
+            ("requests", "12".to_string()),
+            ("batch", "8".to_string()),
+            ("requests_per_s", "0.006323".to_string()),
+            ("p50_latency_s", format!("{p99:.6}")),
+            ("p99_latency_s", format!("{p99:.6}")),
+        ]
+    };
+    let baseline = rendered_rows(&[row(3.0)]);
+    // Identical rerun and improved tail both pass.
+    assert!(check_regression(&baseline, &baseline, 0.20).is_empty());
+    assert!(check_regression(&baseline, &rendered_rows(&[row(2.0)]), 0.20).is_empty());
+    // The latency tail is deterministic (virtual clock): 0.25× the base
+    // tolerance, lower-is-better. +4% passes; +10% fails and names the
+    // metric.
+    assert!(check_regression(&baseline, &rendered_rows(&[row(3.12)]), 0.20).is_empty());
+    let failures = check_regression(&baseline, &rendered_rows(&[row(3.3)]), 0.20);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(failures[0].contains("p99_latency_s"), "{failures:?}");
+    assert!(failures[0].contains("regressed"), "{failures:?}");
+}
+
+#[test]
+fn gate_handles_zero_baselines_with_absolute_slack() {
+    let row = |allocs: f64| -> Vec<(&'static str, String)> {
+        vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str("fused")),
+            ("batch", "12".to_string()),
+            ("allocs_per_superstep", format!("{allocs:.4}")),
+        ]
+    };
+    // A zero baseline (the fast path allocates nothing) must not fail
+    // every nonzero fresh value: `0 × (1 + tol)` is still 0. The gate
+    // switches to absolute slack — tol in the metric's own units, here
+    // 0.2 × 0.25 = 0.05 allocations per superstep.
+    let baseline = rendered_rows(&[row(0.0)]);
+    assert!(check_regression(&baseline, &baseline, 0.20).is_empty());
+    assert!(check_regression(&baseline, &rendered_rows(&[row(0.04)]), 0.20).is_empty());
+    let failures = check_regression(&baseline, &rendered_rows(&[row(0.2)]), 0.20);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(failures[0].contains("zero"), "{failures:?}");
+    // The report stays finite — no percent-of-zero division.
+    assert!(
+        !failures[0].contains("inf") && !failures[0].contains("NaN"),
+        "{failures:?}"
+    );
+
+    // Zero baseline on a higher-is-better metric: staying at (or above)
+    // zero passes; only a drop beyond the absolute slack fails.
+    let tput = |rps: f64| -> Vec<(&'static str, String)> {
+        vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str("stalled")),
+            ("requests_per_s", format!("{rps:.6}")),
+        ]
+    };
+    let baseline = rendered_rows(&[tput(0.0)]);
+    assert!(check_regression(&baseline, &rendered_rows(&[tput(0.0)]), 0.20).is_empty());
+    assert!(check_regression(&baseline, &rendered_rows(&[tput(5.0)]), 0.20).is_empty());
+    let failures = check_regression(&baseline, &rendered_rows(&[tput(-1.0)]), 0.20);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+}

@@ -1,0 +1,618 @@
+//! A dependency-free TCP front door for the sharded autobatching
+//! server: the "real ingress" that keeps the program-counter VM's
+//! batches full while bounding how long any one request waits to join.
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──TCP──▶ connection threads ──mpsc──▶ engine thread
+//!    ▲  (length-prefixed frames, wire.rs)          │ collect until the
+//!    │                                             │ batch fills or the
+//!    └───────────── response frames ◀──────────────┘ oldest request's
+//!                                                    deadline expires,
+//!                                                    then drive the
+//!                                                    ShardedServer
+//! ```
+//!
+//! - **Thread-per-connection** readers decode [`wire`] frames and
+//!   forward requests to the engine over a channel. There is no async
+//!   runtime: blocking reads with a short timeout double as the
+//!   shutdown poll.
+//! - The **engine thread** owns the program and a [`ShardedServer`]
+//!   configured with
+//!   [`AdmissionPolicy::Deadline`]: it collects arrivals until they can
+//!   fill every lane (`workers × max_batch`) **or** the oldest arrival
+//!   has waited [`IngressConfig::max_wait`] — OpenVINO-style auto-batch
+//!   collection — then stamps the virtual clock from the real clock
+//!   (nanosecond ticks) and runs the batch to completion.
+//! - **Backpressure**: with [`IngressConfig::queue_budget`] set, a
+//!   request arriving while `budget × workers` are already waiting is
+//!   refused immediately with a typed
+//!   [`Overloaded`](wire::RejectCode::Overloaded) reject frame carrying
+//!   the observed depth and the budget — the wire image of
+//!   `ServeError::Overloaded`.
+//!
+//! Determinism note: batch composition depends on real arrival times,
+//! but per-request results do not — lanes draw RNG under the request
+//! seed, so responses are bit-identical to the in-process path however
+//! arrivals interleave (the golden-digest tests pin this over TCP).
+
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use autobatch_accel::Backend;
+use autobatch_core::{ExecOptions, KernelRegistry};
+use autobatch_ir::pcab::Program;
+use autobatch_serve::{AdmissionPolicy, Request, Response, ServeError, ShardedServer};
+use autobatch_tensor::Tensor;
+
+use wire::{
+    FrameReader, Message, ProtocolError, RejectCode, WireReject, WireRequest, WireResponse,
+};
+
+/// How often blocked threads wake to poll the stop flag / deadline.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Errors surfaced by the ingress client and server entry points.
+#[derive(Debug)]
+pub enum IngressError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent a malformed frame.
+    Protocol(ProtocolError),
+    /// The server refused the request (typed reject frame).
+    Rejected(WireReject),
+    /// The connection closed before a reply arrived.
+    Closed,
+    /// The server configuration is unusable.
+    Config(String),
+}
+
+impl fmt::Display for IngressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngressError::Io(e) => write!(f, "io error: {e}"),
+            IngressError::Protocol(e) => write!(f, "{e}"),
+            IngressError::Rejected(r) => write!(f, "{r}"),
+            IngressError::Closed => write!(f, "connection closed"),
+            IngressError::Config(what) => write!(f, "bad ingress config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngressError::Io(e) => Some(e),
+            IngressError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngressError {
+    fn from(e: io::Error) -> IngressError {
+        IngressError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for IngressError {
+    fn from(e: ProtocolError) -> IngressError {
+        IngressError::Protocol(e)
+    }
+}
+
+/// Configuration for [`IngressServer::start`].
+#[derive(Debug, Clone)]
+pub struct IngressConfig {
+    /// Worker shards (each owns a `BatchServer` + `PcMachine`).
+    pub workers: usize,
+    /// Per-shard batch capacity (lanes).
+    pub max_batch: usize,
+    /// The latency SLO knob: a partially filled batch launches once its
+    /// oldest request has waited this long.
+    pub max_wait: Duration,
+    /// Per-shard queue budget. When `workers × budget` requests are
+    /// already waiting, new arrivals are shed with a typed
+    /// [`Overloaded`](wire::RejectCode::Overloaded) reject instead of
+    /// queueing unboundedly. `None` disables shedding.
+    pub queue_budget: Option<usize>,
+    /// Cost-model backend each shard's trace prices against.
+    pub backend: Backend,
+    /// VM execution options for every shard.
+    pub opts: ExecOptions,
+    /// Kernel registry for the served program.
+    pub registry: KernelRegistry,
+}
+
+impl Default for IngressConfig {
+    fn default() -> IngressConfig {
+        IngressConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_budget: None,
+            backend: Backend::hybrid_cpu(),
+            opts: ExecOptions::default(),
+            registry: KernelRegistry::new(),
+        }
+    }
+}
+
+/// Lifetime counters reported by [`IngressHandle::shutdown`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Responses delivered.
+    pub completed: u64,
+    /// Requests shed at the front door (queue budget).
+    pub shed: u64,
+    /// Requests refused for malformed or unservable content.
+    pub rejected: u64,
+    /// Accepted requests lost to server-side execution errors.
+    pub failed: u64,
+    /// Deepest the engine's collection buffer ever got.
+    pub peak_buffered: usize,
+    /// Deepest any shard's admission queue ever got.
+    pub peak_queue: usize,
+}
+
+/// A running ingress server; dropping it (or calling
+/// [`IngressHandle::shutdown`]) stops the listener, drains in-flight
+/// work, and joins every thread.
+#[derive(Debug)]
+pub struct IngressHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<IngressStats>>,
+}
+
+impl IngressHandle {
+    /// The bound address (useful with a `:0` ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain buffered work, join all threads, and
+    /// return the lifetime counters.
+    pub fn shutdown(mut self) -> IngressStats {
+        self.join().unwrap_or_default()
+    }
+
+    fn join(&mut self) -> Option<IngressStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(l) = self.listener.take() {
+            let _ = l.join();
+        }
+        self.engine.take().and_then(|e| e.join().ok())
+    }
+}
+
+impl Drop for IngressHandle {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// The TCP front-end: binds a listener and serves `program` behind
+/// deadline-driven batch admission.
+#[derive(Debug)]
+pub struct IngressServer;
+
+impl IngressServer {
+    /// Bind `addr` and start serving `program` under `config`.
+    ///
+    /// The returned handle owns three kinds of threads: one acceptor,
+    /// one reader per connection, and one engine that owns the program
+    /// and the [`ShardedServer`]. All are joined on shutdown/drop.
+    ///
+    /// # Errors
+    ///
+    /// [`IngressError::Config`] for unusable parameters (zero workers
+    /// or batch, zero `max_wait`); [`IngressError::Io`] if the bind
+    /// fails.
+    pub fn start(
+        program: Program,
+        config: IngressConfig,
+        addr: impl ToSocketAddrs,
+    ) -> Result<IngressHandle, IngressError> {
+        if config.workers == 0 {
+            return Err(IngressError::Config("workers must be positive".into()));
+        }
+        if config.max_wait.is_zero() {
+            return Err(IngressError::Config("max_wait must be positive".into()));
+        }
+        deadline_policy(&config)
+            .validate()
+            .map_err(|e| IngressError::Config(e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::channel::<Arrival>();
+        let engine_cfg = config.clone();
+        let engine = std::thread::spawn(move || engine_loop(&program, &engine_cfg, &rx));
+        let stop2 = Arc::clone(&stop);
+        let acceptor = std::thread::spawn(move || listener_loop(&listener, &tx, &stop2));
+        Ok(IngressHandle {
+            addr: local,
+            stop,
+            listener: Some(acceptor),
+            engine: Some(engine),
+        })
+    }
+}
+
+fn deadline_policy(config: &IngressConfig) -> AdmissionPolicy {
+    AdmissionPolicy::Deadline {
+        max_batch: config.max_batch,
+        // Real time maps onto the virtual clock as nanosecond ticks.
+        max_wait: u64::try_from(config.max_wait.as_nanos()).unwrap_or(u64::MAX),
+    }
+}
+
+/// One decoded request in flight from a connection to the engine.
+struct Arrival {
+    conn: Arc<Mutex<TcpStream>>,
+    request: WireRequest,
+    at: Instant,
+}
+
+fn listener_loop(listener: &TcpListener, tx: &Sender<Arrival>, stop: &Arc<AtomicBool>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let stop = Arc::clone(stop);
+                conns.push(std::thread::spawn(move || {
+                    connection_loop(stream, &tx, &stop);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    // `tx` (and every connection's clone) is dropped here; the engine
+    // sees the channel disconnect, drains, and exits.
+}
+
+fn connection_loop(mut stream: TcpStream, tx: &Sender<Arrival>, stop: &Arc<AtomicBool>) {
+    // The read timeout doubles as the stop-flag poll; FrameReader keeps
+    // partial input across timeouts.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new();
+    while !stop.load(Ordering::Relaxed) {
+        match reader.next_frame(&mut stream) {
+            Ok(Some(payload)) => match wire::decode(&payload) {
+                Ok(Message::Request(request)) => {
+                    let arrival = Arrival {
+                        conn: Arc::clone(&writer),
+                        request,
+                        at: Instant::now(),
+                    };
+                    if tx.send(arrival).is_err() {
+                        return; // engine is gone; nothing can be served
+                    }
+                }
+                Ok(_) => send_reject(
+                    &writer,
+                    0,
+                    RejectCode::BadRequest,
+                    0,
+                    0,
+                    "clients may only send request frames",
+                ),
+                // Framing is intact (the frame decoded as a unit), so
+                // the stream stays usable: refuse and keep reading.
+                Err(e) => send_reject(&writer, 0, RejectCode::BadRequest, 0, 0, &e.to_string()),
+            },
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn send_reject(
+    conn: &Arc<Mutex<TcpStream>>,
+    id: u64,
+    code: RejectCode,
+    depth: u64,
+    budget: u64,
+    message: &str,
+) {
+    let payload = wire::encode_reject(&WireReject {
+        id,
+        code,
+        depth,
+        budget,
+        message: message.to_string(),
+    });
+    if let Ok(mut w) = conn.lock() {
+        let _ = wire::write_frame(&mut *w, &payload);
+    }
+}
+
+/// An accepted request waiting for its batch to complete.
+struct Pending {
+    conn: Arc<Mutex<TcpStream>>,
+    client_id: u64,
+}
+
+fn engine_loop(program: &Program, config: &IngressConfig, rx: &Receiver<Arrival>) -> IngressStats {
+    let mut server = ShardedServer::new(
+        program,
+        config.registry.clone(),
+        config.opts,
+        deadline_policy(config),
+        config.workers,
+        config.backend,
+    )
+    .expect("config validated by IngressServer::start");
+    let capacity = config.workers.saturating_mul(config.max_batch);
+    let fleet_budget = config
+        .queue_budget
+        .map(|b| b.saturating_mul(config.workers).max(1));
+    let epoch = Instant::now();
+    let ticks = |t: Instant| {
+        u64::try_from(t.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+    };
+
+    let mut stats = IngressStats::default();
+    let mut buf: VecDeque<Arrival> = VecDeque::new();
+    let mut next_eid: u64 = 0;
+    let mut disconnected = false;
+    loop {
+        if !disconnected {
+            // Sleep until the next arrival, the head-of-line deadline,
+            // or the poll tick, whichever is first.
+            let timeout = buf
+                .front()
+                .map(|a| {
+                    (a.at + config.max_wait)
+                        .saturating_duration_since(Instant::now())
+                        .min(POLL)
+                })
+                .unwrap_or(POLL);
+            match rx.recv_timeout(timeout) {
+                Ok(a) => accept(a, &mut buf, fleet_budget, &mut stats),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+            while let Ok(a) = rx.try_recv() {
+                accept(a, &mut buf, fleet_budget, &mut stats);
+            }
+        }
+        let full = buf.len() >= capacity;
+        let expired = buf
+            .front()
+            .is_some_and(|a| a.at.elapsed() >= config.max_wait);
+        if !buf.is_empty() && (full || expired || disconnected) {
+            flush(&mut server, &mut buf, &mut next_eid, &ticks, &mut stats);
+        }
+        if disconnected && buf.is_empty() {
+            break;
+        }
+    }
+    stats.peak_queue = server.peak_pending();
+    stats
+}
+
+/// Buffer an arrival, or shed it immediately when the collection buffer
+/// is at the fleet budget.
+fn accept(
+    arrival: Arrival,
+    buf: &mut VecDeque<Arrival>,
+    fleet_budget: Option<usize>,
+    stats: &mut IngressStats,
+) {
+    if let Some(budget) = fleet_budget {
+        if buf.len() >= budget {
+            let e = ServeError::Overloaded {
+                depth: buf.len(),
+                budget,
+            };
+            send_reject(
+                &arrival.conn,
+                arrival.request.id,
+                RejectCode::Overloaded,
+                buf.len() as u64,
+                budget as u64,
+                &e.to_string(),
+            );
+            stats.shed += 1;
+            return;
+        }
+    }
+    buf.push_back(arrival);
+    stats.peak_buffered = stats.peak_buffered.max(buf.len());
+}
+
+/// Submit everything collected so far and drive the fleet to idle,
+/// delivering each response to its connection.
+fn flush(
+    server: &mut ShardedServer<'_>,
+    buf: &mut VecDeque<Arrival>,
+    next_eid: &mut u64,
+    ticks: &dyn Fn(Instant) -> u64,
+    stats: &mut IngressStats,
+) {
+    // Requests are renumbered with engine-unique ids so ids chosen by
+    // different connections cannot collide inside the server; the
+    // client's id is restored on the reply.
+    let mut outstanding: HashMap<u64, Pending> = HashMap::new();
+    for Arrival { conn, request, at } in buf.drain(..) {
+        let eid = *next_eid;
+        *next_eid += 1;
+        // Stamp the queue entry at its real arrival time so
+        // `queued_ticks` measures the wait the client actually saw.
+        server.set_clock(ticks(at));
+        let client_id = request.id;
+        let submitted = server.submit(Request {
+            id: eid,
+            seed: request.seed,
+            inputs: request.inputs,
+        });
+        match submitted {
+            Ok(()) => {
+                outstanding.insert(eid, Pending { conn, client_id });
+            }
+            Err(e) => {
+                let code = match e {
+                    ServeError::Overloaded { .. } => RejectCode::Overloaded,
+                    _ => RejectCode::BadRequest,
+                };
+                send_reject(&conn, client_id, code, 0, 0, &e.to_string());
+                stats.rejected += 1;
+            }
+        }
+    }
+    server.set_clock(ticks(Instant::now()));
+    // Run to idle. A poisoned shard is drained and its stranded
+    // requests re-routed; bounded retries because each attempt can at
+    // worst poison one more shard.
+    let mut last_error: Option<ServeError> = None;
+    for _ in 0..=server.shards() {
+        match server.run_until_idle() {
+            Ok(responses) => {
+                deliver(responses, &mut outstanding, stats);
+                last_error = None;
+                break;
+            }
+            Err(e) => {
+                deliver(server.take_ready(), &mut outstanding, stats);
+                last_error = Some(e);
+                if server.drain_poisoned().is_err() {
+                    break; // every shard is dead; nothing left to move
+                }
+            }
+        }
+    }
+    if !outstanding.is_empty() {
+        // Whatever is still outstanding was lost to an execution error
+        // (the offending member, or work stranded on dead shards).
+        for i in server.poisoned_shards() {
+            while server.reject_on(i).is_some() {}
+        }
+        let msg = last_error.map_or_else(|| "request lost".to_string(), |e| e.to_string());
+        for (_, p) in outstanding.drain() {
+            send_reject(&p.conn, p.client_id, RejectCode::Internal, 0, 0, &msg);
+            stats.failed += 1;
+        }
+    }
+}
+
+fn deliver(
+    responses: Vec<Response>,
+    outstanding: &mut HashMap<u64, Pending>,
+    stats: &mut IngressStats,
+) {
+    for r in responses {
+        let Some(p) = outstanding.remove(&r.id) else {
+            continue;
+        };
+        if let Ok(payload) = wire::encode_response(p.client_id, r.queued_ticks, &r.outputs) {
+            if let Ok(mut w) = p.conn.lock() {
+                // A vanished client is its own problem; the work is done.
+                let _ = wire::write_frame(&mut *w, &payload);
+            }
+        }
+        stats.completed += 1;
+    }
+}
+
+/// A minimal blocking client for the ingress protocol.
+///
+/// Supports pipelining: [`IngressClient::send`] any number of requests,
+/// then [`IngressClient::recv`] the replies (reply order follows batch
+/// completion, not send order — match on [`WireResponse::id`]).
+#[derive(Debug)]
+pub struct IngressClient {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl IngressClient {
+    /// Connect to a running [`IngressServer`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<IngressClient, IngressError> {
+        Ok(IngressClient {
+            stream: TcpStream::connect(addr)?,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// Send one request frame without waiting for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or socket failures.
+    pub fn send(&mut self, id: u64, seed: u64, inputs: &[Tensor]) -> Result<(), IngressError> {
+        let payload = wire::encode_request(id, seed, inputs)?;
+        wire::write_frame(&mut self.stream, &payload)?;
+        Ok(())
+    }
+
+    /// Block for the next reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`IngressError::Rejected`] when the server refused a request,
+    /// [`IngressError::Closed`] on EOF, and protocol/socket failures.
+    pub fn recv(&mut self) -> Result<WireResponse, IngressError> {
+        let payload = self
+            .reader
+            .next_frame(&mut self.stream)?
+            .ok_or(IngressError::Closed)?;
+        match wire::decode(&payload)? {
+            Message::Response(r) => Ok(r),
+            Message::Reject(r) => Err(IngressError::Rejected(r)),
+            Message::Request(_) => Err(IngressError::Protocol(ProtocolError(
+                "server sent a request frame".into(),
+            ))),
+        }
+    }
+
+    /// Send one request and block for one reply — the simple RPC shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngressClient::send`] and [`IngressClient::recv`].
+    pub fn call(
+        &mut self,
+        id: u64,
+        seed: u64,
+        inputs: &[Tensor],
+    ) -> Result<WireResponse, IngressError> {
+        self.send(id, seed, inputs)?;
+        self.recv()
+    }
+}

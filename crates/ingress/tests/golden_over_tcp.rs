@@ -1,0 +1,159 @@
+//! Golden bit-identity over the TCP route.
+//!
+//! The in-process golden digests (`crates/serve/tests/golden_outputs.rs`)
+//! pin the exact output bits of the two committed smoke workloads. The
+//! same digests must come back over ingress: wire encode/decode is a
+//! bijection on tensor bits, engine-side id renumbering restores the
+//! client's ids, and admission timing cannot perturb lane results
+//! (draws are keyed by the request seed). If any of those properties
+//! break, these digests drift.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use autobatch_core::{lower, LoweringOptions};
+use autobatch_ingress::wire::WireResponse;
+use autobatch_ingress::{IngressClient, IngressConfig, IngressServer};
+use autobatch_lang::compile;
+use autobatch_models::NealsFunnel;
+use autobatch_nuts::{BatchNuts, NutsConfig};
+use autobatch_tensor::{CounterRng, Data, Tensor};
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+/// FNV-1a over the exact bit patterns of every output tensor, in
+/// response-id order — the same fold as the in-process golden tests.
+fn digest(responses: &[WireResponse]) -> u64 {
+    let mut sorted: Vec<&WireResponse> = responses.iter().collect();
+    sorted.sort_by_key(|r| r.id);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for r in sorted {
+        mix(r.id);
+        for t in &r.outputs {
+            for &d in t.shape() {
+                mix(d as u64);
+            }
+            match t.data() {
+                Data::F64(v) => v.iter().for_each(|x| mix(x.to_bits())),
+                Data::I64(v) => v.iter().for_each(|&x| mix(x as u64)),
+                Data::Bool(v) => v.iter().for_each(|&x| mix(u64::from(x))),
+            }
+        }
+    }
+    h
+}
+
+fn roundtrip(
+    handle: &autobatch_ingress::IngressHandle,
+    requests: Vec<(u64, u64, Vec<Tensor>)>,
+) -> Vec<WireResponse> {
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    let n = requests.len();
+    for (id, seed, inputs) in requests {
+        client.send(id, seed, &inputs).unwrap();
+    }
+    (0..n).map(|_| client.recv().unwrap()).collect()
+}
+
+#[test]
+fn binom_digest_matches_the_in_process_path() {
+    let program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (pc, _) = lower(&program, LoweringOptions::default()).expect("binom lowers");
+    let requests: Vec<(u64, u64, Vec<Tensor>)> = (0..12)
+        .map(|i| {
+            let n = 10 + (i * 5 % 7) as i64;
+            let k = 2 + (i * 3 % 5) as i64;
+            (
+                i as u64,
+                i as u64,
+                vec![
+                    Tensor::from_i64(&[n], &[1]).unwrap(),
+                    Tensor::from_i64(&[k], &[1]).unwrap(),
+                ],
+            )
+        })
+        .collect();
+    for workers in [1usize, 2] {
+        let handle = IngressServer::start(
+            pc.clone(),
+            IngressConfig {
+                workers,
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+                ..IngressConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let done = roundtrip(&handle, requests.clone());
+        assert_eq!(done.len(), 12);
+        let r0 = done.iter().find(|r| r.id == 0).expect("request 0");
+        assert_eq!(r0.outputs[0].as_i64().expect("i64"), &[45], "C(10,2)");
+        assert_eq!(
+            digest(&done),
+            6914980814453413019,
+            "binom outputs drifted over TCP at {workers} workers"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn funnel_nuts_digest_matches_the_in_process_path() {
+    let cfg = NutsConfig {
+        step_size: 0.2,
+        n_trajectories: 3,
+        max_depth: 6,
+        leapfrog_steps: 2,
+        seed: 31,
+    };
+    let nuts = BatchNuts::new(Arc::new(NealsFunnel::new(5)), cfg).expect("NUTS compiles");
+    let rng = CounterRng::new(64);
+    let requests: Vec<(u64, u64, Vec<Tensor>)> = (0..12)
+        .map(|i| {
+            let q = rng
+                .normal_batch(&[i as i64], &[nuts.dim()])
+                .row(0)
+                .expect("row");
+            (i as u64, i as u64, nuts.request_inputs(&q).expect("inputs"))
+        })
+        .collect();
+    let handle = IngressServer::start(
+        nuts.lowered().clone(),
+        IngressConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            opts: nuts.exec_options(),
+            registry: nuts.registry().clone(),
+            ..IngressConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let done = roundtrip(&handle, requests);
+    assert_eq!(done.len(), 12);
+    assert_eq!(
+        digest(&done),
+        4923661940693526310,
+        "funnel-NUTS positions drifted over TCP"
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,218 @@
+//! End-to-end tests over real loopback TCP: correctness, pipelining,
+//! deadline-bounded waits, load shedding, and malformed-input handling.
+
+use std::time::{Duration, Instant};
+
+use autobatch_core::{lower, LoweringOptions};
+use autobatch_ingress::wire::{self, RejectCode};
+use autobatch_ingress::{IngressClient, IngressConfig, IngressError, IngressServer};
+use autobatch_ir::build::fibonacci_program;
+use autobatch_tensor::Tensor;
+
+fn fib_server(config: IngressConfig) -> autobatch_ingress::IngressHandle {
+    let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+    IngressServer::start(pc, config, "127.0.0.1:0").unwrap()
+}
+
+const NS: [i64; 10] = [14, 2, 9, 1, 12, 5, 16, 3, 10, 7];
+const FIB: [i64; 10] = [610, 2, 55, 1, 233, 8, 1597, 3, 89, 21];
+
+#[test]
+fn pipelined_requests_are_served_correctly_over_tcp() {
+    let handle = fib_server(IngressConfig {
+        workers: 2,
+        max_batch: 4,
+        max_wait: Duration::from_millis(5),
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    for (id, &n) in NS.iter().enumerate() {
+        client
+            .send(
+                id as u64,
+                id as u64,
+                &[Tensor::from_i64(&[n], &[1]).unwrap()],
+            )
+            .unwrap();
+    }
+    let mut got = vec![None; NS.len()];
+    for _ in 0..NS.len() {
+        let r = client.recv().unwrap();
+        let out = r.outputs[0].as_i64().unwrap()[0];
+        got[r.id as usize] = Some(out);
+    }
+    let got: Vec<i64> = got.into_iter().map(Option::unwrap).collect();
+    assert_eq!(got, FIB);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, NS.len() as u64);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn two_connections_with_colliding_ids_each_get_their_own_answers() {
+    let handle = fib_server(IngressConfig {
+        workers: 1,
+        max_batch: 4,
+        max_wait: Duration::from_millis(5),
+        ..IngressConfig::default()
+    });
+    let mut a = IngressClient::connect(handle.addr()).unwrap();
+    let mut b = IngressClient::connect(handle.addr()).unwrap();
+    // Both connections use request id 0: the engine must pair replies
+    // by connection, not by the caller-chosen id.
+    a.send(0, 1, &[Tensor::from_i64(&[9], &[1]).unwrap()])
+        .unwrap();
+    b.send(0, 2, &[Tensor::from_i64(&[12], &[1]).unwrap()])
+        .unwrap();
+    let ra = a.recv().unwrap();
+    let rb = b.recv().unwrap();
+    assert_eq!(ra.id, 0);
+    assert_eq!(rb.id, 0);
+    assert_eq!(ra.outputs[0].as_i64().unwrap(), &[55]);
+    assert_eq!(rb.outputs[0].as_i64().unwrap(), &[233]);
+    drop((a, b));
+    handle.shutdown();
+}
+
+#[test]
+fn a_lone_request_launches_at_the_deadline_not_never() {
+    // Arrival rate far below batch width: only the deadline can admit.
+    let max_wait = Duration::from_millis(40);
+    let handle = fib_server(IngressConfig {
+        workers: 1,
+        max_batch: 8,
+        max_wait,
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    let t0 = Instant::now();
+    let r = client
+        .call(0, 0, &[Tensor::from_i64(&[9], &[1]).unwrap()])
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(r.outputs[0].as_i64().unwrap(), &[55]);
+    // The reply cannot beat the collection deadline, and the recorded
+    // queue wait is bounded by the SLO (ticks are nanoseconds; the
+    // engine stamps the real arrival and admission times).
+    assert!(elapsed >= max_wait, "replied after {elapsed:?}");
+    let slack = Duration::from_secs(5); // scheduler noise bound
+    assert!(
+        r.queued_ticks >= max_wait.as_nanos() as u64
+            && r.queued_ticks <= (max_wait + slack).as_nanos() as u64,
+        "queued {} ticks against a {:?} SLO",
+        r.queued_ticks,
+        max_wait
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_a_typed_reject_frame() {
+    // Budget 1 on one worker; a long deadline keeps the first request
+    // buffered while the next two arrive and must be shed.
+    let max_wait = Duration::from_millis(300);
+    let handle = fib_server(IngressConfig {
+        workers: 1,
+        max_batch: 8,
+        max_wait,
+        queue_budget: Some(1),
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    for id in 0..3u64 {
+        client
+            .send(id, id, &[Tensor::from_i64(&[5], &[1]).unwrap()])
+            .unwrap();
+    }
+    let mut served = Vec::new();
+    let mut shed = Vec::new();
+    for _ in 0..3 {
+        match client.recv() {
+            Ok(r) => served.push(r),
+            Err(IngressError::Rejected(rej)) => shed.push(rej),
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(served.len(), 1, "exactly one request fit the budget");
+    assert_eq!(served[0].outputs[0].as_i64().unwrap(), &[8]);
+    assert_eq!(shed.len(), 2);
+    for rej in &shed {
+        assert_eq!(rej.code, RejectCode::Overloaded);
+        assert_eq!(rej.budget, 1);
+        assert!(rej.depth >= 1);
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.shed, 2);
+}
+
+#[test]
+fn wrong_arity_is_refused_per_request_not_per_connection() {
+    let handle = fib_server(IngressConfig {
+        workers: 1,
+        max_batch: 4,
+        max_wait: Duration::from_millis(5),
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    // fib takes one input; send two tensors.
+    let t = Tensor::from_i64(&[3], &[1]).unwrap();
+    client.send(7, 0, &[t.clone(), t.clone()]).unwrap();
+    let err = client.recv().unwrap_err();
+    match err {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 7);
+            assert_eq!(rej.code, RejectCode::BadRequest);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    // The connection survives: a well-formed request still works.
+    let r = client.call(8, 0, &[t]).unwrap();
+    assert_eq!(r.outputs[0].as_i64().unwrap(), &[3]);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_frames_get_a_bad_request_reject() {
+    let handle = fib_server(IngressConfig::default());
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    // A well-framed but undecodable payload.
+    wire::write_frame(&mut stream, &[0x7f, 1, 2, 3]).unwrap();
+    let mut reader = wire::FrameReader::new();
+    let payload = reader.next_frame(&mut stream).unwrap().unwrap();
+    match wire::decode(&payload).unwrap() {
+        wire::Message::Reject(rej) => assert_eq!(rej.code, RejectCode::BadRequest),
+        other => panic!("unexpected: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn bad_configs_are_refused_at_start() {
+    let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+    for config in [
+        IngressConfig {
+            workers: 0,
+            ..IngressConfig::default()
+        },
+        IngressConfig {
+            max_batch: 0,
+            ..IngressConfig::default()
+        },
+        IngressConfig {
+            max_wait: Duration::ZERO,
+            ..IngressConfig::default()
+        },
+    ] {
+        let err = IngressServer::start(pc.clone(), config, "127.0.0.1:0").unwrap_err();
+        assert!(matches!(err, IngressError::Config(_)), "{err}");
+    }
+}
+
+#[test]
+fn idle_shutdown_joins_cleanly() {
+    let handle = fib_server(IngressConfig::default());
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 0);
+}

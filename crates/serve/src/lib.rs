@@ -7,17 +7,33 @@
 //! north star asks for, in the spirit of on-the-fly batchers like
 //! ACRoBat (Fegade et al., 2023).
 //!
-//! The two policies contrast the classic serving trade-off:
+//! The three policies contrast the classic serving trade-offs:
 //!
 //! - [`AdmissionPolicy::JoinAtEntry`] — pending requests join the live
-//!   batch at the program entry block whenever capacity is free and
-//!   utilization has dropped below a threshold. Stragglers no longer
-//!   serialize the queue: fresh requests ride along in the same
-//!   supersteps, and the paper's pc batching lets them share block
-//!   launches with members deep in recursion.
+//!   batch at the program entry block whenever a lane is free *and*
+//!   utilization has dropped below a threshold (thresholds `>= 1.0`
+//!   disable the utilization test, so a free lane alone admits).
+//!   Stragglers no longer serialize the queue: fresh requests ride
+//!   along in the same supersteps, and the paper's pc batching lets
+//!   them share block launches with members deep in recursion.
 //! - [`AdmissionPolicy::DrainAndRefill`] — the baseline: wait until the
 //!   machine is empty, then admit a full batch. Equivalent to running
 //!   sequential fixed-size batches.
+//! - [`AdmissionPolicy::Deadline`] — OpenVINO-style auto-batch
+//!   collection: pending requests are held back until they can fill
+//!   every free lane, **or** until the oldest of them has waited
+//!   `max_wait` ticks of the server's [clock](BatchServer::set_clock) —
+//!   so batches stay full under load while tail latency stays bounded
+//!   under light load.
+//!
+//! Time is explicit: the server owns a monotonic virtual clock in
+//! abstract ticks, advanced by the caller ([`BatchServer::set_clock`]).
+//! Benchmarks drive it deterministically from the simulated cost model;
+//! the TCP ingress layer (`autobatch-ingress`) drives it from the real
+//! clock at the connection boundary. Queue-wait observability
+//! ([`Response::queued_ticks`], [`BatchServer::peak_pending`]) and
+//! backpressure ([`BatchServer::set_queue_budget`], the typed
+//! [`ServeError::Overloaded`] rejection) are measured in those ticks.
 //!
 //! Correctness does not depend on the policy: every request's draws come
 //! from the counter-based RNG keyed by `(seed, member_key, counter)`,
@@ -50,6 +66,16 @@ pub enum ServeError {
     BadRequest(String),
     /// The policy configuration is unusable (e.g. zero capacity).
     BadPolicy(String),
+    /// Load shedding: the queue is at its configured budget and the
+    /// request was **not** enqueued. The typed alternative to letting
+    /// the queue grow without bound — callers can retry later or fail
+    /// fast upstream.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured queue budget that was hit.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -58,6 +84,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Vm(e) => write!(f, "vm error: {e}"),
             ServeError::BadRequest(what) => write!(f, "bad request: {what}"),
             ServeError::BadPolicy(what) => write!(f, "bad policy: {what}"),
+            ServeError::Overloaded { depth, budget } => {
+                write!(f, "overloaded: queue depth {depth} at budget {budget}")
+            }
         }
     }
 }
@@ -81,16 +110,39 @@ impl From<VmError> for ServeError {
 pub type Result<T> = std::result::Result<T, ServeError>;
 
 /// When pending requests are merged into the in-flight batch.
+///
+/// # Validation contract
+///
+/// Parameters are validated **at server construction**
+/// ([`AdmissionPolicy::validate`], called by [`BatchServer::new`] and
+/// everything built on it), never silently patched at admission time:
+///
+/// - `max_batch` must be positive — a zero-capacity server could never
+///   admit anything;
+/// - `min_utilization` must be finite and non-negative. `NaN` makes
+///   *both* arms of the `util < min_utilization` comparison false, which
+///   would leave a non-empty queue waiting on a busy machine forever;
+///   negative values can never be undercut by a real utilization, which
+///   silently degrades `JoinAtEntry` into drain-and-refill. Values
+///   `>= 1.0` are allowed and meaningful: they disable the utilization
+///   test, so pending requests are admitted whenever a lane is free.
+///
+/// Invalid parameters are a typed [`ServeError::BadPolicy`], so
+/// misconfiguration fails loudly at startup instead of deadlocking or
+/// quietly changing the scheduling discipline under traffic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdmissionPolicy {
     /// Join the live batch at the entry block whenever a lane is free and
-    /// batch utilization has dropped below `min_utilization` (fraction of
-    /// live members active in the last superstep; `1.0` admits whenever
-    /// there is capacity). `max_batch` bounds the live member count.
+    /// batch utilization (fraction of live members active in the last
+    /// superstep) has dropped below `min_utilization`. Thresholds
+    /// `>= 1.0` disable the utilization test entirely: a free lane alone
+    /// admits, even out of a perfect-lockstep batch. `max_batch` bounds
+    /// the live member count.
     JoinAtEntry {
         /// Maximum live members.
         max_batch: usize,
         /// Utilization threshold below which pending requests join.
+        /// Must be finite and `>= 0.0`; see the validation contract.
         min_utilization: f64,
     },
     /// Admit only into an empty machine, `max_batch` requests at a time —
@@ -99,14 +151,57 @@ pub enum AdmissionPolicy {
         /// Batch size per refill.
         max_batch: usize,
     },
+    /// Deadline-driven auto-batch collection: hold pending requests back
+    /// until they can fill **every** free lane, or until the oldest of
+    /// them has waited `max_wait` ticks of the server's virtual clock
+    /// ([`BatchServer::set_clock`]) — whichever comes first. Batches
+    /// stay full under load; under light load a partially filled batch
+    /// launches as soon as the head-of-line deadline expires, bounding
+    /// each request's queue wait to `max_wait` plus at most one
+    /// superstep.
+    Deadline {
+        /// Maximum live members.
+        max_batch: usize,
+        /// Longest a queued request may wait (in clock ticks) before a
+        /// partial batch is admitted anyway.
+        max_wait: u64,
+    },
 }
 
 impl AdmissionPolicy {
     fn max_batch(&self) -> usize {
         match *self {
             AdmissionPolicy::JoinAtEntry { max_batch, .. }
-            | AdmissionPolicy::DrainAndRefill { max_batch } => max_batch,
+            | AdmissionPolicy::DrainAndRefill { max_batch }
+            | AdmissionPolicy::Deadline { max_batch, .. } => max_batch,
         }
+    }
+
+    /// Check the policy's parameters against the [validation
+    /// contract](AdmissionPolicy#validation-contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadPolicy`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch() == 0 {
+            return Err(ServeError::BadPolicy("max_batch must be positive".into()));
+        }
+        if let AdmissionPolicy::JoinAtEntry {
+            min_utilization, ..
+        } = *self
+        {
+            if !min_utilization.is_finite() || min_utilization < 0.0 {
+                return Err(ServeError::BadPolicy(format!(
+                    "min_utilization must be finite and non-negative, got \
+                     {min_utilization} (NaN never compares below any \
+                     utilization, so a non-empty queue would wait on a busy \
+                     machine forever; negative thresholds silently degrade \
+                     join-at-entry into drain-and-refill)"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -134,6 +229,11 @@ pub struct Response {
     pub admitted_at: u64,
     /// Superstep at which the request retired.
     pub retired_at: u64,
+    /// Clock ticks the request spent queued before admission (admission
+    /// clock minus submission clock, under the caller-driven clock of
+    /// [`BatchServer::set_clock`]). The queue-latency observable the
+    /// deadline policy bounds.
+    pub queued_ticks: u64,
 }
 
 /// A batch server owning a request queue and an in-flight [`PcMachine`].
@@ -161,9 +261,18 @@ pub struct Response {
 pub struct BatchServer<'p> {
     machine: PcMachine<'p>,
     policy: AdmissionPolicy,
-    queue: VecDeque<Request>,
-    /// ticket → (request id, admission superstep).
-    in_flight: Vec<(u64, u64, u64)>,
+    /// Pending requests, each stamped with the clock at submission.
+    queue: VecDeque<(Request, u64)>,
+    /// Monotonic virtual clock in abstract ticks, advanced by the
+    /// caller. Deadline admission and queue-latency accounting read it.
+    clock: u64,
+    /// Load-shedding budget: submissions beyond this queue depth are
+    /// rejected with [`ServeError::Overloaded`]. `None` = unbounded.
+    queue_budget: Option<usize>,
+    /// Deepest the queue has ever been.
+    peak_pending: usize,
+    /// ticket → (request id, admission superstep, queue-wait ticks).
+    in_flight: Vec<(u64, u64, u64, u64)>,
     /// Completed responses not yet handed to the caller. Buffered on the
     /// server so work finished before a mid-run error is not dropped with
     /// it — the next successful [`BatchServer::run_until_idle`] returns it.
@@ -185,28 +294,78 @@ impl<'p> BatchServer<'p> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadPolicy`] if the policy's batch capacity
-    /// is zero.
+    /// Returns [`ServeError::BadPolicy`] if the policy violates the
+    /// [validation contract](AdmissionPolicy#validation-contract)
+    /// (zero capacity, or a NaN/negative/non-finite utilization
+    /// threshold).
     pub fn new(
         program: &'p Program,
         registry: KernelRegistry,
         opts: ExecOptions,
         policy: AdmissionPolicy,
     ) -> Result<BatchServer<'p>> {
-        if policy.max_batch() == 0 {
-            return Err(ServeError::BadPolicy("max_batch must be positive".into()));
-        }
+        policy.validate()?;
         Ok(BatchServer {
             step_limit: opts.max_supersteps,
             machine: PcMachine::new(program, registry, opts),
             policy,
             queue: VecDeque::new(),
+            clock: 0,
+            queue_budget: None,
+            peak_pending: 0,
             in_flight: Vec::new(),
             ready: Vec::new(),
             poisoned: None,
             submitted: 0,
             completed: 0,
         })
+    }
+
+    /// Advance the server's virtual clock to `now` (monotonic: earlier
+    /// values are ignored). Submissions are stamped with the clock, the
+    /// [`AdmissionPolicy::Deadline`] policy compares waits against it,
+    /// and [`Response::queued_ticks`] is measured in it. Benchmarks
+    /// drive it from the deterministic simulated cost model; a real
+    /// front end drives it from wall-clock elapsed time.
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = self.clock.max(now);
+    }
+
+    /// The current virtual clock, in ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Bound the queue depth: once `pending()` reaches the budget,
+    /// further submissions are rejected with [`ServeError::Overloaded`]
+    /// instead of growing the queue without bound. `None` (the default)
+    /// disables shedding.
+    pub fn set_queue_budget(&mut self, budget: Option<usize>) {
+        self.queue_budget = budget;
+    }
+
+    /// The configured load-shedding budget, if any.
+    pub fn queue_budget(&self) -> Option<usize> {
+        self.queue_budget
+    }
+
+    /// The deepest the queue has ever been over the server's lifetime.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// The clock tick at which the deadline policy would force-admit the
+    /// oldest queued request (`submission stamp + max_wait`), if the
+    /// policy is deadline-driven and the queue is non-empty. Event loops
+    /// use it to sleep until the next actionable instant.
+    pub fn next_deadline(&self) -> Option<u64> {
+        match self.policy {
+            AdmissionPolicy::Deadline { max_wait, .. } => self
+                .queue
+                .front()
+                .map(|&(_, stamp)| stamp.saturating_add(max_wait)),
+            _ => None,
+        }
     }
 
     /// The admission policy in force.
@@ -239,12 +398,14 @@ impl<'p> BatchServer<'p> {
         self.machine.supersteps()
     }
 
-    /// Enqueue a request. Validation is shallow (arity only); shape
-    /// errors surface at admission.
+    /// Enqueue a request, stamped with the current clock. Validation is
+    /// shallow (arity only); shape errors surface at admission.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadRequest`] on input arity mismatch.
+    /// Returns [`ServeError::BadRequest`] on input arity mismatch, or
+    /// [`ServeError::Overloaded`] — without enqueueing — when the queue
+    /// is at its [budget](BatchServer::set_queue_budget).
     pub fn submit(&mut self, request: Request) -> Result<()> {
         let want = self.machine.program().inputs.len();
         if request.inputs.len() != want {
@@ -255,7 +416,16 @@ impl<'p> BatchServer<'p> {
                 request.inputs.len()
             )));
         }
-        self.queue.push_back(request);
+        if let Some(budget) = self.queue_budget {
+            if self.queue.len() >= budget {
+                return Err(ServeError::Overloaded {
+                    depth: self.queue.len(),
+                    budget,
+                });
+            }
+        }
+        self.queue.push_back((request, self.clock));
+        self.peak_pending = self.peak_pending.max(self.queue.len());
         self.submitted += 1;
         Ok(())
     }
@@ -275,17 +445,26 @@ impl<'p> BatchServer<'p> {
         }
         // The refill decision is made once, against the state *before*
         // any admission: an empty machine always refills to capacity
-        // (both policies must guarantee progress — and this is exactly
-        // what makes DrainAndRefill a fixed-batch baseline rather than a
-        // serial one).
+        // under the utilization policies (both must guarantee progress —
+        // and this is exactly what makes DrainAndRefill a fixed-batch
+        // baseline rather than a serial one). The deadline policy is the
+        // exception: it deliberately holds requests back from an idle
+        // machine until the batch can fill or the head-of-line deadline
+        // expires — run_until_idle models the wait by fast-forwarding
+        // the clock, so progress is still guaranteed.
         let admit = match self.policy {
+            AdmissionPolicy::Deadline { max_wait, .. } => {
+                let oldest = self.queue.front().map(|&(_, stamp)| stamp);
+                self.queue.len() >= free
+                    || oldest.is_some_and(|stamp| self.clock.saturating_sub(stamp) >= max_wait)
+            }
             _ if self.machine.live() == 0 => true,
             AdmissionPolicy::JoinAtEntry {
                 min_utilization, ..
             } => {
-                // `min_utilization >= 1.0` means "admit whenever there is
-                // capacity": full lockstep (util == 1.0) must not block
-                // admission under that setting.
+                // `min_utilization >= 1.0` disables the utilization test:
+                // full lockstep (util == 1.0) must not block admission
+                // under that setting — a free lane alone admits.
                 let util = self.machine.last_active() as f64 / self.machine.live() as f64;
                 min_utilization >= 1.0 || util < min_utilization
             }
@@ -294,13 +473,14 @@ impl<'p> BatchServer<'p> {
         if !admit {
             return Ok(());
         }
-        let batch: Vec<Request> = (0..free.min(self.queue.len()))
+        let batch: Vec<(Request, u64)> = (0..free.min(self.queue.len()))
             .map(|_| self.queue.pop_front().expect("checked non-empty"))
             .collect();
+        let clock = self.clock;
         let admitted = {
             let reqs: Vec<(&[Tensor], u64)> = batch
                 .iter()
-                .map(|r| (r.inputs.as_slice(), r.seed))
+                .map(|(r, _)| (r.inputs.as_slice(), r.seed))
                 .collect();
             self.machine.admit_batch(&reqs, trace.as_deref_mut())
         };
@@ -311,26 +491,32 @@ impl<'p> BatchServer<'p> {
                 // in-flight members are intact — but the batch error does
                 // not say *which* request is bad. Retry one at a time:
                 // innocent requests are admitted, and the first offender
-                // goes back to the queue head (followed by the requests
-                // behind it), where [`BatchServer::reject`] can drop it.
-                // Nothing is lost silently.
-                let mut offender: Option<(Request, ServeError)> = None;
+                // goes back to the queue head (followed, in their
+                // original FIFO order, by the requests popped behind it),
+                // where [`BatchServer::reject`] can drop it. Nothing is
+                // lost silently and nothing is reordered.
+                let mut offender: Option<((Request, u64), ServeError)> = None;
                 let mut rest = Vec::new();
-                for r in batch {
+                for (r, stamp) in batch {
                     if offender.is_some() {
-                        rest.push(r);
+                        rest.push((r, stamp));
                     } else {
                         match self.machine.admit(&r.inputs, r.seed, trace.as_deref_mut()) {
-                            Ok(ticket) => {
-                                self.in_flight
-                                    .push((ticket, r.id, self.machine.supersteps()))
-                            }
-                            Err(e) => offender = Some((r, e.into())),
+                            Ok(ticket) => self.in_flight.push((
+                                ticket,
+                                r.id,
+                                self.machine.supersteps(),
+                                clock.saturating_sub(stamp),
+                            )),
+                            Err(e) => offender = Some(((r, stamp), e.into())),
                         }
                     }
                 }
                 return match offender {
                     Some((r, e)) => {
+                        // Re-queue with original stamps: a re-queued
+                        // request's deadline still dates from its first
+                        // submission.
                         for r in rest.into_iter().rev() {
                             self.queue.push_front(r);
                         }
@@ -343,9 +529,13 @@ impl<'p> BatchServer<'p> {
                 };
             }
         };
-        for (ticket, req) in tickets.into_iter().zip(&batch) {
-            self.in_flight
-                .push((ticket, req.id, self.machine.supersteps()));
+        for (ticket, (req, stamp)) in tickets.into_iter().zip(&batch) {
+            self.in_flight.push((
+                ticket,
+                req.id,
+                self.machine.supersteps(),
+                clock.saturating_sub(*stamp),
+            ));
         }
         Ok(())
     }
@@ -356,15 +546,16 @@ impl<'p> BatchServer<'p> {
             let pos = self
                 .in_flight
                 .iter()
-                .position(|(t, _, _)| *t == r.ticket)
+                .position(|(t, _, _, _)| *t == r.ticket)
                 .expect("retired member was admitted by this server");
-            let (_, id, admitted_at) = self.in_flight.swap_remove(pos);
+            let (_, id, admitted_at, queued_ticks) = self.in_flight.swap_remove(pos);
             self.completed += 1;
             self.ready.push(Response {
                 id,
                 outputs: r.outputs,
                 admitted_at,
                 retired_at: self.machine.supersteps(),
+                queued_ticks,
             });
         }
         Ok(())
@@ -375,7 +566,7 @@ impl<'p> BatchServer<'p> {
     /// [`BatchServer::run_until_idle`] returns an admission error without
     /// losing the requests queued behind it.
     pub fn reject(&mut self) -> Option<Request> {
-        self.queue.pop_front()
+        self.queue.pop_front().map(|(r, _)| r)
     }
 
     /// Take the responses completed so far without driving the machine —
@@ -431,34 +622,77 @@ impl<'p> BatchServer<'p> {
         loop {
             self.collect_retired(&mut trace)?;
             self.admit_pending(&mut trace)?;
-            let stepped = match self.machine.step(trace.as_deref_mut()) {
-                Ok(stepped) => stepped,
-                Err(e) => {
-                    let e = ServeError::from(e);
-                    // The step-limit check fires *before* the block
-                    // executes, so the machine is still consistent: don't
-                    // poison — later calls can still retire finished
-                    // members (they just cannot step any further).
-                    if !matches!(e, ServeError::Vm(VmError::StepLimit { .. })) {
-                        self.poisoned = Some(e.clone());
-                    }
-                    return Err(e);
-                }
-            };
+            let stepped = self.step_machine(trace.as_deref_mut())?;
             if !stepped {
                 self.collect_retired(&mut trace)?;
                 if self.queue.is_empty() && self.machine.live() == 0 {
                     return Ok(std::mem::take(&mut self.ready));
                 }
-                // Nothing stepped and requests remain: the only way
-                // admit_pending can refuse an empty machine is an
-                // exhausted step budget. Surface the exhaustion rather
-                // than spinning on a machine that can never run again.
+                // Nothing stepped and requests remain: either the step
+                // budget is exhausted (surface it rather than spinning on
+                // a machine that can never run again) …
                 if self.machine.step_budget_remaining() == 0 {
                     return Err(ServeError::Vm(VmError::StepLimit {
                         limit: self.step_limit,
                     }));
                 }
+                // … or the deadline policy is holding a partial batch
+                // back from an idle machine. Nobody else advances the
+                // clock inside this call, so model the wait: fast-forward
+                // to the head-of-line deadline, at which point the next
+                // admission check force-admits the partial batch. (This
+                // is what a real front end experiences as wall-clock
+                // waiting; responses record it in `queued_ticks`.)
+                if self.machine.live() == 0 {
+                    if let Some(deadline) = self.next_deadline() {
+                        self.set_clock(deadline);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scheduling iteration: retire finished members, admit pending
+    /// requests per the policy, and run **at most one** superstep.
+    /// Returns whether a superstep ran. Unlike
+    /// [`BatchServer::run_until_idle`] this never fast-forwards the
+    /// clock: event loops interleave `poll` with [`BatchServer::submit`]
+    /// and [`BatchServer::set_clock`] to model real arrival processes
+    /// (sleep until [`BatchServer::next_deadline`] when it returns
+    /// `false` with work pending), and drain completions with
+    /// [`BatchServer::take_ready`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchServer::run_until_idle`] — admission errors are
+    /// recoverable, execution errors poison the server.
+    pub fn poll(&mut self, mut trace: Option<&mut Trace>) -> Result<bool> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        self.collect_retired(&mut trace)?;
+        self.admit_pending(&mut trace)?;
+        let stepped = self.step_machine(trace.as_deref_mut())?;
+        if stepped {
+            self.collect_retired(&mut trace)?;
+        }
+        Ok(stepped)
+    }
+
+    /// Step once, translating errors per the poisoning contract.
+    fn step_machine(&mut self, trace: Option<&mut Trace>) -> Result<bool> {
+        match self.machine.step(trace) {
+            Ok(stepped) => Ok(stepped),
+            Err(e) => {
+                let e = ServeError::from(e);
+                // The step-limit check fires *before* the block
+                // executes, so the machine is still consistent: don't
+                // poison — later calls can still retire finished
+                // members (they just cannot step any further).
+                if !matches!(e, ServeError::Vm(VmError::StepLimit { .. })) {
+                    self.poisoned = Some(e.clone());
+                }
+                Err(e)
             }
         }
     }
@@ -863,6 +1097,274 @@ mod tests {
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].id, 0);
         assert_eq!(ready[0].outputs[0].as_i64().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn deadline_holds_partial_batches_until_the_deadline() {
+        // max_batch 4 with only 2 requests pending: admission must wait
+        // for the head-of-line deadline, not launch a half-empty batch
+        // immediately — and not wait past the deadline either.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::Deadline {
+            max_batch: 4,
+            max_wait: 100,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(&[9, 5]) {
+            server.submit(r).unwrap();
+        }
+        // Under poll (no fast-forward), nothing may run before the
+        // deadline: the batch is partial and the clock hasn't moved.
+        assert!(!server.poll(None).unwrap());
+        assert_eq!(server.in_flight(), 0);
+        assert_eq!(server.pending(), 2);
+        assert_eq!(server.next_deadline(), Some(100));
+        // One tick short of the deadline: still held.
+        server.set_clock(99);
+        assert!(!server.poll(None).unwrap());
+        assert_eq!(server.in_flight(), 0);
+        // At the deadline the partial batch launches.
+        server.set_clock(100);
+        server.poll(None).unwrap();
+        assert_eq!(server.in_flight(), 2);
+        assert_eq!(server.pending(), 0);
+        let mut out = server.run_until_idle(None).unwrap();
+        out.sort_by_key(|r| r.id);
+        assert_eq!(out.len(), 2);
+        // Both requests waited exactly until the deadline fired.
+        assert!(out.iter().all(|r| r.queued_ticks == 100), "{out:?}");
+    }
+
+    #[test]
+    fn deadline_admits_immediately_when_the_batch_fills() {
+        // Enough pending requests to fill every free lane: no waiting.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::Deadline {
+            max_batch: 3,
+            max_wait: 1_000_000,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(&[9, 5, 7]) {
+            server.submit(r).unwrap();
+        }
+        assert!(server.poll(None).unwrap());
+        assert_eq!(server.in_flight(), 3);
+        let out = server.run_until_idle(None).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.queued_ticks == 0), "{out:?}");
+    }
+
+    #[test]
+    fn run_until_idle_fast_forwards_a_blocked_deadline_queue() {
+        // run_until_idle must never spin when the deadline policy holds a
+        // partial batch back from an idle machine: it fast-forwards the
+        // clock to the head-of-line deadline, and the wait shows up in
+        // queued_ticks.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::Deadline {
+            max_batch: 8,
+            max_wait: 250,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        // 3 requests against capacity 8: the batch can never fill, so
+        // only the deadline can admit them.
+        for r in fib_requests(&[14, 2, 9]) {
+            server.submit(r).unwrap();
+        }
+        let mut out = server.run_until_idle(None).unwrap();
+        out.sort_by_key(|r| r.id);
+        let got: Vec<i64> = out
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
+        assert_eq!(got, vec![610, 2, 55]);
+        // Every request waited exactly the fast-forwarded deadline.
+        let waits: Vec<u64> = out.iter().map(|r| r.queued_ticks).collect();
+        assert_eq!(waits, vec![250, 250, 250]);
+        assert_eq!(server.clock(), 250, "clock was fast-forwarded");
+    }
+
+    #[test]
+    fn deadline_results_match_join_at_entry_bitwise() {
+        let join = AdmissionPolicy::JoinAtEntry {
+            max_batch: 4,
+            min_utilization: 1.0,
+        };
+        let deadline = AdmissionPolicy::Deadline {
+            max_batch: 4,
+            max_wait: 17,
+        };
+        let (reference, _) = serve(&NS, join);
+        let (out, _) = serve(&NS, deadline);
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outputs, b.outputs, "deadline admission perturbed results");
+        }
+    }
+
+    #[test]
+    fn queue_budget_sheds_load_with_a_typed_rejection() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::Deadline {
+            max_batch: 2,
+            max_wait: 50,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        server.set_queue_budget(Some(2));
+        assert_eq!(server.queue_budget(), Some(2));
+        for r in fib_requests(&[9, 5]) {
+            server.submit(r).unwrap();
+        }
+        // Third submission: queue at budget → typed rejection, nothing
+        // enqueued, lifetime counter untouched.
+        let mut extra = fib_requests(&[7]);
+        extra[0].id = 2;
+        let err = server.submit(extra.remove(0)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                depth: 2,
+                budget: 2
+            }
+        );
+        assert_eq!(server.pending(), 2);
+        assert_eq!(server.submitted(), 2);
+        assert_eq!(server.peak_pending(), 2);
+        // Draining the queue frees budget for new submissions.
+        let out = server.run_until_idle(None).unwrap();
+        assert_eq!(out.len(), 2);
+        let mut retry = fib_requests(&[7]);
+        retry[0].id = 2;
+        server.submit(retry.remove(0)).unwrap();
+        let out = server.run_until_idle(None).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].outputs[0].as_i64().unwrap(), &[21]);
+    }
+
+    #[test]
+    fn failed_admission_requeues_in_original_fifo_order() {
+        // Satellite regression: when a batch admission fails, the
+        // offender must land back at the queue *head* with every request
+        // popped behind it following in the original FIFO order — and
+        // `reject()` must then drop exactly the offender.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        // max_batch 4 pops the offender and both requests behind it in
+        // one admission attempt.
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 4,
+            min_utilization: 1.0,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in fib_requests(&[9]) {
+            server.submit(r).unwrap();
+        }
+        server
+            .submit(Request {
+                id: 1,
+                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
+                seed: 1,
+            })
+            .unwrap();
+        for (id, n) in [(2u64, 5i64), (3, 7)] {
+            server
+                .submit(Request {
+                    id,
+                    inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
+                    seed: 1000 + id,
+                })
+                .unwrap();
+        }
+        let err = server.run_until_idle(None);
+        assert!(matches!(err, Err(ServeError::Vm(_))), "got {err:?}");
+        // The innocent request ahead of the offender was admitted; the
+        // offender and both requests behind it were re-queued.
+        assert_eq!(server.in_flight(), 1);
+        assert_eq!(server.pending(), 3);
+        // `reject()` drops exactly the offender…
+        assert_eq!(server.reject().map(|r| r.id), Some(1));
+        // …and the queue behind it is still in original FIFO order
+        // (witnessed destructively, then re-submitted).
+        assert_eq!(server.reject().map(|r| r.id), Some(2));
+        assert_eq!(server.reject().map(|r| r.id), Some(3));
+        for (id, n) in [(2u64, 5i64), (3, 7)] {
+            server
+                .submit(Request {
+                    id,
+                    inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
+                    seed: 1000 + id,
+                })
+                .unwrap();
+        }
+        let mut out = server.run_until_idle(None).unwrap();
+        out.sort_by_key(|r| r.id);
+        let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        let got: Vec<i64> = out
+            .iter()
+            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .collect();
+        assert_eq!(got, vec![55, 8, 21], "fib(9), fib(5), fib(7)");
+    }
+
+    #[test]
+    fn nonsense_policy_parameters_are_rejected_at_construction() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let bad = [
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 0,
+                min_utilization: 1.0,
+            },
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 4,
+                min_utilization: f64::NAN,
+            },
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 4,
+                min_utilization: -0.5,
+            },
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 4,
+                min_utilization: f64::INFINITY,
+            },
+            AdmissionPolicy::DrainAndRefill { max_batch: 0 },
+            AdmissionPolicy::Deadline {
+                max_batch: 0,
+                max_wait: 100,
+            },
+        ];
+        for policy in bad {
+            assert!(
+                matches!(policy.validate(), Err(ServeError::BadPolicy(_))),
+                "{policy:?} should not validate"
+            );
+            assert!(
+                matches!(
+                    BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy),
+                    Err(ServeError::BadPolicy(_))
+                ),
+                "{policy:?} should not construct a server"
+            );
+        }
+        // The documented boundary values stay valid.
+        for ok in [0.0, 0.5, 1.0, 2.0] {
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: 1,
+                min_utilization: ok,
+            }
+            .validate()
+            .unwrap();
+        }
+        AdmissionPolicy::Deadline {
+            max_batch: 1,
+            max_wait: 0,
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

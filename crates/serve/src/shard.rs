@@ -162,6 +162,10 @@ impl Shard<'_> {
 pub struct ShardedServer<'p> {
     shards: Vec<Shard<'p>>,
     backend: Backend,
+    /// Per-shard load-shedding budget (mirrors each shard's
+    /// [`BatchServer::set_queue_budget`]); kept here so routing can
+    /// report a fleet-level [`ServeError::Overloaded`].
+    queue_budget: Option<usize>,
     /// Next global submission sequence number.
     next_seq: u64,
     /// Request id → submission sequence numbers, FIFO per id. Unique
@@ -209,10 +213,39 @@ impl<'p> ShardedServer<'p> {
         Ok(ShardedServer {
             shards,
             backend,
+            queue_budget: None,
             next_seq: 0,
             order: BTreeMap::new(),
             ready: Vec::new(),
         })
+    }
+
+    /// Advance every shard's virtual clock to `now` (monotonic). See
+    /// [`BatchServer::set_clock`].
+    pub fn set_clock(&mut self, now: u64) {
+        for s in &mut self.shards {
+            s.server.set_clock(now);
+        }
+    }
+
+    /// Bound every shard's queue depth. Once each healthy shard's queue
+    /// is at the budget, [`ShardedServer::submit`] rejects with
+    /// [`ServeError::Overloaded`] instead of queueing deeper. `None`
+    /// (the default) disables shedding.
+    pub fn set_queue_budget(&mut self, budget: Option<usize>) {
+        self.queue_budget = budget;
+        for s in &mut self.shards {
+            s.server.set_queue_budget(budget);
+        }
+    }
+
+    /// The deepest any single shard's queue has ever been.
+    pub fn peak_pending(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.server.peak_pending())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Create a sharded server sized by a backend-derived [`ShardPlan`].
@@ -306,12 +339,15 @@ impl<'p> ShardedServer<'p> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadRequest`] on arity mismatch; if every
-    /// shard is poisoned, returns the first shard's poison error.
+    /// Returns [`ServeError::BadRequest`] on arity mismatch;
+    /// [`ServeError::Overloaded`] — without enqueueing — when every
+    /// healthy shard's queue is at the configured
+    /// [budget](ShardedServer::set_queue_budget); if every shard is
+    /// poisoned, the first shard's poison error.
     pub fn submit(&mut self, request: Request) -> Result<()> {
         let seq = self.next_seq;
         let id = request.id;
-        self.route(request)?;
+        self.route(request, true)?;
         // Only a successful enqueue consumes a sequence number.
         self.next_seq += 1;
         self.order.entry(id).or_default().push_back(seq);
@@ -319,17 +355,37 @@ impl<'p> ShardedServer<'p> {
     }
 
     /// Route to the least-loaded healthy shard (lowest index on ties).
-    fn route(&mut self, request: Request) -> Result<()> {
+    /// `shed` applies the queue budget; re-routing of already-accepted
+    /// work ([`ShardedServer::drain_poisoned`]) bypasses it, since those
+    /// requests were admitted under the budget once already.
+    fn route(&mut self, request: Request, shed: bool) -> Result<()> {
+        let healthy = |i: &usize| !self.shards[*i].poisoned();
+        let under_budget = |i: &usize| match self.queue_budget {
+            Some(budget) if shed => self.shards[*i].server.pending() < budget,
+            _ => true,
+        };
         let target = (0..self.shards.len())
-            .filter(|&i| !self.shards[i].poisoned())
+            .filter(healthy)
+            .filter(under_budget)
             .min_by_key(|&i| (self.shards[i].load(), i));
         match target {
             Some(i) => self.shards[i].server.submit(request),
-            None => Err(self
-                .shards
-                .iter()
-                .find_map(|s| s.server.poisoned().cloned())
-                .expect("no healthy shard implies a poisoned one")),
+            None => {
+                // Distinguish "every shard is dead" from "every healthy
+                // shard is full".
+                let min_depth = (0..self.shards.len())
+                    .filter(healthy)
+                    .map(|i| self.shards[i].server.pending())
+                    .min();
+                match (min_depth, self.queue_budget) {
+                    (Some(depth), Some(budget)) => Err(ServeError::Overloaded { depth, budget }),
+                    _ => Err(self
+                        .shards
+                        .iter()
+                        .find_map(|s| s.server.poisoned().cloned())
+                        .expect("no healthy shard implies a poisoned one")),
+                }
+            }
         }
     }
 
@@ -367,9 +423,11 @@ impl<'p> ShardedServer<'p> {
         }
         let moved = stranded.len();
         for r in stranded {
-            // Healthy shards exist, so routing cannot fail for capacity;
-            // arity was validated at the original submission.
-            self.route(r)?;
+            // Healthy shards exist and re-routing bypasses the queue
+            // budget (these requests were accepted under it once), so
+            // routing cannot fail for capacity; arity was validated at
+            // the original submission.
+            self.route(r, false)?;
         }
         Ok(moved)
     }
@@ -752,6 +810,74 @@ mod tests {
             .map(|r| r.outputs[0].as_i64().unwrap()[0])
             .collect();
         assert_eq!(got, FIB);
+    }
+
+    #[test]
+    fn fleet_queue_budget_sheds_load_only_when_every_shard_is_full() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::Deadline {
+            max_batch: 2,
+            max_wait: 1_000,
+        };
+        let mut server = sharded(policy, 2, ExecOptions::default(), &pc);
+        server.set_queue_budget(Some(2));
+        // 2 shards × budget 2 = 4 queued requests fit…
+        for id in 0..4u64 {
+            server.submit(fib_request(id, 5)).unwrap();
+        }
+        assert_eq!(server.pending(), 4);
+        // …the fifth is shed with a typed rejection and no sequence
+        // number is consumed.
+        let err = server.submit(fib_request(4, 5)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                depth: 2,
+                budget: 2
+            }
+        );
+        assert_eq!(server.submitted(), 4);
+        assert_eq!(server.peak_pending(), 2);
+        // Clock forwarding reaches every shard: the partial batches
+        // launch at their deadline and everything completes.
+        server.set_clock(1_000);
+        let done = server.run_until_idle().unwrap();
+        assert_eq!(done.len(), 4);
+        assert_eq!(
+            done.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn deadline_policy_is_bit_identical_across_sharding() {
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let deadline = AdmissionPolicy::Deadline {
+            max_batch: 3,
+            max_wait: 40,
+        };
+        let mut single =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), deadline).unwrap();
+        for (id, &n) in NS.iter().enumerate() {
+            single.submit(fib_request(id as u64, n)).unwrap();
+        }
+        let mut reference = single.run_until_idle(None).unwrap();
+        reference.sort_by_key(|r| r.id);
+        for workers in [2, 3] {
+            let mut server = sharded(deadline, workers, ExecOptions::default(), &pc);
+            for (id, &n) in NS.iter().enumerate() {
+                server.submit(fib_request(id as u64, n)).unwrap();
+            }
+            let done = server.run_until_idle().unwrap();
+            for (a, b) in reference.iter().zip(&done) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(
+                    a.outputs, b.outputs,
+                    "sharded deadline admission perturbed request {}",
+                    a.id
+                );
+            }
+        }
     }
 
     #[test]

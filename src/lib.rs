@@ -21,7 +21,10 @@
 //! - [`diagnostics`] — cross-chain convergence diagnostics (`R̂`, ESS),
 //!   the practice the paper's batching is meant to enable;
 //! - [`serve`] — dynamic batch admission: a request server that merges
-//!   incoming work into an in-flight batched execution.
+//!   incoming work into an in-flight batched execution;
+//! - [`ingress`] — a dependency-free TCP front door: length-prefixed
+//!   wire frames, deadline-driven batch collection, and load shedding
+//!   over the sharded server.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use autobatch_accel as accel;
 pub use autobatch_autodiff as autodiff;
 pub use autobatch_core as core;
 pub use autobatch_diagnostics as diagnostics;
+pub use autobatch_ingress as ingress;
 pub use autobatch_ir as ir;
 pub use autobatch_lang as lang;
 pub use autobatch_models as models;

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "binomial_reuse",
     "eight_schools",
     "fibonacci_trace",
+    "ingress_demo",
     "nuts_gaussian",
     "nuts_logistic",
     "quickstart",

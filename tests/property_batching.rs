@@ -441,6 +441,92 @@ proptest! {
     }
 
     #[test]
+    fn deadline_admission_cannot_perturb_results(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 3..7),
+        ns in proptest::collection::vec(0i64..6, 3..7),
+        gaps in proptest::collection::vec(0u64..500, 3..7),
+        max_batch in 1usize..4,
+        max_wait in 1u64..400,
+        poll_seed in any::<u64>(),
+    ) {
+        // Deadline-driven admission: a batch may launch because it
+        // filled *or* because the oldest request's wait hit `max_wait`
+        // on the virtual clock. Whichever way each batch launches — for
+        // any arrival interleaving, deadline, and capacity — every
+        // request's outputs are bit-identical to utilization-driven
+        // admission of the same stream, because admission timing is
+        // pure scheduling and per-lane computation never observes it.
+        let z = xs.len().min(ns.len()).min(gaps.len());
+        let xs = &xs[..z];
+        let ns = &ns[..z];
+        let p = random_program(seed);
+        let (lowered, _) = lower(&p, LoweringOptions::default()).expect("lowers");
+        let request = |b: usize| Request {
+            id: b as u64,
+            inputs: vec![
+                Tensor::from_f64(&[xs[b]], &[1]).expect("x"),
+                Tensor::from_i64(&[ns[b]], &[1]).expect("n"),
+            ],
+            seed: b as u64,
+        };
+
+        // Reference: utilization-driven admission, all queued up front.
+        let policy = AdmissionPolicy::JoinAtEntry { max_batch, min_utilization: 1.0 };
+        let mut single =
+            BatchServer::new(&lowered, KernelRegistry::new(), ExecOptions::default(), policy)
+                .expect("server");
+        for b in 0..z {
+            single.submit(request(b)).expect("submit");
+        }
+        let mut reference = single.run_until_idle(None).expect("serve");
+        reference.sort_by_key(|r| r.id);
+        prop_assert_eq!(reference.len(), z);
+
+        // Deadline-driven server fed the same stream at staggered
+        // virtual arrival times, polled a random number of iterations
+        // between arrivals — so some batches fill, others launch from
+        // the deadline mid-stream, and stragglers join in-flight.
+        let policy = AdmissionPolicy::Deadline { max_batch, max_wait };
+        let mut server =
+            BatchServer::new(&lowered, KernelRegistry::new(), ExecOptions::default(), policy)
+                .expect("server");
+        let mut prng = StdRng::seed_from_u64(poll_seed);
+        let mut now = 0u64;
+        for (b, gap) in gaps.iter().enumerate().take(z) {
+            now = now.max(server.clock()) + gap;
+            server.set_clock(now);
+            server.submit(request(b)).expect("submit");
+            for _ in 0..prng.gen_range(0..6usize) {
+                if !server.poll(None).expect("poll") {
+                    // Machine idle with the queue held back: only the
+                    // deadline can admit, so model the wait.
+                    match server.next_deadline() {
+                        Some(d) => server.set_clock(d),
+                        None => break,
+                    }
+                }
+            }
+        }
+        let mut served = server.run_until_idle(None).expect("serve");
+        served.sort_by_key(|r| r.id);
+        prop_assert_eq!(served.len(), z);
+
+        for (want, got) in reference.iter().zip(&served) {
+            prop_assert_eq!(want.id, got.id);
+            prop_assert_eq!(
+                &want.outputs,
+                &got.outputs,
+                "request {} perturbed by deadline admission (batch {}, wait {}, gaps {:?})",
+                got.id,
+                max_batch,
+                max_wait,
+                &gaps[..z]
+            );
+        }
+    }
+
+    #[test]
     fn elementwise_fusion_cannot_perturb_results(
         seed in any::<u64>(),
         xs in proptest::collection::vec(-2.0f64..2.0, 2..5),
