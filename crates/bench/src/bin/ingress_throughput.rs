@@ -15,8 +15,8 @@
 //!   guards, plus the (service-dominated) queue-latency tail.
 //! - **tcp-loopback** (machine-dependent, *not* in the baseline) — the
 //!   same stream pipelined through a real [`IngressServer`] on
-//!   127.0.0.1, reporting wall-clock throughput and the server-stamped
-//!   real queue waits.
+//!   127.0.0.1, reporting wall-clock throughput and the ingress-stamped
+//!   real (nanosecond) queue waits.
 //!
 //! The virtual clock advances one tick per superstep; ticks convert to
 //! seconds at the hybrid-cpu backend's `superstep_overhead`, which
@@ -195,7 +195,7 @@ fn simulated_row(
 }
 
 /// The same stream through a real TCP server on loopback: wall-clock
-/// throughput and the server-stamped (nanosecond) queue waits.
+/// throughput and the ingress-stamped (nanosecond) queue waits.
 fn tcp_row(program: Program, n_requests: usize) -> RowOut {
     let workers = 2;
     let batch = 4;

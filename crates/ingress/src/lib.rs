@@ -30,7 +30,11 @@
 //!   refused immediately with a typed
 //!   [`Overloaded`](wire::RejectCode::Overloaded) reject frame carrying
 //!   the observed depth and the budget — the wire image of
-//!   `ServeError::Overloaded`.
+//!   `ServeError::Overloaded`. The budget is enforced at the
+//!   *connection* threads through a shared counter covering both the
+//!   channel and the engine's collection buffer, so a burst arriving
+//!   while the engine is mid-flush is shed right away instead of piling
+//!   up unboundedly in the channel until the flush returns.
 //!
 //! Determinism note: batch composition depends on real arrival times,
 //! but per-request results do not — lanes draw RNG under the request
@@ -45,14 +49,14 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use autobatch_accel::Backend;
-use autobatch_core::{ExecOptions, KernelRegistry};
+use autobatch_core::{ExecOptions, KernelRegistry, VmError};
 use autobatch_ir::pcab::Program;
 use autobatch_serve::{AdmissionPolicy, Request, Response, ServeError, ShardedServer};
 use autobatch_tensor::Tensor;
@@ -205,6 +209,54 @@ impl Drop for IngressHandle {
     }
 }
 
+/// The fleet-wide admission gate shared by the connection threads and
+/// the engine. It bounds how many decoded requests may wait anywhere
+/// between a TCP reader and batch admission — the mpsc channel plus the
+/// engine's collection buffer — so the configured budget holds even
+/// while the engine is blocked inside a flush: excess arrivals are shed
+/// at the connection instead of accumulating in the unbounded channel.
+#[derive(Debug)]
+struct Gate {
+    /// Requests decoded but not yet handed to the batch server.
+    queued: AtomicUsize,
+    /// `queue_budget × workers`; `None` disables shedding.
+    budget: Option<usize>,
+    /// Requests shed at the front door, over the server's lifetime.
+    shed: AtomicU64,
+}
+
+impl Gate {
+    fn new(budget: Option<usize>) -> Gate {
+        Gate {
+            queued: AtomicUsize::new(0),
+            budget,
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve a slot for one decoded request. `Err(depth)` means the
+    /// budget is hit: the slot is not taken and the request must be
+    /// shed. The reserve-then-check shape keeps the bound exact under
+    /// concurrent connections.
+    fn admit(&self) -> Result<(), usize> {
+        let prev = self.queued.fetch_add(1, Ordering::SeqCst);
+        match self.budget {
+            Some(budget) if prev >= budget => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err(prev)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Give back `n` slots once their requests reach the batch server
+    /// (or are refused at submission).
+    fn release(&self, n: usize) {
+        self.queued.fetch_sub(n, Ordering::SeqCst);
+    }
+}
+
 /// The TCP front-end: binds a listener and serves `program` behind
 /// deadline-driven batch admission.
 #[derive(Debug)]
@@ -239,11 +291,18 @@ impl IngressServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(Gate::new(
+            config
+                .queue_budget
+                .map(|b| b.saturating_mul(config.workers).max(1)),
+        ));
         let (tx, rx) = std::sync::mpsc::channel::<Arrival>();
         let engine_cfg = config.clone();
-        let engine = std::thread::spawn(move || engine_loop(&program, &engine_cfg, &rx));
+        let engine_gate = Arc::clone(&gate);
+        let engine =
+            std::thread::spawn(move || engine_loop(&program, &engine_cfg, &rx, &engine_gate));
         let stop2 = Arc::clone(&stop);
-        let acceptor = std::thread::spawn(move || listener_loop(&listener, &tx, &stop2));
+        let acceptor = std::thread::spawn(move || listener_loop(&listener, &tx, &stop2, &gate));
         Ok(IngressHandle {
             addr: local,
             stop,
@@ -268,18 +327,35 @@ struct Arrival {
     at: Instant,
 }
 
-fn listener_loop(listener: &TcpListener, tx: &Sender<Arrival>, stop: &Arc<AtomicBool>) {
+fn listener_loop(
+    listener: &TcpListener,
+    tx: &Sender<Arrival>,
+    stop: &Arc<AtomicBool>,
+    gate: &Arc<Gate>,
+) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
+        // Reap finished connection threads as we go: a long-lived server
+        // accepting many short connections must not grow `conns` (and
+        // retain thread resources) without bound until shutdown.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].is_finished() {
+                let _ = conns.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let tx = tx.clone();
                 let stop = Arc::clone(stop);
+                let gate = Arc::clone(gate);
                 conns.push(std::thread::spawn(move || {
-                    connection_loop(stream, &tx, &stop);
+                    connection_loop(stream, &tx, &stop, &gate);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -293,7 +369,12 @@ fn listener_loop(listener: &TcpListener, tx: &Sender<Arrival>, stop: &Arc<Atomic
     // sees the channel disconnect, drains, and exits.
 }
 
-fn connection_loop(mut stream: TcpStream, tx: &Sender<Arrival>, stop: &Arc<AtomicBool>) {
+fn connection_loop(
+    mut stream: TcpStream,
+    tx: &Sender<Arrival>,
+    stop: &Arc<AtomicBool>,
+    gate: &Gate,
+) {
     // The read timeout doubles as the stop-flag poll; FrameReader keeps
     // partial input across timeouts.
     if stream.set_read_timeout(Some(POLL)).is_err() {
@@ -308,6 +389,21 @@ fn connection_loop(mut stream: TcpStream, tx: &Sender<Arrival>, stop: &Arc<Atomi
         match reader.next_frame(&mut stream) {
             Ok(Some(payload)) => match wire::decode(&payload) {
                 Ok(Message::Request(request)) => {
+                    // Shed at the reader, before the channel: the budget
+                    // must hold even while the engine is mid-flush.
+                    if let Err(depth) = gate.admit() {
+                        let budget = gate.budget.unwrap_or(0);
+                        let e = ServeError::Overloaded { depth, budget };
+                        send_reject(
+                            &writer,
+                            request.id,
+                            RejectCode::Overloaded,
+                            depth as u64,
+                            budget as u64,
+                            &e.to_string(),
+                        );
+                        continue;
+                    }
                     let arrival = Arrival {
                         conn: Arc::clone(&writer),
                         request,
@@ -362,9 +458,17 @@ fn send_reject(
 struct Pending {
     conn: Arc<Mutex<TcpStream>>,
     client_id: u64,
+    /// When the request arrived at its connection thread; the wall-clock
+    /// epoch of the queue wait reported to the client.
+    at: Instant,
 }
 
-fn engine_loop(program: &Program, config: &IngressConfig, rx: &Receiver<Arrival>) -> IngressStats {
+fn engine_loop(
+    program: &Program,
+    config: &IngressConfig,
+    rx: &Receiver<Arrival>,
+    gate: &Gate,
+) -> IngressStats {
     let mut server = ShardedServer::new(
         program,
         config.registry.clone(),
@@ -375,9 +479,6 @@ fn engine_loop(program: &Program, config: &IngressConfig, rx: &Receiver<Arrival>
     )
     .expect("config validated by IngressServer::start");
     let capacity = config.workers.saturating_mul(config.max_batch);
-    let fleet_budget = config
-        .queue_budget
-        .map(|b| b.saturating_mul(config.workers).max(1));
     let epoch = Instant::now();
     let ticks = |t: Instant| {
         u64::try_from(t.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
@@ -400,12 +501,12 @@ fn engine_loop(program: &Program, config: &IngressConfig, rx: &Receiver<Arrival>
                 })
                 .unwrap_or(POLL);
             match rx.recv_timeout(timeout) {
-                Ok(a) => accept(a, &mut buf, fleet_budget, &mut stats),
+                Ok(a) => accept(a, &mut buf, &mut stats),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => disconnected = true,
             }
             while let Ok(a) = rx.try_recv() {
-                accept(a, &mut buf, fleet_budget, &mut stats);
+                accept(a, &mut buf, &mut stats);
             }
         }
         let full = buf.len() >= capacity;
@@ -413,42 +514,28 @@ fn engine_loop(program: &Program, config: &IngressConfig, rx: &Receiver<Arrival>
             .front()
             .is_some_and(|a| a.at.elapsed() >= config.max_wait);
         if !buf.is_empty() && (full || expired || disconnected) {
-            flush(&mut server, &mut buf, &mut next_eid, &ticks, &mut stats);
+            flush(
+                &mut server,
+                &mut buf,
+                &mut next_eid,
+                &ticks,
+                gate,
+                &mut stats,
+            );
         }
         if disconnected && buf.is_empty() {
             break;
         }
     }
+    stats.shed = gate.shed.load(Ordering::Relaxed);
     stats.peak_queue = server.peak_pending();
     stats
 }
 
-/// Buffer an arrival, or shed it immediately when the collection buffer
-/// is at the fleet budget.
-fn accept(
-    arrival: Arrival,
-    buf: &mut VecDeque<Arrival>,
-    fleet_budget: Option<usize>,
-    stats: &mut IngressStats,
-) {
-    if let Some(budget) = fleet_budget {
-        if buf.len() >= budget {
-            let e = ServeError::Overloaded {
-                depth: buf.len(),
-                budget,
-            };
-            send_reject(
-                &arrival.conn,
-                arrival.request.id,
-                RejectCode::Overloaded,
-                buf.len() as u64,
-                budget as u64,
-                &e.to_string(),
-            );
-            stats.shed += 1;
-            return;
-        }
-    }
+/// Buffer an arrival. Shedding already happened at the connection
+/// thread ([`Gate::admit`]), so everything that reaches the engine is
+/// within budget.
+fn accept(arrival: Arrival, buf: &mut VecDeque<Arrival>, stats: &mut IngressStats) {
     buf.push_back(arrival);
     stats.peak_buffered = stats.peak_buffered.max(buf.len());
 }
@@ -460,17 +547,19 @@ fn flush(
     buf: &mut VecDeque<Arrival>,
     next_eid: &mut u64,
     ticks: &dyn Fn(Instant) -> u64,
+    gate: &Gate,
     stats: &mut IngressStats,
 ) {
     // Requests are renumbered with engine-unique ids so ids chosen by
     // different connections cannot collide inside the server; the
     // client's id is restored on the reply.
     let mut outstanding: HashMap<u64, Pending> = HashMap::new();
+    let drained = buf.len();
     for Arrival { conn, request, at } in buf.drain(..) {
         let eid = *next_eid;
         *next_eid += 1;
-        // Stamp the queue entry at its real arrival time so
-        // `queued_ticks` measures the wait the client actually saw.
+        // Stamp the queue entry at its real arrival time so the shards'
+        // deadline admission sees the wait the client actually incurred.
         server.set_clock(ticks(at));
         let client_id = request.id;
         let submitted = server.submit(Request {
@@ -480,7 +569,14 @@ fn flush(
         });
         match submitted {
             Ok(()) => {
-                outstanding.insert(eid, Pending { conn, client_id });
+                outstanding.insert(
+                    eid,
+                    Pending {
+                        conn,
+                        client_id,
+                        at,
+                    },
+                );
             }
             Err(e) => {
                 let code = match e {
@@ -492,23 +588,70 @@ fn flush(
             }
         }
     }
+    gate.release(drained);
     server.set_clock(ticks(Instant::now()));
-    // Run to idle. A poisoned shard is drained and its stranded
-    // requests re-routed; bounded retries because each attempt can at
-    // worst poison one more shard.
-    let mut last_error: Option<ServeError> = None;
-    for _ in 0..=server.shards() {
+    // The instant the fleet takes over: the wall-clock end of every
+    // request's queue wait (see `deliver`).
+    let admitted = Instant::now();
+    // Run to idle, retrying as long as each failed attempt makes
+    // progress. Two recoveries per attempt:
+    //
+    // - A healthy shard stuck on a *recoverable* admission error (a
+    //   request whose tensor shapes mismatch the served spec) has the
+    //   offender sitting at its queue head. Drop it and answer its
+    //   client — left queued, it would fail admission again on every
+    //   later flush and permanently wedge the shard.
+    // - A poisoned shard's stranded queue is re-routed to healthy
+    //   shards (`drain_poisoned`); each shard can only poison once, so
+    //   this is bounded.
+    //
+    // Every progress step removes a request or drains a dead shard, so
+    // the loop terminates.
+    let mut last_error: Option<ServeError>;
+    loop {
         match server.run_until_idle() {
             Ok(responses) => {
-                deliver(responses, &mut outstanding, stats);
+                deliver(responses, &mut outstanding, admitted, stats);
                 last_error = None;
                 break;
             }
             Err(e) => {
-                deliver(server.take_ready(), &mut outstanding, stats);
+                deliver(server.take_ready(), &mut outstanding, admitted, stats);
                 last_error = Some(e);
-                if server.drain_poisoned().is_err() {
-                    break; // every shard is dead; nothing left to move
+                let mut progressed = false;
+                let poisoned = server.poisoned_shards();
+                for (i, shard_error) in server.shard_errors() {
+                    if poisoned.contains(&i) {
+                        continue; // handled by drain_poisoned below
+                    }
+                    if let Some(r) = server.reject_on(i) {
+                        progressed = true;
+                        let Some(p) = outstanding.remove(&r.id) else {
+                            continue;
+                        };
+                        // Admission errors name the queue head as the
+                        // offender; anything else (e.g. step-limit
+                        // exhaustion) is the server's fault, not the
+                        // request's.
+                        let (code, failed) = match &shard_error {
+                            ServeError::Vm(VmError::BadInputs { .. }) => {
+                                (RejectCode::BadRequest, false)
+                            }
+                            _ => (RejectCode::Internal, true),
+                        };
+                        send_reject(&p.conn, p.client_id, code, 0, 0, &shard_error.to_string());
+                        if failed {
+                            stats.failed += 1;
+                        } else {
+                            stats.rejected += 1;
+                        }
+                    }
+                }
+                if let Ok(moved) = server.drain_poisoned() {
+                    progressed = progressed || moved > 0;
+                }
+                if !progressed {
+                    break; // nothing left to unwedge; fail what remains
                 }
             }
         }
@@ -530,13 +673,21 @@ fn flush(
 fn deliver(
     responses: Vec<Response>,
     outstanding: &mut HashMap<u64, Pending>,
+    admitted: Instant,
     stats: &mut IngressStats,
 ) {
     for r in responses {
         let Some(p) = outstanding.remove(&r.id) else {
             continue;
         };
-        if let Ok(payload) = wire::encode_response(p.client_id, r.queued_ticks, &r.outputs) {
+        // The queue wait reported to the client is wall-clock: TCP
+        // arrival to the instant this flush handed the batch to the
+        // fleet. The server's own `queued_ticks` is not used here — its
+        // virtual clock can run ahead of real time after a deadline
+        // fast-forward, which would distort later stamps.
+        let queued =
+            u64::try_from(admitted.saturating_duration_since(p.at).as_nanos()).unwrap_or(u64::MAX);
+        if let Ok(payload) = wire::encode_response(p.client_id, queued, &r.outputs) {
             if let Ok(mut w) = p.conn.lock() {
                 // A vanished client is its own problem; the work is done.
                 let _ = wire::write_frame(&mut *w, &payload);

@@ -97,8 +97,9 @@ pub struct WireRequest {
 pub struct WireResponse {
     /// The id of the request this answers.
     pub id: u64,
-    /// Virtual-clock ticks (nanoseconds at the ingress boundary) the
-    /// request spent queued before admission.
+    /// Wall-clock nanoseconds the request spent queued at the ingress:
+    /// from its arrival at the server to the moment its batch was
+    /// handed to the execution fleet.
     pub queued_ticks: u64,
     /// Program outputs, bit-exact as computed.
     pub outputs: Vec<Tensor>,

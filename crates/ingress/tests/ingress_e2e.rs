@@ -174,6 +174,53 @@ fn wrong_arity_is_refused_per_request_not_per_connection() {
 }
 
 #[test]
+fn shape_mismatch_rejects_the_offender_without_wedging_the_shard() {
+    // A request with the right arity but a tensor shape that mismatches
+    // the served spec passes `submit` and fails at *batch admission* —
+    // a recoverable error on a healthy shard. The engine must drop
+    // exactly the offender (answering it with a typed reject) and keep
+    // serving: left at the queue head, the offender would fail
+    // admission again on every later flush and permanently wedge the
+    // only worker.
+    let handle = fib_server(IngressConfig {
+        workers: 1,
+        max_batch: 4,
+        max_wait: Duration::from_millis(5),
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    // First admission fixes the served input spec to [1]-shaped rows.
+    let r = client
+        .call(0, 0, &[Tensor::from_i64(&[9], &[1]).unwrap()])
+        .unwrap();
+    assert_eq!(r.outputs[0].as_i64().unwrap(), &[55]);
+    // Correct arity, wrong shape: refused per-request.
+    let bad = Tensor::from_i64(&[1, 2], &[1, 2]).unwrap();
+    match client.call(1, 1, &[bad]).unwrap_err() {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 1);
+            assert_eq!(rej.code, RejectCode::BadRequest);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    // The shard is not wedged: later well-formed requests still serve.
+    for (id, n, fib) in [(2u64, 12i64, 233i64), (3, 5, 8)] {
+        let r = client
+            .call(id, id, &[Tensor::from_i64(&[n], &[1]).unwrap()])
+            .unwrap();
+        assert_eq!(
+            r.outputs[0].as_i64().unwrap(),
+            &[fib],
+            "server wedged after the shape-mismatch reject"
+        );
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
 fn garbage_frames_get_a_bad_request_reject() {
     let handle = fib_server(IngressConfig::default());
     let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
