@@ -1,0 +1,295 @@
+//! Chaos availability — served fraction under deterministic fault
+//! injection, across fault scenarios on the supervised shard fleet.
+//!
+//! Each scenario serves the same divergent-binom request stream through
+//! a [`Supervisor`]-wrapped `ShardedServer` with a fixed-seed
+//! [`FaultPlan`]: injected execution errors, admission failures, and
+//! worker panics at increasing rates, up to a panic on *every* worker
+//! round. Availability is the fraction of requests that reach
+//! [`Outcome::Done`]; everything else must end in a typed failure —
+//! the run asserts exactly one terminal outcome per request and that
+//! every survivor is bit-identical to the fault-free reference.
+//!
+//! All metrics are counts from the deterministic fault schedule (no
+//! wall clock), so every row is bit-reproducible and safe to gate CI
+//! on: a drop in `availability` means recovery got worse, not that the
+//! machine got slower.
+//!
+//! Usage: `chaos_availability [requests] [batch]` (defaults 32, 8).
+//! `--smoke` runs a tiny configuration for CI and still writes the
+//! `results/BENCH_chaos.json` artifact the regression gate compares
+//! against `results/baselines/`.
+
+use std::collections::HashMap;
+
+use autobatch_accel::Backend;
+use autobatch_bench::{json_str, print_table, write_json};
+use autobatch_chaos::FaultPlan;
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
+use autobatch_ir::pcab::Program;
+use autobatch_lang::compile;
+use autobatch_serve::{
+    AdmissionPolicy, Outcome, Request, ShardedServer, Supervisor, SupervisorConfig,
+};
+use autobatch_tensor::{Tensor, TensorError};
+
+const WORKERS: usize = 2;
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+/// The fault scenarios swept, from none to a panic on every worker
+/// round. Rates are in the plan's parts-per-65536 scale.
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    let seed = 2025;
+    vec![
+        ("fault-free", FaultPlan::none()),
+        (
+            "exec-1in65536",
+            FaultPlan {
+                seed,
+                exec_error: 1,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "admit-1in8",
+            FaultPlan {
+                seed,
+                admit_error: FaultPlan::ALWAYS / 8,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "panic-1in2",
+            FaultPlan {
+                seed,
+                worker_panic: FaultPlan::ALWAYS / 2,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "panic-always",
+            FaultPlan {
+                seed,
+                worker_panic: FaultPlan::ALWAYS,
+                ..FaultPlan::none()
+            },
+        ),
+    ]
+}
+
+fn binom_requests(n_requests: usize) -> Result<Vec<Request>, TensorError> {
+    (0..n_requests)
+        .map(|i| {
+            let n = 10 + (i * 5 % 7) as i64; // 10..=16
+            let k = 2 + (i * 3 % 5) as i64; // 2..=6
+            Ok(Request {
+                id: i as u64,
+                inputs: vec![Tensor::from_i64(&[n], &[1])?, Tensor::from_i64(&[k], &[1])?],
+                seed: i as u64,
+            })
+        })
+        .collect()
+}
+
+struct ScenarioResult {
+    mode: &'static str,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+    respawns: u64,
+}
+
+fn run_scenario(
+    program: &Program,
+    batch: usize,
+    requests: &[Request],
+    fault: FaultPlan,
+    reference: &HashMap<u64, Vec<Tensor>>,
+    mode: &'static str,
+) -> ScenarioResult {
+    let opts = ExecOptions {
+        fault,
+        ..ExecOptions::default()
+    };
+    let policy = AdmissionPolicy::JoinAtEntry {
+        max_batch: batch,
+        min_utilization: 1.0,
+    };
+    let fleet = ShardedServer::new(
+        program,
+        KernelRegistry::new(),
+        opts,
+        policy,
+        WORKERS,
+        Backend::hybrid_cpu(),
+    )
+    .expect("fleet");
+    let mut sup = Supervisor::new(fleet, SupervisorConfig::default());
+    let mut failed = 0u64;
+    for r in requests {
+        if sup.submit(r.clone()).is_err() {
+            failed += 1;
+        }
+    }
+    let outcomes = sup.run_until_quiescent();
+    let mut completed = 0u64;
+    for o in &outcomes {
+        match o {
+            Outcome::Done(r) => {
+                assert_eq!(
+                    &r.outputs, &reference[&r.id],
+                    "{mode}: request {} drifted from the fault-free run",
+                    r.id
+                );
+                completed += 1;
+            }
+            Outcome::Failed { .. } => failed += 1,
+        }
+    }
+    assert_eq!(
+        completed + failed,
+        requests.len() as u64,
+        "{mode}: every request must reach exactly one terminal outcome"
+    );
+    assert!(
+        sup.inner().poisoned_shards().is_empty(),
+        "{mode}: the fleet must end healthy"
+    );
+    ScenarioResult {
+        mode,
+        completed,
+        failed,
+        retries: sup.retries(),
+        respawns: sup.respawns(),
+    }
+}
+
+/// Injected worker panics unwind through the fleet's worker threads;
+/// keep CI logs readable by silencing exactly those.
+fn silence_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("injected fault") {
+            prev(info);
+        }
+    }));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pos: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let (n_requests, batch) = if smoke {
+        (12, 4)
+    } else {
+        (
+            pos.first().copied().unwrap_or(32),
+            pos.get(1).copied().unwrap_or(8),
+        )
+    };
+    silence_injected_panics();
+
+    let binom_program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (binom_pc, _) = lower(&binom_program, LoweringOptions::default()).expect("binom lowers");
+    let requests = binom_requests(n_requests).expect("requests");
+
+    // The fault-free reference every survivor must match bit for bit.
+    let clean = {
+        let fleet = ShardedServer::new(
+            &binom_pc,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: batch,
+                min_utilization: 1.0,
+            },
+            WORKERS,
+            Backend::hybrid_cpu(),
+        )
+        .expect("fleet");
+        let mut sup = Supervisor::new(fleet, SupervisorConfig::default());
+        for r in &requests {
+            sup.submit(r.clone()).expect("fault-free submit");
+        }
+        sup.run_until_quiescent()
+            .into_iter()
+            .map(|o| match o {
+                Outcome::Done(r) => (r.id, r.outputs),
+                Outcome::Failed { id, error } => panic!("fault-free run failed {id}: {error}"),
+            })
+            .collect::<HashMap<_, _>>()
+    };
+
+    let results: Vec<ScenarioResult> = scenarios()
+        .into_iter()
+        .map(|(mode, fault)| run_scenario(&binom_pc, batch, &requests, fault, &clean, mode))
+        .collect();
+
+    let header = [
+        "workload",
+        "mode",
+        "workers",
+        "requests",
+        "batch",
+        "completed",
+        "failed",
+        "retries",
+        "respawns",
+        "availability",
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for r in &results {
+        let availability = r.completed as f64 / n_requests as f64;
+        rows.push(vec![
+            "divergent-binom".to_string(),
+            r.mode.to_string(),
+            WORKERS.to_string(),
+            n_requests.to_string(),
+            batch.to_string(),
+            r.completed.to_string(),
+            r.failed.to_string(),
+            r.retries.to_string(),
+            r.respawns.to_string(),
+            format!("{availability:.4}"),
+        ]);
+        json.push(vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str(r.mode)),
+            ("workers", WORKERS.to_string()),
+            ("requests", n_requests.to_string()),
+            ("batch", batch.to_string()),
+            ("completed", r.completed.to_string()),
+            ("failed", r.failed.to_string()),
+            ("retries", r.retries.to_string()),
+            ("respawns", r.respawns.to_string()),
+            ("availability", format!("{availability:.6}")),
+        ]);
+    }
+    print_table(
+        "Chaos availability: served fraction under injected faults (supervised fleet)",
+        &header,
+        &rows,
+    );
+    write_json("BENCH_chaos.json", &json);
+}

@@ -204,7 +204,11 @@ pub mod gate {
     /// - `p99_latency_s` — 99th-percentile queue latency under deadline
     ///   admission (`ingress_throughput`); computed on the
     ///   deterministic virtual clock, so it is reproducible across
-    ///   machines and gated tightly, *lower-is-better*.
+    ///   machines and gated tightly, *lower-is-better*;
+    /// - `availability` — served fraction under deterministic fault
+    ///   injection (`chaos_availability`); pure counts from the seeded
+    ///   fault schedule, bit-reproducible, gated at a quarter of the
+    ///   base tolerance — a drop means fault recovery got worse.
     ///
     /// A row is gated on every metric it carries; rows carrying none
     /// fail (the gate would otherwise silently stop guarding them).
@@ -213,6 +217,7 @@ pub mod gate {
         ("supersteps_per_s", Direction::HigherIsBetter, 3.0),
         ("allocs_per_superstep", Direction::LowerIsBetter, 0.25),
         ("p99_latency_s", Direction::LowerIsBetter, 0.25),
+        ("availability", Direction::HigherIsBetter, 0.25),
     ];
 
     /// Fields identifying a row across runs; rows are matched between

@@ -64,6 +64,15 @@ pub enum VmError {
         /// Description of the disagreement.
         what: String,
     },
+    /// A deterministic fault-injection schedule
+    /// ([`FaultPlan`](autobatch_chaos::FaultPlan)) fired at this site.
+    /// Never raised in production (the default plan is inert).
+    Injected {
+        /// Name of the injection site that fired.
+        point: &'static str,
+        /// The site's counter value when it fired.
+        counter: u64,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -98,6 +107,9 @@ impl fmt::Display for VmError {
                 expected.0, expected.1, got.0, got.1
             ),
             VmError::BadInputs { what } => write!(f, "bad batch inputs: {what}"),
+            VmError::Injected { point, counter } => {
+                write!(f, "injected fault at {point} (counter {counter})")
+            }
         }
     }
 }

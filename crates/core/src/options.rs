@@ -4,6 +4,8 @@
 //! in §2 (primitive execution strategy, block-selection heuristic) and
 //! the five compiler optimizations of §3; the ablation benches sweep them.
 
+use autobatch_chaos::FaultPlan;
+
 /// How a primitive is executed on the locally active subset of the batch
 /// (paper §2, first free choice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +83,9 @@ pub struct ExecOptions {
     /// fused loop applies the exact same scalar functions in the same
     /// order — so this knob only exists for ablation and benchmarking.
     pub fuse_elementwise: bool,
+    /// Deterministic fault-injection schedule (chaos testing). The
+    /// default plan is inert; see [`autobatch_chaos`].
+    pub fault: FaultPlan,
 }
 
 impl Default for ExecOptions {
@@ -95,6 +100,7 @@ impl Default for ExecOptions {
             dyn_schedule: DynSchedule::Agenda,
             seed: 0,
             fuse_elementwise: true,
+            fault: FaultPlan::none(),
         }
     }
 }

@@ -1411,6 +1411,17 @@ impl<'p> PcMachine<'p> {
                 limit: self.vm.opts.max_supersteps,
             });
         }
+        // Chaos hook: a scheduled execution fault fires *before* the
+        // block runs, so the machine state stays consistent (nothing is
+        // half-mutated) and a supervisor can salvage and retry. The
+        // default plan never fires.
+        let fault = &self.vm.opts.fault;
+        if fault.fires(autobatch_chaos::FaultPoint::ExecStep, self.steps) {
+            return Err(VmError::Injected {
+                point: autobatch_chaos::FaultPoint::ExecStep.name(),
+                counter: self.steps,
+            });
+        }
         self.last_active = self.vm.run_block(&mut self.st, i, &self.rng, &mut trace)?;
         Ok(true)
     }

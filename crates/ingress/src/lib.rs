@@ -35,6 +35,17 @@
 //!   channel and the engine's collection buffer, so a burst arriving
 //!   while the engine is mid-flush is shed right away instead of piling
 //!   up unboundedly in the channel until the flush returns.
+//! - **Self-healing**: the engine drives the fleet through a
+//!   [`Supervisor`]: a worker panic or injected execution fault poisons
+//!   one shard, which is salvaged and respawned while its stranded work
+//!   retries under a bounded budget. Requests that cannot be saved are
+//!   answered with typed reject frames — a client never loses a request
+//!   to a silent hang.
+//! - **Chaos**: the [`autobatch_chaos::FaultPlan`] inside
+//!   [`IngressConfig::opts`] also drives wire-level fault injection at
+//!   the connection threads (corrupted bytes, truncated frames), keyed
+//!   by a per-connection frame counter so every run replays exactly
+//!   from the seed.
 //!
 //! Determinism note: batch composition depends on real arrival times,
 //! but per-request results do not — lanes draw RNG under the request
@@ -49,6 +60,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -56,9 +68,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use autobatch_accel::Backend;
+use autobatch_chaos::{FaultPlan, FaultPoint};
 use autobatch_core::{ExecOptions, KernelRegistry, VmError};
 use autobatch_ir::pcab::Program;
-use autobatch_serve::{AdmissionPolicy, Request, Response, ServeError, ShardedServer};
+use autobatch_serve::{
+    AdmissionPolicy, Outcome, Request, Response, ServeError, ShardedServer, Supervisor,
+    SupervisorConfig,
+};
 use autobatch_tensor::Tensor;
 
 use wire::{
@@ -165,6 +181,15 @@ pub struct IngressStats {
     pub rejected: u64,
     /// Accepted requests lost to server-side execution errors.
     pub failed: u64,
+    /// Frames that arrived malformed (undecodable payloads and
+    /// non-request messages), each answered with a typed
+    /// [`BadRequest`](wire::RejectCode::BadRequest) reject.
+    pub bad_frames: u64,
+    /// Retry attempts the supervisor performed on behalf of accepted
+    /// requests (stranded, lost, or admission-faulted work).
+    pub retried: u64,
+    /// Shards respawned after a poisoning error or worker panic.
+    pub respawned: u64,
     /// Deepest the engine's collection buffer ever got.
     pub peak_buffered: usize,
     /// Deepest any shard's admission queue ever got.
@@ -223,6 +248,8 @@ struct Gate {
     budget: Option<usize>,
     /// Requests shed at the front door, over the server's lifetime.
     shed: AtomicU64,
+    /// Malformed frames refused at the connection threads.
+    bad_frames: AtomicU64,
 }
 
 impl Gate {
@@ -231,6 +258,7 @@ impl Gate {
             queued: AtomicUsize::new(0),
             budget,
             shed: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
         }
     }
 
@@ -297,12 +325,25 @@ impl IngressServer {
                 .map(|b| b.saturating_mul(config.workers).max(1)),
         ));
         let (tx, rx) = std::sync::mpsc::channel::<Arrival>();
+        let fault = config.opts.fault;
         let engine_cfg = config.clone();
         let engine_gate = Arc::clone(&gate);
-        let engine =
-            std::thread::spawn(move || engine_loop(&program, &engine_cfg, &rx, &engine_gate));
+        let engine_stop = Arc::clone(&stop);
+        let engine = std::thread::spawn(move || {
+            // Containment: an engine panic must not strand the listener
+            // and its connections forever. Flag the stop so they wind
+            // down; clients see closed sockets, not a hang.
+            catch_unwind(AssertUnwindSafe(|| {
+                engine_loop(&program, &engine_cfg, &rx, &engine_gate)
+            }))
+            .unwrap_or_else(|_| {
+                engine_stop.store(true, Ordering::Relaxed);
+                IngressStats::default()
+            })
+        });
         let stop2 = Arc::clone(&stop);
-        let acceptor = std::thread::spawn(move || listener_loop(&listener, &tx, &stop2, &gate));
+        let acceptor =
+            std::thread::spawn(move || listener_loop(&listener, &tx, &stop2, &gate, fault));
         Ok(IngressHandle {
             addr: local,
             stop,
@@ -332,6 +373,7 @@ fn listener_loop(
     tx: &Sender<Arrival>,
     stop: &Arc<AtomicBool>,
     gate: &Arc<Gate>,
+    fault: FaultPlan,
 ) {
     if listener.set_nonblocking(true).is_err() {
         return;
@@ -355,7 +397,7 @@ fn listener_loop(
                 let stop = Arc::clone(stop);
                 let gate = Arc::clone(gate);
                 conns.push(std::thread::spawn(move || {
-                    connection_loop(stream, &tx, &stop, &gate);
+                    connection_loop(stream, &tx, &stop, &gate, fault);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -374,6 +416,7 @@ fn connection_loop(
     tx: &Sender<Arrival>,
     stop: &Arc<AtomicBool>,
     gate: &Gate,
+    fault: FaultPlan,
 ) {
     // The read timeout doubles as the stop-flag poll; FrameReader keeps
     // partial input across timeouts.
@@ -384,52 +427,121 @@ fn connection_loop(
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // A client that stops reading must not wedge the engine: replies go
+    // out under a bounded write stall, after which that reply is the
+    // slow reader's loss.
+    if let Ok(w) = writer.lock() {
+        let _ = w.set_write_timeout(Some(Duration::from_secs(1)));
+    }
+    // Containment: a panic in the read loop takes down this connection
+    // only, never its siblings or the listener. The client gets a typed
+    // refusal before the socket closes.
+    let body = catch_unwind(AssertUnwindSafe(|| {
+        connection_body(&mut stream, &writer, tx, stop, gate, fault);
+    }));
+    if body.is_err() {
+        send_reject(
+            &writer,
+            0,
+            RejectCode::Internal,
+            0,
+            0,
+            "connection handler panicked",
+        );
+    }
+}
+
+fn connection_body(
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    tx: &Sender<Arrival>,
+    stop: &Arc<AtomicBool>,
+    gate: &Gate,
+    fault: FaultPlan,
+) {
     let mut reader = FrameReader::new();
+    // Wire-level chaos is keyed by this connection's frame ordinal, so
+    // a run replays bit-for-bit from the fault plan's seed.
+    let mut frames: u64 = 0;
     while !stop.load(Ordering::Relaxed) {
-        match reader.next_frame(&mut stream) {
-            Ok(Some(payload)) => match wire::decode(&payload) {
-                Ok(Message::Request(request)) => {
-                    // Shed at the reader, before the channel: the budget
-                    // must hold even while the engine is mid-flush.
-                    if let Err(depth) = gate.admit() {
-                        let budget = gate.budget.unwrap_or(0);
-                        let e = ServeError::Overloaded { depth, budget };
-                        send_reject(
-                            &writer,
-                            request.id,
-                            RejectCode::Overloaded,
-                            depth as u64,
-                            budget as u64,
-                            &e.to_string(),
-                        );
-                        continue;
+        match reader.next_frame(stream) {
+            Ok(Some(mut payload)) => {
+                frames += 1;
+                if fault.fires(FaultPoint::WireTruncate, frames) {
+                    // The frame is cut off mid-stream: from the client's
+                    // view the connection simply died.
+                    return;
+                }
+                if fault.fires(FaultPoint::WireCorrupt, frames) && !payload.is_empty() {
+                    let at = fault.corrupt_offset(frames, payload.len());
+                    payload[at] ^= 0x40;
+                }
+                match wire::decode(&payload) {
+                    Ok(Message::Request(request)) => {
+                        // Shed at the reader, before the channel: the budget
+                        // must hold even while the engine is mid-flush.
+                        if let Err(depth) = gate.admit() {
+                            let budget = gate.budget.unwrap_or(0);
+                            let e = ServeError::Overloaded { depth, budget };
+                            send_reject(
+                                writer,
+                                request.id,
+                                RejectCode::Overloaded,
+                                depth as u64,
+                                budget as u64,
+                                &e.to_string(),
+                            );
+                            continue;
+                        }
+                        let arrival = Arrival {
+                            conn: Arc::clone(writer),
+                            request,
+                            at: Instant::now(),
+                        };
+                        if tx.send(arrival).is_err() {
+                            return; // engine is gone; nothing can be served
+                        }
                     }
-                    let arrival = Arrival {
-                        conn: Arc::clone(&writer),
-                        request,
-                        at: Instant::now(),
-                    };
-                    if tx.send(arrival).is_err() {
-                        return; // engine is gone; nothing can be served
+                    Ok(_) => {
+                        gate.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        send_reject(
+                            writer,
+                            0,
+                            RejectCode::BadRequest,
+                            0,
+                            0,
+                            "clients may only send request frames",
+                        );
+                    }
+                    // Framing is intact (the frame decoded as a unit), so
+                    // the stream stays usable: refuse and keep reading.
+                    Err(e) => {
+                        gate.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        send_reject(writer, 0, RejectCode::BadRequest, 0, 0, &e.to_string());
                     }
                 }
-                Ok(_) => send_reject(
-                    &writer,
-                    0,
-                    RejectCode::BadRequest,
-                    0,
-                    0,
-                    "clients may only send request frames",
-                ),
-                // Framing is intact (the frame decoded as a unit), so
-                // the stream stays usable: refuse and keep reading.
-                Err(e) => send_reject(&writer, 0, RejectCode::BadRequest, 0, 0, &e.to_string()),
-            },
+            }
             Ok(None) => return, // clean EOF
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
             Err(_) => return,
+        }
+    }
+    // Stop was requested. Frames already on the wire can no longer be
+    // served: answer every decodable request with a typed Shutdown
+    // reject before the socket closes, so a pipelining client gets a
+    // definite refusal instead of a silent EOF.
+    while let Ok(Some(payload)) = reader.next_frame(stream) {
+        if let Ok(Message::Request(request)) = wire::decode(&payload) {
+            send_reject(
+                writer,
+                request.id,
+                RejectCode::Shutdown,
+                0,
+                0,
+                "server stopped before this request could be admitted",
+            );
         }
     }
 }
@@ -469,7 +581,7 @@ fn engine_loop(
     rx: &Receiver<Arrival>,
     gate: &Gate,
 ) -> IngressStats {
-    let mut server = ShardedServer::new(
+    let fleet = ShardedServer::new(
         program,
         config.registry.clone(),
         config.opts,
@@ -478,6 +590,10 @@ fn engine_loop(
         config.backend,
     )
     .expect("config validated by IngressServer::start");
+    // The supervisor owns fault recovery: worker panics and injected
+    // execution faults poison one shard, which is respawned and its
+    // work retried — the flush below never sees a wedged fleet.
+    let mut server = Supervisor::new(fleet, SupervisorConfig::default());
     let capacity = config.workers.saturating_mul(config.max_batch);
     let epoch = Instant::now();
     let ticks = |t: Instant| {
@@ -528,7 +644,10 @@ fn engine_loop(
         }
     }
     stats.shed = gate.shed.load(Ordering::Relaxed);
-    stats.peak_queue = server.peak_pending();
+    stats.bad_frames = gate.bad_frames.load(Ordering::Relaxed);
+    stats.retried = server.retries();
+    stats.respawned = server.respawns();
+    stats.peak_queue = server.inner().peak_pending();
     stats
 }
 
@@ -540,10 +659,11 @@ fn accept(arrival: Arrival, buf: &mut VecDeque<Arrival>, stats: &mut IngressStat
     stats.peak_buffered = stats.peak_buffered.max(buf.len());
 }
 
-/// Submit everything collected so far and drive the fleet to idle,
-/// delivering each response to its connection.
+/// Submit everything collected so far and drive the supervised fleet to
+/// quiescence, answering every request's terminal outcome on its
+/// connection.
 fn flush(
-    server: &mut ShardedServer<'_>,
+    server: &mut Supervisor<'_>,
     buf: &mut VecDeque<Arrival>,
     next_eid: &mut u64,
     ticks: &dyn Fn(Instant) -> u64,
@@ -579,12 +699,21 @@ fn flush(
                 );
             }
             Err(e) => {
-                let code = match e {
-                    ServeError::Overloaded { .. } => RejectCode::Overloaded,
-                    _ => RejectCode::BadRequest,
+                // The submission error is this request's terminal
+                // outcome. Refusals map to their wire image; an
+                // admission fault that outlasted the supervisor's retry
+                // budget is the server's fault, not the request's.
+                let (code, failed) = match e {
+                    ServeError::Overloaded { .. } => (RejectCode::Overloaded, false),
+                    ServeError::RetriesExhausted { .. } => (RejectCode::Internal, true),
+                    _ => (RejectCode::BadRequest, false),
                 };
                 send_reject(&conn, client_id, code, 0, 0, &e.to_string());
-                stats.rejected += 1;
+                if failed {
+                    stats.failed += 1;
+                } else {
+                    stats.rejected += 1;
+                }
             }
         }
     }
@@ -593,78 +722,45 @@ fn flush(
     // The instant the fleet takes over: the wall-clock end of every
     // request's queue wait (see `deliver`).
     let admitted = Instant::now();
-    // Run to idle, retrying as long as each failed attempt makes
-    // progress. Two recoveries per attempt:
-    //
-    // - A healthy shard stuck on a *recoverable* admission error (a
-    //   request whose tensor shapes mismatch the served spec) has the
-    //   offender sitting at its queue head. Drop it and answer its
-    //   client — left queued, it would fail admission again on every
-    //   later flush and permanently wedge the shard.
-    // - A poisoned shard's stranded queue is re-routed to healthy
-    //   shards (`drain_poisoned`); each shard can only poison once, so
-    //   this is bounded.
-    //
-    // Every progress step removes a request or drains a dead shard, so
-    // the loop terminates.
-    let mut last_error: Option<ServeError>;
-    loop {
-        match server.run_until_idle() {
-            Ok(responses) => {
-                deliver(responses, &mut outstanding, admitted, stats);
-                last_error = None;
-                break;
-            }
-            Err(e) => {
-                deliver(server.take_ready(), &mut outstanding, admitted, stats);
-                last_error = Some(e);
-                let mut progressed = false;
-                let poisoned = server.poisoned_shards();
-                for (i, shard_error) in server.shard_errors() {
-                    if poisoned.contains(&i) {
-                        continue; // handled by drain_poisoned below
-                    }
-                    if let Some(r) = server.reject_on(i) {
-                        progressed = true;
-                        let Some(p) = outstanding.remove(&r.id) else {
-                            continue;
-                        };
-                        // Admission errors name the queue head as the
-                        // offender; anything else (e.g. step-limit
-                        // exhaustion) is the server's fault, not the
-                        // request's.
-                        let (code, failed) = match &shard_error {
-                            ServeError::Vm(VmError::BadInputs { .. }) => {
-                                (RejectCode::BadRequest, false)
-                            }
-                            _ => (RejectCode::Internal, true),
-                        };
-                        send_reject(&p.conn, p.client_id, code, 0, 0, &shard_error.to_string());
-                        if failed {
-                            stats.failed += 1;
-                        } else {
-                            stats.rejected += 1;
-                        }
-                    }
-                }
-                if let Ok(moved) = server.drain_poisoned() {
-                    progressed = progressed || moved > 0;
-                }
-                if !progressed {
-                    break; // nothing left to unwedge; fail what remains
+    // The supervisor heals as it drives: poisoned shards are respawned,
+    // their stranded and lost work retried under a bounded budget, and
+    // every submitted request resolves to exactly one terminal outcome.
+    for outcome in server.run_until_quiescent() {
+        match outcome {
+            Outcome::Done(r) => deliver(vec![r], &mut outstanding, admitted, stats),
+            Outcome::Failed { id, error } => {
+                let Some(p) = outstanding.remove(&id) else {
+                    continue;
+                };
+                // Admission errors name the request as the offender;
+                // anything else (step-limit exhaustion, a retry budget
+                // burned on panics or exec faults) is the server's
+                // fault, not the request's.
+                let (code, failed) = match &error {
+                    ServeError::Vm(VmError::BadInputs { .. }) => (RejectCode::BadRequest, false),
+                    _ => (RejectCode::Internal, true),
+                };
+                send_reject(&p.conn, p.client_id, code, 0, 0, &error.to_string());
+                if failed {
+                    stats.failed += 1;
+                } else {
+                    stats.rejected += 1;
                 }
             }
         }
     }
     if !outstanding.is_empty() {
-        // Whatever is still outstanding was lost to an execution error
-        // (the offending member, or work stranded on dead shards).
-        for i in server.poisoned_shards() {
-            while server.reject_on(i).is_some() {}
-        }
-        let msg = last_error.map_or_else(|| "request lost".to_string(), |e| e.to_string());
+        // Unreachable under the supervisor's exactly-one-outcome
+        // contract; answered defensively so no client ever hangs.
         for (_, p) in outstanding.drain() {
-            send_reject(&p.conn, p.client_id, RejectCode::Internal, 0, 0, &msg);
+            send_reject(
+                &p.conn,
+                p.client_id,
+                RejectCode::Internal,
+                0,
+                0,
+                "request lost",
+            );
             stats.failed += 1;
         }
     }

@@ -68,6 +68,8 @@ pub enum RejectCode {
     /// The request was accepted but lost to a server-side execution
     /// error.
     Internal = 3,
+    /// The server is shutting down and will not serve this request.
+    Shutdown = 4,
 }
 
 impl RejectCode {
@@ -76,6 +78,7 @@ impl RejectCode {
             1 => Ok(RejectCode::Overloaded),
             2 => Ok(RejectCode::BadRequest),
             3 => Ok(RejectCode::Internal),
+            4 => Ok(RejectCode::Shutdown),
             other => Err(ProtocolError(format!("unknown reject code {other}"))),
         }
     }
@@ -135,6 +138,13 @@ impl fmt::Display for WireReject {
                 write!(
                     f,
                     "request {} failed server-side: {}",
+                    self.id, self.message
+                )
+            }
+            RejectCode::Shutdown => {
+                write!(
+                    f,
+                    "request {} refused: server shutting down ({})",
                     self.id, self.message
                 )
             }

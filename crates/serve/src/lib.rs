@@ -47,15 +47,18 @@
 use std::collections::VecDeque;
 
 use autobatch_accel::Trace;
+use autobatch_chaos::{FaultPlan, FaultPoint};
 use autobatch_core::{ExecOptions, KernelRegistry, PcMachine, VmError};
 use autobatch_ir::pcab::Program;
 use autobatch_tensor::Tensor;
 
 pub mod nuts_driver;
 pub mod shard;
+pub mod supervisor;
 
 pub use nuts_driver::{ChainResponse, NutsServer};
-pub use shard::{ShardPlan, ShardedServer};
+pub use shard::{ShardHealth, ShardPlan, ShardedServer};
+pub use supervisor::{Outcome, Supervisor, SupervisorConfig};
 
 /// Errors from the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +79,25 @@ pub enum ServeError {
         /// The configured queue budget that was hit.
         budget: usize,
     },
+    /// A worker thread panicked. The panic was caught at the shard
+    /// boundary and converted into this typed poison — one shard dies,
+    /// not the fleet — so completed work stays salvageable and a
+    /// [`Supervisor`] can respawn the shard.
+    Panicked {
+        /// The panic message, as far as it could be recovered.
+        what: String,
+    },
+    /// A supervised request failed on every attempt its retry budget
+    /// allowed; `last` is the error that killed the final attempt. The
+    /// typed terminal answer a [`Supervisor`] gives up with.
+    RetriesExhausted {
+        /// The request id.
+        id: u64,
+        /// Attempts consumed beyond the first try.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<ServeError>,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -86,6 +108,16 @@ impl std::fmt::Display for ServeError {
             ServeError::BadPolicy(what) => write!(f, "bad policy: {what}"),
             ServeError::Overloaded { depth, budget } => {
                 write!(f, "overloaded: queue depth {depth} at budget {budget}")
+            }
+            ServeError::Panicked { what } => {
+                write!(f, "worker thread panicked: {what}")
+            }
+            ServeError::RetriesExhausted { id, attempts, last } => {
+                write!(
+                    f,
+                    "request {id} exhausted its retry budget after {attempts} \
+                     retries; last error: {last}"
+                )
             }
         }
     }
@@ -285,6 +317,13 @@ pub struct BatchServer<'p> {
     /// The machine's cumulative superstep budget, kept to report
     /// [`VmError::StepLimit`] when exhaustion blocks pending admissions.
     step_limit: u64,
+    /// The chaos schedule in force (a copy of `opts.fault`; inert by
+    /// default). Admission faults roll against `fault_rolls`.
+    fault: FaultPlan,
+    /// Submission attempts rolled against the admission fault site.
+    /// Counts every [`BatchServer::submit`] call, so a retried request
+    /// re-rolls instead of deterministically re-failing.
+    fault_rolls: u64,
     submitted: u64,
     completed: u64,
 }
@@ -307,6 +346,8 @@ impl<'p> BatchServer<'p> {
         policy.validate()?;
         Ok(BatchServer {
             step_limit: opts.max_supersteps,
+            fault: opts.fault,
+            fault_rolls: 0,
             machine: PcMachine::new(program, registry, opts),
             policy,
             queue: VecDeque::new(),
@@ -423,6 +464,17 @@ impl<'p> BatchServer<'p> {
                     budget,
                 });
             }
+        }
+        // Chaos hook: an injected admission failure refuses a request
+        // that would otherwise have been enqueued (arity and budget
+        // passed). Every call rolls a fresh counter, so a supervised
+        // retry re-rolls instead of deterministically re-failing.
+        self.fault_rolls += 1;
+        if self.fault.fires(FaultPoint::Admission, self.fault_rolls) {
+            return Err(ServeError::Vm(VmError::Injected {
+                point: FaultPoint::Admission.name(),
+                counter: self.fault_rolls,
+            }));
         }
         self.queue.push_back((request, self.clock));
         self.peak_pending = self.peak_pending.max(self.queue.len());
@@ -581,6 +633,24 @@ impl<'p> BatchServer<'p> {
     /// half-mutated); drain [`BatchServer::take_ready`] and rebuild.
     pub fn poisoned(&self) -> Option<&ServeError> {
         self.poisoned.as_ref()
+    }
+
+    /// Poison the server from outside the step path — the containment
+    /// hook for faults that invalidate machine state without surfacing
+    /// through [`BatchServer::run_until_idle`], e.g. a panic caught at a
+    /// worker-thread boundary (the machine may be mid-superstep).
+    /// Completed work stays salvageable via [`BatchServer::take_ready`]
+    /// and the queue stays drainable via [`BatchServer::reject`].
+    pub fn poison(&mut self, error: ServeError) {
+        self.poisoned = Some(error);
+    }
+
+    /// Ids of requests admitted into the machine but not yet retired.
+    /// After a poisoning fault these are the requests whose work is
+    /// unrecoverable from this machine — the set a supervisor must
+    /// retry elsewhere.
+    pub fn in_flight_ids(&self) -> Vec<u64> {
+        self.in_flight.iter().map(|&(_, id, _, _)| id).collect()
     }
 
     /// Drive the server until the queue and the machine are both empty,

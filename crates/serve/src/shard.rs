@@ -30,12 +30,25 @@
 //! profile, in the spirit of backend-description-driven retargeting.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use autobatch_accel::{Backend, Trace};
+use autobatch_chaos::FaultPoint;
 use autobatch_core::{ExecOptions, KernelRegistry};
 use autobatch_ir::pcab::Program;
 
 use crate::{AdmissionPolicy, BatchServer, Request, Response, Result, ServeError};
+
+/// Recover a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A backend-derived sharding configuration: how many worker threads to
 /// run and how wide each worker's batch should be.
@@ -106,6 +119,25 @@ struct Shard<'p> {
     server: BatchServer<'p>,
     trace: Trace,
     last_error: Option<ServeError>,
+    /// Sticky copy of the most recent error ever surfaced — unlike
+    /// `last_error` it survives later successful runs and respawns, so
+    /// health reporting can say *why* a shard was last respawned.
+    fault_record: Option<ServeError>,
+    /// How many times this slot's server has been rebuilt.
+    respawns: u64,
+}
+
+/// Observability snapshot of one shard slot, for fleet health reporting
+/// (see [`ShardedServer::health`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealth {
+    /// Times this slot's `BatchServer` + `PcMachine` were rebuilt.
+    pub respawns: u64,
+    /// The most recent error the slot ever surfaced (sticky across
+    /// respawns and later successes), if any.
+    pub last_error: Option<ServeError>,
+    /// Whether the slot can currently accept and run work.
+    pub healthy: bool,
 }
 
 impl Shard<'_> {
@@ -162,6 +194,26 @@ impl Shard<'_> {
 pub struct ShardedServer<'p> {
     shards: Vec<Shard<'p>>,
     backend: Backend,
+    /// Construction inputs, kept so a dead shard can be rebuilt in
+    /// place ([`ShardedServer::respawn_shard`]) with a fresh
+    /// `BatchServer` + `PcMachine`.
+    program: &'p Program,
+    registry: KernelRegistry,
+    opts: ExecOptions,
+    policy: AdmissionPolicy,
+    /// The fleet clock high-water mark, replayed onto respawned shards.
+    clock: u64,
+    /// Next fault-stream epoch handed to a respawned shard, so a
+    /// deterministic [`FaultPlan`](autobatch_chaos::FaultPlan) does not
+    /// re-kill the replacement at the exact same superstep forever.
+    next_fault_epoch: u64,
+    /// Fleet-level run rounds, the counter behind worker-panic and
+    /// worker-slowness injection.
+    fault_round: u64,
+    /// Lifetime completions on servers that were since respawned.
+    retired_completed: u64,
+    /// Peak queue depth on servers that were since respawned.
+    retired_peak: usize,
     /// Per-shard load-shedding budget (mirrors each shard's
     /// [`BatchServer::set_queue_budget`]); kept here so routing can
     /// report a fleet-level [`ServeError::Overloaded`].
@@ -201,18 +253,37 @@ impl<'p> ShardedServer<'p> {
                 "a sharded server needs at least one worker".into(),
             ));
         }
+        let base_epoch = opts.fault.epoch;
         let shards = (0..workers)
-            .map(|_| {
+            .map(|i| {
+                // Each shard gets its own fault-stream epoch so the
+                // execution-fault schedules of sibling machines are
+                // independent (an inert plan is unaffected).
+                let shard_opts = ExecOptions {
+                    fault: opts.fault.with_epoch(base_epoch + i as u64),
+                    ..opts
+                };
                 Ok(Shard {
-                    server: BatchServer::new(program, registry.clone(), opts, policy)?,
+                    server: BatchServer::new(program, registry.clone(), shard_opts, policy)?,
                     trace: Trace::new(backend),
                     last_error: None,
+                    fault_record: None,
+                    respawns: 0,
                 })
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(ShardedServer {
             shards,
             backend,
+            program,
+            registry,
+            opts,
+            policy,
+            clock: 0,
+            next_fault_epoch: base_epoch + workers as u64,
+            fault_round: 0,
+            retired_completed: 0,
+            retired_peak: 0,
             queue_budget: None,
             next_seq: 0,
             order: BTreeMap::new(),
@@ -221,8 +292,10 @@ impl<'p> ShardedServer<'p> {
     }
 
     /// Advance every shard's virtual clock to `now` (monotonic). See
-    /// [`BatchServer::set_clock`].
+    /// [`BatchServer::set_clock`]. Respawned shards inherit the high-
+    /// water mark, so a rebuild never turns the clock back.
     pub fn set_clock(&mut self, now: u64) {
+        self.clock = self.clock.max(now);
         for s in &mut self.shards {
             s.server.set_clock(now);
         }
@@ -239,13 +312,15 @@ impl<'p> ShardedServer<'p> {
         }
     }
 
-    /// The deepest any single shard's queue has ever been.
+    /// The deepest any single shard's queue has ever been (including on
+    /// servers since respawned).
     pub fn peak_pending(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.server.peak_pending())
             .max()
             .unwrap_or(0)
+            .max(self.retired_peak)
     }
 
     /// Create a sharded server sized by a backend-derived [`ShardPlan`].
@@ -288,9 +363,19 @@ impl<'p> ShardedServer<'p> {
         self.next_seq
     }
 
-    /// Requests completed over the server's lifetime.
+    /// Requests completed over the server's lifetime (including on
+    /// servers since respawned).
     pub fn completed(&self) -> u64 {
-        self.shards.iter().map(|s| s.server.completed()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.server.completed())
+            .sum::<u64>()
+            + self.retired_completed
+    }
+
+    /// Requests currently admitted into shard machines (fleet-wide).
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.server.in_flight()).sum()
     }
 
     /// The routing load of shard `i`: live members (per [`Trace`]
@@ -321,6 +406,95 @@ impl<'p> ShardedServer<'p> {
             .enumerate()
             .filter_map(|(i, s)| s.last_error.clone().map(|e| (i, e)))
             .collect()
+    }
+
+    /// Per-slot health snapshot: respawn count, the most recent error
+    /// ever surfaced (sticky across respawns), and current liveness.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .map(|s| ShardHealth {
+                respawns: s.respawns,
+                last_error: s.fault_record.clone(),
+                healthy: !s.poisoned(),
+            })
+            .collect()
+    }
+
+    /// Total shard respawns over the fleet's lifetime.
+    pub fn respawns(&self) -> u64 {
+        self.shards.iter().map(|s| s.respawns).sum()
+    }
+
+    /// Tear down shard `i`'s server and rebuild it in place with a
+    /// fresh `BatchServer` + `PcMachine` (same program, registry,
+    /// options, policy; fleet clock and queue budget restored; a fresh
+    /// fault-stream epoch so a deterministic fault plan does not re-kill
+    /// the replacement on schedule). The recovery move for a shard
+    /// poisoned by an execution error or panic, or wedged by step-limit
+    /// exhaustion.
+    ///
+    /// Work the old server had is triaged, never silently dropped:
+    ///
+    /// - **completed** responses are salvaged into the shared ready
+    ///   buffer ([`ShardedServer::take_ready`] returns them);
+    /// - **queued** requests (never admitted) are returned in
+    ///   `(stranded, _)`, still holding their original submission
+    ///   sequence — re-route them with [`ShardedServer::resubmit`];
+    /// - **in-flight** requests (admitted, not retired) died with the
+    ///   machine; their ids are returned in `(_, lost)` so a supervisor
+    ///   can retry them from its own copies.
+    pub fn respawn_shard(&mut self, i: usize) -> (Vec<Request>, Vec<u64>) {
+        for r in self.shards[i].server.take_ready() {
+            let seq = Self::pop_seq(&mut self.order, r.id);
+            self.ready.push((seq, r));
+        }
+        let lost = self.shards[i].server.in_flight_ids();
+        let mut stranded = Vec::new();
+        while let Some(r) = self.shards[i].server.reject() {
+            stranded.push(r);
+        }
+        let epoch = self.next_fault_epoch;
+        self.next_fault_epoch += 1;
+        let opts = ExecOptions {
+            fault: self.opts.fault.with_epoch(epoch),
+            ..self.opts
+        };
+        let mut server = BatchServer::new(self.program, self.registry.clone(), opts, self.policy)
+            .expect("policy was validated when the fleet was built");
+        server.set_clock(self.clock);
+        server.set_queue_budget(self.queue_budget);
+        self.retired_completed += self.shards[i].server.completed();
+        self.retired_peak = self.retired_peak.max(self.shards[i].server.peak_pending());
+        self.shards[i] = Shard {
+            server,
+            trace: Trace::new(self.backend),
+            last_error: None,
+            fault_record: self.shards[i].fault_record.take(),
+            respawns: self.shards[i].respawns + 1,
+        };
+        (stranded, lost)
+    }
+
+    /// Re-route a request that was already accepted once (its original
+    /// submission sequence is still on file, so aggregation order and
+    /// the lifetime [`ShardedServer::submitted`] count are unchanged).
+    /// Bypasses the queue budget — the request was admitted under it
+    /// the first time.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedServer::submit`], minus shedding.
+    pub fn resubmit(&mut self, request: Request) -> Result<()> {
+        self.route(request, false)
+    }
+
+    /// Forget the pending submission sequence of one `id` whose request
+    /// reached a terminal failure outside a shard (e.g. its retry
+    /// budget ran out) — without this, a later reuse of the id would
+    /// pop the dead request's slot and mis-order its response.
+    pub(crate) fn abandon_seq(&mut self, id: u64) {
+        Self::pop_seq(&mut self.order, id);
     }
 
     /// The fleet-wide trace: per-shard traces folded with
@@ -390,9 +564,16 @@ impl<'p> ShardedServer<'p> {
     }
 
     /// Drop and return the request at the head of shard `i`'s queue —
-    /// the one a failed admission on that shard names.
+    /// the one a failed admission on that shard names. On a healthy
+    /// shard this consumes the recorded error (the offender was the
+    /// error), so [`ShardedServer::shard_errors`] stops reporting it;
+    /// the sticky health record ([`ShardHealth::last_error`]) survives.
     pub fn reject_on(&mut self, shard: usize) -> Option<Request> {
-        self.shards[shard].server.reject()
+        let rejected = self.shards[shard].server.reject();
+        if rejected.is_some() && !self.shards[shard].poisoned() {
+            self.shards[shard].last_error = None;
+        }
+        rejected
     }
 
     /// Re-route every request queued on a poisoned shard to the healthy
@@ -472,6 +653,17 @@ impl<'p> ShardedServer<'p> {
     /// cannot run); their error is *not* re-raised, so healthy shards
     /// keep serving.
     ///
+    /// # Panic containment
+    ///
+    /// Each worker body runs under `catch_unwind`: a panic while
+    /// driving one shard — from a VM bug or an injected
+    /// [`FaultPoint::WorkerPanic`] — is converted into a typed
+    /// [`ServeError::Panicked`] that poisons *that shard only*, instead
+    /// of unwinding through the scoped-thread fleet and aborting every
+    /// sibling. The poisoned shard's completed work is salvaged like
+    /// any other poisoning error, and [`ShardedServer::respawn_shard`]
+    /// puts the slot back in rotation.
+    ///
     /// # Errors
     ///
     /// If any shard errors this call, the first such error (by shard
@@ -483,22 +675,66 @@ impl<'p> ShardedServer<'p> {
     /// [`BatchServer::run_until_idle`] contract shard-locally:
     /// [`ShardedServer::reject_on`] unblocks the named shard.
     pub fn run_until_idle(&mut self) -> Result<Vec<Response>> {
+        let round = self.fault_round;
+        self.fault_round += 1;
+        let nshards = self.shards.len() as u64;
+        let fault = self.opts.fault;
         let results: Vec<Option<Result<Vec<Response>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .map(|shard| {
+                .enumerate()
+                .map(|(i, shard)| {
                     scope.spawn(move || {
                         if shard.server.poisoned().is_some() {
                             return None;
                         }
-                        Some(shard.server.run_until_idle(Some(&mut shard.trace)))
+                        // One fleet-unique counter per (round, shard):
+                        // the chaos schedule for worker-level faults.
+                        let counter = round * nshards + i as u64;
+                        if fault.fires(FaultPoint::WorkerSlow, counter) {
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                fault.delay_micros(counter),
+                            ));
+                        }
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            if fault.fires(FaultPoint::WorkerPanic, counter) {
+                                panic!(
+                                    "injected fault at {} (counter {counter})",
+                                    FaultPoint::WorkerPanic.name()
+                                );
+                            }
+                            shard.server.run_until_idle(Some(&mut shard.trace))
+                        }));
+                        Some(match run {
+                            Ok(outcome) => outcome,
+                            Err(payload) => {
+                                // The machine may be mid-superstep;
+                                // poison the shard so nothing drives it
+                                // again before a respawn.
+                                let e = ServeError::Panicked {
+                                    what: panic_message(payload),
+                                };
+                                shard.server.poison(e.clone());
+                                Err(e)
+                            }
+                        })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| {
+                    // catch_unwind above makes a worker panic
+                    // unreachable here in practice; stay defensive
+                    // anyway (e.g. a panic thrown while dropping the
+                    // first payload) instead of taking down the fleet.
+                    h.join().unwrap_or_else(|payload| {
+                        Some(Err(ServeError::Panicked {
+                            what: panic_message(payload),
+                        }))
+                    })
+                })
                 .collect()
         });
         let mut first_error: Option<ServeError> = None;
@@ -513,6 +749,13 @@ impl<'p> ShardedServer<'p> {
                     }
                 }
                 Some(Err(e)) => {
+                    // A panic that somehow escaped the in-thread
+                    // containment still has to poison its shard.
+                    if matches!(e, ServeError::Panicked { .. })
+                        && self.shards[i].server.poisoned().is_none()
+                    {
+                        self.shards[i].server.poison(e.clone());
+                    }
                     // Salvage whatever the failing shard completed
                     // before the error (take_ready never drives the
                     // machine, so this is safe even when poisoned).
@@ -521,6 +764,7 @@ impl<'p> ShardedServer<'p> {
                         self.ready.push((seq, r));
                     }
                     self.shards[i].last_error = Some(e.clone());
+                    self.shards[i].fault_record = Some(e.clone());
                     first_error.get_or_insert(e);
                 }
             }

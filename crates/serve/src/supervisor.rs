@@ -1,0 +1,384 @@
+//! Self-healing supervision over the sharded fleet.
+//!
+//! [`ShardedServer`] contains faults (a poisoned shard cannot hurt its
+//! siblings) but does not *recover* from them: a poisoned shard stays
+//! out of rotation until an operator calls
+//! [`ShardedServer::drain_poisoned`] by hand, and work that was in
+//! flight on the dead machine is simply gone. [`Supervisor`] closes
+//! that loop:
+//!
+//! - after every fleet round it **triages** failed shards: recoverable
+//!   admission offenders are answered with their typed error and
+//!   dropped; poisoned (execution error, caught panic) and
+//!   step-limit-exhausted shards are **respawned in place** with a
+//!   fresh `BatchServer` + `PcMachine`;
+//! - work the dead machine stranded (queued) or lost (in flight) is
+//!   **retried** under a bounded per-request retry budget with
+//!   round-based backoff, from the supervisor's own copy of each
+//!   request;
+//! - a request whose budget runs out gets a **typed terminal error**
+//!   ([`ServeError::RetriesExhausted`]) instead of silence.
+//!
+//! The contract, proven by the chaos property suite
+//! (`crates/serve/tests/chaos.rs`): under any seeded
+//! [`FaultPlan`](autobatch_chaos::FaultPlan), every submitted request
+//! reaches **exactly one terminal outcome** ([`Outcome::Done`] or
+//! [`Outcome::Failed`]), every surviving response is **bit-identical**
+//! to the fault-free run (retries re-execute from scratch and the
+//! counter-based RNG is keyed by the request seed, not placement), and
+//! the fleet ends **healthy** (every dead shard respawned).
+//!
+//! Backoff is measured in fleet rounds, not wall clock, so supervised
+//! runs stay deterministic and replayable.
+
+use std::collections::HashMap;
+
+use autobatch_core::VmError;
+
+use crate::shard::ShardHealth;
+use crate::{Request, Response, Result, ServeError, ShardedServer};
+
+/// Retry discipline of a [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// How many times one request may be retried (beyond its first
+    /// attempt) before it is answered with
+    /// [`ServeError::RetriesExhausted`].
+    pub retry_budget: u32,
+    /// Backoff slope, in fleet rounds per accumulated attempt: a
+    /// request on its `n`-th retry is parked for `backoff_rounds * n`
+    /// rounds before re-entering the queue. Values below 1 behave as 1.
+    pub backoff_rounds: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            retry_budget: 3,
+            backoff_rounds: 1,
+        }
+    }
+}
+
+/// The terminal outcome of one supervised request.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The request completed; the response is bit-identical to what a
+    /// fault-free run would have produced.
+    Done(Response),
+    /// The request failed for good: a typed error after triage (bad
+    /// admission) or after its retry budget ran out.
+    Failed {
+        /// The request id.
+        id: u64,
+        /// Why the supervisor gave up.
+        error: ServeError,
+    },
+}
+
+impl Outcome {
+    /// The request id this outcome answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Outcome::Done(r) => r.id,
+            Outcome::Failed { id, .. } => *id,
+        }
+    }
+
+    /// Whether the request completed successfully.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Outcome::Done(_))
+    }
+}
+
+/// A self-healing wrapper around [`ShardedServer`]: respawns dead
+/// shards, retries their stranded and lost work under a bounded budget,
+/// and turns every failure into a typed terminal [`Outcome`].
+///
+/// # Examples
+///
+/// ```
+/// use autobatch_accel::Backend;
+/// use autobatch_core::{lower, KernelRegistry, LoweringOptions, ExecOptions};
+/// use autobatch_ir::build::fibonacci_program;
+/// use autobatch_serve::{
+///     AdmissionPolicy, Request, ShardedServer, Supervisor, SupervisorConfig,
+/// };
+/// use autobatch_tensor::Tensor;
+///
+/// let (program, _) = lower(&fibonacci_program(), LoweringOptions::default())?;
+/// let policy = AdmissionPolicy::JoinAtEntry { max_batch: 2, min_utilization: 1.0 };
+/// let fleet = ShardedServer::new(
+///     &program, KernelRegistry::new(), ExecOptions::default(), policy, 2,
+///     Backend::hybrid_cpu(),
+/// )?;
+/// let mut sup = Supervisor::new(fleet, SupervisorConfig::default());
+/// for (id, n) in [(0u64, 6i64), (1, 9)] {
+///     sup.submit(Request { id, inputs: vec![Tensor::from_i64(&[n], &[1])?], seed: id })?;
+/// }
+/// let outcomes = sup.run_until_quiescent();
+/// assert!(outcomes.iter().all(|o| o.is_done()));
+/// assert!(sup.inner().poisoned_shards().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Supervisor<'p> {
+    inner: ShardedServer<'p>,
+    config: SupervisorConfig,
+    /// id → (a retryable copy of the request, attempts consumed).
+    tracked: HashMap<u64, (Request, u32)>,
+    /// Requests awaiting a backoff release: `(request, release_round)`.
+    parked: Vec<(Request, u64)>,
+    /// Terminal failures accumulated between drains.
+    failed: Vec<Outcome>,
+    /// Fleet rounds driven so far — the virtual time backoff counts in.
+    round: u64,
+    /// Retry attempts performed over the supervisor's lifetime.
+    retries: u64,
+}
+
+impl<'p> Supervisor<'p> {
+    /// Supervise an existing fleet.
+    pub fn new(inner: ShardedServer<'p>, config: SupervisorConfig) -> Supervisor<'p> {
+        Supervisor {
+            inner,
+            config,
+            tracked: HashMap::new(),
+            parked: Vec::new(),
+            failed: Vec::new(),
+            round: 0,
+            retries: 0,
+        }
+    }
+
+    /// The supervised fleet, for observability
+    /// ([`ShardedServer::health`], traces, counters).
+    pub fn inner(&self) -> &ShardedServer<'p> {
+        &self.inner
+    }
+
+    /// Advance the fleet's virtual clock. See [`ShardedServer::set_clock`].
+    pub fn set_clock(&mut self, now: u64) {
+        self.inner.set_clock(now);
+    }
+
+    /// Bound every shard's queue depth. See
+    /// [`ShardedServer::set_queue_budget`].
+    pub fn set_queue_budget(&mut self, budget: Option<usize>) {
+        self.inner.set_queue_budget(budget);
+    }
+
+    /// Total shard respawns performed so far.
+    pub fn respawns(&self) -> u64 {
+        self.inner.respawns()
+    }
+
+    /// Total retry attempts performed so far (inline admission retries
+    /// plus requeues of stranded/lost work).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Per-shard health: respawn count, last recorded error, liveness.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.inner.health()
+    }
+
+    /// Requests tracked but not yet resolved to a terminal outcome.
+    pub fn outstanding(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Submit a request for supervised execution. An injected admission
+    /// fault is retried inline up to the retry budget; real refusals
+    /// (bad arity, overload) pass straight through — the caller owns
+    /// that terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] / [`ServeError::Overloaded`] as
+    /// [`ShardedServer::submit`]; [`ServeError::RetriesExhausted`] when
+    /// injected admission faults outlasted the budget. In every error
+    /// case the request is **not** tracked: the error *is* its terminal
+    /// outcome.
+    pub fn submit(&mut self, request: Request) -> Result<()> {
+        // A fleet left sick by a previous drive (or a panic mid-run)
+        // must not refuse new work: heal before routing.
+        if !self.inner.poisoned_shards().is_empty() {
+            self.heal();
+        }
+        let mut attempts = 0u32;
+        loop {
+            match self.inner.submit(request.clone()) {
+                Ok(()) => {
+                    self.tracked.insert(request.id, (request, 0));
+                    return Ok(());
+                }
+                Err(e @ ServeError::Vm(VmError::Injected { .. })) => {
+                    if attempts >= self.config.retry_budget {
+                        return Err(ServeError::RetriesExhausted {
+                            id: request.id,
+                            attempts,
+                            last: Box::new(e),
+                        });
+                    }
+                    attempts += 1;
+                    self.retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drive the fleet until every tracked request has a terminal
+    /// outcome, healing as it goes: each round runs the shards to idle,
+    /// salvages and respawns dead shards, retries their stranded and
+    /// lost work (with backoff), and rejects unrecoverable admissions.
+    /// Returns the outcomes accumulated since the last drain, in
+    /// resolution order.
+    ///
+    /// Quiescence is guaranteed: every failing round burns retry
+    /// attempts from a bounded per-request budget, so even a fault plan
+    /// that fires on every round terminates with typed
+    /// [`Outcome::Failed`] answers — and a healthy fleet.
+    pub fn run_until_quiescent(&mut self) -> Vec<Outcome> {
+        let mut outcomes = Vec::new();
+        loop {
+            self.triage();
+            self.heal();
+            // Salvaged completions from triage/heal (and any left over
+            // from an errored previous drive).
+            for r in self.inner.take_ready() {
+                self.tracked.remove(&r.id);
+                outcomes.push(Outcome::Done(r));
+            }
+            // Release parked retries whose backoff expired; if the
+            // fleet is otherwise idle, fast-forward to the next release
+            // instead of spinning empty rounds.
+            if !self.parked.is_empty() && self.inner.pending() == 0 && self.inner.in_flight() == 0 {
+                let next = self
+                    .parked
+                    .iter()
+                    .map(|&(_, release)| release)
+                    .min()
+                    .expect("parked is non-empty");
+                self.round = self.round.max(next);
+            }
+            let round = self.round;
+            let due: Vec<Request> = {
+                let (due, rest): (Vec<_>, Vec<_>) = self
+                    .parked
+                    .drain(..)
+                    .partition(|&(_, release)| release <= round);
+                self.parked = rest;
+                due.into_iter().map(|(r, _)| r).collect()
+            };
+            for r in due {
+                // Re-entry may itself fail (injected admission fault):
+                // that burns another attempt like any failed try.
+                if let Err(e) = self.inner.resubmit(r.clone()) {
+                    self.requeue(r, e);
+                }
+            }
+            outcomes.append(&mut self.failed);
+            if self.inner.pending() == 0 && self.inner.in_flight() == 0 && self.parked.is_empty() {
+                return outcomes;
+            }
+            self.round += 1;
+            let completed = match self.inner.run_until_idle() {
+                Ok(responses) => responses,
+                // The error is recorded per shard; triage/heal at the
+                // top of the next iteration act on it. Completed work
+                // is salvaged either way.
+                Err(_) => self.inner.take_ready(),
+            };
+            for r in completed {
+                self.tracked.remove(&r.id);
+                outcomes.push(Outcome::Done(r));
+            }
+        }
+    }
+
+    /// Answer recoverable admission offenders with their typed error.
+    /// (A failed batch admission leaves the offender at its shard's
+    /// queue head; left there it would wedge the shard forever.)
+    fn triage(&mut self) {
+        let poisoned = self.inner.poisoned_shards();
+        for (i, e) in self.inner.shard_errors() {
+            if poisoned.contains(&i) || matches!(e, ServeError::Vm(VmError::StepLimit { .. })) {
+                continue; // heal() owns these
+            }
+            if let Some(r) = self.inner.reject_on(i) {
+                self.tracked.remove(&r.id);
+                self.inner.abandon_seq(r.id);
+                self.failed.push(Outcome::Failed { id: r.id, error: e });
+            }
+        }
+    }
+
+    /// Respawn every dead shard (poisoned or step-limit-exhausted) and
+    /// requeue the work it stranded or lost.
+    fn heal(&mut self) {
+        let errors: HashMap<usize, ServeError> = self.inner.shard_errors().into_iter().collect();
+        let mut sick = self.inner.poisoned_shards();
+        for (&i, e) in &errors {
+            if matches!(e, ServeError::Vm(VmError::StepLimit { .. })) && !sick.contains(&i) {
+                sick.push(i);
+            }
+        }
+        sick.sort_unstable();
+        for i in sick {
+            let cause = errors
+                .get(&i)
+                .cloned()
+                .unwrap_or_else(|| ServeError::Panicked {
+                    what: "shard died without a recorded error".into(),
+                });
+            let (stranded, lost) = self.inner.respawn_shard(i);
+            for r in stranded {
+                self.requeue(r, cause.clone());
+            }
+            for id in lost {
+                // Retried from the supervisor's copy; an id no longer
+                // tracked already completed (salvaged) — nothing lost.
+                if let Some(r) = self.tracked.get(&id).map(|(r, _)| r.clone()) {
+                    self.requeue(r, cause.clone());
+                }
+            }
+        }
+    }
+
+    /// Charge one failed attempt to `request`: park it for backoff, or
+    /// answer it with [`ServeError::RetriesExhausted`] if the budget is
+    /// spent.
+    fn requeue(&mut self, request: Request, cause: ServeError) {
+        self.retries += 1;
+        let attempts = match self.tracked.get_mut(&request.id) {
+            Some((_, a)) => {
+                *a += 1;
+                *a
+            }
+            None => {
+                // Defensive: an untracked stray gets tracked now so its
+                // budget is still bounded.
+                self.tracked.insert(request.id, (request.clone(), 1));
+                1
+            }
+        };
+        if attempts > self.config.retry_budget {
+            self.tracked.remove(&request.id);
+            self.inner.abandon_seq(request.id);
+            self.failed.push(Outcome::Failed {
+                id: request.id,
+                error: ServeError::RetriesExhausted {
+                    id: request.id,
+                    attempts,
+                    last: Box::new(cause),
+                },
+            });
+        } else {
+            let release = self.round + self.config.backoff_rounds.max(1) * attempts as u64;
+            self.parked.push((request, release));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Chaos suite for the self-healing supervisor: deterministic fault
+//! injection (seeded [`FaultPlan`]) must never perturb surviving
+//! results or lose a request.
+//!
+//! The headline property: under any seed and any mix of injected
+//! execution errors, admission failures, worker panics, and artificial
+//! slowness, every submitted request reaches **exactly one** terminal
+//! outcome, every surviving response is **bit-identical** to the
+//! fault-free run, and the fleet ends healthy (no poisoned shards).
+
+use std::collections::HashMap;
+
+use autobatch_accel::Backend;
+use autobatch_chaos::FaultPlan;
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
+use autobatch_ir::build::fibonacci_program;
+use autobatch_ir::pcab::Program;
+use autobatch_serve::{
+    AdmissionPolicy, Outcome, Request, ServeError, ShardedServer, Supervisor, SupervisorConfig,
+};
+use autobatch_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Silence the default panic hook for injected worker panics only:
+/// libtest cannot capture panic output from the fleet's scoped worker
+/// threads, and a chaos run injects hundreds of them. Real panics
+/// (assertion failures included) still print normally.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("injected fault") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn fib_program() -> Program {
+    let (program, _) = lower(&fibonacci_program(), LoweringOptions::default()).expect("lower");
+    program
+}
+
+fn fleet(program: &Program, workers: usize, fault: FaultPlan) -> Supervisor<'_> {
+    let opts = ExecOptions {
+        fault,
+        ..ExecOptions::default()
+    };
+    let policy = AdmissionPolicy::JoinAtEntry {
+        max_batch: 2,
+        min_utilization: 1.0,
+    };
+    let inner = ShardedServer::new(
+        program,
+        KernelRegistry::new(),
+        opts,
+        policy,
+        workers,
+        Backend::hybrid_cpu(),
+    )
+    .expect("fleet");
+    Supervisor::new(inner, SupervisorConfig::default())
+}
+
+fn requests(ns: &[i64]) -> Vec<Request> {
+    ns.iter()
+        .enumerate()
+        .map(|(i, &n)| Request {
+            id: i as u64,
+            seed: i as u64,
+            inputs: vec![Tensor::from_i64(&[n], &[1]).expect("input")],
+        })
+        .collect()
+}
+
+/// Run the workload fault-free and return each request's outputs.
+fn reference(program: &Program, workers: usize, reqs: &[Request]) -> HashMap<u64, Vec<Tensor>> {
+    let mut sup = fleet(program, workers, FaultPlan::none());
+    for r in reqs {
+        sup.submit(r.clone()).expect("fault-free submit");
+    }
+    sup.run_until_quiescent()
+        .into_iter()
+        .map(|o| match o {
+            Outcome::Done(r) => (r.id, r.outputs),
+            Outcome::Failed { id, error } => panic!("fault-free run failed {id}: {error}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant. Rates are drawn up to ~25% per site so
+    /// most cases mix recoveries with clean rounds; the retry budget
+    /// may legitimately run out (a typed terminal outcome), but nothing
+    /// may hang, wedge, or answer twice — and whatever completes must
+    /// be bit-identical to the fault-free run.
+    #[test]
+    fn faults_cannot_perturb_results_or_lose_requests(
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        exec_error in 0u32..16_384,
+        admit_error in 0u32..16_384,
+        worker_panic in 0u32..16_384,
+        worker_slow in 0u32..2_048,
+    ) {
+        silence_injected_panics();
+        let program = fib_program();
+        let ns: Vec<i64> = (0..8).map(|i| 3 + (i % 7)).collect();
+        let reqs = requests(&ns);
+        let want = reference(&program, workers, &reqs);
+
+        let plan = FaultPlan {
+            seed,
+            exec_error,
+            admit_error,
+            worker_panic,
+            worker_slow,
+            ..FaultPlan::none()
+        };
+        let mut sup = fleet(&program, workers, plan);
+        let mut outcomes: Vec<Outcome> = Vec::new();
+        for r in &reqs {
+            // A submit error is itself a terminal outcome (injected
+            // admission faults that outlasted the budget).
+            if let Err(e) = sup.submit(r.clone()) {
+                outcomes.push(Outcome::Failed { id: r.id, error: e });
+            }
+        }
+        outcomes.extend(sup.run_until_quiescent());
+
+        // Exactly one terminal outcome per submitted request.
+        let mut seen: Vec<u64> = outcomes.iter().map(Outcome::id).collect();
+        seen.sort_unstable();
+        let all: Vec<u64> = (0..reqs.len() as u64).collect();
+        prop_assert_eq!(seen, all, "every request answered exactly once");
+
+        // Survivors are bit-identical to the fault-free run, and every
+        // failure carries a typed, retry-budget-shaped error.
+        for o in &outcomes {
+            match o {
+                Outcome::Done(r) => {
+                    prop_assert_eq!(&r.outputs, &want[&r.id], "request {} drifted", r.id);
+                }
+                Outcome::Failed { error, .. } => {
+                    prop_assert!(
+                        matches!(error, ServeError::RetriesExhausted { .. }),
+                        "unexpected terminal error: {}", error
+                    );
+                }
+            }
+        }
+
+        // The fleet ends healthy: poison never outlives the drive.
+        prop_assert!(sup.inner().poisoned_shards().is_empty());
+        prop_assert_eq!(sup.outstanding(), 0);
+    }
+}
+
+#[test]
+fn worker_panic_is_contained_and_the_shard_respawns() {
+    silence_injected_panics();
+    let program = fib_program();
+    // Panics fire on roughly half of all worker rounds: enough that the
+    // first rounds are guaranteed hits (verified by the respawn count
+    // below), while retries eventually land on clean rounds.
+    let plan = FaultPlan {
+        seed: 0,
+        worker_panic: FaultPlan::ALWAYS / 2,
+        ..FaultPlan::none()
+    };
+    let mut sup = fleet(&program, 2, plan);
+    let reqs = requests(&[6, 9, 7, 8]);
+    let want = reference(&program, 2, &reqs);
+    for r in &reqs {
+        sup.submit(r.clone())
+            .expect("panics cannot refuse admission");
+    }
+    let outcomes = sup.run_until_quiescent();
+    assert_eq!(outcomes.len(), reqs.len());
+    assert!(
+        sup.respawns() > 0,
+        "a ~50% panic rate must have killed at least one worker round"
+    );
+    for o in outcomes {
+        match o {
+            Outcome::Done(r) => assert_eq!(r.outputs, want[&r.id]),
+            Outcome::Failed { id, error } => panic!("request {id} lost to {error}"),
+        }
+    }
+    assert!(sup.inner().poisoned_shards().is_empty());
+}
+
+#[test]
+fn retry_budget_exhaustion_terminates_with_typed_errors() {
+    silence_injected_panics();
+    let program = fib_program();
+    // Every worker round panics, forever: no request can ever finish.
+    // The drive must still terminate — each failing round burns retry
+    // attempts — answering everything with RetriesExhausted and leaving
+    // a healthy (respawned) fleet behind.
+    let plan = FaultPlan {
+        seed: 11,
+        worker_panic: FaultPlan::ALWAYS,
+        ..FaultPlan::none()
+    };
+    let mut sup = fleet(&program, 2, plan);
+    let reqs = requests(&[5, 6, 7]);
+    for r in &reqs {
+        sup.submit(r.clone()).expect("submit is unaffected");
+    }
+    let outcomes = sup.run_until_quiescent();
+    assert_eq!(outcomes.len(), reqs.len());
+    for o in outcomes {
+        match o {
+            Outcome::Failed {
+                error: ServeError::RetriesExhausted { attempts, .. },
+                ..
+            } => assert!(attempts > 0),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+    assert!(sup.inner().poisoned_shards().is_empty(), "fleet healed");
+    assert!(sup.respawns() > 0);
+    assert_eq!(sup.outstanding(), 0);
+}
+
+#[test]
+fn injected_admission_faults_retry_inline_then_exhaust() {
+    let program = fib_program();
+    // ALWAYS: every submit attempt fails; the supervisor retries inline
+    // up to the budget, then reports the typed terminal error.
+    let plan = FaultPlan {
+        seed: 3,
+        admit_error: FaultPlan::ALWAYS,
+        ..FaultPlan::none()
+    };
+    let mut sup = fleet(&program, 1, plan);
+    let err = sup
+        .submit(requests(&[6]).remove(0))
+        .expect_err("admission faults on every attempt");
+    match err {
+        ServeError::RetriesExhausted { id, attempts, .. } => {
+            assert_eq!(id, 0);
+            assert_eq!(attempts, SupervisorConfig::default().retry_budget);
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+    assert_eq!(sup.outstanding(), 0, "a refused request is not tracked");
+}
+
+#[test]
+fn exec_faults_poison_heal_and_preserve_results() {
+    silence_injected_panics();
+    let program = fib_program();
+    // Injected execution errors poison shards mid-superstep; the
+    // supervisor salvages, respawns, and retries. Results must match
+    // the fault-free run bit for bit: lanes draw RNG under the request
+    // seed, so a retried request recomputes the identical answer.
+    let plan = FaultPlan {
+        seed: 7,
+        exec_error: FaultPlan::ALWAYS / 64,
+        ..FaultPlan::none()
+    };
+    let mut sup = fleet(&program, 2, plan);
+    let reqs = requests(&[4, 9, 5, 8, 6, 7]);
+    let want = reference(&program, 2, &reqs);
+    for r in &reqs {
+        sup.submit(r.clone()).expect("submit");
+    }
+    let outcomes = sup.run_until_quiescent();
+    assert_eq!(outcomes.len(), reqs.len());
+    let done = outcomes.iter().filter(|o| o.is_done()).count();
+    assert!(done > 0, "a ~1.6% exec fault rate cannot kill everything");
+    assert!(sup.respawns() > 0, "exec faults must have poisoned a shard");
+    for o in outcomes {
+        if let Outcome::Done(r) = o {
+            assert_eq!(r.outputs, want[&r.id], "request {} drifted", r.id);
+        }
+    }
+    assert!(sup.inner().poisoned_shards().is_empty());
+}
+
+#[test]
+fn respawn_salvages_completed_work_and_reports_health() {
+    silence_injected_panics();
+    let program = fib_program();
+    let plan = FaultPlan {
+        seed: 1,
+        worker_panic: FaultPlan::ALWAYS,
+        ..FaultPlan::none()
+    };
+    let opts = ExecOptions {
+        fault: plan,
+        ..ExecOptions::default()
+    };
+    let policy = AdmissionPolicy::JoinAtEntry {
+        max_batch: 2,
+        min_utilization: 1.0,
+    };
+    let mut fleet = ShardedServer::new(
+        &program,
+        KernelRegistry::new(),
+        opts,
+        policy,
+        1,
+        Backend::hybrid_cpu(),
+    )
+    .expect("fleet");
+    for r in requests(&[6, 7, 8]) {
+        fleet.submit(r).expect("submit");
+    }
+    let err = fleet.run_until_idle().expect_err("every round panics");
+    assert!(matches!(err, ServeError::Panicked { .. }), "typed: {err}");
+    assert_eq!(fleet.poisoned_shards(), vec![0]);
+
+    let (stranded, lost) = fleet.respawn_shard(0);
+    // Everything the dead worker held comes back out: the queued tail
+    // plus the ids that were mid-flight when the panic hit.
+    assert_eq!(stranded.len() + lost.len(), 3);
+    assert!(fleet.poisoned_shards().is_empty(), "fresh shard is healthy");
+    let health = &fleet.health()[0];
+    assert_eq!(health.respawns, 1);
+    assert!(health.healthy);
+    assert!(
+        matches!(health.last_error, Some(ServeError::Panicked { .. })),
+        "the fault record survives the respawn"
+    );
+}

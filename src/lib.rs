@@ -20,8 +20,11 @@
 //! - [`nuts`] — the No-U-Turn Sampler, recursive and batched;
 //! - [`diagnostics`] — cross-chain convergence diagnostics (`R̂`, ESS),
 //!   the practice the paper's batching is meant to enable;
+//! - [`chaos`] — deterministic, seed-replayable fault injection for
+//!   chaos-testing the serving stack;
 //! - [`serve`] — dynamic batch admission: a request server that merges
-//!   incoming work into an in-flight batched execution;
+//!   incoming work into an in-flight batched execution, plus the
+//!   self-healing [`serve::Supervisor`];
 //! - [`ingress`] — a dependency-free TCP front door: length-prefixed
 //!   wire frames, deadline-driven batch collection, and load shedding
 //!   over the sharded server.
@@ -44,6 +47,7 @@
 
 pub use autobatch_accel as accel;
 pub use autobatch_autodiff as autodiff;
+pub use autobatch_chaos as chaos;
 pub use autobatch_core as core;
 pub use autobatch_diagnostics as diagnostics;
 pub use autobatch_ingress as ingress;
