@@ -623,4 +623,40 @@ mod tests {
         );
         assert_eq!(bufs[0], vec![10.0, 20.0, 30.0, 400.0, 500.0, 600.0]);
     }
+
+    /// The static analyzer's `elementwise_spans` must agree, span for
+    /// span, with the runtime planner on every block of real lowered
+    /// programs and on the synthetic cases above. This is the contract
+    /// that lets `irlint` report fusion legality without executing.
+    #[test]
+    fn static_spans_match_runtime_plan() {
+        use crate::lowering::lower;
+        use crate::options::LoweringOptions;
+        use autobatch_ir::analysis::elementwise_spans;
+        use autobatch_ir::build::fibonacci_program;
+
+        let check = |p: &Program| {
+            let planned: Vec<Vec<(usize, usize)>> = plan_program(p)
+                .iter()
+                .map(|regs| regs.iter().map(|r| (r.start, r.len)).collect())
+                .collect();
+            assert_eq!(elementwise_spans(p), planned);
+        };
+
+        let (fib, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        check(&fib);
+
+        // A block mixing f64-only, i64-only, and unfusable ops.
+        let block = Block {
+            ops: vec![
+                compute("t0", Prim::Exp, &["x"]),
+                compute("t1", Prim::Mul, &["t0", "x"]),
+                compute("t2", Prim::NegI, &["n"]),
+                compute("t3", Prim::Id, &["t2"]),
+                compute("x", Prim::SumElems, &["t1"]),
+            ],
+            term: Terminator::Return,
+        };
+        check(&program_with(block));
+    }
 }

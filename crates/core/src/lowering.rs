@@ -85,7 +85,7 @@ pub fn lower(
             for (bi, b) in f.blocks.iter().enumerate() {
                 for (oi, op) in b.ops.iter().enumerate() {
                     if matches!(op, lsab::Op::Call { .. }) {
-                        s.extend(lv.live_after_op(f, bi, oi));
+                        s.extend(lv.live_after_op(bi, oi).iter().cloned());
                     }
                 }
             }
@@ -101,7 +101,7 @@ pub fn lower(
             for (oi, op) in b.ops.iter().enumerate() {
                 if let lsab::Op::Call { outs, callee, .. } = op {
                     if cg.is_recursive_call(FuncId(fi), *callee) {
-                        let mut live = lv.live_after_op(f, bi, oi);
+                        let mut live = lv.live_after_op(bi, oi).clone();
                         for w in outs {
                             live.remove(w);
                         }
@@ -213,7 +213,7 @@ pub fn lower(
                         // results and the params just pushed).
                         let mut saves: Vec<Var> = Vec::new();
                         if recursive {
-                            let mut live = lv.live_after_op(f, bi, oi);
+                            let mut live = lv.live_after_op(bi, oi).clone();
                             for w in outs {
                                 live.remove(w);
                             }

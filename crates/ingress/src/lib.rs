@@ -702,10 +702,14 @@ fn flush(
                 // The submission error is this request's terminal
                 // outcome. Refusals map to their wire image; an
                 // admission fault that outlasted the supervisor's retry
-                // budget is the server's fault, not the request's.
+                // budget is the server's fault, not the request's. A
+                // signature violation gets its own code: the frame was
+                // well-formed, but the payload can never execute under
+                // the served program's statically inferred signature.
                 let (code, failed) = match e {
                     ServeError::Overloaded { .. } => (RejectCode::Overloaded, false),
                     ServeError::RetriesExhausted { .. } => (RejectCode::Internal, true),
+                    ServeError::InvalidRequest(_) => (RejectCode::Invalid, false),
                     _ => (RejectCode::BadRequest, false),
                 };
                 send_reject(&conn, client_id, code, 0, 0, &e.to_string());

@@ -70,6 +70,12 @@ pub enum RejectCode {
     Internal = 3,
     /// The server is shutting down and will not serve this request.
     Shutdown = 4,
+    /// The request decoded fine but violates the served program's
+    /// statically inferred signature (wrong dtype or element shape):
+    /// it could never execute, so it is refused before touching any
+    /// machine state. Distinct from [`RejectCode::BadRequest`], which
+    /// covers undecodable or structurally malformed traffic.
+    Invalid = 5,
 }
 
 impl RejectCode {
@@ -79,6 +85,7 @@ impl RejectCode {
             2 => Ok(RejectCode::BadRequest),
             3 => Ok(RejectCode::Internal),
             4 => Ok(RejectCode::Shutdown),
+            5 => Ok(RejectCode::Invalid),
             other => Err(ProtocolError(format!("unknown reject code {other}"))),
         }
     }
@@ -145,6 +152,13 @@ impl fmt::Display for WireReject {
                 write!(
                     f,
                     "request {} refused: server shutting down ({})",
+                    self.id, self.message
+                )
+            }
+            RejectCode::Invalid => {
+                write!(
+                    f,
+                    "request {} statically invalid: {}",
                     self.id, self.message
                 )
             }

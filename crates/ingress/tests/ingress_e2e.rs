@@ -174,14 +174,11 @@ fn wrong_arity_is_refused_per_request_not_per_connection() {
 }
 
 #[test]
-fn shape_mismatch_rejects_the_offender_without_wedging_the_shard() {
-    // A request with the right arity but a tensor shape that mismatches
-    // the served spec passes `submit` and fails at *batch admission* —
-    // a recoverable error on a healthy shard. The engine must drop
-    // exactly the offender (answering it with a typed reject) and keep
-    // serving: left at the queue head, the offender would fail
-    // admission again on every later flush and permanently wedge the
-    // only worker.
+fn statically_invalid_requests_get_an_invalid_reject_on_the_wire() {
+    // A request violating the program's statically inferred signature
+    // (wrong dtype or wrong element shape) is refused at *submission*
+    // with the dedicated `Invalid` code — it never reaches a shard
+    // machine — and the connection stays usable for valid traffic.
     let handle = fib_server(IngressConfig {
         workers: 1,
         max_batch: 4,
@@ -189,14 +186,106 @@ fn shape_mismatch_rejects_the_offender_without_wedging_the_shard() {
         ..IngressConfig::default()
     });
     let mut client = IngressClient::connect(handle.addr()).unwrap();
-    // First admission fixes the served input spec to [1]-shaped rows.
-    let r = client
-        .call(0, 0, &[Tensor::from_i64(&[9], &[1]).unwrap()])
-        .unwrap();
-    assert_eq!(r.outputs[0].as_i64().unwrap(), &[55]);
-    // Correct arity, wrong shape: refused per-request.
-    let bad = Tensor::from_i64(&[1, 2], &[1, 2]).unwrap();
-    match client.call(1, 1, &[bad]).unwrap_err() {
+    // Correct arity, wrong element shape: fibonacci's input feeds a
+    // branch condition, so its element must be scalar.
+    let bad_shape = Tensor::from_i64(&[1, 2], &[1, 2]).unwrap();
+    match client.call(1, 1, &[bad_shape]).unwrap_err() {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 1);
+            assert_eq!(rej.code, RejectCode::Invalid);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    // Correct arity and shape, wrong dtype: fibonacci takes an integer.
+    let bad_dtype = Tensor::from_f64(&[9.0], &[1]).unwrap();
+    match client.call(2, 2, &[bad_dtype]).unwrap_err() {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 2);
+            assert_eq!(rej.code, RejectCode::Invalid);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    // The connection survives: later well-formed requests still serve.
+    for (id, n, fib) in [(3u64, 12i64, 233i64), (4, 5, 8)] {
+        let r = client
+            .call(id, id, &[Tensor::from_i64(&[n], &[1]).unwrap()])
+            .unwrap();
+        assert_eq!(
+            r.outputs[0].as_i64().unwrap(),
+            &[fib],
+            "server wedged after the static-invalid reject"
+        );
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn admission_shape_conflict_rejects_the_offender_without_wedging_the_shard() {
+    // A shape-*polymorphic* program admits requests of any element
+    // shape through static verification; a payload whose shape
+    // conflicts with the buffers established by the shard's first
+    // admission fails at *batch admission* — a recoverable error on a
+    // healthy shard. The engine must drop exactly the offender
+    // (answering it with a typed reject) and keep serving: left at the
+    // queue head, the offender would fail admission again on every
+    // later flush and permanently wedge the only worker.
+    use autobatch_ir::build::ProgramBuilder;
+    use autobatch_ir::Prim;
+    // `y = x; repeat n times { y = y + 1 }` — the branch condition only
+    // sees the scalar counter, so `x` may be any element shape.
+    let mut pb = ProgramBuilder::new();
+    let f = pb.declare("countup", &["n", "x"], &["y"]);
+    pb.define(f, |fb| {
+        let n = fb.param(0);
+        let x = fb.param(1);
+        let y = fb.output(0);
+        fb.assign(&y, Prim::Id, &[x]);
+        let zero = fb.const_i64(0);
+        let i = fb.emit(Prim::Id, &[zero]);
+        fb.while_loop(
+            |fb| fb.emit(Prim::Lt, &[i.clone(), n.clone()]),
+            |fb| {
+                let one_f = fb.const_f64(1.0);
+                fb.assign(&y, Prim::Add, &[y.clone(), one_f]);
+                let one_i = fb.const_i64(1);
+                fb.assign(&i, Prim::Add, &[i.clone(), one_i]);
+            },
+        );
+        fb.ret();
+    });
+    let (pc, _) = lower(&pb.finish(f).unwrap(), LoweringOptions::default()).unwrap();
+    let handle = IngressServer::start(
+        pc,
+        IngressConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            ..IngressConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let scalar = |n: i64| {
+        vec![
+            Tensor::from_i64(&[n], &[1]).unwrap(),
+            Tensor::from_f64(&[0.0], &[1]).unwrap(),
+        ]
+    };
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    // First admission fixes the served payload spec to scalar rows.
+    let r = client.call(0, 0, &scalar(9)).unwrap();
+    assert_eq!(r.outputs[0].as_f64().unwrap(), &[9.0]);
+    // Statically valid (the program is shape-polymorphic), but in
+    // conflict with the established buffers: refused per-request at
+    // admission.
+    let offender = vec![
+        Tensor::from_i64(&[3], &[1]).unwrap(),
+        Tensor::from_f64(&[0.0, 0.0], &[1, 2]).unwrap(),
+    ];
+    match client.call(1, 1, &offender).unwrap_err() {
         IngressError::Rejected(rej) => {
             assert_eq!(rej.id, 1);
             assert_eq!(rej.code, RejectCode::BadRequest);
@@ -204,14 +293,12 @@ fn shape_mismatch_rejects_the_offender_without_wedging_the_shard() {
         other => panic!("unexpected: {other}"),
     }
     // The shard is not wedged: later well-formed requests still serve.
-    for (id, n, fib) in [(2u64, 12i64, 233i64), (3, 5, 8)] {
-        let r = client
-            .call(id, id, &[Tensor::from_i64(&[n], &[1]).unwrap()])
-            .unwrap();
+    for (id, n) in [(2u64, 12i64), (3, 5)] {
+        let r = client.call(id, id, &scalar(n)).unwrap();
         assert_eq!(
-            r.outputs[0].as_i64().unwrap(),
-            &[fib],
-            "server wedged after the shape-mismatch reject"
+            r.outputs[0].as_f64().unwrap(),
+            &[n as f64],
+            "server wedged after the shape-conflict reject"
         );
     }
     let stats = handle.shutdown();

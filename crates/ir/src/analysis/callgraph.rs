@@ -74,8 +74,10 @@ impl CallGraph {
     }
 }
 
-/// Iterative Tarjan SCC; returns the SCC index of each node.
-fn tarjan(edges: &[BTreeSet<usize>]) -> Vec<usize> {
+/// Iterative Tarjan SCC; returns the SCC index of each node. Shared
+/// with the pcab stack-depth analysis, which runs it over the recovered
+/// push-jump call graph.
+pub(crate) fn tarjan(edges: &[BTreeSet<usize>]) -> Vec<usize> {
     let n = edges.len();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![0usize; n];

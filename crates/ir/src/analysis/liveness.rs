@@ -24,6 +24,10 @@ pub struct Liveness {
     /// `live_out[b]`: variables live at exit of block `b` (before the
     /// terminator's own reads are added back in).
     live_out: Vec<BTreeSet<Var>>,
+    /// `live_after[b][i]`: variables live immediately after op `i` of
+    /// block `b`, precomputed so call-site save-set queries are O(1)
+    /// borrows instead of a backward re-walk per query.
+    live_after: Vec<Vec<BTreeSet<Var>>>,
 }
 
 impl Liveness {
@@ -72,7 +76,37 @@ impl Liveness {
                 }
             }
         }
-        Liveness { live_in, live_out }
+        // One final backward walk per block records the live set after
+        // every op, so `live_after_op` never re-walks.
+        let mut live_after: Vec<Vec<BTreeSet<Var>>> = Vec::with_capacity(n);
+        for (block, out) in f.blocks.iter().zip(&live_out) {
+            let mut cur = out.clone();
+            match &block.term {
+                Terminator::Branch { cond, .. } => {
+                    cur.insert(cond.clone());
+                }
+                Terminator::Return => {
+                    cur.extend(f.outputs.iter().cloned());
+                }
+                Terminator::Jump(_) => {}
+            }
+            let mut after: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); block.ops.len()];
+            for (i, op) in block.ops.iter().enumerate().rev() {
+                after[i] = cur.clone();
+                for w in op.writes() {
+                    cur.remove(w);
+                }
+                for r in op.reads() {
+                    cur.insert(r.clone());
+                }
+            }
+            live_after.push(after);
+        }
+        Liveness {
+            live_in,
+            live_out,
+            live_after,
+        }
     }
 
     /// Variables live at entry of block `b`.
@@ -87,31 +121,10 @@ impl Liveness {
 
     /// Variables live immediately *after* op `op_index` of block `b`
     /// (i.e. what the rest of the block and all successors may still
-    /// read). This is the save set query for call sites.
-    pub fn live_after_op(&self, f: &Function, b: usize, op_index: usize) -> BTreeSet<Var> {
-        let block = &f.blocks[b];
-        let mut cur = self.live_out[b].clone();
-        match &block.term {
-            Terminator::Branch { cond, .. } => {
-                cur.insert(cond.clone());
-            }
-            Terminator::Return => {
-                cur.extend(f.outputs.iter().cloned());
-            }
-            Terminator::Jump(_) => {}
-        }
-        for (i, op) in block.ops.iter().enumerate().rev() {
-            if i == op_index {
-                break;
-            }
-            for w in op.writes() {
-                cur.remove(w);
-            }
-            for r in op.reads() {
-                cur.insert(r.clone());
-            }
-        }
-        cur
+    /// read). This is the save set query for call sites; the sets are
+    /// precomputed in [`Liveness::new`], so this is a borrow.
+    pub fn live_after_op(&self, b: usize, op_index: usize) -> &BTreeSet<Var> {
+        &self.live_after[b][op_index]
     }
 
     /// Variables that cross a block boundary anywhere in the function:
@@ -151,12 +164,57 @@ mod tests {
         let n = Var::new("n");
         let left = Var::new("left");
         // After the first call, n is still needed (n1 = n - 1) and so is left.
-        let after_first = lv.live_after_op(f, calls[0].0, calls[0].1);
+        let after_first = lv.live_after_op(calls[0].0, calls[0].1);
         assert!(after_first.contains(&n), "n live after first call");
         // After the second call, n is dead but left is live (left + right).
-        let after_second = lv.live_after_op(f, calls[1].0, calls[1].1);
+        let after_second = lv.live_after_op(calls[1].0, calls[1].1);
         assert!(!after_second.contains(&n), "n dead after second call");
         assert!(after_second.contains(&left), "left live after second call");
+    }
+
+    /// The precomputed `live_after` tables must agree with the original
+    /// per-query backward walk, on every op, across repeated queries.
+    #[test]
+    fn precomputed_live_after_matches_rewalk() {
+        fn rewalk(lv: &Liveness, f: &Function, b: usize, op_index: usize) -> BTreeSet<Var> {
+            let block = &f.blocks[b];
+            let mut cur = lv.live_out(b).clone();
+            match &block.term {
+                Terminator::Branch { cond, .. } => {
+                    cur.insert(cond.clone());
+                }
+                Terminator::Return => {
+                    cur.extend(f.outputs.iter().cloned());
+                }
+                Terminator::Jump(_) => {}
+            }
+            for (i, op) in block.ops.iter().enumerate().rev() {
+                if i == op_index {
+                    break;
+                }
+                for w in op.writes() {
+                    cur.remove(w);
+                }
+                for r in op.reads() {
+                    cur.insert(r.clone());
+                }
+            }
+            cur
+        }
+        let p = fibonacci_program();
+        let f = &p.funcs[0];
+        let lv = Liveness::new(f);
+        for _ in 0..2 {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for oi in 0..b.ops.len() {
+                    assert_eq!(
+                        *lv.live_after_op(bi, oi),
+                        rewalk(&lv, f, bi, oi),
+                        "mismatch at block {bi} op {oi}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

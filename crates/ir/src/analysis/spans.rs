@@ -1,0 +1,135 @@
+//! Static fusion legality: the elementwise-run plan of a pcab program,
+//! computed once from the IR instead of per execution by the runtime
+//! planner.
+//!
+//! A *run* is a maximal sequence of ≥ 2 consecutive single-output
+//! `Compute` ops whose primitives the fused fast path can compile to a
+//! scalar table, with at least one dtype table viable across the whole
+//! run. This mirrors, prim for prim, the run-growing loop of
+//! `autobatch-core`'s `fusion::plan_block`; a cross-check test in that
+//! crate keeps the two from drifting.
+
+use crate::pcab::{Op, Program};
+use crate::prim::Prim;
+
+/// Scalar-table availability of a primitive in the fused fast path:
+/// `Some((has_f64_table, has_i64_table))`, or `None` when the primitive
+/// cannot be compiled into a fused run at all.
+fn tables(prim: &Prim) -> Option<(bool, bool)> {
+    use Prim::*;
+    match prim {
+        ConstF64(_) => Some((true, false)),
+        ConstI64(_) => Some((false, true)),
+        Id => Some((true, true)),
+        Neg | Abs | Exp | Ln | Sqrt | Square | Sigmoid | Softplus | Floor | Sin | Cos | Tanh => {
+            Some((true, false))
+        }
+        NegI => Some((false, true)),
+        Add | Sub | Mul | Div | Min2 | Max2 | Pow => Some((true, true)),
+        _ => None,
+    }
+}
+
+/// Compute the per-block elementwise runs of a pcab program as
+/// `(start, len)` op-index spans, `len >= 2`, sorted and
+/// non-overlapping. Index `b` of the result describes block `b`.
+pub fn elementwise_spans(p: &Program) -> Vec<Vec<(usize, usize)>> {
+    p.blocks
+        .iter()
+        .map(|block| {
+            let ops = &block.ops;
+            let mut spans = Vec::new();
+            let mut i = 0;
+            while i < ops.len() {
+                let (mut f_ok, mut i_ok) = (true, true);
+                let mut j = i;
+                while j < ops.len() {
+                    let Op::Compute { outs, prim, .. } = &ops[j] else {
+                        break;
+                    };
+                    if outs.len() != 1 {
+                        break;
+                    }
+                    let Some((has_f, has_i)) = tables(prim) else {
+                        break;
+                    };
+                    let nf = f_ok && has_f;
+                    let ni = i_ok && has_i;
+                    if !nf && !ni {
+                        break;
+                    }
+                    f_ok = nf;
+                    i_ok = ni;
+                    j += 1;
+                }
+                if j - i >= 2 {
+                    spans.push((i, j - i));
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            spans
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcab::{Block, Terminator, WriteKind};
+    use crate::var::{BlockId, Var};
+    use std::collections::BTreeMap;
+
+    fn compute(out: &str, prim: Prim, ins: &[&str]) -> Op {
+        Op::Compute {
+            outs: vec![(Var::new(out), WriteKind::Update)],
+            prim,
+            ins: ins.iter().map(Var::new).collect(),
+        }
+    }
+
+    #[test]
+    fn runs_break_on_dtype_table_conflicts_and_unfusable_ops() {
+        let p = Program {
+            blocks: vec![Block {
+                ops: vec![
+                    // f64-only run of 2.
+                    compute("a", Prim::Exp, &["x"]),
+                    compute("b", Prim::Mul, &["a", "x"]),
+                    // i64-only op: joint viability breaks the run here.
+                    compute("c", Prim::NegI, &["n"]),
+                    compute("d", Prim::Id, &["c"]),
+                    // Non-fusable op terminates any run.
+                    compute("e", Prim::SumElems, &["v"]),
+                ],
+                term: Terminator::Return,
+            }],
+            entry: BlockId(0),
+            inputs: vec![Var::new("x"), Var::new("n"), Var::new("v")],
+            outputs: vec![Var::new("b")],
+            classes: BTreeMap::new(),
+        };
+        let spans = elementwise_spans(&p);
+        assert_eq!(spans, vec![vec![(0, 2), (2, 2)]]);
+    }
+
+    #[test]
+    fn single_fusable_ops_do_not_form_runs() {
+        let p = Program {
+            blocks: vec![Block {
+                ops: vec![
+                    compute("a", Prim::Exp, &["x"]),
+                    compute("b", Prim::SumElems, &["a"]),
+                    compute("c", Prim::Exp, &["b"]),
+                ],
+                term: Terminator::Return,
+            }],
+            entry: BlockId(0),
+            inputs: vec![Var::new("x")],
+            outputs: vec![Var::new("c")],
+            classes: BTreeMap::new(),
+        };
+        assert_eq!(elementwise_spans(&p), vec![Vec::<(usize, usize)>::new()]);
+    }
+}

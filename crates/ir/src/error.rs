@@ -68,6 +68,33 @@ pub enum IrError {
         /// The duplicated name.
         name: String,
     },
+    /// Static verification proved an op must (or could not be proven
+    /// not to) raise a dtype or shape error at runtime.
+    TypeError {
+        /// The function containing the op (`None` for pcab programs).
+        func: Option<FuncId>,
+        /// The block containing the op.
+        block: BlockId,
+        /// Index of the op within the block, or `None` when the error
+        /// is at the block's terminator.
+        op: Option<usize>,
+        /// Human-readable description of the violation.
+        what: String,
+    },
+    /// A concrete input does not satisfy the program's inferred
+    /// signature (wrong dtype or element shape).
+    BadSignature {
+        /// Index of the offending input.
+        input: usize,
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// No `Return` is reachable from the entry along statically-feasible
+    /// edges: the program can never produce outputs.
+    NoReachableReturn {
+        /// The entry function (`None` for pcab programs).
+        func: Option<FuncId>,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -112,6 +139,28 @@ impl fmt::Display for IrError {
                 )
             }
             IrError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            IrError::TypeError {
+                func,
+                block,
+                op,
+                what,
+            } => {
+                match func {
+                    Some(fid) => write!(f, "type error in {fid}/{block}")?,
+                    None => write!(f, "type error in {block}")?,
+                }
+                match op {
+                    Some(i) => write!(f, " op {i}: {what}"),
+                    None => write!(f, " terminator: {what}"),
+                }
+            }
+            IrError::BadSignature { input, what } => {
+                write!(f, "input {input} violates the program signature: {what}")
+            }
+            IrError::NoReachableReturn { func } => match func {
+                Some(fid) => write!(f, "no return is statically reachable in {fid}"),
+                None => write!(f, "no return is statically reachable"),
+            },
         }
     }
 }

@@ -1,0 +1,154 @@
+//! Extraction of embedded surface-language programs from Rust sources.
+//!
+//! The repository's example binaries embed their programs as Rust
+//! string literals (plain or raw). The `irlint` tool and the examples
+//! smoke test both need to find every such program without executing
+//! the examples, so this module implements a small scanner over Rust
+//! source text: it walks the text outside of comments, collects every
+//! string literal, and keeps the ones that parse as a surface-language
+//! module containing at least one function.
+//!
+//! The scanner understands `//` line comments, `/* */` block comments
+//! (non-nesting, which is all the examples use), plain `"..."` literals
+//! with backslash escapes, and raw `r"..."` / `r#"..."#` literals with
+//! any number of `#`s. Char literals are skipped conservatively so a
+//! `'"'` char cannot open a phantom string.
+
+use crate::parser::parse;
+
+/// Collect every string literal in `rust_src` (outside comments).
+fn string_literals(rust_src: &str) -> Vec<String> {
+    let b = rust_src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'\'' => {
+                // Char literal or lifetime. Consume `'x'` / `'\n'` /
+                // `'\''` forms; a lifetime (no closing quote within a
+                // few bytes) is just stepped over.
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            b'r' => {
+                // Possible raw string: r"..." or r#"..."# etc.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    let body_start = j + 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    let mut k = body_start;
+                    while k + closer.len() <= b.len() && b[k..k + closer.len()] != closer[..] {
+                        k += 1;
+                    }
+                    out.push(rust_src[body_start..k.min(b.len())].to_string());
+                    i = (k + closer.len()).min(b.len());
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let mut s: Vec<u8> = Vec::new();
+                let mut j = i + 1;
+                while j < b.len() && b[j] != b'"' {
+                    if b[j] == b'\\' && j + 1 < b.len() {
+                        match b[j + 1] {
+                            b'n' => s.push(b'\n'),
+                            b't' => s.push(b'\t'),
+                            b'r' => s.push(b'\r'),
+                            b'\\' => s.push(b'\\'),
+                            b'"' => s.push(b'"'),
+                            b'\n' => {
+                                // Line-continuation escape: skip the
+                                // newline and following indentation.
+                                j += 2;
+                                while j < b.len() && (b[j] == b' ' || b[j] == b'\t') {
+                                    j += 1;
+                                }
+                                continue;
+                            }
+                            other => {
+                                s.push(b'\\');
+                                s.push(other);
+                            }
+                        }
+                        j += 2;
+                    } else {
+                        s.push(b[j]);
+                        j += 1;
+                    }
+                }
+                out.push(String::from_utf8_lossy(&s).into_owned());
+                i = (j + 1).min(b.len());
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Extract every embedded surface-language program from a Rust source
+/// file: string literals (outside comments) that parse as a module with
+/// at least one function definition. Returned in source order.
+pub fn embedded_sources(rust_src: &str) -> Vec<String> {
+    string_literals(rust_src)
+        .into_iter()
+        .filter(|s| matches!(parse(s), Ok(m) if !m.fns.is_empty()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_plain_and_raw_literals_and_skips_comments() {
+        let rust = r##"
+            // "fn in_comment(n: int) -> (o: int) { o = n; }"
+            /* "fn in_block(n: int) -> (o: int) { o = n; }" */
+            const A: &str = "fn plain(n: int) -> (o: int) { o = n; }";
+            const B: &str = r#"fn raw(x: float) -> (y: float) { y = x * x; }"#;
+            const C: &str = "not a program";
+            fn f(c: char) { let _ = '"'; }
+        "##;
+        let progs = embedded_sources(rust);
+        assert_eq!(progs.len(), 2);
+        assert!(progs[0].contains("fn plain"));
+        assert!(progs[1].contains("fn raw"));
+    }
+
+    #[test]
+    fn unescapes_plain_literals() {
+        let rust = "const S: &str = \"fn f(n: int) -> (o: int) {\\n o = n; }\";";
+        let progs = embedded_sources(rust);
+        assert_eq!(progs.len(), 1);
+        assert!(progs[0].contains("{\n o = n; }"));
+    }
+}

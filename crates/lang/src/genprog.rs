@@ -1,0 +1,525 @@
+//! Seeded random generation of control-flow-heavy `lsab` programs, for
+//! differential testing of the static verifier against the runtime VMs.
+//!
+//! [`gen_program`] maps a `u64` seed deterministically to a program
+//! plus the concrete [`TensorSpec`]s of its inputs. Generated programs
+//! exercise the constructs the verifier reasons about: straight-line
+//! arithmetic over mixed dtypes and element shapes (scalar and `[2]`
+//! vector), data-dependent `if`/`else`, bounded counter `while` loops,
+//! and acyclic cross-function calls. Well-typed programs (the default)
+//! are built so every op type-checks and every output is definitely
+//! assigned; with probability ~1/4 the generator instead injects one
+//! deliberately ill-typed op and sets `expect_reject`, producing a
+//! negative test for the verifier.
+//!
+//! The generator deliberately avoids: `i64` multiplication (debug-mode
+//! overflow panics under long chains), non-scalar branch conditions
+//! (statically rejected), recursion (so stack bounds stay finite), and
+//! unbounded loops (loops are counter-bounded by a constant ≤ 3).
+
+use autobatch_ir::analysis::{AbsDType, TensorSpec};
+use autobatch_ir::build::{FunctionBuilder, ProgramBuilder};
+use autobatch_ir::lsab::Program;
+use autobatch_ir::{FuncId, Prim, Var};
+
+/// A generated program with its input specs and expected verdict.
+#[derive(Debug)]
+pub struct GeneratedProgram {
+    /// The program.
+    pub program: Program,
+    /// Concrete specs for the entry function's inputs.
+    pub inputs: Vec<TensorSpec>,
+    /// Whether the static verifier is expected to reject this program
+    /// (an ill-typed op was injected).
+    pub expect_reject: bool,
+}
+
+/// Xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dt {
+    F64,
+    I64,
+}
+
+/// A concretely-typed variable in the generator's pool: dtype plus
+/// whether its element shape is `[2]` (vs scalar).
+#[derive(Debug, Clone)]
+struct TypedVar {
+    var: Var,
+    dt: Dt,
+    vec: bool,
+}
+
+/// A function's interface: parameter and output specs.
+#[derive(Debug, Clone)]
+struct Iface {
+    params: Vec<(Dt, bool)>,
+    outputs: Vec<(Dt, bool)>,
+}
+
+fn unary_ops(dt: Dt) -> &'static [Prim] {
+    match dt {
+        Dt::F64 => &[
+            Prim::Id,
+            Prim::Neg,
+            Prim::Abs,
+            Prim::Square,
+            Prim::Sigmoid,
+            Prim::Tanh,
+            Prim::Sin,
+            Prim::Cos,
+        ],
+        // No i64 Mul anywhere (debug overflow); NegI and Id are safe.
+        Dt::I64 => &[Prim::Id, Prim::NegI],
+    }
+}
+
+fn binary_ops(dt: Dt) -> &'static [Prim] {
+    match dt {
+        Dt::F64 => &[Prim::Add, Prim::Sub, Prim::Mul, Prim::Min2, Prim::Max2],
+        Dt::I64 => &[Prim::Add, Prim::Sub, Prim::Min2, Prim::Max2],
+    }
+}
+
+/// Pool indices of vars matching `dt` and, when given, `vec`.
+fn matching(pool: &[TypedVar], dt: Dt, vec: Option<bool>) -> Vec<usize> {
+    pool.iter()
+        .enumerate()
+        .filter(|(_, v)| v.dt == dt && vec.is_none_or(|w| v.vec == w))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Emit an op whose result has exactly spec `(dt, vec)`, writing it
+/// into `target`. Falls back to `Id` of a same-spec var (the target
+/// itself is always in the pool, so a candidate always exists).
+fn assign_spec(rng: &mut Rng, fb: &mut FunctionBuilder, pool: &[TypedVar], target: &TypedVar) {
+    let dt = target.dt;
+    // Binary attempt: operands of dt whose broadcast is target's shape.
+    if rng.chance(1, 2) {
+        let (a_idx, b_idx) = if target.vec {
+            let vecs = matching(pool, dt, Some(true));
+            let any = matching(pool, dt, None);
+            if vecs.is_empty() {
+                (None, None)
+            } else {
+                (
+                    Some(vecs[rng.below(vecs.len())]),
+                    Some(any[rng.below(any.len())]),
+                )
+            }
+        } else {
+            let scalars = matching(pool, dt, Some(false));
+            if scalars.is_empty() {
+                (None, None)
+            } else {
+                (
+                    Some(scalars[rng.below(scalars.len())]),
+                    Some(scalars[rng.below(scalars.len())]),
+                )
+            }
+        };
+        if let (Some(a), Some(b)) = (a_idx, b_idx) {
+            let ops = binary_ops(dt);
+            let prim = ops[rng.below(ops.len())].clone();
+            let (a, b) = if rng.chance(1, 2) { (a, b) } else { (b, a) };
+            fb.assign(
+                &target.var,
+                prim,
+                &[pool[a].var.clone(), pool[b].var.clone()],
+            );
+            return;
+        }
+    }
+    // Unary fallback: a same-spec source always exists (the target).
+    let srcs = matching(pool, dt, Some(target.vec));
+    let src = srcs[rng.below(srcs.len())];
+    let ops = unary_ops(dt);
+    let prim = ops[rng.below(ops.len())].clone();
+    fb.assign(&target.var, prim, &[pool[src].var.clone()]);
+}
+
+/// Emit a fresh temp with a random spec derived from the pool; returns
+/// its typed entry, or `None` when no operands fit.
+fn fresh_temp(rng: &mut Rng, fb: &mut FunctionBuilder, pool: &[TypedVar]) -> Option<TypedVar> {
+    let dt = if rng.chance(1, 2) { Dt::F64 } else { Dt::I64 };
+    let cands = matching(pool, dt, None);
+    if cands.is_empty() {
+        return None;
+    }
+    let a = cands[rng.below(cands.len())];
+    if rng.chance(1, 2) {
+        let b = cands[rng.below(cands.len())];
+        let ops = binary_ops(dt);
+        let prim = ops[rng.below(ops.len())].clone();
+        let out = fb.emit(prim, &[pool[a].var.clone(), pool[b].var.clone()]);
+        Some(TypedVar {
+            var: out,
+            dt,
+            vec: pool[a].vec || pool[b].vec,
+        })
+    } else {
+        let ops = unary_ops(dt);
+        let prim = ops[rng.below(ops.len())].clone();
+        let out = fb.emit(prim, &[pool[a].var.clone()]);
+        Some(TypedVar {
+            var: out,
+            dt,
+            vec: pool[a].vec,
+        })
+    }
+}
+
+/// Emit a scalar bool condition: a comparison of two same-dtype scalars.
+fn scalar_cond(rng: &mut Rng, fb: &mut FunctionBuilder, pool: &[TypedVar]) -> Var {
+    for &dt in &[Dt::F64, Dt::I64] {
+        let scalars = matching(pool, dt, Some(false));
+        if !scalars.is_empty() {
+            let a = scalars[rng.below(scalars.len())];
+            let b = scalars[rng.below(scalars.len())];
+            let cmps = [Prim::Lt, Prim::Le, Prim::Gt, Prim::Ge];
+            let prim = cmps[rng.below(cmps.len())].clone();
+            return fb.emit(prim, &[pool[a].var.clone(), pool[b].var.clone()]);
+        }
+    }
+    fb.const_bool(true)
+}
+
+/// Emit one ill-typed op; the verifier must reject the program.
+fn inject_ill_typed(rng: &mut Rng, fb: &mut FunctionBuilder, pool: &[TypedVar]) {
+    let f64s = matching(pool, Dt::F64, None);
+    let i64s = matching(pool, Dt::I64, None);
+    let choice = rng.below(3);
+    if choice == 0 && !f64s.is_empty() && !i64s.is_empty() {
+        // Mixed-dtype arithmetic.
+        let a = f64s[rng.below(f64s.len())];
+        let b = i64s[rng.below(i64s.len())];
+        fb.emit(Prim::Add, &[pool[a].var.clone(), pool[b].var.clone()]);
+    } else if choice == 1 && !f64s.is_empty() {
+        // Logic op on numerics.
+        let a = f64s[rng.below(f64s.len())];
+        fb.emit(Prim::And, &[pool[a].var.clone(), pool[a].var.clone()]);
+    } else if let Some(&a) = i64s.first() {
+        // Reduction of an integer (SumElems is f64-only).
+        fb.emit(Prim::SumElems, &[pool[a].var.clone()]);
+    } else if let Some(a) = f64s.iter().copied().find(|&i| !pool[i].vec) {
+        // Reduction of a scalar element (would consume the batch axis).
+        fb.emit(Prim::SumElems, &[pool[a].var.clone()]);
+    } else {
+        // Only f64 vectors in scope: a logic op on them is still ill-typed.
+        fb.emit(
+            Prim::And,
+            &[pool[f64s[0]].var.clone(), pool[f64s[0]].var.clone()],
+        );
+    }
+}
+
+/// Generate the body of one function. `callees` lists later functions
+/// (their ids and interfaces) this one may call.
+fn gen_body(
+    rng: &mut Rng,
+    fb: &mut FunctionBuilder,
+    iface: &Iface,
+    callees: &[(FuncId, Iface)],
+    inject: bool,
+) {
+    let mut pool: Vec<TypedVar> = Vec::new();
+    for (i, &(dt, vec)) in iface.params.iter().enumerate() {
+        pool.push(TypedVar {
+            var: fb.param(i),
+            dt,
+            vec,
+        });
+    }
+    // A couple of constants so both dtypes always have scalar members.
+    for _ in 0..2 {
+        let v = if rng.chance(1, 2) {
+            let c = fb.const_f64((rng.below(5) as f64) - 2.0);
+            TypedVar {
+                var: c,
+                dt: Dt::F64,
+                vec: false,
+            }
+        } else {
+            let c = fb.const_i64((rng.below(5) as i64) - 2);
+            TypedVar {
+                var: c,
+                dt: Dt::I64,
+                vec: false,
+            }
+        };
+        pool.push(v);
+    }
+    // Definite assignment: initialize every output up front. Vector
+    // outputs copy a vector param of the same dtype (the interface
+    // generator guarantees one exists); scalars take a constant.
+    for (i, &(dt, vec)) in iface.outputs.iter().enumerate() {
+        let out = fb.output(i);
+        if vec {
+            let srcs = matching(&pool, dt, Some(true));
+            fb.assign(&out, Prim::Id, &[pool[srcs[0]].var.clone()]);
+        } else {
+            match dt {
+                Dt::F64 => {
+                    let c = fb.const_f64(rng.below(3) as f64);
+                    fb.assign(&out, Prim::Id, &[c]);
+                }
+                Dt::I64 => {
+                    let c = fb.const_i64(rng.below(3) as i64);
+                    fb.assign(&out, Prim::Id, &[c]);
+                }
+            }
+        }
+        pool.push(TypedVar { var: out, dt, vec });
+    }
+    if inject {
+        inject_ill_typed(rng, fb, &pool);
+    }
+    let n_steps = 2 + rng.below(6);
+    let mut loops_left = 1;
+    for _ in 0..n_steps {
+        match rng.below(10) {
+            // Straight-line: new temp or overwrite an existing var.
+            0..=4 => {
+                if rng.chance(1, 2) {
+                    if let Some(tv) = fresh_temp(rng, fb, &pool) {
+                        pool.push(tv);
+                    }
+                } else {
+                    let t = rng.below(pool.len());
+                    let target = pool[t].clone();
+                    assign_spec(rng, fb, &pool, &target);
+                }
+            }
+            // Data-dependent if/else: both arms overwrite the same
+            // existing vars (specs preserved), so the pool stays
+            // definitely assigned at the join.
+            5 | 6 => {
+                let cond = scalar_cond(rng, fb, &pool);
+                let tb = fb.new_block();
+                let eb = fb.new_block();
+                let join = fb.new_block();
+                fb.branch(&cond, tb, eb);
+                let n_writes = 1 + rng.below(2);
+                let targets: Vec<TypedVar> = (0..n_writes)
+                    .map(|_| pool[rng.below(pool.len())].clone())
+                    .collect();
+                fb.switch_to(tb);
+                for t in &targets {
+                    assign_spec(rng, fb, &pool, t);
+                }
+                fb.jump(join);
+                fb.switch_to(eb);
+                for t in &targets {
+                    assign_spec(rng, fb, &pool, t);
+                }
+                fb.jump(join);
+                fb.switch_to(join);
+            }
+            // Bounded counter loop: at most 3 iterations.
+            7 if loops_left > 0 => {
+                loops_left -= 1;
+                let bound = fb.const_i64(1 + rng.below(3) as i64);
+                let one = fb.const_i64(1);
+                let i = Var::new(format!("ctr{}", rng.below(1 << 30)));
+                let zero = fb.const_i64(0);
+                fb.assign(&i, Prim::Id, &[zero]);
+                let n_writes = 1 + rng.below(2);
+                let targets: Vec<TypedVar> = (0..n_writes)
+                    .map(|_| pool[rng.below(pool.len())].clone())
+                    .collect();
+                let hb = fb.new_block();
+                let bb = fb.new_block();
+                let xb = fb.new_block();
+                fb.jump(hb);
+                fb.switch_to(hb);
+                let c = fb.emit(Prim::Lt, &[i.clone(), bound]);
+                fb.branch(&c, bb, xb);
+                fb.switch_to(bb);
+                for t in &targets {
+                    assign_spec(rng, fb, &pool, t);
+                }
+                fb.assign(&i, Prim::Add, &[i.clone(), one]);
+                fb.jump(hb);
+                fb.switch_to(xb);
+            }
+            // Call a later function with exactly-matching arguments.
+            _ => {
+                if callees.is_empty() {
+                    continue;
+                }
+                let (id, ci) = &callees[rng.below(callees.len())];
+                let mut args = Vec::new();
+                let mut ok = true;
+                for &(dt, vec) in &ci.params {
+                    let cands = matching(&pool, dt, Some(vec));
+                    if cands.is_empty() {
+                        ok = false;
+                        break;
+                    }
+                    args.push(pool[cands[rng.below(cands.len())]].var.clone());
+                }
+                if !ok {
+                    continue;
+                }
+                let outs = fb.call(*id, &args, ci.outputs.len());
+                for (v, &(dt, vec)) in outs.into_iter().zip(&ci.outputs) {
+                    pool.push(TypedVar { var: v, dt, vec });
+                }
+            }
+        }
+    }
+    fb.ret();
+}
+
+/// Pick an interface. Vector outputs are only allowed when a vector
+/// param of the same dtype exists (so definite initialization can copy
+/// it).
+fn gen_iface(rng: &mut Rng) -> Iface {
+    let n_params = 1 + rng.below(3);
+    let params: Vec<(Dt, bool)> = (0..n_params)
+        .map(|_| {
+            (
+                if rng.chance(1, 2) { Dt::F64 } else { Dt::I64 },
+                rng.chance(1, 3),
+            )
+        })
+        .collect();
+    let n_outs = 1 + rng.below(2);
+    let outputs: Vec<(Dt, bool)> = (0..n_outs)
+        .map(|_| {
+            let dt = if rng.chance(1, 2) { Dt::F64 } else { Dt::I64 };
+            let vec = rng.chance(1, 3) && params.contains(&(dt, true));
+            (dt, vec)
+        })
+        .collect();
+    Iface { params, outputs }
+}
+
+/// Deterministically generate a program from `seed`.
+///
+/// # Panics
+///
+/// Panics if the builder rejects the generated program — that is a bug
+/// in the generator, not in the caller.
+pub fn gen_program(seed: u64) -> GeneratedProgram {
+    let mut rng = Rng::new(seed);
+    let expect_reject = rng.chance(1, 4);
+    let n_funcs = 1 + rng.below(3);
+    let ifaces: Vec<Iface> = (0..n_funcs).map(|_| gen_iface(&mut rng)).collect();
+    let mut pb = ProgramBuilder::new();
+    let ids: Vec<FuncId> = ifaces
+        .iter()
+        .enumerate()
+        .map(|(i, iface)| {
+            let params: Vec<String> = (0..iface.params.len()).map(|j| format!("p{j}")).collect();
+            let outs: Vec<String> = (0..iface.outputs.len()).map(|j| format!("o{j}")).collect();
+            let p_refs: Vec<&str> = params.iter().map(String::as_str).collect();
+            let o_refs: Vec<&str> = outs.iter().map(String::as_str).collect();
+            pb.declare(&format!("g{i}"), &p_refs, &o_refs)
+        })
+        .collect();
+    // Define in order; function i may call any j > i (acyclic).
+    for i in 0..n_funcs {
+        let callees: Vec<(FuncId, Iface)> = (i + 1..n_funcs)
+            .map(|j| (ids[j], ifaces[j].clone()))
+            .collect();
+        let iface = ifaces[i].clone();
+        let inject = expect_reject && i == 0;
+        let rng_ref = &mut rng;
+        pb.define(ids[i], |fb| {
+            gen_body(rng_ref, fb, &iface, &callees, inject);
+        });
+    }
+    let program = pb.finish(ids[0]).expect("generated program is well-formed");
+    let inputs = ifaces[0]
+        .params
+        .iter()
+        .map(|&(dt, vec)| {
+            TensorSpec::new(
+                match dt {
+                    Dt::F64 => AbsDType::F64,
+                    Dt::I64 => AbsDType::I64,
+                },
+                if vec { vec![2] } else { vec![] },
+            )
+        })
+        .collect();
+    GeneratedProgram {
+        program,
+        inputs,
+        expect_reject,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobatch_ir::analysis::{analyze_lsab, infer_lsab_signature};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_program(42);
+        let b = gen_program(42);
+        assert_eq!(format!("{:?}", a.program), format!("{:?}", b.program));
+        assert_eq!(a.expect_reject, b.expect_reject);
+    }
+
+    /// An injected ill-typed op must be caught by verification against
+    /// the generator's concrete input specs (some injections, like a
+    /// logic op on two inputs, are only ill-typed *given* those specs —
+    /// at program level they merely infer a bool constraint).
+    #[test]
+    fn well_typed_programs_verify_and_ill_typed_ones_do_not() {
+        let mut accepted = 0;
+        let mut rejected_as_expected = 0;
+        for seed in 0..200 {
+            let g = gen_program(seed);
+            let program_ok = analyze_lsab(&g.program).ok();
+            let concrete = infer_lsab_signature(&g.program, &g.inputs);
+            if g.expect_reject {
+                assert!(
+                    !(program_ok && concrete.is_ok()),
+                    "seed {seed}: injected ill-typed op escaped the verifier"
+                );
+                rejected_as_expected += 1;
+            } else {
+                assert!(
+                    program_ok,
+                    "seed {seed}: clean program rejected: {:?}",
+                    analyze_lsab(&g.program).diagnostics
+                );
+                assert!(
+                    concrete.is_ok(),
+                    "seed {seed}: clean program's inputs rejected: {:?}",
+                    concrete.err()
+                );
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 100, "too few clean programs: {accepted}");
+        assert!(rejected_as_expected > 10, "too few negative cases");
+    }
+}

@@ -44,13 +44,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use autobatch_accel::Trace;
 use autobatch_chaos::{FaultPlan, FaultPoint};
 use autobatch_core::{ExecOptions, KernelRegistry, PcMachine, VmError};
+use autobatch_ir::analysis::{
+    analyze_pcab, infer_pcab_signature, AbsDType, PcabReport, TensorSpec,
+};
 use autobatch_ir::pcab::Program;
-use autobatch_tensor::Tensor;
+use autobatch_ir::IrError;
+use autobatch_tensor::{DType, Tensor};
 
 pub mod nuts_driver;
 pub mod shard;
@@ -69,6 +73,14 @@ pub enum ServeError {
     BadRequest(String),
     /// The policy configuration is unusable (e.g. zero capacity).
     BadPolicy(String),
+    /// The program failed static verification at server construction:
+    /// no machine state is ever created for a program the abstract
+    /// interpreter rejects.
+    InvalidProgram(IrError),
+    /// A request's inputs violate the program's statically inferred
+    /// signature (wrong dtype or element shape). Detected at
+    /// submission, before the request touches any machine state.
+    InvalidRequest(IrError),
     /// Load shedding: the queue is at its configured budget and the
     /// request was **not** enqueued. The typed alternative to letting
     /// the queue grow without bound — callers can retry later or fail
@@ -106,6 +118,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Vm(e) => write!(f, "vm error: {e}"),
             ServeError::BadRequest(what) => write!(f, "bad request: {what}"),
             ServeError::BadPolicy(what) => write!(f, "bad policy: {what}"),
+            ServeError::InvalidProgram(e) => {
+                write!(f, "program failed static verification: {e}")
+            }
+            ServeError::InvalidRequest(e) => {
+                write!(f, "request violates the program signature: {e}")
+            }
             ServeError::Overloaded { depth, budget } => {
                 write!(f, "overloaded: queue depth {depth} at budget {budget}")
             }
@@ -127,6 +145,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Vm(e) => Some(e),
+            ServeError::InvalidProgram(e) | ServeError::InvalidRequest(e) => Some(e),
             _ => None,
         }
     }
@@ -326,6 +345,12 @@ pub struct BatchServer<'p> {
     fault_rolls: u64,
     submitted: u64,
     completed: u64,
+    /// The static verification report computed once at construction.
+    report: PcabReport,
+    /// Per-input-spec memo of concrete signature inference: `None` =
+    /// accepted, `Some(e)` = rejected with `e`. Traffic repeats a
+    /// handful of specs, so each distinct one is inferred once.
+    sig_cache: BTreeMap<Vec<TensorSpec>, Option<IrError>>,
 }
 
 impl<'p> BatchServer<'p> {
@@ -336,7 +361,9 @@ impl<'p> BatchServer<'p> {
     /// Returns [`ServeError::BadPolicy`] if the policy violates the
     /// [validation contract](AdmissionPolicy#validation-contract)
     /// (zero capacity, or a NaN/negative/non-finite utilization
-    /// threshold).
+    /// threshold), or [`ServeError::InvalidProgram`] if the program
+    /// fails static verification — in that case no [`PcMachine`] is
+    /// ever constructed.
     pub fn new(
         program: &'p Program,
         registry: KernelRegistry,
@@ -344,7 +371,13 @@ impl<'p> BatchServer<'p> {
         policy: AdmissionPolicy,
     ) -> Result<BatchServer<'p>> {
         policy.validate()?;
+        let report = analyze_pcab(program);
+        if let Some(e) = report.diagnostics.first() {
+            return Err(ServeError::InvalidProgram(e.clone()));
+        }
         Ok(BatchServer {
+            report,
+            sig_cache: BTreeMap::new(),
             step_limit: opts.max_supersteps,
             fault: opts.fault,
             fault_rolls: 0,
@@ -414,6 +447,12 @@ impl<'p> BatchServer<'p> {
         self.policy
     }
 
+    /// The static verification report computed once at construction
+    /// (inferred signature, stack-depth bounds, divergence sites).
+    pub fn report(&self) -> &PcabReport {
+        &self.report
+    }
+
     /// Requests waiting in the queue.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -439,12 +478,16 @@ impl<'p> BatchServer<'p> {
         self.machine.supersteps()
     }
 
-    /// Enqueue a request, stamped with the current clock. Validation is
-    /// shallow (arity only); shape errors surface at admission.
+    /// Enqueue a request, stamped with the current clock. The request's
+    /// inputs are checked against the program's statically inferred
+    /// signature (arity, dtype, and element shape) before anything is
+    /// enqueued, so invalid traffic never touches machine state.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadRequest`] on input arity mismatch, or
+    /// Returns [`ServeError::BadRequest`] on input arity mismatch,
+    /// [`ServeError::InvalidRequest`] when an input's dtype or element
+    /// shape violates the inferred signature, or
     /// [`ServeError::Overloaded`] — without enqueueing — when the queue
     /// is at its [budget](BatchServer::set_queue_budget).
     pub fn submit(&mut self, request: Request) -> Result<()> {
@@ -457,6 +500,7 @@ impl<'p> BatchServer<'p> {
                 request.inputs.len()
             )));
         }
+        self.check_signature(&request)?;
         if let Some(budget) = self.queue_budget {
             if self.queue.len() >= budget {
                 return Err(ServeError::Overloaded {
@@ -480,6 +524,36 @@ impl<'p> BatchServer<'p> {
         self.peak_pending = self.peak_pending.max(self.queue.len());
         self.submitted += 1;
         Ok(())
+    }
+
+    /// Check a request's inputs against the inferred program signature,
+    /// memoizing concrete inference per distinct spec vector.
+    fn check_signature(&mut self, request: &Request) -> Result<()> {
+        let mut specs = Vec::with_capacity(request.inputs.len());
+        for (i, t) in request.inputs.iter().enumerate() {
+            let shape = t.shape();
+            if shape.is_empty() {
+                return Err(ServeError::BadRequest(format!(
+                    "request {} input {} is rank-0; per-request inputs are [1, elem..]",
+                    request.id, i
+                )));
+            }
+            let dtype = match t.dtype() {
+                DType::F64 => AbsDType::F64,
+                DType::I64 => AbsDType::I64,
+                DType::Bool => AbsDType::Bool,
+            };
+            specs.push(TensorSpec::new(dtype, &shape[1..]));
+        }
+        let program = self.machine.program();
+        let verdict = self
+            .sig_cache
+            .entry(specs)
+            .or_insert_with_key(|specs| infer_pcab_signature(program, specs).err());
+        match verdict {
+            None => Ok(()),
+            Some(e) => Err(ServeError::InvalidRequest(e.clone())),
+        }
     }
 
     /// Admit pending requests according to the policy.
@@ -785,6 +859,79 @@ mod tests {
             .collect()
     }
 
+    /// A shape-polymorphic looping program: `y = x; repeat n times
+    /// { y = y + 1 }`. The branch condition only ever sees the scalar
+    /// counter, so the payload `x` may be any element shape — requests
+    /// with different `x` shapes all pass static verification, and a
+    /// shape that disagrees with the machine's established buffers is
+    /// only caught at admission. Runtime grows with `n`, staggering
+    /// retirements like the recursive fibonacci does. The exit block is
+    /// laid out *before* the loop blocks so the default `EarliestBlock`
+    /// scheduler retires finished members while slower ones still loop
+    /// (with the exit last, finishers would starve until the whole
+    /// batch drained).
+    fn countup_program() -> autobatch_ir::lsab::Program {
+        use autobatch_ir::build::ProgramBuilder;
+        use autobatch_ir::Prim;
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("countup", &["n", "x"], &["y"]);
+        pb.define(f, |fb| {
+            let n = fb.param(0);
+            let x = fb.param(1);
+            let y = fb.output(0);
+            fb.assign(&y, Prim::Id, &[x]);
+            let zero = fb.const_i64(0);
+            let i = fb.emit(Prim::Id, &[zero]);
+            let exit = fb.new_block();
+            let header = fb.new_block();
+            let body = fb.new_block();
+            fb.jump(header);
+            fb.switch_to(header);
+            let c = fb.emit(Prim::Lt, &[i.clone(), n.clone()]);
+            fb.branch(&c, body, exit);
+            fb.switch_to(body);
+            let one_f = fb.const_f64(1.0);
+            fb.assign(&y, Prim::Add, &[y.clone(), one_f]);
+            let one_i = fb.const_i64(1);
+            fb.assign(&i, Prim::Add, &[i.clone(), one_i]);
+            fb.jump(header);
+            fb.switch_to(exit);
+            fb.ret();
+        });
+        pb.finish(f).unwrap()
+    }
+
+    /// `[n, x=0.0]` request rows for `countup_program` (output: `n` as
+    /// a float).
+    fn countup_requests(ns: &[i64]) -> Vec<Request> {
+        ns.iter()
+            .enumerate()
+            .map(|(i, &n)| Request {
+                id: i as u64,
+                inputs: vec![
+                    Tensor::from_i64(&[n], &[1]).unwrap(),
+                    Tensor::from_f64(&[0.0], &[1]).unwrap(),
+                ],
+                seed: 1000 + i as u64,
+            })
+            .collect()
+    }
+
+    /// A request for `countup_program` whose payload element shape is
+    /// `[2]`: statically valid (the program is shape-polymorphic in
+    /// `x`), but in conflict with buffers established by scalar
+    /// requests — an admission-time offender.
+    fn countup_vec_request(id: u64, n: i64) -> Request {
+        Request {
+            id,
+            inputs: vec![
+                Tensor::from_i64(&[n], &[1]).unwrap(),
+                Tensor::from_f64(&[0.0, 0.0], &[1, 2]).unwrap(),
+            ],
+            seed: id,
+        }
+    }
+
     fn serve(ns: &[i64], policy: AdmissionPolicy) -> (Vec<Response>, u64) {
         let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
         let mut server =
@@ -967,11 +1114,17 @@ mod tests {
 
     #[test]
     fn failed_admission_requeues_requests_and_loses_nothing() {
-        // A bad-shaped request errors at admission; the requests popped
-        // alongside it go back into the queue, in-flight members stay
-        // intact, and responses completed before the error are returned
-        // by the next successful run — nothing is silently lost.
-        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        // A request whose payload shape conflicts with the machine's
+        // established buffers (statically valid — the program is
+        // shape-polymorphic — so submit admits it) errors at admission;
+        // the requests popped alongside it go back into the queue,
+        // in-flight members stay intact, and responses completed before
+        // the error are returned by the next successful run — nothing
+        // is silently lost.
+        let pc = {
+            let (pc, _) = lower(&countup_program(), LoweringOptions::default()).unwrap();
+            pc
+        };
         let policy = AdmissionPolicy::JoinAtEntry {
             max_batch: 2,
             min_utilization: 1.0,
@@ -980,17 +1133,11 @@ mod tests {
             BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
         // Two long requests fill the machine; a short one retires first
         // and frees a lane for the poisoned request.
-        for r in fib_requests(&[12, 2]) {
+        for r in countup_requests(&[12, 2]) {
             server.submit(r).unwrap();
         }
-        server
-            .submit(Request {
-                id: 2,
-                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
-                seed: 2,
-            })
-            .unwrap();
-        for mut r in fib_requests(&[5]) {
+        server.submit(countup_vec_request(2, 3)).unwrap();
+        for mut r in countup_requests(&[5]) {
             r.id = 3;
             server.submit(r).unwrap();
         }
@@ -1008,11 +1155,15 @@ mod tests {
         out.sort_by_key(|r| r.id);
         let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 3]);
-        let got: Vec<i64> = out
+        let got: Vec<f64> = out
             .iter()
-            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .map(|r| r.outputs[0].as_f64().unwrap()[0])
             .collect();
-        assert_eq!(got, vec![233, 2, 8], "fib(12), fib(2), fib(5)");
+        assert_eq!(
+            got,
+            vec![12.0, 2.0, 5.0],
+            "countup(12), countup(2), countup(5)"
+        );
     }
 
     #[test]
@@ -1021,23 +1172,17 @@ mod tests {
         // innocents must be admitted (not re-queued behind a recovery
         // that would drop them) and the offender must end up at the
         // queue head, where `reject` removes exactly the bad request.
-        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let (pc, _) = lower(&countup_program(), LoweringOptions::default()).unwrap();
         let policy = AdmissionPolicy::JoinAtEntry {
             max_batch: 2,
             min_utilization: 1.0,
         };
         let mut server =
             BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
-        for r in fib_requests(&[9]) {
+        for r in countup_requests(&[9]) {
             server.submit(r).unwrap();
         }
-        server
-            .submit(Request {
-                id: 1,
-                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
-                seed: 1,
-            })
-            .unwrap();
+        server.submit(countup_vec_request(1, 4)).unwrap();
         let err = server.run_until_idle(None);
         assert!(matches!(err, Err(ServeError::Vm(_))), "got {err:?}");
         assert_eq!(server.in_flight(), 1, "the good request was admitted");
@@ -1046,7 +1191,99 @@ mod tests {
         let out = server.run_until_idle(None).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].id, 0);
-        assert_eq!(out[0].outputs[0].as_i64().unwrap(), &[55]);
+        assert_eq!(out[0].outputs[0].as_f64().unwrap(), &[9.0]);
+    }
+
+    #[test]
+    fn statically_invalid_traffic_is_rejected_at_submit() {
+        // Requests violating the inferred signature never touch machine
+        // state: rejected with a typed error at submission, not at
+        // admission.
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 1.0,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        assert!(server.report().ok());
+        // Wrong dtype: fibonacci's input must be an integer.
+        let err = server
+            .submit(Request {
+                id: 0,
+                inputs: vec![Tensor::from_f64(&[1.0], &[1]).unwrap()],
+                seed: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)), "{err:?}");
+        // Wrong element shape: a [2] element would make the recursion's
+        // branch condition non-scalar.
+        let err = server
+            .submit(Request {
+                id: 1,
+                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
+                seed: 1,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)), "{err:?}");
+        assert_eq!(server.pending(), 0, "nothing was enqueued");
+        assert_eq!(server.submitted(), 0);
+        // Valid traffic still flows on the same server.
+        for r in fib_requests(&[6]) {
+            server.submit(r).unwrap();
+        }
+        let out = server.run_until_idle(None).unwrap();
+        assert_eq!(out[0].outputs[0].as_i64().unwrap(), &[13]);
+    }
+
+    #[test]
+    fn ill_typed_program_is_rejected_at_construction() {
+        // An intrinsically ill-typed program (f64 + bool) never gets a
+        // machine: `BatchServer::new` fails with the verifier's
+        // diagnostic.
+        use autobatch_ir::pcab::{Block, Op, Terminator, VarClass, WriteKind};
+        use autobatch_ir::{BlockId, Prim, Var};
+        let z = Var::new("z");
+        let c = Var::new("c");
+        let b = Var::new("b");
+        let program = Program {
+            blocks: vec![Block {
+                ops: vec![
+                    Op::Compute {
+                        outs: vec![(c.clone(), WriteKind::Update)],
+                        prim: Prim::ConstF64(1.0),
+                        ins: vec![],
+                    },
+                    Op::Compute {
+                        outs: vec![(b.clone(), WriteKind::Update)],
+                        prim: Prim::ConstBool(true),
+                        ins: vec![],
+                    },
+                    Op::Compute {
+                        outs: vec![(z.clone(), WriteKind::Update)],
+                        prim: Prim::Add,
+                        ins: vec![c.clone(), b.clone()],
+                    },
+                ],
+                term: Terminator::Return,
+            }],
+            entry: BlockId(0),
+            inputs: vec![],
+            outputs: vec![z.clone()],
+            classes: [(z, VarClass::Register)].into_iter().collect(),
+        };
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 1.0,
+        };
+        let err = BatchServer::new(
+            &program,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            policy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidProgram(_)), "{err:?}");
     }
 
     #[test]
@@ -1321,7 +1558,7 @@ mod tests {
         // offender must land back at the queue *head* with every request
         // popped behind it following in the original FIFO order — and
         // `reject()` must then drop exactly the offender.
-        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let (pc, _) = lower(&countup_program(), LoweringOptions::default()).unwrap();
         // max_batch 4 pops the offender and both requests behind it in
         // one admission attempt.
         let policy = AdmissionPolicy::JoinAtEntry {
@@ -1330,24 +1567,18 @@ mod tests {
         };
         let mut server =
             BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
-        for r in fib_requests(&[9]) {
+        for r in countup_requests(&[9]) {
             server.submit(r).unwrap();
         }
-        server
-            .submit(Request {
-                id: 1,
-                inputs: vec![Tensor::from_i64(&[1, 2], &[1, 2]).unwrap()],
-                seed: 1,
-            })
-            .unwrap();
+        server.submit(countup_vec_request(1, 4)).unwrap();
+        let late = |id: u64, n: i64| {
+            let mut r = countup_requests(&[n]).remove(0);
+            r.id = id;
+            r.seed = 1000 + id;
+            r
+        };
         for (id, n) in [(2u64, 5i64), (3, 7)] {
-            server
-                .submit(Request {
-                    id,
-                    inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
-                    seed: 1000 + id,
-                })
-                .unwrap();
+            server.submit(late(id, n)).unwrap();
         }
         let err = server.run_until_idle(None);
         assert!(matches!(err, Err(ServeError::Vm(_))), "got {err:?}");
@@ -1362,23 +1593,21 @@ mod tests {
         assert_eq!(server.reject().map(|r| r.id), Some(2));
         assert_eq!(server.reject().map(|r| r.id), Some(3));
         for (id, n) in [(2u64, 5i64), (3, 7)] {
-            server
-                .submit(Request {
-                    id,
-                    inputs: vec![Tensor::from_i64(&[n], &[1]).unwrap()],
-                    seed: 1000 + id,
-                })
-                .unwrap();
+            server.submit(late(id, n)).unwrap();
         }
         let mut out = server.run_until_idle(None).unwrap();
         out.sort_by_key(|r| r.id);
         let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 2, 3]);
-        let got: Vec<i64> = out
+        let got: Vec<f64> = out
             .iter()
-            .map(|r| r.outputs[0].as_i64().unwrap()[0])
+            .map(|r| r.outputs[0].as_f64().unwrap()[0])
             .collect();
-        assert_eq!(got, vec![55, 8, 21], "fib(9), fib(5), fib(7)");
+        assert_eq!(
+            got,
+            vec![9.0, 5.0, 7.0],
+            "countup(9), countup(5), countup(7)"
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Smoke test: every example must build, run to completion, and print
 //! something. `cargo test` already compiles the example targets; this
 //! suite executes the compiled binaries so examples can't silently rot
-//! into code that builds but crashes.
+//! into code that builds but crashes. Every surface-language program
+//! embedded in an example must additionally pass the static
+//! verification tier with zero diagnostics (the same gate `irlint`
+//! enforces in CI).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -47,6 +50,56 @@ fn example_list_is_exhaustive() {
     assert_eq!(
         found, expected,
         "examples/ and the EXAMPLES list disagree; update tests/examples_smoke.rs"
+    );
+}
+
+#[test]
+fn every_embedded_example_program_verifies() {
+    use autobatch::core::{lower, LoweringOptions};
+    use autobatch::ir::analysis::{analyze_lsab, analyze_pcab};
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for name in EXAMPLES {
+        let rust = std::fs::read_to_string(src.join(format!("{name}.rs"))).expect("example source");
+        for embedded in autobatch::lang::embedded_sources(&rust) {
+            let module = autobatch::lang::parse(&embedded).expect("embedded program parses");
+            for f in &module.fns {
+                let program = match autobatch::lang::compile_module(&module, &f.name) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        failures.push(format!("{name}::{}: compile: {e}", f.name));
+                        continue;
+                    }
+                };
+                checked += 1;
+                let report = analyze_lsab(&program);
+                for d in &report.diagnostics {
+                    failures.push(format!("{name}::{} (lsab): {d}", f.name));
+                }
+                if !report.ok() {
+                    continue;
+                }
+                match lower(&program, LoweringOptions::default()) {
+                    Ok((pc, _)) => {
+                        for d in &analyze_pcab(&pc).diagnostics {
+                            failures.push(format!("{name}::{} (pcab): {d}", f.name));
+                        }
+                    }
+                    Err(e) => failures.push(format!("{name}::{} (lowering): {e}", f.name)),
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "embedded example programs fail static verification:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        checked >= 5,
+        "only {checked} embedded programs found — the extraction scanner \
+         or the examples changed; update this test's expectation"
     );
 }
 
