@@ -86,6 +86,15 @@ enum Event {
         left: usize,
         total_after: usize,
     },
+    /// Lane migration: `moved_in` lanes injected / `moved_out` lanes
+    /// extracted, leaving `total_after` live members. Kept separate from
+    /// [`Event::Membership`] so a migrated lane is not double-counted as
+    /// a fresh admission.
+    Migration {
+        moved_in: usize,
+        moved_out: usize,
+        total_after: usize,
+    },
 }
 
 /// A priced execution trace.
@@ -97,6 +106,8 @@ pub struct Trace {
     supersteps: u64,
     members_admitted: u64,
     members_retired: u64,
+    members_migrated_in: u64,
+    members_migrated_out: u64,
     peak_members: usize,
     per_kernel: BTreeMap<String, KernelStats>,
     logical: BTreeMap<String, KernelStats>,
@@ -113,6 +124,8 @@ impl Trace {
             supersteps: 0,
             members_admitted: 0,
             members_retired: 0,
+            members_migrated_in: 0,
+            members_migrated_out: 0,
             peak_members: 0,
             per_kernel: BTreeMap::new(),
             logical: BTreeMap::new(),
@@ -164,6 +177,14 @@ impl Trace {
                     left,
                     total_after,
                 } => out.membership(*joined, *left, *total_after),
+                Event::Migration {
+                    moved_in,
+                    moved_out,
+                    total_after,
+                } => {
+                    out.migrate_in(*moved_in, *total_after);
+                    out.migrate_out(*moved_out, *total_after);
+                }
             }
         }
         out
@@ -239,6 +260,37 @@ impl Trace {
         self.peak_members = self.peak_members.max(total_after);
     }
 
+    /// Record `moved_in` lanes injected by migration, leaving
+    /// `total_after` live members. Migration is accounted separately
+    /// from [`Trace::membership`] so "members admitted == requests"
+    /// invariants survive rebalancing: a migrated lane was admitted
+    /// exactly once, on its first shard.
+    pub fn migrate_in(&mut self, moved_in: usize, total_after: usize) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event::Migration {
+                moved_in,
+                moved_out: 0,
+                total_after,
+            });
+        }
+        self.members_migrated_in += moved_in as u64;
+        self.peak_members = self.peak_members.max(total_after);
+    }
+
+    /// Record `moved_out` lanes extracted by migration, leaving
+    /// `total_after` live members (see [`Trace::migrate_in`]).
+    pub fn migrate_out(&mut self, moved_out: usize, total_after: usize) {
+        if let Some(ev) = self.events.as_mut() {
+            ev.push(Event::Migration {
+                moved_in: 0,
+                moved_out,
+                total_after,
+            });
+        }
+        self.members_migrated_out += moved_out as u64;
+        self.peak_members = self.peak_members.max(total_after);
+    }
+
     /// Total members ever admitted into the traced batch.
     pub fn members_admitted(&self) -> u64 {
         self.members_admitted
@@ -249,17 +301,29 @@ impl Trace {
         self.members_retired
     }
 
+    /// Total lanes injected by cross-shard migration.
+    pub fn members_migrated_in(&self) -> u64 {
+        self.members_migrated_in
+    }
+
+    /// Total lanes extracted by cross-shard migration.
+    pub fn members_migrated_out(&self) -> u64 {
+        self.members_migrated_out
+    }
+
     /// Largest live batch size observed across membership changes.
     pub fn peak_members(&self) -> usize {
         self.peak_members
     }
 
     /// Members currently live according to membership accounting:
-    /// admitted minus retired. Shard routers key their least-loaded
-    /// decision on this (together with the queue depth), so the load
-    /// signal comes from the same accounting that prices launches.
+    /// admitted plus migrated-in, minus retired and migrated-out. Shard
+    /// routers key their least-loaded decision on this (together with
+    /// the queue depth), so the load signal comes from the same
+    /// accounting that prices launches.
     pub fn live_members(&self) -> u64 {
-        self.members_admitted - self.members_retired
+        (self.members_admitted + self.members_migrated_in)
+            .saturating_sub(self.members_retired + self.members_migrated_out)
     }
 
     /// Fold another trace, assumed to have run **concurrently** on its
@@ -292,6 +356,8 @@ impl Trace {
         self.supersteps += other.supersteps;
         self.members_admitted += other.members_admitted;
         self.members_retired += other.members_retired;
+        self.members_migrated_in += other.members_migrated_in;
+        self.members_migrated_out += other.members_migrated_out;
         self.peak_members += other.peak_members;
         for (k, s) in &other.per_kernel {
             let dst = self.per_kernel.entry(k.clone()).or_default();
@@ -387,6 +453,8 @@ impl Trace {
         self.supersteps = 0;
         self.members_admitted = 0;
         self.members_retired = 0;
+        self.members_migrated_in = 0;
+        self.members_migrated_out = 0;
         self.peak_members = 0;
         self.per_kernel.clear();
         self.logical.clear();
@@ -548,6 +616,32 @@ mod tests {
         assert_eq!(tr.live_members(), 3);
         tr.membership(0, 3, 0);
         assert_eq!(tr.live_members(), 0);
+    }
+
+    #[test]
+    fn migration_counters_are_separate_from_admission() {
+        let mut tr = Trace::recording(Backend::hybrid_cpu());
+        tr.membership(4, 0, 4);
+        tr.migrate_out(2, 2);
+        assert_eq!(tr.live_members(), 2);
+        tr.migrate_in(1, 3);
+        assert_eq!(tr.members_admitted(), 4, "migration is not admission");
+        assert_eq!(tr.members_migrated_in(), 1);
+        assert_eq!(tr.members_migrated_out(), 2);
+        assert_eq!(tr.live_members(), 3);
+        assert_eq!(tr.peak_members(), 4);
+        // Migration survives replay, merges additively, and resets.
+        let re = tr.replay_as(Backend::hybrid_cpu());
+        assert_eq!(re.members_migrated_in(), 1);
+        assert_eq!(re.members_migrated_out(), 2);
+        let mut sum = Trace::new(Backend::hybrid_cpu());
+        sum.merge_parallel(&tr);
+        sum.merge_parallel(&tr);
+        assert_eq!(sum.members_migrated_in(), 2);
+        assert_eq!(sum.members_migrated_out(), 4);
+        tr.reset();
+        assert_eq!(tr.members_migrated_in(), 0);
+        assert_eq!(tr.members_migrated_out(), 0);
     }
 
     #[test]

@@ -3,11 +3,19 @@
 //! Compares every `BENCH_*.json` present in the baseline directory
 //! against the same-named file in the fresh directory, matching rows on
 //! their key fields (workload/mode/workers/requests/batch) and failing
-//! when `requests_per_s` drops more than the tolerance below baseline
-//! — or when a baseline row disappears (coverage loss). The benchmark
-//! numbers come from the deterministic simulated cost model, so in CI
-//! the comparison is exact-reproducible: any failure is a real code
-//! change, not machine noise.
+//! when any gated metric moves beyond its direction-aware tolerance —
+//! or when a baseline row disappears (coverage loss). The comparison
+//! also runs in the other direction: a fresh artifact, row, or gated
+//! metric with **no baseline counterpart** fails, listing exactly what
+//! is unguarded — otherwise new benchmark output would silently ship
+//! ungated until someone remembered to commit a baseline. Rows marked
+//! with the `ungated` field (wall-clock numbers) are exempt both ways.
+//! The benchmark numbers come from the deterministic simulated cost
+//! model, so in CI the comparison is exact-reproducible: any failure is
+//! a real code change, not machine noise.
+//!
+//! When `GITHUB_STEP_SUMMARY` is set (as in GitHub Actions), a markdown
+//! summary of every file's verdict is appended to it.
 //!
 //! Usage:
 //!
@@ -18,62 +26,134 @@
 //! Defaults: `--baseline results/baselines --fresh results
 //! --tolerance 0.20`. Exits non-zero on any gate failure.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use autobatch_bench::gate::{check_regression, parse_flat_json, Row};
+use autobatch_bench::gate::{check_coverage, check_regression, is_ungated, parse_flat_json, Row};
+
+/// One artifact's verdict, for the report and the step summary.
+struct FileReport {
+    name: String,
+    baseline_rows: usize,
+    failures: Vec<String>,
+}
 
 fn parse_file(path: &Path) -> Result<Vec<Row>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_flat_json(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn run(baseline_dir: &Path, fresh_dir: &Path, tolerance: f64) -> Result<Vec<String>, String> {
-    let mut baselines: Vec<PathBuf> = std::fs::read_dir(baseline_dir)
-        .map_err(|e| format!("{}: {e}", baseline_dir.display()))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-        })
+fn bench_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
         .collect();
-    baselines.sort();
+    names.sort();
+    Ok(names)
+}
+
+fn run(baseline_dir: &Path, fresh_dir: &Path, tolerance: f64) -> Result<Vec<FileReport>, String> {
+    let baselines = bench_files(baseline_dir)?;
     if baselines.is_empty() {
         return Err(format!(
             "no BENCH_*.json baselines under {}",
             baseline_dir.display()
         ));
     }
-    let mut failures = Vec::new();
-    for base_path in baselines {
-        let name = base_path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .expect("filtered on file name")
-            .to_string();
-        let fresh_path = fresh_dir.join(&name);
+    let mut reports = Vec::new();
+    for name in &baselines {
+        let fresh_path = fresh_dir.join(name);
         if !fresh_path.exists() {
-            failures.push(format!(
-                "{name}: fresh artifact missing at {}",
-                fresh_path.display()
-            ));
+            reports.push(FileReport {
+                name: name.clone(),
+                baseline_rows: 0,
+                failures: vec![format!(
+                    "fresh artifact missing at {}",
+                    fresh_path.display()
+                )],
+            });
             continue;
         }
-        let base_rows = parse_file(&base_path)?;
+        let base_rows = parse_file(&baseline_dir.join(name))?;
         let fresh_rows = parse_file(&fresh_path)?;
-        let file_failures = check_regression(&base_rows, &fresh_rows, tolerance);
-        if file_failures.is_empty() {
-            println!(
-                "gate OK: {name} — {} baseline rows within tolerance on every gated metric \
-                 (base {:.0}%)",
-                base_rows.len(),
-                tolerance * 100.0
-            );
-        }
-        failures.extend(file_failures.into_iter().map(|f| format!("{name}: {f}")));
+        let mut failures = check_regression(&base_rows, &fresh_rows, tolerance);
+        failures.extend(check_coverage(&base_rows, &fresh_rows));
+        reports.push(FileReport {
+            name: name.clone(),
+            baseline_rows: base_rows.len(),
+            failures,
+        });
     }
-    Ok(failures)
+    // The other direction at file granularity: a fresh artifact with no
+    // baseline file at all is unguarded unless every row opted out.
+    for name in bench_files(fresh_dir)? {
+        if baselines.contains(&name) {
+            continue;
+        }
+        let rows = parse_file(&fresh_dir.join(&name))?;
+        let gated = rows.iter().filter(|r| !is_ungated(r)).count();
+        if gated > 0 {
+            reports.push(FileReport {
+                name: name.clone(),
+                baseline_rows: 0,
+                failures: vec![format!(
+                    "{gated} fresh row(s) have no baseline artifact — commit {} or mark the \
+                     rows \"ungated\"",
+                    Path::new("results/baselines").join(&name).display()
+                )],
+            });
+        }
+    }
+    Ok(reports)
+}
+
+/// Append a markdown verdict table to `$GITHUB_STEP_SUMMARY`, if set.
+fn write_step_summary(reports: &[FileReport], tolerance: f64) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut md = String::new();
+    md.push_str(&format!(
+        "### Perf-regression gate (base tolerance {:.0}%)\n\n",
+        tolerance * 100.0
+    ));
+    md.push_str("| artifact | baseline rows | verdict |\n|---|---:|---|\n");
+    for r in reports {
+        let verdict = if r.failures.is_empty() {
+            "✅ within tolerance".to_string()
+        } else {
+            format!("❌ {} failure(s)", r.failures.len())
+        };
+        md.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            r.name, r.baseline_rows, verdict
+        ));
+    }
+    let all: Vec<&String> = reports.iter().flat_map(|r| &r.failures).collect();
+    if !all.is_empty() {
+        md.push_str("\n<details><summary>failures</summary>\n\n");
+        for (r, f) in reports
+            .iter()
+            .flat_map(|r| r.failures.iter().map(move |f| (r, f)))
+        {
+            md.push_str(&format!("- `{}`: {}\n", r.name, f));
+        }
+        md.push_str("\n</details>\n");
+    }
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(md.as_bytes()))
+    {
+        eprintln!("could not append to GITHUB_STEP_SUMMARY ({path}): {e}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -120,16 +200,34 @@ fn main() -> ExitCode {
         i += 1;
     }
     match run(&baseline_dir, &fresh_dir, tolerance) {
-        Ok(failures) if failures.is_empty() => {
-            println!("perf-regression gate passed");
-            ExitCode::SUCCESS
-        }
-        Ok(failures) => {
-            eprintln!("perf-regression gate FAILED:");
-            for f in &failures {
-                eprintln!("  {f}");
+        Ok(reports) => {
+            let mut failed = false;
+            for r in &reports {
+                if r.failures.is_empty() {
+                    println!(
+                        "gate OK: {} — {} baseline rows within tolerance on every gated metric \
+                         (base {:.0}%), coverage complete",
+                        r.name,
+                        r.baseline_rows,
+                        tolerance * 100.0
+                    );
+                } else {
+                    failed = true;
+                }
             }
-            ExitCode::FAILURE
+            write_step_summary(&reports, tolerance);
+            if failed {
+                eprintln!("perf-regression gate FAILED:");
+                for r in &reports {
+                    for f in &r.failures {
+                        eprintln!("  {}: {f}", r.name);
+                    }
+                }
+                ExitCode::FAILURE
+            } else {
+                println!("perf-regression gate passed");
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("bench_gate error: {e}");

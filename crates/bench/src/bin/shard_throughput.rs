@@ -33,7 +33,7 @@ use autobatch_ir::pcab::Program;
 use autobatch_lang::compile;
 use autobatch_models::NealsFunnel;
 use autobatch_nuts::{BatchNuts, NutsConfig};
-use autobatch_serve::{AdmissionPolicy, Request, ShardedServer};
+use autobatch_serve::{AdmissionPolicy, AffinityConfig, Request, SchedulingPolicy, ShardedServer};
 use autobatch_tensor::{CounterRng, Tensor};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
@@ -99,11 +99,29 @@ fn sweep_workers(
                 Backend::hybrid_cpu(),
             )
             .expect("server");
+            // PC-affinity scheduling: pack shards to capacity, migrate
+            // stragglers, steal for idle shards. This is what keeps
+            // `supersteps_total` flat as workers are added — the gated
+            // guard against superstep inflation from underfilled,
+            // pc-mixed batches.
+            server.set_scheduling(SchedulingPolicy::PcAffinity(AffinityConfig::default()));
             for r in requests {
                 server.submit(r.clone()).expect("submit");
             }
             let done = server.run_until_idle().expect("serve");
             assert_eq!(done.len(), requests.len());
+            if std::env::var("SHARD_DEBUG").is_ok() {
+                for i in 0..workers {
+                    let t = server.shard_trace(i);
+                    eprintln!(
+                        "  debug w{workers} shard {i}: supersteps {} sim {:.1}s mig {}/{}",
+                        t.supersteps(),
+                        t.sim_time(),
+                        t.members_migrated_in(),
+                        t.members_migrated_out()
+                    );
+                }
+            }
             let agg: Trace = server.aggregated_trace();
             ShardResult {
                 workers,
@@ -170,6 +188,10 @@ fn main() {
         &binom_requests(n_requests),
     );
 
+    if std::env::var("SHARD_SWEEP").is_ok() {
+        // Tuning loop: binom only, skip the NUTS workload and artifacts.
+        return;
+    }
     let cfg = NutsConfig {
         step_size: 0.2,
         n_trajectories: 3,
@@ -219,7 +241,9 @@ fn main() {
                 ("workers", r.workers.to_string()),
                 ("requests", n_requests.to_string()),
                 ("batch", batch.to_string()),
-                ("supersteps", r.supersteps.to_string()),
+                // Gated lower-is-better: total supersteps must not
+                // inflate as workers are added (see the gate's METRICS).
+                ("supersteps_total", r.supersteps.to_string()),
                 ("launches", r.launches.to_string()),
                 ("sim_time_s", format!("{:.9}", r.sim_time)),
                 ("requests_per_s", format!("{:.6}", throughput)),

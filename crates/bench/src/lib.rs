@@ -209,6 +209,12 @@ pub mod gate {
     ///   injection (`chaos_availability`); pure counts from the seeded
     ///   fault schedule, bit-reproducible, gated at a quarter of the
     ///   base tolerance — a drop means fault recovery got worse.
+    /// - `supersteps_total` — total supersteps a sharded run spent
+    ///   serving its fixed request set (`shard_throughput`); the
+    ///   superstep-inflation guard for PC-affinity scheduling. Pure
+    ///   counts from the deterministic cost model, bit-reproducible,
+    ///   gated at a quarter of the base tolerance, *lower-is-better* —
+    ///   a rise means batches got emptier as workers were added.
     ///
     /// A row is gated on every metric it carries; rows carrying none
     /// fail (the gate would otherwise silently stop guarding them).
@@ -218,7 +224,21 @@ pub mod gate {
         ("allocs_per_superstep", Direction::LowerIsBetter, 0.25),
         ("p99_latency_s", Direction::LowerIsBetter, 0.25),
         ("availability", Direction::HigherIsBetter, 0.25),
+        ("supersteps_total", Direction::LowerIsBetter, 0.25),
     ];
+
+    /// Marker field exempting a row from gating and from baseline
+    /// coverage enforcement ([`check_coverage`]). For rows whose
+    /// numbers are *not* deterministic — e.g. the wall-clock
+    /// tcp-loopback row of `ingress_throughput` — where a committed
+    /// baseline would gate machine noise. The field's value is
+    /// conventionally a short reason string (`"wall-clock"`).
+    pub const UNGATED_FIELD: &str = "ungated";
+
+    /// Whether a row opted out of gating via [`UNGATED_FIELD`].
+    pub fn is_ungated(row: &Row) -> bool {
+        row.contains_key(UNGATED_FIELD)
+    }
 
     /// Fields identifying a row across runs; rows are matched between
     /// baseline and fresh artifacts on every key field they carry.
@@ -379,13 +399,17 @@ pub mod gate {
     /// (coverage loss), or when any [`METRICS`] entry the baseline row
     /// carries regressed beyond its direction-aware, scaled tolerance
     /// (e.g. base `0.2` = `requests_per_s` fails below 80% of
-    /// baseline, `allocs_per_superstep` fails above 105%). Rows only
-    /// present in the fresh run pass (new coverage is welcome).
+    /// baseline, `allocs_per_superstep` fails above 105%). Rows marked
+    /// [`UNGATED_FIELD`] are skipped. Rows only present in the fresh
+    /// run pass here — [`check_coverage`] is the other direction.
     /// Returns human-readable failure lines; empty means the gate holds.
     pub fn check_regression(baseline: &[Row], fresh: &[Row], tolerance: f64) -> Vec<String> {
         let fresh_by_key: BTreeMap<String, &Row> = fresh.iter().map(|r| (row_key(r), r)).collect();
         let mut failures = Vec::new();
         for base in baseline {
+            if is_ungated(base) {
+                continue;
+            }
             let key = row_key(base);
             let Some(new) = fresh_by_key.get(&key) else {
                 failures.push(format!("[{key}] missing from the fresh run"));
@@ -447,6 +471,46 @@ pub mod gate {
             }
             if gated == 0 {
                 failures.push(format!("[{key}] baseline row lacks numeric {METRIC}"));
+            }
+        }
+        failures
+    }
+
+    /// The inverse direction of [`check_regression`]: every fresh row
+    /// and every gated metric it carries must have a baseline
+    /// counterpart, or the gate is silently not guarding the new
+    /// numbers. Fails when a fresh row's key is absent from the
+    /// baseline, and when a fresh row carries a numeric [`METRICS`]
+    /// entry its baseline counterpart lacks — either way the fix is
+    /// committing a refreshed baseline. Rows marked [`UNGATED_FIELD`]
+    /// are exempt (deliberately baseline-free, e.g. wall-clock rows).
+    /// Returns human-readable failure lines; empty means coverage is
+    /// complete.
+    pub fn check_coverage(baseline: &[Row], fresh: &[Row]) -> Vec<String> {
+        let base_by_key: BTreeMap<String, &Row> =
+            baseline.iter().map(|r| (row_key(r), r)).collect();
+        let mut failures = Vec::new();
+        for row in fresh {
+            if is_ungated(row) {
+                continue;
+            }
+            let key = row_key(row);
+            let Some(base) = base_by_key.get(&key) else {
+                failures.push(format!(
+                    "[{key}] fresh row has no baseline counterpart — commit a refreshed baseline \
+                     (or mark the row \"{UNGATED_FIELD}\")"
+                ));
+                continue;
+            };
+            for &(metric, _, _) in METRICS {
+                if row.get(metric).and_then(JsonValue::as_num).is_some()
+                    && base.get(metric).and_then(JsonValue::as_num).is_none()
+                {
+                    failures.push(format!(
+                        "[{key}] fresh {metric} has no baseline counterpart — commit a refreshed \
+                         baseline"
+                    ));
+                }
             }
         }
         failures

@@ -4,7 +4,8 @@
 //! injected slowdown.
 
 use autobatch_bench::gate::{
-    check_regression, parse_flat_json, row_key, JsonValue, Row, KEY_FIELDS, METRIC,
+    check_coverage, check_regression, is_ungated, parse_flat_json, row_key, JsonValue, Row,
+    KEY_FIELDS, METRIC, UNGATED_FIELD,
 };
 use autobatch_bench::{json_str, render_json};
 
@@ -119,6 +120,60 @@ fn gate_fails_on_coverage_loss_but_not_on_new_rows() {
     assert_eq!(failures.len(), 1);
     assert!(failures[0].contains("workload=funnel-nuts"), "{failures:?}");
     assert!(failures[0].contains("missing"), "{failures:?}");
+}
+
+#[test]
+fn coverage_check_fails_fresh_rows_and_metrics_without_baselines() {
+    let baseline = rendered_rows(&[bench_row("divergent-binom", 1, 0.0125)]);
+    // Every fresh row covered: clean.
+    assert_eq!(check_coverage(&baseline, &baseline), Vec::<String>::new());
+    // A brand-new fresh row with no baseline counterpart is unguarded —
+    // the gate must say so and name the row.
+    let fresh = rendered_rows(&[
+        bench_row("divergent-binom", 1, 0.0125),
+        bench_row("divergent-binom", 4, 0.05),
+    ]);
+    let failures = check_coverage(&baseline, &fresh);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(failures[0].contains("workers=4"), "{failures:?}");
+    assert!(
+        failures[0].contains("no baseline counterpart"),
+        "{failures:?}"
+    );
+
+    // A fresh row that grew a *gated metric* its baseline row lacks is
+    // just as unguarded: the new metric would silently ship untested.
+    let mut with_new_metric = bench_row("divergent-binom", 1, 0.0125);
+    with_new_metric.push(("supersteps_total", "99".to_string()));
+    let fresh = rendered_rows(&[with_new_metric]);
+    let failures = check_coverage(&baseline, &fresh);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(failures[0].contains("supersteps_total"), "{failures:?}");
+}
+
+#[test]
+fn ungated_rows_are_exempt_from_both_gate_directions() {
+    let mut wall_clock = bench_row("tcp-loopback", 1, 123.0);
+    wall_clock.push((UNGATED_FIELD, json_str("wall-clock")));
+    let fresh = rendered_rows(&[bench_row("divergent-binom", 1, 0.0125), wall_clock]);
+    assert!(is_ungated(&fresh[1]));
+    assert!(!is_ungated(&fresh[0]));
+
+    // Fresh direction: the unmatched wall-clock row does not trip the
+    // coverage check.
+    let baseline = rendered_rows(&[bench_row("divergent-binom", 1, 0.0125)]);
+    assert_eq!(check_coverage(&baseline, &fresh), Vec::<String>::new());
+
+    // Baseline direction: an ungated baseline row neither demands a
+    // fresh counterpart nor compares metrics.
+    let mut stale = bench_row("tcp-loopback", 1, 999.0);
+    stale.push((UNGATED_FIELD, json_str("wall-clock")));
+    let baseline = rendered_rows(&[bench_row("divergent-binom", 1, 0.0125), stale]);
+    let fresh = rendered_rows(&[bench_row("divergent-binom", 1, 0.0125)]);
+    assert_eq!(
+        check_regression(&baseline, &fresh, 0.20),
+        Vec::<String>::new()
+    );
 }
 
 #[test]

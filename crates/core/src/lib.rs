@@ -60,4 +60,4 @@ pub use kernels::{eval_prim, prim_cost, ExternalKernel, KernelRegistry, OpCost};
 pub use lowering::{lower, LoweringStats};
 pub use lsab_vm::{LocalStaticVm, LsabObservation, LsabObserver};
 pub use options::{BlockHeuristic, DynSchedule, ExecOptions, ExecStrategy, LoweringOptions};
-pub use pc_vm::{PcMachine, PcObservation, PcObserver, PcVm, Retired, StackSnapshot};
+pub use pc_vm::{LaneState, PcMachine, PcObservation, PcObserver, PcVm, Retired, StackSnapshot};

@@ -1114,6 +1114,54 @@ pub struct Retired {
     pub outputs: Vec<Tensor>,
 }
 
+/// One stacked variable's slice of a [`LaneState`]: the lane's stack
+/// pointer, its frames (bottom first, each `[1, elem..]`), and its
+/// cached top row.
+#[derive(Debug, Clone)]
+struct LaneStack {
+    sp: usize,
+    frames: Vec<Tensor>,
+    top: Option<Tensor>,
+}
+
+/// The complete portable state of one **running** lane, extracted by
+/// [`PcMachine::extract_lanes`] and re-admitted elsewhere by
+/// [`PcMachine::inject_lane`] — the mechanism behind cross-shard
+/// straggler migration.
+///
+/// Moving a lane between machines cannot perturb its results: every
+/// random draw is keyed by `(seed, member_key, counter)` where the
+/// counter is threaded through the program's own data, so the draw
+/// stream is independent of placement, batch composition, and timing.
+/// The only compatibility requirement is that source and destination
+/// execute the same lowered program under the same
+/// [`ExecOptions::stack_depth`] (checked at injection).
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    /// The RNG member key the lane draws under.
+    key: u64,
+    /// The lane's current pc top (block index).
+    pc_top: usize,
+    /// pc frames beneath the top (exit sentinel at the bottom).
+    pc_stack: Vec<usize>,
+    /// Per stacked variable, in the program's slot order.
+    stacked: Vec<LaneStack>,
+    /// Per register slot: the lane's row, if ever materialized.
+    registers: Vec<Option<Tensor>>,
+}
+
+impl LaneState {
+    /// The block index the lane is about to execute.
+    pub fn pc(&self) -> usize {
+        self.pc_top
+    }
+
+    /// The RNG member key the lane draws under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
 /// An incremental program-counter VM supporting **dynamic batch
 /// admission**: members join an in-flight batch at the entry block (with
 /// fresh stacks) and are compacted out once their pc top hits the exit.
@@ -1506,6 +1554,318 @@ impl<'p> PcMachine<'p> {
                 return Ok(all);
             }
         }
+    }
+
+    /// Per-lane pc tops (`== block count` means the lane is finished).
+    pub fn pc_tops(&self) -> &[usize] {
+        &self.st.pc_top
+    }
+
+    /// Histogram of **running** lanes per pc top. Finished lanes are
+    /// excluded — they leave at the next retirement and carry no
+    /// affinity signal.
+    pub fn pc_histogram(&self) -> BTreeMap<usize, usize> {
+        let n_blocks = self.vm.program.blocks.len();
+        let mut hist = BTreeMap::new();
+        for &pc in &self.st.pc_top {
+            if pc < n_blocks {
+                *hist.entry(pc).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// The pc top shared by the most running lanes (ties break toward
+    /// the lowest pc, matching the `EarliestBlock` heuristic). `None`
+    /// when no lane is running.
+    pub fn majority_pc(&self) -> Option<usize> {
+        self.pc_histogram()
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(pc, _)| pc)
+    }
+
+    /// `(ticket, pc)` of every **running** lane, in lane order.
+    pub fn lane_pcs(&self) -> Vec<(u64, usize)> {
+        let n_blocks = self.vm.program.blocks.len();
+        self.tickets
+            .iter()
+            .zip(&self.st.pc_top)
+            .filter(|&(_, &pc)| pc < n_blocks)
+            .map(|(&t, &pc)| (t, pc))
+            .collect()
+    }
+
+    /// Extract the given **running** lanes as portable [`LaneState`]s and
+    /// compact them out of this machine (the same member-set shrink as
+    /// [`PcMachine::retire_finished`], keyed by ticket instead of exit
+    /// pc). Returns `(ticket, state)` pairs in the order requested —
+    /// the eviction half of cross-shard straggler migration.
+    ///
+    /// Validation happens before any mutation: on error the machine is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadInputs`] for an unknown ticket or a lane
+    /// that has already finished (finished lanes must retire, not
+    /// migrate).
+    pub fn extract_lanes(
+        &mut self,
+        tickets: &[u64],
+        trace: Option<&mut Trace>,
+    ) -> Result<Vec<(u64, LaneState)>> {
+        if tickets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_blocks = self.vm.program.blocks.len();
+        let mut lanes = Vec::with_capacity(tickets.len());
+        for &ticket in tickets {
+            let Some(b) = self.tickets.iter().position(|&t| t == ticket) else {
+                return Err(VmError::BadInputs {
+                    what: format!("extract_lanes: no live lane holds ticket {ticket}"),
+                });
+            };
+            if self.st.pc_top[b] >= n_blocks {
+                return Err(VmError::BadInputs {
+                    what: format!("extract_lanes: lane with ticket {ticket} already finished"),
+                });
+            }
+            lanes.push(b);
+        }
+        let z = self.st.z;
+        let mut out = Vec::with_capacity(lanes.len());
+        let mut depths = vec![0usize; z];
+        for (&ticket, &b) in tickets.iter().zip(&lanes) {
+            let mut stacked = Vec::with_capacity(self.st.stacked.len());
+            for s in &self.st.stacked {
+                let sp = s.sp[b];
+                let mut frames = Vec::with_capacity(sp);
+                if sp > 0 {
+                    // The store always spans the full depth limit, so any
+                    // frame index below `sp` is in bounds for every lane.
+                    let store = s.store.as_ref().ok_or_else(|| VmError::BadInputs {
+                        what: format!("extract_lanes: sp {sp} > 0 with no store buffer"),
+                    })?;
+                    for d in 0..sp {
+                        depths.fill(d);
+                        frames.push(store.gather_at_depth(&depths)?.gather_rows(&[b])?);
+                    }
+                }
+                stacked.push(LaneStack {
+                    sp,
+                    frames,
+                    top: match &s.top {
+                        Some(t) => Some(t.gather_rows(&[b])?),
+                        None => None,
+                    },
+                });
+            }
+            let registers = self
+                .st
+                .registers
+                .iter()
+                .map(|slot| slot.as_ref().map(|t| t.gather_rows(&[b])).transpose())
+                .collect::<std::result::Result<_, _>>()?;
+            out.push((
+                ticket,
+                LaneState {
+                    key: self.st.member_keys[b],
+                    pc_top: self.st.pc_top[b],
+                    pc_stack: self.st.pc_stack[b].clone(),
+                    stacked,
+                    registers,
+                },
+            ));
+        }
+        // Compact the surviving lanes together (as retire_finished does).
+        let keep: Vec<usize> = (0..z).filter(|b| !lanes.contains(b)).collect();
+        self.st.pc_top = keep.iter().map(|&b| self.st.pc_top[b]).collect();
+        self.st.pc_stack = keep
+            .iter()
+            .map(|&b| std::mem::take(&mut self.st.pc_stack[b]))
+            .collect();
+        self.st.member_keys = keep.iter().map(|&b| self.st.member_keys[b]).collect();
+        self.tickets = keep.iter().map(|&b| self.tickets[b]).collect();
+        for s in self.st.stacked.iter_mut() {
+            s.sp = keep.iter().map(|&b| s.sp[b]).collect();
+            if let Some(top) = &s.top {
+                s.top = Some(top.gather_rows(&keep)?);
+            }
+            if let Some(store) = &s.store {
+                s.store = Some(store.select_axis1(&keep)?);
+            }
+        }
+        for slot in self.st.registers.iter_mut() {
+            if let Some(t) = slot {
+                *slot = Some(t.gather_rows(&keep)?);
+            }
+        }
+        self.st.z = keep.len();
+        if let Some(t) = trace {
+            t.migrate_out(lanes.len(), self.st.z);
+        }
+        Ok(out)
+    }
+
+    /// Re-admit a lane previously produced by [`PcMachine::extract_lanes`]
+    /// (possibly on a different machine): the admission half of
+    /// straggler migration. The lane joins with its pc stack, data
+    /// stacks, registers, and RNG key intact, so its remaining draws and
+    /// outputs are bit-identical to never having moved. Returns the
+    /// lane's new ticket on this machine.
+    ///
+    /// Source and destination must execute the same lowered program
+    /// under the same [`ExecOptions::stack_depth`]; all structural
+    /// checks run before any mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadInputs`] on arity or depth mismatch, and
+    /// tensor-shape errors when the lane's rows disagree with the live
+    /// batch's element shapes.
+    pub fn inject_lane(&mut self, lane: &LaneState, trace: Option<&mut Trace>) -> Result<u64> {
+        let p = self.vm.program;
+        let n_blocks = p.blocks.len();
+        if lane.pc_top >= n_blocks {
+            return Err(VmError::BadInputs {
+                what: format!(
+                    "inject_lane: pc top {} is out of range for {} blocks",
+                    lane.pc_top, n_blocks
+                ),
+            });
+        }
+        if lane.stacked.len() != self.st.stacked.len()
+            || lane.registers.len() != self.st.registers.len()
+        {
+            return Err(VmError::BadInputs {
+                what: format!(
+                    "inject_lane: lane has {} stacked vars / {} registers, \
+                     machine has {} / {} (programs must match)",
+                    lane.stacked.len(),
+                    lane.registers.len(),
+                    self.st.stacked.len(),
+                    self.st.registers.len()
+                ),
+            });
+        }
+        let depth_limit = self.vm.opts.stack_depth;
+        for ls in &lane.stacked {
+            if ls.sp > depth_limit || ls.frames.len() != ls.sp {
+                return Err(VmError::BadInputs {
+                    what: format!(
+                        "inject_lane: lane carries {} frames at sp {} under depth limit {}",
+                        ls.frames.len(),
+                        ls.sp,
+                        depth_limit
+                    ),
+                });
+            }
+        }
+        // Element shapes and dtypes must agree with the live buffers
+        // wherever both sides hold one — checked up front so an error
+        // leaves the machine untouched.
+        let check = |what: &str, elem: &[usize], dt: DType, live: &Tensor, skip: usize| {
+            if live.shape()[skip..] != elem[1..] || live.dtype() != dt {
+                return Err(VmError::BadInputs {
+                    what: format!(
+                        "inject_lane: lane {what} row is {:?} {dt:?}, but the live \
+                         batch holds {:?} {:?}",
+                        &elem[1..],
+                        &live.shape()[skip..],
+                        live.dtype()
+                    ),
+                });
+            }
+            Ok(())
+        };
+        for (s, ls) in self.st.stacked.iter().zip(&lane.stacked) {
+            if let (Some(top), Some(row)) = (&s.top, &ls.top) {
+                check("stack-top", row.shape(), row.dtype(), top, 1)?;
+            }
+            if let (Some(store), Some(frame)) = (&s.store, ls.frames.first()) {
+                check("stack-frame", frame.shape(), frame.dtype(), store, 2)?;
+            }
+        }
+        for (slot, row) in self.st.registers.iter().zip(&lane.registers) {
+            if let (Some(t), Some(row)) = (slot, row) {
+                check("register", row.shape(), row.dtype(), t, 1)?;
+            }
+        }
+        let z = self.st.z;
+        self.st.z = z + 1;
+        self.st.pc_top.push(lane.pc_top);
+        self.st.pc_stack.push(lane.pc_stack.clone());
+        self.st.member_keys.push(lane.key);
+        let mut mask = vec![false; z + 1];
+        mask[z] = true;
+        let mut depths = vec![0usize; z + 1];
+        for (s, ls) in self.st.stacked.iter_mut().zip(&lane.stacked) {
+            s.sp.push(ls.sp);
+            match (&mut s.top, &ls.top) {
+                (Some(top), Some(row)) => {
+                    let mut grown = top.pad_rows(1)?;
+                    grown.scatter_rows(&[z], row)?;
+                    *top = grown;
+                }
+                (Some(top), None) => *top = top.pad_rows(1)?,
+                (slot @ None, Some(row)) => {
+                    let mut shape = row.shape().to_vec();
+                    shape[0] = z + 1;
+                    let mut full = Tensor::zeros(row.dtype(), &shape);
+                    full.scatter_rows(&[z], row)?;
+                    *slot = Some(full);
+                }
+                (None, None) => {}
+            }
+            match (&mut s.store, ls.frames.first()) {
+                (Some(store), _) => *store = store.pad_axis1(1)?,
+                (slot @ None, Some(frame)) => {
+                    // Stores always span the full depth limit (see
+                    // write_var's push path), so a fresh one here is
+                    // layout-identical to one the machine grew itself.
+                    let mut shape = vec![depth_limit, z + 1];
+                    shape.extend_from_slice(&frame.shape()[1..]);
+                    *slot = Some(Tensor::zeros(frame.dtype(), &shape));
+                }
+                (None, None) => {}
+            }
+            if let Some(store) = &mut s.store {
+                for (d, frame) in ls.frames.iter().enumerate() {
+                    let mut shape = frame.shape().to_vec();
+                    shape[0] = z + 1;
+                    let mut full = Tensor::zeros(frame.dtype(), &shape);
+                    full.scatter_rows(&[z], frame)?;
+                    depths.fill(d);
+                    store.scatter_at_depth(&depths, &mask, &full)?;
+                }
+            }
+        }
+        for (slot, row) in self.st.registers.iter_mut().zip(&lane.registers) {
+            match (&mut *slot, row) {
+                (Some(t), Some(row)) => {
+                    let mut grown = t.pad_rows(1)?;
+                    grown.scatter_rows(&[z], row)?;
+                    *slot = Some(grown);
+                }
+                (Some(t), None) => *slot = Some(t.pad_rows(1)?),
+                (None, Some(row)) => {
+                    let mut shape = row.shape().to_vec();
+                    shape[0] = z + 1;
+                    let mut full = Tensor::zeros(row.dtype(), &shape);
+                    full.scatter_rows(&[z], row)?;
+                    *slot = Some(full);
+                }
+                (None, None) => {}
+            }
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.tickets.push(ticket);
+        if let Some(t) = trace {
+            t.migrate_in(1, self.st.z);
+        }
+        Ok(ticket)
     }
 }
 
@@ -2015,6 +2375,117 @@ mod tests {
         // And the early members were not perturbed either.
         let first = done.iter().find(|r| r.ticket == 0).unwrap();
         assert_eq!(first.outputs[0].as_i64().unwrap(), &[233]);
+    }
+
+    #[test]
+    fn migrated_lane_is_bit_identical_to_staying_put() {
+        // The property straggler migration rests on: a lane extracted
+        // mid-recursion and injected into another machine — even one
+        // busy with unrelated work — finishes with exactly the outputs
+        // it would have produced at home, because all of its state
+        // (pc stack, data stacks, registers, RNG key) moves with it.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let opts = ExecOptions::default();
+
+        let mut home = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        home.admit(&[Tensor::from_i64(&[11], &[1]).unwrap()], 7, None)
+            .unwrap();
+        let expect = home.run_to_completion(None).unwrap();
+
+        let mut src = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        src.admit(&[Tensor::from_i64(&[12], &[1]).unwrap()], 1, None)
+            .unwrap();
+        let mover = src
+            .admit(&[Tensor::from_i64(&[11], &[1]).unwrap()], 7, None)
+            .unwrap();
+        for _ in 0..9 {
+            assert!(src.step(None).unwrap());
+        }
+        let lanes = src.extract_lanes(&[mover], None).unwrap();
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].0, mover);
+        assert_eq!(lanes[0].1.key(), 7);
+        assert_eq!(src.live(), 1, "extraction compacts the lane out");
+
+        let mut dst = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        dst.admit(&[Tensor::from_i64(&[6], &[1]).unwrap()], 2, None)
+            .unwrap();
+        for _ in 0..3 {
+            assert!(dst.step(None).unwrap());
+        }
+        let new_ticket = dst.inject_lane(&lanes[0].1, None).unwrap();
+        let done = dst.run_to_completion(None).unwrap();
+        let moved = done.iter().find(|r| r.ticket == new_ticket).unwrap();
+        assert_eq!(moved.key, 7);
+        assert_eq!(moved.outputs, expect[0].outputs);
+        // The source machine's remaining lane is unperturbed.
+        let src_done = src.run_to_completion(None).unwrap();
+        assert_eq!(src_done[0].outputs[0].as_i64().unwrap(), &[233]);
+        // And the destination's original lane too.
+        let local = done.iter().find(|r| r.key == 2).unwrap();
+        assert_eq!(local.outputs[0].as_i64().unwrap(), &[13]);
+    }
+
+    #[test]
+    fn migration_into_an_empty_machine_works() {
+        // The recipient may never have admitted anything: injection must
+        // materialize every buffer itself, at the store's full depth.
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let opts = ExecOptions::default();
+        let mut home = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        home.admit(&[Tensor::from_i64(&[10], &[1]).unwrap()], 3, None)
+            .unwrap();
+        let expect = home.run_to_completion(None).unwrap();
+
+        let mut src = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        let t = src
+            .admit(&[Tensor::from_i64(&[10], &[1]).unwrap()], 3, None)
+            .unwrap();
+        for _ in 0..6 {
+            assert!(src.step(None).unwrap());
+        }
+        let lanes = src.extract_lanes(&[t], None).unwrap();
+        assert_eq!(src.live(), 0);
+        let mut dst = PcMachine::new(&pc, KernelRegistry::new(), opts);
+        dst.inject_lane(&lanes[0].1, None).unwrap();
+        let done = dst.run_to_completion(None).unwrap();
+        assert_eq!(done[0].outputs, expect[0].outputs);
+    }
+
+    #[test]
+    fn extraction_traces_migration_and_rejects_bad_tickets() {
+        let p = fibonacci_program();
+        let (pc, _) = lower(&p, LoweringOptions::default()).unwrap();
+        let mut m = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let mut tr = autobatch_accel::Trace::new(autobatch_accel::Backend::hybrid_cpu());
+        let t = m
+            .admit(&[Tensor::from_i64(&[9], &[1]).unwrap()], 0, Some(&mut tr))
+            .unwrap();
+        assert!(matches!(
+            m.extract_lanes(&[99], None),
+            Err(VmError::BadInputs { .. })
+        ));
+        m.step(None).unwrap();
+        let lanes = m.extract_lanes(&[t], Some(&mut tr)).unwrap();
+        assert_eq!(tr.members_migrated_out(), 1);
+        assert_eq!(tr.live_members(), 0);
+        let mut dst = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let mut tr2 = autobatch_accel::Trace::new(autobatch_accel::Backend::hybrid_cpu());
+        dst.inject_lane(&lanes[0].1, Some(&mut tr2)).unwrap();
+        assert_eq!(tr2.members_migrated_in(), 1);
+        assert_eq!(tr2.live_members(), 1);
+        // A finished lane must retire, not migrate.
+        let mut f = PcMachine::new(&pc, KernelRegistry::new(), ExecOptions::default());
+        let t = f
+            .admit(&[Tensor::from_i64(&[1], &[1]).unwrap()], 0, None)
+            .unwrap();
+        while f.step(None).unwrap() {}
+        assert!(matches!(
+            f.extract_lanes(&[t], None),
+            Err(VmError::BadInputs { .. })
+        ));
     }
 
     #[test]

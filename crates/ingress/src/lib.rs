@@ -72,8 +72,8 @@ use autobatch_chaos::{FaultPlan, FaultPoint};
 use autobatch_core::{ExecOptions, KernelRegistry, VmError};
 use autobatch_ir::pcab::Program;
 use autobatch_serve::{
-    AdmissionPolicy, Outcome, Request, Response, ServeError, ShardedServer, Supervisor,
-    SupervisorConfig,
+    AdmissionPolicy, Outcome, Request, Response, SchedulingPolicy, ServeError, ShardedServer,
+    Supervisor, SupervisorConfig,
 };
 use autobatch_tensor::Tensor;
 
@@ -154,6 +154,12 @@ pub struct IngressConfig {
     pub opts: ExecOptions,
     /// Kernel registry for the served program.
     pub registry: KernelRegistry,
+    /// How the fleet routes and rebalances work across shards. The
+    /// default is least-loaded; [`SchedulingPolicy::PcAffinity`] packs
+    /// shards by program counter, migrates stragglers, and steals work
+    /// for idle shards — results and response order are unchanged
+    /// either way.
+    pub scheduling: SchedulingPolicy,
 }
 
 impl Default for IngressConfig {
@@ -166,6 +172,7 @@ impl Default for IngressConfig {
             backend: Backend::hybrid_cpu(),
             opts: ExecOptions::default(),
             registry: KernelRegistry::new(),
+            scheduling: SchedulingPolicy::default(),
         }
     }
 }
@@ -581,7 +588,7 @@ fn engine_loop(
     rx: &Receiver<Arrival>,
     gate: &Gate,
 ) -> IngressStats {
-    let fleet = ShardedServer::new(
+    let mut fleet = ShardedServer::new(
         program,
         config.registry.clone(),
         config.opts,
@@ -590,6 +597,7 @@ fn engine_loop(
         config.backend,
     )
     .expect("config validated by IngressServer::start");
+    fleet.set_scheduling(config.scheduling);
     // The supervisor owns fault recovery: worker panics and injected
     // execution faults poison one shard, which is respawned and its
     // work retried — the flush below never sees a wedged fleet.

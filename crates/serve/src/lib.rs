@@ -48,7 +48,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use autobatch_accel::Trace;
 use autobatch_chaos::{FaultPlan, FaultPoint};
-use autobatch_core::{ExecOptions, KernelRegistry, PcMachine, VmError};
+use autobatch_core::{ExecOptions, KernelRegistry, LaneState, PcMachine, VmError};
 use autobatch_ir::analysis::{
     analyze_pcab, infer_pcab_signature, AbsDType, PcabReport, TensorSpec,
 };
@@ -56,10 +56,12 @@ use autobatch_ir::pcab::Program;
 use autobatch_ir::IrError;
 use autobatch_tensor::{DType, Tensor};
 
+pub mod affinity;
 pub mod nuts_driver;
 pub mod shard;
 pub mod supervisor;
 
+pub use affinity::{AffinityConfig, SchedulingPolicy};
 pub use nuts_driver::{ChainResponse, NutsServer};
 pub use shard::{ShardHealth, ShardPlan, ShardedServer};
 pub use supervisor::{Outcome, Supervisor, SupervisorConfig};
@@ -284,6 +286,23 @@ pub struct Response {
     /// clock minus submission clock, under the caller-driven clock of
     /// [`BatchServer::set_clock`]). The queue-latency observable the
     /// deadline policy bounds.
+    pub queued_ticks: u64,
+}
+
+/// A lane evicted mid-flight from one [`BatchServer`] for re-admission
+/// on another — the unit of cross-shard straggler migration. Produced by
+/// [`BatchServer::evict_lanes`], consumed by
+/// [`BatchServer::admit_migrant`].
+#[derive(Debug)]
+pub struct Migrant {
+    /// The request id the lane is computing.
+    pub id: u64,
+    /// The lane's complete portable execution state.
+    pub lane: LaneState,
+    /// Superstep at which the request was originally admitted (on its
+    /// first machine; carried into the final [`Response`]).
+    pub admitted_at: u64,
+    /// Queue-wait ticks from the original admission.
     pub queued_ticks: u64,
 }
 
@@ -821,6 +840,170 @@ impl<'p> BatchServer<'p> {
             self.collect_retired(&mut trace)?;
         }
         Ok(stepped)
+    }
+
+    /// Drive the server for **at most** `budget` supersteps, retiring and
+    /// admitting as [`BatchServer::run_until_idle`] does, and return the
+    /// responses completed so far plus the number of supersteps actually
+    /// run. Unlike `run_until_idle` this never fast-forwards the clock:
+    /// the affinity scheduler owns fleet-wide time, and a shard blocked
+    /// on a deadline simply reports zero steps.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchServer::run_until_idle`].
+    pub(crate) fn run_for(
+        &mut self,
+        budget: u64,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<(Vec<Response>, u64)> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let mut steps = 0u64;
+        loop {
+            self.collect_retired(&mut trace)?;
+            self.admit_pending(&mut trace)?;
+            if steps >= budget {
+                break;
+            }
+            let stepped = self.step_machine(trace.as_deref_mut())?;
+            if !stepped {
+                self.collect_retired(&mut trace)?;
+                if self.queue.is_empty() && self.machine.live() == 0 {
+                    break;
+                }
+                if self.machine.step_budget_remaining() == 0 {
+                    return Err(ServeError::Vm(VmError::StepLimit {
+                        limit: self.step_limit,
+                    }));
+                }
+                // Deadline policy holding a partial batch: report back
+                // without spinning — the scheduler decides whether the
+                // whole fleet is blocked and advances the clock.
+                break;
+            }
+            steps += 1;
+        }
+        Ok((std::mem::take(&mut self.ready), steps))
+    }
+
+    /// Histogram of **running** lanes per pc top — the affinity signal
+    /// cross-shard routing keys on (finished lanes are excluded; they
+    /// retire at the next collection and carry no affinity).
+    pub fn pc_histogram(&self) -> std::collections::BTreeMap<usize, usize> {
+        self.machine.pc_histogram()
+    }
+
+    /// The pc top shared by the most running lanes (ties toward the
+    /// lowest pc), or `None` when nothing is running.
+    pub fn majority_pc(&self) -> Option<usize> {
+        self.machine.majority_pc()
+    }
+
+    /// Lanes whose pc top has not yet reached the exit.
+    pub fn running(&self) -> usize {
+        self.machine.running()
+    }
+
+    /// `(ticket, request id, pc)` of every running lane, in lane order.
+    pub fn lane_pcs(&self) -> Vec<(u64, u64, usize)> {
+        self.machine
+            .lane_pcs()
+            .into_iter()
+            .map(|(ticket, pc)| {
+                let id = self
+                    .in_flight
+                    .iter()
+                    .find(|(t, ..)| *t == ticket)
+                    .map(|&(_, id, _, _)| id)
+                    .expect("running lane was admitted by this server");
+                (ticket, id, pc)
+            })
+            .collect()
+    }
+
+    /// Evict the given running lanes for re-admission on another server
+    /// (straggler migration). Each migrant carries the lane's complete
+    /// execution state plus the request bookkeeping the destination
+    /// needs to produce an unchanged [`Response`].
+    ///
+    /// # Errors
+    ///
+    /// The poisoning error if this server is poisoned, or
+    /// [`VmError::BadInputs`] for a ticket that is not a running lane
+    /// (validation happens before any mutation).
+    pub fn evict_lanes(
+        &mut self,
+        tickets: &[u64],
+        trace: Option<&mut Trace>,
+    ) -> Result<Vec<Migrant>> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let lanes = self.machine.extract_lanes(tickets, trace)?;
+        lanes
+            .into_iter()
+            .map(|(ticket, lane)| {
+                let pos = self
+                    .in_flight
+                    .iter()
+                    .position(|(t, ..)| *t == ticket)
+                    .expect("extracted lane was admitted by this server");
+                let (_, id, admitted_at, queued_ticks) = self.in_flight.swap_remove(pos);
+                Ok(Migrant {
+                    id,
+                    lane,
+                    admitted_at,
+                    queued_ticks,
+                })
+            })
+            .collect()
+    }
+
+    /// Admit a lane evicted from another server. The lane resumes with
+    /// all state intact, so its outputs are bit-identical to never
+    /// having moved; `admitted_at` and `queued_ticks` carry over from
+    /// the original admission.
+    ///
+    /// # Errors
+    ///
+    /// The poisoning error if this server is poisoned, or the injection
+    /// errors of [`PcMachine::inject_lane`]; on error the migrant is
+    /// handed back untouched alongside the error — the machine state is
+    /// not mutated, so the caller can re-admit the lane elsewhere
+    /// instead of losing it.
+    pub fn admit_migrant(
+        &mut self,
+        m: Migrant,
+        trace: Option<&mut Trace>,
+    ) -> std::result::Result<(), Box<(Migrant, ServeError)>> {
+        if let Some(e) = &self.poisoned {
+            return Err(Box::new((m, e.clone())));
+        }
+        let ticket = match self.machine.inject_lane(&m.lane, trace) {
+            Ok(ticket) => ticket,
+            Err(e) => return Err(Box::new((m, ServeError::from(e)))),
+        };
+        self.in_flight
+            .push((ticket, m.id, m.admitted_at, m.queued_ticks));
+        Ok(())
+    }
+
+    /// Take up to `n` requests off the **back** of the queue (the newest
+    /// ones), preserving their submission stamps and relative order —
+    /// the donor half of work stealing.
+    pub(crate) fn steal_queued(&mut self, n: usize) -> Vec<(Request, u64)> {
+        let take = n.min(self.queue.len());
+        self.queue.split_off(self.queue.len() - take).into()
+    }
+
+    /// Append stolen requests (with their original stamps) to this
+    /// server's queue — the thief half of work stealing. Bypasses the
+    /// queue budget: the work was already accepted by the fleet.
+    pub(crate) fn enqueue_stolen(&mut self, batch: Vec<(Request, u64)>) {
+        self.queue.extend(batch);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Step once, translating errors per the poisoning contract.

@@ -37,7 +37,16 @@ use autobatch_chaos::FaultPoint;
 use autobatch_core::{ExecOptions, KernelRegistry};
 use autobatch_ir::pcab::Program;
 
-use crate::{AdmissionPolicy, BatchServer, Request, Response, Result, ServeError};
+use crate::affinity::{plan_migrations, plan_splits, plan_steals, ShardView};
+use crate::{
+    AdmissionPolicy, AffinityConfig, BatchServer, Request, Response, Result, SchedulingPolicy,
+    ServeError,
+};
+
+/// One shard's outcome for a quantum round: the responses it completed
+/// plus the supersteps it actually ran; `None` for shards sitting out
+/// the round (dead or poisoned).
+type RoundOutcome = Option<Result<(Vec<Response>, u64)>>;
 
 /// Recover a human-readable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -201,6 +210,9 @@ pub struct ShardedServer<'p> {
     registry: KernelRegistry,
     opts: ExecOptions,
     policy: AdmissionPolicy,
+    /// How requests are routed and whether work moves between shards
+    /// once placed ([`ShardedServer::set_scheduling`]).
+    scheduling: SchedulingPolicy,
     /// The fleet clock high-water mark, replayed onto respawned shards.
     clock: u64,
     /// Next fault-stream epoch handed to a respawned shard, so a
@@ -279,6 +291,7 @@ impl<'p> ShardedServer<'p> {
             registry,
             opts,
             policy,
+            scheduling: SchedulingPolicy::default(),
             clock: 0,
             next_fault_epoch: base_epoch + workers as u64,
             fault_round: 0,
@@ -310,6 +323,27 @@ impl<'p> ShardedServer<'p> {
         for s in &mut self.shards {
             s.server.set_queue_budget(budget);
         }
+    }
+
+    /// Select the fleet's scheduling policy (default
+    /// [`SchedulingPolicy::LeastLoaded`]). Switching is safe between
+    /// runs: scheduling changes only *where* requests execute — results
+    /// and response order are placement-independent (lane draws are
+    /// keyed by the request seed, and aggregation sorts by submission
+    /// sequence).
+    pub fn set_scheduling(&mut self, scheduling: SchedulingPolicy) {
+        self.scheduling = scheduling;
+    }
+
+    /// The current scheduling policy.
+    pub fn scheduling(&self) -> SchedulingPolicy {
+        self.scheduling
+    }
+
+    /// Histogram of running lanes per pc top on shard `i` — the
+    /// affinity signal the PC-affinity scheduler keys on.
+    pub fn shard_pc_histogram(&self, i: usize) -> BTreeMap<usize, usize> {
+        self.shards[i].server.pc_histogram()
     }
 
     /// The deepest any single shard's queue has ever been (including on
@@ -528,9 +562,11 @@ impl<'p> ShardedServer<'p> {
         Ok(())
     }
 
-    /// Route to the least-loaded healthy shard (lowest index on ties).
-    /// `shed` applies the queue budget; re-routing of already-accepted
-    /// work ([`ShardedServer::drain_poisoned`]) bypasses it, since those
+    /// Route per the scheduling policy — least-loaded healthy shard
+    /// (lowest index on ties), or PC-affinity packing
+    /// ([`ShardedServer::affinity_target`]). `shed` applies the queue
+    /// budget; re-routing of already-accepted work
+    /// ([`ShardedServer::drain_poisoned`]) bypasses it, since those
     /// requests were admitted under the budget once already.
     fn route(&mut self, request: Request, shed: bool) -> Result<()> {
         let healthy = |i: &usize| !self.shards[*i].poisoned();
@@ -538,10 +574,17 @@ impl<'p> ShardedServer<'p> {
             Some(budget) if shed => self.shards[*i].server.pending() < budget,
             _ => true,
         };
-        let target = (0..self.shards.len())
+        let candidates: Vec<usize> = (0..self.shards.len())
             .filter(healthy)
             .filter(under_budget)
-            .min_by_key(|&i| (self.shards[i].load(), i));
+            .collect();
+        let target = match self.scheduling {
+            SchedulingPolicy::LeastLoaded => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&i| (self.shards[i].load(), i)),
+            SchedulingPolicy::PcAffinity(cfg) => self.affinity_target(&candidates, cfg),
+        };
         match target {
             Some(i) => self.shards[i].server.submit(request),
             None => {
@@ -561,6 +604,46 @@ impl<'p> ShardedServer<'p> {
                 }
             }
         }
+    }
+
+    /// PC-affinity routing: pack shards to capacity in submission
+    /// order instead of spreading. Among *open* candidates (load below
+    /// the packing threshold `ceil(capacity × pack)`), pick the shard
+    /// with the most mass at the program's entry block — running lanes
+    /// still at entry plus queued requests, which will join at entry —
+    /// breaking ties toward lower load, then the lowest index. When no
+    /// shard is open, fall back to least-loaded. Full batches share
+    /// supersteps; spread ones pay the per-superstep host control many
+    /// times over.
+    fn affinity_target(&self, candidates: &[usize], cfg: AffinityConfig) -> Option<usize> {
+        let cap = self.policy.max_batch().max(1);
+        let open_cap = ((cap as f64) * cfg.pack).ceil().max(1.0) as usize;
+        let entry = self.program.entry.0;
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.shards[i].load() < open_cap)
+            .max_by_key(|&i| {
+                let shard = &self.shards[i];
+                let entry_mass = shard
+                    .server
+                    .pc_histogram()
+                    .get(&entry)
+                    .copied()
+                    .unwrap_or(0)
+                    + shard.server.pending();
+                (
+                    entry_mass,
+                    std::cmp::Reverse(shard.load()),
+                    std::cmp::Reverse(i),
+                )
+            })
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| (self.shards[i].load(), i))
+            })
     }
 
     /// Drop and return the request at the head of shard `i`'s queue —
@@ -674,7 +757,27 @@ impl<'p> ShardedServer<'p> {
     /// (failed admissions, step-limit exhaustion) follow the
     /// [`BatchServer::run_until_idle`] contract shard-locally:
     /// [`ShardedServer::reject_on`] unblocks the named shard.
+    ///
+    /// # Scheduling
+    ///
+    /// Under [`SchedulingPolicy::LeastLoaded`] (the default) each shard
+    /// runs straight to idle on its own thread. Under
+    /// [`SchedulingPolicy::PcAffinity`] the fleet runs in quantum-sized
+    /// rounds with straggler migration and work stealing between rounds
+    /// (see [`crate::affinity`]); results and response order are
+    /// identical either way — scheduling only changes *where* lanes
+    /// execute, and a lane's draws are keyed by its request seed, not
+    /// its placement.
     pub fn run_until_idle(&mut self) -> Result<Vec<Response>> {
+        match self.scheduling {
+            SchedulingPolicy::LeastLoaded => self.run_fleet_to_idle(),
+            SchedulingPolicy::PcAffinity(cfg) => self.run_affinity(cfg),
+        }
+    }
+
+    /// The least-loaded driver: one scoped thread per healthy shard,
+    /// each running its server to idle in a single burst.
+    fn run_fleet_to_idle(&mut self) -> Result<Vec<Response>> {
         let round = self.fault_round;
         self.fault_round += 1;
         let nshards = self.shards.len() as u64;
@@ -772,6 +875,233 @@ impl<'p> ShardedServer<'p> {
         match first_error {
             Some(e) => Err(e),
             None => Ok(self.take_ready()),
+        }
+    }
+
+    /// The PC-affinity driver: shards run concurrently in rounds of at
+    /// most `quantum` supersteps each, and between rounds the scheduler
+    /// applies the migration and stealing plans from
+    /// [`crate::affinity`]. Error handling matches the least-loaded
+    /// driver — a failing shard is poisoned if it panicked, its
+    /// completed work is salvaged, it leaves this call's rotation, and
+    /// the first error (by shard index) is returned after the healthy
+    /// remainder drains.
+    ///
+    /// When a whole round runs zero supersteps and moves nothing, every
+    /// runnable shard is deadline-blocked: the fleet clock advances to
+    /// the earliest pending deadline (mirroring the single-server
+    /// fast-forward). If no shard names a deadline either, the fleet is
+    /// wedged (e.g. only errored shards still hold work) and the drive
+    /// stops — the recorded per-shard errors say why.
+    fn run_affinity(&mut self, cfg: AffinityConfig) -> Result<Vec<Response>> {
+        let quantum = cfg.quantum.max(1);
+        let cap = self.policy.max_batch().max(1);
+        let mut first_error: Option<ServeError> = None;
+        // Shards that errored during *this* call: out of the rotation
+        // until the caller triages (respawn/reject), like the one-burst
+        // driver's post-error behavior.
+        let mut dead = vec![false; self.shards.len()];
+        loop {
+            let round = self.fault_round;
+            self.fault_round += 1;
+            let nshards = self.shards.len() as u64;
+            let fault = self.opts.fault;
+            let results: Vec<RoundOutcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&dead)
+                    .enumerate()
+                    .map(|(i, (shard, &is_dead))| {
+                        scope.spawn(move || {
+                            if is_dead || shard.server.poisoned().is_some() {
+                                return None;
+                            }
+                            // Same fleet-unique chaos counter scheme
+                            // as the one-burst driver; quantum
+                            // rounds consume rounds faster, which a
+                            // deterministic plan accounts for.
+                            let counter = round * nshards + i as u64;
+                            if fault.fires(FaultPoint::WorkerSlow, counter) {
+                                std::thread::sleep(std::time::Duration::from_micros(
+                                    fault.delay_micros(counter),
+                                ));
+                            }
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                if fault.fires(FaultPoint::WorkerPanic, counter) {
+                                    panic!(
+                                        "injected fault at {} (counter {counter})",
+                                        FaultPoint::WorkerPanic.name()
+                                    );
+                                }
+                                shard.server.run_for(quantum, Some(&mut shard.trace))
+                            }));
+                            Some(match run {
+                                Ok(outcome) => outcome,
+                                Err(payload) => {
+                                    let e = ServeError::Panicked {
+                                        what: panic_message(payload),
+                                    };
+                                    shard.server.poison(e.clone());
+                                    Err(e)
+                                }
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Some(Err(ServeError::Panicked {
+                                what: panic_message(payload),
+                            }))
+                        })
+                    })
+                    .collect()
+            });
+            let mut steps_total = 0u64;
+            for (i, outcome) in results.into_iter().enumerate() {
+                match outcome {
+                    None => {}
+                    Some(Ok((responses, steps))) => {
+                        steps_total += steps;
+                        self.shards[i].last_error = None;
+                        for r in responses {
+                            let seq = Self::pop_seq(&mut self.order, r.id);
+                            self.ready.push((seq, r));
+                        }
+                    }
+                    Some(Err(e)) => {
+                        if matches!(e, ServeError::Panicked { .. })
+                            && self.shards[i].server.poisoned().is_none()
+                        {
+                            self.shards[i].server.poison(e.clone());
+                        }
+                        for r in self.shards[i].server.take_ready() {
+                            let seq = Self::pop_seq(&mut self.order, r.id);
+                            self.ready.push((seq, r));
+                        }
+                        self.shards[i].last_error = Some(e.clone());
+                        self.shards[i].fault_record = Some(e.clone());
+                        dead[i] = true;
+                        first_error.get_or_insert(e);
+                    }
+                }
+            }
+            let active: Vec<usize> = (0..self.shards.len())
+                .filter(|&i| !dead[i] && !self.shards[i].poisoned())
+                .collect();
+            let work_left = active.iter().any(|&i| {
+                self.shards[i].server.pending() > 0 || self.shards[i].server.in_flight() > 0
+            });
+            if !work_left {
+                break;
+            }
+            let moved = self.rebalance(cap, &cfg, &dead);
+            if steps_total == 0 && moved == 0 {
+                let next = active
+                    .iter()
+                    .filter_map(|&i| self.shards[i].server.next_deadline())
+                    .min();
+                match next {
+                    Some(t) => self.set_clock(t),
+                    None => break,
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(self.take_ready()),
+        }
+    }
+
+    /// One rebalance pass between quantum rounds: straggler migrations
+    /// first, then work stealing, both planned against one consistent
+    /// snapshot of the fleet. Returns how many lanes and requests
+    /// moved. A migration whose eviction or injection fails is skipped
+    /// (the plan raced a retirement), and a lane that cannot be
+    /// injected is put back on its donor — rebalancing never loses
+    /// work.
+    fn rebalance(&mut self, cap: usize, cfg: &AffinityConfig, dead: &[bool]) -> usize {
+        let views: Vec<ShardView> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardView {
+                active: !dead[i] && !s.poisoned(),
+                lanes: s
+                    .server
+                    .lane_pcs()
+                    .into_iter()
+                    .map(|(ticket, _, pc)| (ticket, pc))
+                    .collect(),
+                live: s.server.in_flight(),
+                pending: s.server.pending(),
+                steps: s.trace.supersteps(),
+            })
+            .collect();
+        let mut moved = 0;
+        // Straggler/consolidation migrations first, then queue steals,
+        // then batch splits for shards still idle (the splits planner
+        // no-ops whenever any queue is non-empty, so a thief never gets
+        // both a steal and a split in one pass).
+        let mut lane_moves = plan_migrations(&views, cap, cfg);
+        lane_moves.extend(plan_splits(&views, cap, cfg));
+        for m in lane_moves {
+            let (donor, recipient) = Self::shard_pair(&mut self.shards, m.from, m.to);
+            let migrants = match donor
+                .server
+                .evict_lanes(&[m.ticket], Some(&mut donor.trace))
+            {
+                Ok(migrants) => migrants,
+                Err(_) => continue,
+            };
+            for migrant in migrants {
+                match recipient
+                    .server
+                    .admit_migrant(migrant, Some(&mut recipient.trace))
+                {
+                    Ok(()) => moved += 1,
+                    Err(bounce) => {
+                        // Hand the lane back to its donor; the donor
+                        // held it a moment ago, so re-injection cannot
+                        // fail structurally. If it somehow does, record
+                        // the fault rather than panic the fleet.
+                        let (migrant, _) = *bounce;
+                        if let Err(bounce) =
+                            donor.server.admit_migrant(migrant, Some(&mut donor.trace))
+                        {
+                            let e = bounce.1;
+                            donor.last_error = Some(e.clone());
+                            donor.fault_record = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        for s in plan_steals(&views, cap, cfg) {
+            let (donor, thief) = Self::shard_pair(&mut self.shards, s.from, s.to);
+            let batch = donor.server.steal_queued(s.n);
+            moved += batch.len();
+            thief.server.enqueue_stolen(batch);
+        }
+        moved
+    }
+
+    /// Borrow two distinct shards mutably at once.
+    fn shard_pair<'a>(
+        shards: &'a mut [Shard<'p>],
+        a: usize,
+        b: usize,
+    ) -> (&'a mut Shard<'p>, &'a mut Shard<'p>) {
+        debug_assert_ne!(a, b);
+        if a < b {
+            let (left, right) = shards.split_at_mut(b);
+            (&mut left[a], &mut right[0])
+        } else {
+            let (left, right) = shards.split_at_mut(a);
+            (&mut right[0], &mut left[b])
         }
     }
 }
