@@ -1,0 +1,399 @@
+//! Runaway containment — wedge-freedom and budget containment under
+//! adversarial traffic on the supervised shard fleet.
+//!
+//! Each scenario serves the same divergent-binom request stream through
+//! a [`Supervisor`]-wrapped `ShardedServer` under a per-request
+//! superstep budget, with a fixed-seed [`FaultPlan`] turning a known
+//! subset of requests into genuinely non-terminating lanes
+//! ([`FaultPoint::Runaway`]), optionally stacked with clamped worker
+//! stalls and cooperative mid-run cancellations. The run asserts the
+//! full governance contract — every doomed request is answered with
+//! `BudgetExceeded` at exactly `max_supersteps + 1` charged supersteps,
+//! every cancelled request resolves `Cancelled`, every survivor is
+//! bit-identical to the fault-free unbudgeted reference, and the fleet
+//! ends healthy and idle — then emits two gated metrics:
+//!
+//! - `wedge_free` — 1.0 iff the drive loop returned with no poisoned
+//!   shard and no orphaned request. Gated absolutely (scale 0): any
+//!   value below 1.0 fails CI, because before this layer existed a
+//!   single runaway parked `run_until_idle` forever.
+//! - `contained_within_budget_frac` — fraction of runaway requests
+//!   evicted within the `max_supersteps + 1` containment contract.
+//!
+//! All numbers are counts from the deterministic fault schedule (no
+//! wall clock), so every row is bit-reproducible and safe to gate.
+//!
+//! Usage: `runaway_containment [requests] [batch]` (defaults 32, 8).
+//! `--smoke` runs a tiny configuration for CI and still writes the
+//! `results/BENCH_containment.json` artifact the regression gate
+//! compares against `results/baselines/`.
+
+use std::collections::{HashMap, HashSet};
+
+use autobatch_accel::Backend;
+use autobatch_bench::{json_str, print_table, write_json};
+use autobatch_chaos::{FaultPlan, FaultPoint};
+use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
+use autobatch_ir::pcab::Program;
+use autobatch_lang::compile;
+use autobatch_serve::{
+    AdmissionPolicy, Outcome, QuarantineConfig, Request, RequestBudget, ServeError, ShardedServer,
+    Supervisor, SupervisorConfig,
+};
+use autobatch_tensor::{Tensor, TensorError};
+
+const WORKERS: usize = 4;
+
+/// Superstep ceiling per request. A lane is charged for every
+/// superstep it stays resident — including supersteps spent on
+/// divergent batchmates — so the ceiling carries headroom for a full
+/// batch of legitimate binom requests diluting each other, not just
+/// one request's own block count. Only injected runaways blow it.
+const MAX_SUPERSTEPS: u64 = 65_536;
+
+const BINOM_SRC: &str = "
+    // C(n, k) by Pascal's rule — doubly data-dependent recursion.
+    fn binom(n: int, k: int) -> (out: int) {
+        if k <= 0 {
+            out = 1;
+        } else if k >= n {
+            out = 1;
+        } else {
+            let left = binom(n - 1, k - 1);
+            let right = binom(n - 1, k);
+            out = left + right;
+        }
+    }
+";
+
+/// The adversarial mixes swept: runaways alone, runaways stacked with
+/// clamped worker stalls, and runaways alongside cooperative
+/// cancellation of part of the stream. Rates are parts-per-65536.
+struct Scenario {
+    mode: &'static str,
+    fault: FaultPlan,
+    /// Cancel every `1/cancel_one_in`-th request at the first poll of
+    /// the drive loop (0 disables).
+    cancel_one_in: usize,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let seed = 2025;
+    vec![
+        Scenario {
+            mode: "fault-free",
+            fault: FaultPlan::none(),
+            cancel_one_in: 0,
+        },
+        Scenario {
+            mode: "runaway-1in4",
+            fault: FaultPlan {
+                seed,
+                runaway: FaultPlan::ALWAYS / 4,
+                ..FaultPlan::none()
+            },
+            cancel_one_in: 0,
+        },
+        Scenario {
+            mode: "runaway-1in2-slow-1in8",
+            fault: FaultPlan {
+                seed,
+                runaway: FaultPlan::ALWAYS / 2,
+                worker_slow: FaultPlan::ALWAYS / 8,
+                max_slow_micros: 200,
+                ..FaultPlan::none()
+            },
+            cancel_one_in: 0,
+        },
+        Scenario {
+            mode: "runaway-1in4-cancel-1in3",
+            fault: FaultPlan {
+                seed,
+                runaway: FaultPlan::ALWAYS / 4,
+                ..FaultPlan::none()
+            },
+            cancel_one_in: 3,
+        },
+    ]
+}
+
+/// Smaller operands than the availability bench: a runaway lane burns
+/// the full superstep budget before eviction, so legitimate work is
+/// sized to keep the ceiling (and the doomed lanes' spin) modest.
+fn binom_requests(n_requests: usize) -> Result<Vec<Request>, TensorError> {
+    (0..n_requests)
+        .map(|i| {
+            let n = 6 + (i * 5 % 7) as i64; // 6..=12
+            let k = 2 + (i * 3 % 5) as i64; // 2..=6
+            Ok(Request {
+                id: i as u64,
+                inputs: vec![Tensor::from_i64(&[n], &[1])?, Tensor::from_i64(&[k], &[1])?],
+                seed: i as u64,
+            })
+        })
+        .collect()
+}
+
+struct ScenarioResult {
+    mode: &'static str,
+    completed: u64,
+    over_budget: u64,
+    cancelled: u64,
+    retries: u64,
+    evictions: u64,
+    wedge_free: bool,
+    contained_frac: f64,
+}
+
+fn run_scenario(
+    program: &Program,
+    batch: usize,
+    requests: &[Request],
+    scenario: &Scenario,
+    reference: &HashMap<u64, Vec<Tensor>>,
+) -> ScenarioResult {
+    let mode = scenario.mode;
+    let opts = ExecOptions {
+        fault: scenario.fault,
+        ..ExecOptions::default()
+    };
+    let policy = AdmissionPolicy::JoinAtEntry {
+        max_batch: batch,
+        min_utilization: 1.0,
+    };
+    let fleet = ShardedServer::new(
+        program,
+        KernelRegistry::new(),
+        opts,
+        policy,
+        WORKERS,
+        Backend::hybrid_cpu(),
+    )
+    .expect("fleet");
+    // Quarantine off: this bench measures containment of every doomed
+    // lane, not the breaker's fast-reject shortcut (which would spare
+    // later runaways the budget burn and skew the contained fraction).
+    let mut sup = Supervisor::new(
+        fleet,
+        SupervisorConfig {
+            quarantine: QuarantineConfig {
+                trip_threshold: 0,
+                ..QuarantineConfig::default()
+            },
+            ..SupervisorConfig::default()
+        },
+    );
+    sup.set_budget(RequestBudget {
+        max_supersteps: Some(MAX_SUPERSTEPS),
+        ..RequestBudget::unlimited()
+    });
+    for r in requests {
+        sup.submit(r.clone()).expect("admission is unconditional");
+    }
+    // The fault schedule decides which requests run away — a property
+    // of the request seed, stable across shards and retries — so the
+    // expected terminal outcome of every id is known up front.
+    let cancel_ids: HashSet<u64> = requests
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| scenario.cancel_one_in != 0 && i % scenario.cancel_one_in == 0)
+        .map(|(_, r)| r.id)
+        .collect();
+    let doomed_ids: HashSet<u64> = requests
+        .iter()
+        .filter(|r| {
+            scenario.fault.fires(FaultPoint::Runaway, r.seed) && !cancel_ids.contains(&r.id)
+        })
+        .map(|r| r.id)
+        .collect();
+    let mut to_cancel: Vec<u64> = cancel_ids.iter().copied().collect();
+    to_cancel.sort_unstable();
+    let mut first_poll = true;
+    let outcomes = sup.run_until_quiescent_with(&mut || {
+        if std::mem::take(&mut first_poll) {
+            to_cancel.clone()
+        } else {
+            Vec::new()
+        }
+    });
+    let mut completed = 0u64;
+    let mut over_budget = 0u64;
+    let mut cancelled = 0u64;
+    let mut contained = 0u64;
+    for o in &outcomes {
+        match o {
+            Outcome::Done(r) => {
+                assert_eq!(
+                    &r.outputs, &reference[&r.id],
+                    "{mode}: request {} drifted from the fault-free run",
+                    r.id
+                );
+                assert!(
+                    !doomed_ids.contains(&r.id),
+                    "{mode}: runaway request {} escaped its budget",
+                    r.id
+                );
+                completed += 1;
+            }
+            Outcome::Failed {
+                id,
+                error: ServeError::BudgetExceeded { spent, limit },
+            } => {
+                assert!(
+                    doomed_ids.contains(id),
+                    "{mode}: well-behaved request {id} was evicted ({spent}/{limit})"
+                );
+                assert_eq!(*limit, MAX_SUPERSTEPS, "{mode}: request {id} budget");
+                over_budget += 1;
+                if *spent <= MAX_SUPERSTEPS + 1 {
+                    contained += 1;
+                }
+            }
+            Outcome::Failed {
+                id,
+                error: ServeError::Cancelled,
+            } => {
+                assert!(
+                    cancel_ids.contains(id),
+                    "{mode}: request {id} cancelled but never asked to be"
+                );
+                cancelled += 1;
+            }
+            Outcome::Failed { id, error } => panic!("{mode}: request {id} failed: {error}"),
+        }
+    }
+    assert_eq!(
+        completed + over_budget + cancelled,
+        requests.len() as u64,
+        "{mode}: every request must reach exactly one terminal outcome"
+    );
+    assert_eq!(
+        over_budget,
+        doomed_ids.len() as u64,
+        "{mode}: every runaway must be answered with BudgetExceeded"
+    );
+    let wedge_free = sup.inner().poisoned_shards().is_empty() && sup.outstanding() == 0;
+    assert!(wedge_free, "{mode}: the fleet must end healthy and idle");
+    ScenarioResult {
+        mode,
+        completed,
+        over_budget,
+        cancelled,
+        retries: sup.retries(),
+        evictions: sup.inner().evictions(),
+        wedge_free,
+        contained_frac: if doomed_ids.is_empty() {
+            1.0
+        } else {
+            contained as f64 / doomed_ids.len() as f64
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pos: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let (n_requests, batch) = if smoke {
+        (12, 4)
+    } else {
+        (
+            pos.first().copied().unwrap_or(32),
+            pos.get(1).copied().unwrap_or(8),
+        )
+    };
+
+    let binom_program = compile(BINOM_SRC, "binom").expect("binom compiles");
+    let (binom_pc, _) = lower(&binom_program, LoweringOptions::default()).expect("binom lowers");
+    let requests = binom_requests(n_requests).expect("requests");
+
+    // The fault-free, unbudgeted reference every survivor must match
+    // bit for bit.
+    let clean = {
+        let fleet = ShardedServer::new(
+            &binom_pc,
+            KernelRegistry::new(),
+            ExecOptions::default(),
+            AdmissionPolicy::JoinAtEntry {
+                max_batch: batch,
+                min_utilization: 1.0,
+            },
+            WORKERS,
+            Backend::hybrid_cpu(),
+        )
+        .expect("fleet");
+        let mut sup = Supervisor::new(fleet, SupervisorConfig::default());
+        for r in &requests {
+            sup.submit(r.clone()).expect("fault-free submit");
+        }
+        sup.run_until_quiescent()
+            .into_iter()
+            .map(|o| match o {
+                Outcome::Done(r) => (r.id, r.outputs),
+                Outcome::Failed { id, error } => panic!("fault-free run failed {id}: {error}"),
+            })
+            .collect::<HashMap<_, _>>()
+    };
+
+    let results: Vec<ScenarioResult> = scenarios()
+        .iter()
+        .map(|s| run_scenario(&binom_pc, batch, &requests, s, &clean))
+        .collect();
+
+    let header = [
+        "workload",
+        "mode",
+        "workers",
+        "requests",
+        "batch",
+        "completed",
+        "over_budget",
+        "cancelled",
+        "retries",
+        "evictions",
+        "wedge_free",
+        "contained_within_budget_frac",
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for r in &results {
+        let wedge_free = if r.wedge_free { 1.0 } else { 0.0 };
+        rows.push(vec![
+            "divergent-binom".to_string(),
+            r.mode.to_string(),
+            WORKERS.to_string(),
+            n_requests.to_string(),
+            batch.to_string(),
+            r.completed.to_string(),
+            r.over_budget.to_string(),
+            r.cancelled.to_string(),
+            r.retries.to_string(),
+            r.evictions.to_string(),
+            format!("{wedge_free:.1}"),
+            format!("{:.4}", r.contained_frac),
+        ]);
+        json.push(vec![
+            ("workload", json_str("divergent-binom")),
+            ("mode", json_str(r.mode)),
+            ("workers", WORKERS.to_string()),
+            ("requests", n_requests.to_string()),
+            ("batch", batch.to_string()),
+            ("completed", r.completed.to_string()),
+            ("over_budget", r.over_budget.to_string()),
+            ("cancelled", r.cancelled.to_string()),
+            ("retries", r.retries.to_string()),
+            ("evictions", r.evictions.to_string()),
+            ("wedge_free", format!("{wedge_free:.6}")),
+            (
+                "contained_within_budget_frac",
+                format!("{:.6}", r.contained_frac),
+            ),
+        ]);
+    }
+    print_table(
+        "Runaway containment: wedge-freedom and budget containment under adversarial traffic",
+        &header,
+        &rows,
+    );
+    write_json("BENCH_containment.json", &json);
+}

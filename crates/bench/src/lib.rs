@@ -215,6 +215,17 @@ pub mod gate {
     ///   counts from the deterministic cost model, bit-reproducible,
     ///   gated at a quarter of the base tolerance, *lower-is-better* —
     ///   a rise means batches got emptier as workers were added.
+    /// - `wedge_free` — 1.0 iff the governed fleet finished its
+    ///   adversarial request mix with no poisoned shard and no orphaned
+    ///   request (`runaway_containment`). Scale 0 makes the gate
+    ///   absolute: against a baseline of 1.0 *any* drop fails,
+    ///   whatever the base tolerance — a wedged fleet is never a
+    ///   matter of degree.
+    /// - `contained_within_budget_frac` — fraction of runaway requests
+    ///   evicted within the `max_supersteps + 1` containment contract
+    ///   (`runaway_containment`); pure counts from the seeded fault
+    ///   schedule, bit-reproducible, gated at a quarter of the base
+    ///   tolerance — a drop means eviction is firing late.
     ///
     /// A row is gated on every metric it carries; rows carrying none
     /// fail (the gate would otherwise silently stop guarding them).
@@ -225,6 +236,12 @@ pub mod gate {
         ("p99_latency_s", Direction::LowerIsBetter, 0.25),
         ("availability", Direction::HigherIsBetter, 0.25),
         ("supersteps_total", Direction::LowerIsBetter, 0.25),
+        ("wedge_free", Direction::HigherIsBetter, 0.0),
+        (
+            "contained_within_budget_frac",
+            Direction::HigherIsBetter,
+            0.25,
+        ),
     ];
 
     /// Marker field exempting a row from gating and from baseline

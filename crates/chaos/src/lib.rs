@@ -64,6 +64,13 @@ pub enum FaultPoint {
     WireCorrupt,
     /// A connection is cut mid-frame (truncated stream).
     WireTruncate,
+    /// A lane becomes a runaway: instead of finishing, its pc is reset
+    /// to the program entry at every exit, so the lane never terminates.
+    /// Keyed by the lane's RNG member key (not a per-machine counter),
+    /// so the same request runs away on every shard, under every
+    /// placement, after every migration — respawn and retry cannot
+    /// "heal" it, exactly like a genuinely non-terminating program.
+    Runaway,
 }
 
 impl FaultPoint {
@@ -76,6 +83,7 @@ impl FaultPoint {
             FaultPoint::WorkerSlow => 0x04,
             FaultPoint::WireCorrupt => 0x05,
             FaultPoint::WireTruncate => 0x06,
+            FaultPoint::Runaway => 0x07,
         }
     }
 
@@ -88,6 +96,7 @@ impl FaultPoint {
             FaultPoint::WorkerSlow => "worker-slow",
             FaultPoint::WireCorrupt => "wire-corrupt",
             FaultPoint::WireTruncate => "wire-truncate",
+            FaultPoint::Runaway => "runaway",
         }
     }
 }
@@ -118,6 +127,17 @@ pub struct FaultPlan {
     pub wire_corrupt: u32,
     /// Rate of [`FaultPoint::WireTruncate`] connection cuts.
     pub wire_truncate: u32,
+    /// Rate of [`FaultPoint::Runaway`] non-terminating lanes. The
+    /// counter for this site is the lane's RNG member key, so whether a
+    /// given request runs away is a property of the request, stable
+    /// across shards, retries, and migrations.
+    pub runaway: u32,
+    /// Ceiling on [`delay_micros`](FaultPlan::delay_micros) stalls, in
+    /// microseconds. Defaults to 4000 (the natural 1–4 ms range), so
+    /// plans that never touch the field behave as before; chaos sweeps
+    /// lower it so an unlucky seed cannot stall a CI job past its
+    /// `timeout-minutes`.
+    pub max_slow_micros: u64,
 }
 
 impl Default for FaultPlan {
@@ -141,6 +161,8 @@ impl FaultPlan {
             worker_slow: 0,
             wire_corrupt: 0,
             wire_truncate: 0,
+            runaway: 0,
+            max_slow_micros: 4000,
         }
     }
 
@@ -152,6 +174,7 @@ impl FaultPlan {
             || self.worker_slow != 0
             || self.wire_corrupt != 0
             || self.wire_truncate != 0
+            || self.runaway != 0
     }
 
     /// The same plan on a different stream epoch.
@@ -167,6 +190,7 @@ impl FaultPlan {
             FaultPoint::WorkerSlow => self.worker_slow,
             FaultPoint::WireCorrupt => self.wire_corrupt,
             FaultPoint::WireTruncate => self.wire_truncate,
+            FaultPoint::Runaway => self.runaway,
         }
     }
 
@@ -182,13 +206,26 @@ impl FaultPlan {
         if rate >= Self::ALWAYS {
             return true;
         }
-        (self.roll(point, counter) & 0xffff) < rate as u64
+        // Runaway is a property of the request (the counter is its RNG
+        // member key), not of the component executing it: the same
+        // request must run away on every shard, retry, and migration
+        // target, so the component's stream epoch is deliberately left
+        // out of this one roll.
+        let roll = if point == FaultPoint::Runaway {
+            FaultPlan { epoch: 0, ..*self }.roll(point, counter)
+        } else {
+            self.roll(point, counter)
+        };
+        (roll & 0xffff) < rate as u64
     }
 
     /// Deterministic stall length in microseconds for a
-    /// [`FaultPoint::WorkerSlow`] event that fired: 1–4 ms.
+    /// [`FaultPoint::WorkerSlow`] event that fired: 1–4 ms, clamped to
+    /// [`max_slow_micros`](FaultPlan::max_slow_micros) so a chaos sweep
+    /// has a hard bound on the total stall it can inject.
     pub fn delay_micros(&self, counter: u64) -> u64 {
-        1000 + (self.roll(FaultPoint::WorkerSlow, counter) >> 16) % 3000
+        let natural = 1000 + (self.roll(FaultPoint::WorkerSlow, counter) >> 16) % 3000;
+        natural.min(self.max_slow_micros.max(1))
     }
 
     /// Which byte offset (modulo the frame length) a fired
@@ -220,13 +257,14 @@ impl FaultPlan {
 mod tests {
     use super::*;
 
-    const POINTS: [FaultPoint; 6] = [
+    const POINTS: [FaultPoint; 7] = [
         FaultPoint::ExecStep,
         FaultPoint::Admission,
         FaultPoint::WorkerPanic,
         FaultPoint::WorkerSlow,
         FaultPoint::WireCorrupt,
         FaultPoint::WireTruncate,
+        FaultPoint::Runaway,
     ];
 
     #[test]
@@ -330,5 +368,26 @@ mod tests {
             assert!(plan.corrupt_offset(c, 16) < 16);
         }
         assert_eq!(plan.corrupt_offset(0, 0), 0);
+    }
+
+    #[test]
+    fn slow_delays_respect_the_configured_ceiling() {
+        let plan = FaultPlan {
+            seed: 11,
+            max_slow_micros: 1500,
+            ..FaultPlan::none()
+        };
+        for c in 0..1000 {
+            assert!(plan.delay_micros(c) <= 1500);
+        }
+        // A zero ceiling still stalls for at least a microsecond rather
+        // than degenerating into a spin of zero-length sleeps.
+        let zero = FaultPlan {
+            max_slow_micros: 0,
+            ..plan
+        };
+        for c in 0..100 {
+            assert_eq!(zero.delay_micros(c), 1);
+        }
     }
 }

@@ -1148,6 +1148,13 @@ pub struct LaneState {
     stacked: Vec<LaneStack>,
     /// Per register slot: the lane's row, if ever materialized.
     registers: Vec<Option<Tensor>>,
+    /// Supersteps the lane has been charged for so far (see
+    /// [`PcMachine::lane_spend`]); migrates with the lane so a budget
+    /// cannot be reset by moving shards.
+    spent: u64,
+    /// Peak per-lane resident bytes observed so far; migrates with the
+    /// lane for the same reason.
+    peak_bytes: u64,
 }
 
 impl LaneState {
@@ -1159,6 +1166,16 @@ impl LaneState {
     /// The RNG member key the lane draws under.
     pub fn key(&self) -> u64 {
         self.key
+    }
+
+    /// Supersteps charged to the lane so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Peak per-lane resident bytes observed so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
     }
 }
 
@@ -1208,6 +1225,11 @@ pub struct PcMachine<'p> {
     rng: CounterRng,
     /// Lane → admission ticket.
     tickets: Vec<u64>,
+    /// Lane → supersteps charged to the lane (see
+    /// [`PcMachine::lane_spend`]).
+    spent: Vec<u64>,
+    /// Lane → peak resident bytes attributed to the lane so far.
+    peak_bytes: Vec<u64>,
     next_ticket: u64,
     steps: u64,
     last_active: usize,
@@ -1223,6 +1245,8 @@ impl<'p> PcMachine<'p> {
             st,
             rng,
             tickets: Vec::new(),
+            spent: Vec::new(),
+            peak_bytes: Vec::new(),
             next_ticket: 0,
             steps: 0,
             last_active: 0,
@@ -1433,6 +1457,8 @@ impl<'p> PcMachine<'p> {
         let tickets: Vec<u64> = (self.next_ticket..self.next_ticket + k as u64).collect();
         self.next_ticket += k as u64;
         self.tickets.extend_from_slice(&tickets);
+        self.spent.extend(std::iter::repeat_n(0, k));
+        self.peak_bytes.extend(std::iter::repeat_n(0, k));
         if let Some(t) = trace {
             t.membership(k, 0, self.st.z);
         }
@@ -1471,7 +1497,88 @@ impl<'p> PcMachine<'p> {
             });
         }
         self.last_active = self.vm.run_block(&mut self.st, i, &self.rng, &mut trace)?;
+        // Chaos hook: a runaway lane never reaches the exit — the
+        // moment its pc top would finish, it is reset to the entry
+        // block, exactly as a genuinely non-terminating program would
+        // behave. The roll is keyed by the lane's RNG member key, so
+        // whether a request runs away is a property of the request:
+        // stable across shards, retries, and migrations. Batchmates are
+        // untouched — a lane's pc only selects which blocks *it*
+        // executes, and masked execution already guarantees results are
+        // independent of what other lanes run.
+        let fault = self.vm.opts.fault;
+        if fault.runaway != 0 {
+            let entry = self.vm.program.entry.0;
+            for b in 0..self.st.z {
+                if self.st.pc_top[b] >= n_blocks
+                    && fault.fires(autobatch_chaos::FaultPoint::Runaway, self.st.member_keys[b])
+                {
+                    self.st.pc_top[b] = entry;
+                    // Restore the admission-time exit sentinel the
+                    // finishing `Ret` just popped, so the rewound
+                    // lane's next return re-parks it at the exit
+                    // (where it is rewound again) instead of
+                    // underflowing the pc stack.
+                    self.st.pc_stack[b].push(n_blocks);
+                }
+            }
+        }
+        // Budget accounting: every lane still running after this
+        // superstep is charged one superstep, whether or not its block
+        // was the one selected — a parked lane occupies the machine all
+        // the same. Lanes that just finished stop accruing.
+        for b in 0..self.st.z {
+            if self.st.pc_top[b] < n_blocks {
+                self.spent[b] += 1;
+            }
+        }
+        self.update_peak_bytes();
         Ok(true)
+    }
+
+    /// Fold each lane's current resident-byte footprint into its peak.
+    /// Derived entirely from buffer shapes and stack pointers — no data
+    /// walk — so the per-superstep cost is a few scalar ops per lane.
+    fn update_peak_bytes(&mut self) {
+        // Registers and stack tops hold one row per lane regardless of
+        // stack depth; only the occupied store frames vary by lane.
+        let mut base: u64 = 0;
+        let mut frames: Vec<(usize, u64)> = Vec::new();
+        for slot in self.st.registers.iter().flatten() {
+            base += elem_bytes(slot.shape(), 1, slot.dtype());
+        }
+        for (si, s) in self.st.stacked.iter().enumerate() {
+            if let Some(top) = &s.top {
+                base += elem_bytes(top.shape(), 1, top.dtype());
+            }
+            if let Some(store) = &s.store {
+                frames.push((si, elem_bytes(store.shape(), 2, store.dtype())));
+            }
+        }
+        for b in 0..self.st.z {
+            let mut bytes = base;
+            for &(si, per_frame) in &frames {
+                bytes += self.st.stacked[si].sp[b] as u64 * per_frame;
+            }
+            if bytes > self.peak_bytes[b] {
+                self.peak_bytes[b] = bytes;
+            }
+        }
+    }
+
+    /// `(ticket, spent supersteps, peak resident bytes)` of every
+    /// **running** lane, in lane order — what a budget-enforcing server
+    /// reads at each superstep boundary to decide evictions. Spend
+    /// starts at zero on admission, increments once per superstep the
+    /// lane stays running, and travels with the lane through
+    /// [`PcMachine::extract_lanes`] / [`PcMachine::inject_lane`], so
+    /// migrating cannot reset a budget.
+    pub fn lane_spend(&self) -> Vec<(u64, u64, u64)> {
+        let n_blocks = self.vm.program.blocks.len();
+        (0..self.st.z)
+            .filter(|&b| self.st.pc_top[b] < n_blocks)
+            .map(|b| (self.tickets[b], self.spent[b], self.peak_bytes[b]))
+            .collect()
     }
 
     /// Retire every finished member: read its outputs, then compact its
@@ -1518,6 +1625,8 @@ impl<'p> PcMachine<'p> {
             .collect();
         self.st.member_keys = keep.iter().map(|&b| self.st.member_keys[b]).collect();
         self.tickets = keep.iter().map(|&b| self.tickets[b]).collect();
+        self.spent = keep.iter().map(|&b| self.spent[b]).collect();
+        self.peak_bytes = keep.iter().map(|&b| self.peak_bytes[b]).collect();
         for s in self.st.stacked.iter_mut() {
             s.sp = keep.iter().map(|&b| s.sp[b]).collect();
             if let Some(top) = &s.top {
@@ -1600,7 +1709,24 @@ impl<'p> PcMachine<'p> {
     /// compact them out of this machine (the same member-set shrink as
     /// [`PcMachine::retire_finished`], keyed by ticket instead of exit
     /// pc). Returns `(ticket, state)` pairs in the order requested —
-    /// the eviction half of cross-shard straggler migration.
+    /// the eviction half of cross-shard straggler migration, and the
+    /// checkpoint path budget enforcement evicts over-limit lanes
+    /// through.
+    ///
+    /// # Soundness: the eviction boundary
+    ///
+    /// Eviction is only legal at a **superstep edge** — between one
+    /// [`PcMachine::step`] returning and the next beginning — never
+    /// mid-superstep and in particular never inside a fused elementwise
+    /// region. Within a superstep, fused regions hold intermediate
+    /// values in registers that exist nowhere in `State`'s buffers;
+    /// compacting a lane out at that point would leave batchmates'
+    /// gather indices pointing at moved rows. At the edge, every live
+    /// value is materialized in the per-lane buffers, so removing a
+    /// lane is a pure row-compaction the remaining lanes cannot
+    /// observe (their results are bit-identical by the masking
+    /// argument). All callers in this workspace — migration planning
+    /// and budget eviction alike — run strictly between supersteps.
     ///
     /// Validation happens before any mutation: on error the machine is
     /// untouched.
@@ -1675,6 +1801,8 @@ impl<'p> PcMachine<'p> {
                     pc_stack: self.st.pc_stack[b].clone(),
                     stacked,
                     registers,
+                    spent: self.spent[b],
+                    peak_bytes: self.peak_bytes[b],
                 },
             ));
         }
@@ -1687,6 +1815,8 @@ impl<'p> PcMachine<'p> {
             .collect();
         self.st.member_keys = keep.iter().map(|&b| self.st.member_keys[b]).collect();
         self.tickets = keep.iter().map(|&b| self.tickets[b]).collect();
+        self.spent = keep.iter().map(|&b| self.spent[b]).collect();
+        self.peak_bytes = keep.iter().map(|&b| self.peak_bytes[b]).collect();
         for s in self.st.stacked.iter_mut() {
             s.sp = keep.iter().map(|&b| s.sp[b]).collect();
             if let Some(top) = &s.top {
@@ -1862,11 +1992,20 @@ impl<'p> PcMachine<'p> {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.tickets.push(ticket);
+        self.spent.push(lane.spent);
+        self.peak_bytes.push(lane.peak_bytes);
         if let Some(t) = trace {
             t.migrate_in(1, self.st.z);
         }
         Ok(ticket)
     }
+}
+
+/// Resident bytes of one member's slice of a batched buffer: the
+/// element volume past the leading `skip` axes (batch axes) times the
+/// dtype width.
+fn elem_bytes(shape: &[usize], skip: usize, dtype: DType) -> u64 {
+    shape[skip..].iter().product::<usize>() as u64 * dtype.size_bytes() as u64
 }
 
 /// Compile-time proof of the Send-safe machine handoff contract: a

@@ -72,8 +72,8 @@ use autobatch_chaos::{FaultPlan, FaultPoint};
 use autobatch_core::{ExecOptions, KernelRegistry, VmError};
 use autobatch_ir::pcab::Program;
 use autobatch_serve::{
-    AdmissionPolicy, Outcome, Request, Response, SchedulingPolicy, ServeError, ShardedServer,
-    Supervisor, SupervisorConfig,
+    AdmissionPolicy, Outcome, Request, RequestBudget, Response, SchedulingPolicy, ServeError,
+    ShardedServer, Supervisor, SupervisorConfig,
 };
 use autobatch_tensor::Tensor;
 
@@ -160,6 +160,18 @@ pub struct IngressConfig {
     /// for idle shards — results and response order are unchanged
     /// either way.
     pub scheduling: SchedulingPolicy,
+    /// Per-request resource ceilings enforced at every superstep
+    /// boundary: max supersteps, virtual-clock deadline, peak lane
+    /// bytes. An over-budget lane is evicted mid-flight and answered
+    /// with a typed [`OverBudget`](wire::RejectCode::OverBudget)
+    /// reject while its batchmates keep running bit-identically. The
+    /// default is unlimited.
+    pub budget: RequestBudget,
+    /// Retry and quarantine discipline for the engine's [`Supervisor`]
+    /// (repeated budget blowups trip the program's breaker, which
+    /// fast-rejects with
+    /// [`Quarantined`](wire::RejectCode::Quarantined)).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for IngressConfig {
@@ -173,6 +185,8 @@ impl Default for IngressConfig {
             opts: ExecOptions::default(),
             registry: KernelRegistry::new(),
             scheduling: SchedulingPolicy::default(),
+            budget: RequestBudget::unlimited(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -201,6 +215,17 @@ pub struct IngressStats {
     pub peak_buffered: usize,
     /// Deepest any shard's admission queue ever got.
     pub peak_queue: usize,
+    /// Requests cancelled before completion — by a `0x06` cancel frame
+    /// or a client disconnect — whether still buffered or already in
+    /// flight (lane evicted at a superstep boundary).
+    pub cancelled: u64,
+    /// Requests evicted for blowing a per-request resource budget
+    /// (supersteps, deadline, or peak memory), answered with
+    /// [`OverBudget`](wire::RejectCode::OverBudget).
+    pub over_budget: u64,
+    /// Requests fast-rejected because the served program's quarantine
+    /// breaker was open.
+    pub quarantined: u64,
 }
 
 /// A running ingress server; dropping it (or calling
@@ -368,8 +393,35 @@ fn deadline_policy(config: &IngressConfig) -> AdmissionPolicy {
     }
 }
 
-/// One decoded request in flight from a connection to the engine.
-struct Arrival {
+/// One event in flight from a connection thread to the engine.
+enum Arrival {
+    /// A decoded request.
+    Request {
+        conn: Arc<Mutex<TcpStream>>,
+        request: WireRequest,
+        at: Instant,
+    },
+    /// A `0x06` cancel frame: stop the named request, if this
+    /// connection owns one by that id.
+    Cancel { client_id: u64, token: usize },
+    /// The connection died mid-conversation (EOF or socket error, not
+    /// server shutdown): every request it still has pending is
+    /// abandoned work — stop burning the fleet on it.
+    Disconnect { token: usize },
+}
+
+/// Identity of one connection, for matching cancels and disconnects to
+/// the requests that arrived on it. The `Arc` is per-connection and
+/// outlives every use of the token (each pending request holds a
+/// clone), so the pointer cannot be reused while a token is live.
+fn conn_token(conn: &Arc<Mutex<TcpStream>>) -> usize {
+    Arc::as_ptr(conn) as usize
+}
+
+/// A request admitted by the gate, waiting in the engine's collection
+/// buffer for the next flush. Cancels and disconnects are resolved on
+/// receipt, so only requests are ever buffered.
+struct Buffered {
     conn: Arc<Mutex<TcpStream>>,
     request: WireRequest,
     at: Instant,
@@ -444,20 +496,34 @@ fn connection_loop(
     // only, never its siblings or the listener. The client gets a typed
     // refusal before the socket closes.
     let body = catch_unwind(AssertUnwindSafe(|| {
-        connection_body(&mut stream, &writer, tx, stop, gate, fault);
+        connection_body(&mut stream, &writer, tx, stop, gate, fault)
     }));
-    if body.is_err() {
-        send_reject(
-            &writer,
-            0,
-            RejectCode::Internal,
-            0,
-            0,
-            "connection handler panicked",
-        );
+    let client_gone = match body {
+        Ok(gone) => gone,
+        Err(_) => {
+            send_reject(
+                &writer,
+                0,
+                RejectCode::Internal,
+                0,
+                0,
+                "connection handler panicked",
+            );
+            // The socket closes when this thread exits: the client
+            // cannot receive anything further, so its pending work is
+            // as abandoned as a disconnect's.
+            true
+        }
+    };
+    if client_gone {
+        let _ = tx.send(Arrival::Disconnect {
+            token: conn_token(&writer),
+        });
     }
 }
 
+/// Returns whether the client went away mid-conversation (EOF, socket
+/// error, injected truncation) — the cue to abandon its pending work.
 fn connection_body(
     stream: &mut TcpStream,
     writer: &Arc<Mutex<TcpStream>>,
@@ -465,7 +531,7 @@ fn connection_body(
     stop: &Arc<AtomicBool>,
     gate: &Gate,
     fault: FaultPlan,
-) {
+) -> bool {
     let mut reader = FrameReader::new();
     // Wire-level chaos is keyed by this connection's frame ordinal, so
     // a run replays bit-for-bit from the fault plan's seed.
@@ -477,7 +543,7 @@ fn connection_body(
                 if fault.fires(FaultPoint::WireTruncate, frames) {
                     // The frame is cut off mid-stream: from the client's
                     // view the connection simply died.
-                    return;
+                    return true;
                 }
                 if fault.fires(FaultPoint::WireCorrupt, frames) && !payload.is_empty() {
                     let at = fault.corrupt_offset(frames, payload.len());
@@ -500,13 +566,26 @@ fn connection_body(
                             );
                             continue;
                         }
-                        let arrival = Arrival {
+                        let arrival = Arrival::Request {
                             conn: Arc::clone(writer),
                             request,
                             at: Instant::now(),
                         };
                         if tx.send(arrival).is_err() {
-                            return; // engine is gone; nothing can be served
+                            return false; // engine is gone; nothing can be served
+                        }
+                    }
+                    Ok(Message::Cancel(client_id)) => {
+                        // Cancels bypass the gate (they free capacity,
+                        // never consume it) and resolve at the engine:
+                        // either a Cancelled reject or — if the request
+                        // already completed — the response wins.
+                        let cancel = Arrival::Cancel {
+                            client_id,
+                            token: conn_token(writer),
+                        };
+                        if tx.send(cancel).is_err() {
+                            return false;
                         }
                     }
                     Ok(_) => {
@@ -517,7 +596,7 @@ fn connection_body(
                             RejectCode::BadRequest,
                             0,
                             0,
-                            "clients may only send request frames",
+                            "clients may only send request or cancel frames",
                         );
                     }
                     // Framing is intact (the frame decoded as a unit), so
@@ -528,11 +607,11 @@ fn connection_body(
                     }
                 }
             }
-            Ok(None) => return, // clean EOF
+            Ok(None) => return true, // clean EOF: the client hung up
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
-            Err(_) => return,
+            Err(_) => return true,
         }
     }
     // Stop was requested. Frames already on the wire can no longer be
@@ -551,6 +630,9 @@ fn connection_body(
             );
         }
     }
+    // A clean shutdown is the server's choice, not the client's exit:
+    // pending work drains normally, so no disconnect is signalled.
+    false
 }
 
 fn send_reject(
@@ -600,8 +682,11 @@ fn engine_loop(
     fleet.set_scheduling(config.scheduling);
     // The supervisor owns fault recovery: worker panics and injected
     // execution faults poison one shard, which is respawned and its
-    // work retried — the flush below never sees a wedged fleet.
-    let mut server = Supervisor::new(fleet, SupervisorConfig::default());
+    // work retried — the flush below never sees a wedged fleet. It also
+    // owns governance: per-request budgets bound every lane, and the
+    // quarantine breaker fast-rejects programs that keep blowing them.
+    let mut server = Supervisor::new(fleet, config.supervisor);
+    server.set_budget(config.budget);
     let capacity = config.workers.saturating_mul(config.max_batch);
     let epoch = Instant::now();
     let ticks = |t: Instant| {
@@ -609,7 +694,7 @@ fn engine_loop(
     };
 
     let mut stats = IngressStats::default();
-    let mut buf: VecDeque<Arrival> = VecDeque::new();
+    let mut buf: VecDeque<Buffered> = VecDeque::new();
     let mut next_eid: u64 = 0;
     let mut disconnected = false;
     loop {
@@ -625,12 +710,12 @@ fn engine_loop(
                 })
                 .unwrap_or(POLL);
             match rx.recv_timeout(timeout) {
-                Ok(a) => accept(a, &mut buf, &mut stats),
+                Ok(a) => accept(a, &mut buf, gate, &mut stats),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => disconnected = true,
             }
             while let Ok(a) = rx.try_recv() {
-                accept(a, &mut buf, &mut stats);
+                accept(a, &mut buf, gate, &mut stats);
             }
         }
         let full = buf.len() >= capacity;
@@ -641,6 +726,7 @@ fn engine_loop(
             flush(
                 &mut server,
                 &mut buf,
+                rx,
                 &mut next_eid,
                 &ticks,
                 gate,
@@ -659,20 +745,59 @@ fn engine_loop(
     stats
 }
 
-/// Buffer an arrival. Shedding already happened at the connection
-/// thread ([`Gate::admit`]), so everything that reaches the engine is
-/// within budget.
-fn accept(arrival: Arrival, buf: &mut VecDeque<Arrival>, stats: &mut IngressStats) {
-    buf.push_back(arrival);
-    stats.peak_buffered = stats.peak_buffered.max(buf.len());
+/// Fold one arrival into the collection buffer. Shedding already
+/// happened at the connection thread ([`Gate::admit`]), so every
+/// request that reaches the engine is within budget. Cancels and
+/// disconnects resolve immediately against the buffer: a matched
+/// request is answered with [`RejectCode::Cancelled`] and its gate slot
+/// freed, while a cancel that matches nothing lost its race — the
+/// request already flushed and has been (or will be) answered — and is
+/// dropped. Per-connection channel FIFO guarantees a cancel is never
+/// accepted before the request it names.
+fn accept(arrival: Arrival, buf: &mut VecDeque<Buffered>, gate: &Gate, stats: &mut IngressStats) {
+    match arrival {
+        Arrival::Request { conn, request, at } => {
+            buf.push_back(Buffered { conn, request, at });
+            stats.peak_buffered = stats.peak_buffered.max(buf.len());
+        }
+        Arrival::Cancel { client_id, token } => {
+            let hit = buf
+                .iter()
+                .position(|b| b.request.id == client_id && conn_token(&b.conn) == token);
+            if let Some(i) = hit {
+                let b = buf.remove(i).expect("position came from this buffer");
+                gate.release(1);
+                send_reject(
+                    &b.conn,
+                    client_id,
+                    RejectCode::Cancelled,
+                    0,
+                    0,
+                    "cancelled by the caller before admission",
+                );
+                stats.cancelled += 1;
+            }
+        }
+        Arrival::Disconnect { token } => {
+            // The client is gone: nobody will read these replies, so
+            // the buffered requests are dropped without an answer.
+            let before = buf.len();
+            buf.retain(|b| conn_token(&b.conn) != token);
+            let dropped = before - buf.len();
+            gate.release(dropped);
+            stats.cancelled += dropped as u64;
+        }
+    }
 }
 
 /// Submit everything collected so far and drive the supervised fleet to
 /// quiescence, answering every request's terminal outcome on its
 /// connection.
+#[allow(clippy::too_many_arguments)]
 fn flush(
     server: &mut Supervisor<'_>,
-    buf: &mut VecDeque<Arrival>,
+    buf: &mut VecDeque<Buffered>,
+    rx: &Receiver<Arrival>,
     next_eid: &mut u64,
     ticks: &dyn Fn(Instant) -> u64,
     gate: &Gate,
@@ -683,7 +808,7 @@ fn flush(
     // client's id is restored on the reply.
     let mut outstanding: HashMap<u64, Pending> = HashMap::new();
     let drained = buf.len();
-    for Arrival { conn, request, at } in buf.drain(..) {
+    for Buffered { conn, request, at } in buf.drain(..) {
         let eid = *next_eid;
         *next_eid += 1;
         // Stamp the queue entry at its real arrival time so the shards'
@@ -714,17 +839,20 @@ fn flush(
                 // signature violation gets its own code: the frame was
                 // well-formed, but the payload can never execute under
                 // the served program's statically inferred signature.
-                let (code, failed) = match e {
-                    ServeError::Overloaded { .. } => (RejectCode::Overloaded, false),
-                    ServeError::RetriesExhausted { .. } => (RejectCode::Internal, true),
-                    ServeError::InvalidRequest(_) => (RejectCode::Invalid, false),
-                    _ => (RejectCode::BadRequest, false),
+                // A quarantined program is fast-rejected before it can
+                // touch the fleet at all.
+                let code = match &e {
+                    ServeError::Overloaded { .. } => RejectCode::Overloaded,
+                    ServeError::RetriesExhausted { .. } => RejectCode::Internal,
+                    ServeError::InvalidRequest(_) => RejectCode::Invalid,
+                    ServeError::Quarantined { .. } => RejectCode::Quarantined,
+                    _ => RejectCode::BadRequest,
                 };
                 send_reject(&conn, client_id, code, 0, 0, &e.to_string());
-                if failed {
-                    stats.failed += 1;
-                } else {
-                    stats.rejected += 1;
+                match code {
+                    RejectCode::Internal => stats.failed += 1,
+                    RejectCode::Quarantined => stats.quarantined += 1,
+                    _ => stats.rejected += 1,
                 }
             }
         }
@@ -737,26 +865,76 @@ fn flush(
     // The supervisor heals as it drives: poisoned shards are respawned,
     // their stranded and lost work retried under a bounded budget, and
     // every submitted request resolves to exactly one terminal outcome.
-    for outcome in server.run_until_quiescent() {
+    // Arrivals landing while the fleet runs are folded in live through
+    // the poll hook: a cancel or disconnect naming an in-flight request
+    // evicts its lane at the next superstep boundary; everything else
+    // is stashed and re-buffered after the run.
+    let mut stash: Vec<Arrival> = Vec::new();
+    let outcomes = {
+        let mut hook =
+            || -> Vec<u64> {
+                let mut evict: Vec<u64> = Vec::new();
+                while let Ok(a) = rx.try_recv() {
+                    match a {
+                        Arrival::Cancel { client_id, token } => {
+                            let hit = outstanding.iter().find(|(_, p)| {
+                                p.client_id == client_id && conn_token(&p.conn) == token
+                            });
+                            match hit {
+                                Some((&eid, _)) => evict.push(eid),
+                                // The named request is not in this flight:
+                                // it may be sitting in the stash, so the
+                                // cancel re-enters admission behind it.
+                                None => stash.push(Arrival::Cancel { client_id, token }),
+                            }
+                        }
+                        Arrival::Disconnect { token } => {
+                            evict.extend(outstanding.iter().filter_map(|(&eid, p)| {
+                                (conn_token(&p.conn) == token).then_some(eid)
+                            }));
+                            // Re-stashed so it also purges any requests the
+                            // dead connection left in the stash.
+                            stash.push(Arrival::Disconnect { token });
+                        }
+                        a @ Arrival::Request { .. } => stash.push(a),
+                    }
+                }
+                evict
+            };
+        server.run_until_quiescent_with(&mut hook)
+    };
+    for outcome in outcomes {
         match outcome {
             Outcome::Done(r) => deliver(vec![r], &mut outstanding, admitted, stats),
             Outcome::Failed { id, error } => {
                 let Some(p) = outstanding.remove(&id) else {
                     continue;
                 };
-                // Admission errors name the request as the offender;
-                // anything else (step-limit exhaustion, a retry budget
-                // burned on panics or exec faults) is the server's
-                // fault, not the request's.
-                let (code, failed) = match &error {
-                    ServeError::Vm(VmError::BadInputs { .. }) => (RejectCode::BadRequest, false),
-                    _ => (RejectCode::Internal, true),
+                // Admission errors name the request as the offender,
+                // and governance verdicts carry their spend/limit pair
+                // onto the wire; anything else (step-limit exhaustion,
+                // a retry budget burned on panics or exec faults) is
+                // the server's fault, not the request's.
+                let (code, a, b) = match &error {
+                    ServeError::Vm(VmError::BadInputs { .. }) => (RejectCode::BadRequest, 0, 0),
+                    ServeError::BudgetExceeded { spent, limit } => {
+                        (RejectCode::OverBudget, *spent, *limit)
+                    }
+                    ServeError::DeadlineExceeded { elapsed, deadline } => {
+                        (RejectCode::OverBudget, *elapsed, *deadline)
+                    }
+                    ServeError::MemoryExceeded { bytes, limit } => {
+                        (RejectCode::OverBudget, *bytes, *limit)
+                    }
+                    ServeError::Cancelled => (RejectCode::Cancelled, 0, 0),
+                    _ => (RejectCode::Internal, 0, 0),
                 };
-                send_reject(&p.conn, p.client_id, code, 0, 0, &error.to_string());
-                if failed {
-                    stats.failed += 1;
-                } else {
-                    stats.rejected += 1;
+                send_reject(&p.conn, p.client_id, code, a, b, &error.to_string());
+                match code {
+                    RejectCode::BadRequest => stats.rejected += 1,
+                    RejectCode::OverBudget => stats.over_budget += 1,
+                    RejectCode::Cancelled => stats.cancelled += 1,
+                    _ => stats.failed += 1,
                 }
             }
         }
@@ -775,6 +953,13 @@ fn flush(
             );
             stats.failed += 1;
         }
+    }
+    // Re-admit what the hook stashed, in arrival order: a stashed
+    // cancel lands after the stashed request it names (per-connection
+    // FIFO), and a disconnect purges whatever its connection left
+    // behind.
+    for a in stash {
+        accept(a, buf, gate, stats);
     }
 }
 
@@ -854,10 +1039,24 @@ impl IngressClient {
         match wire::decode(&payload)? {
             Message::Response(r) => Ok(r),
             Message::Reject(r) => Err(IngressError::Rejected(r)),
-            Message::Request(_) => Err(IngressError::Protocol(ProtocolError(
-                "server sent a request frame".into(),
+            Message::Request(_) | Message::Cancel(_) => Err(IngressError::Protocol(ProtocolError(
+                "server sent a client-only frame".into(),
             ))),
         }
+    }
+
+    /// Ask the server to stop a previously sent request.
+    /// Fire-and-forget: the eventual reply for `id` is either
+    /// a [`RejectCode::Cancelled`] reject or — if the request finished
+    /// first — its normal response; completion always wins the race.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn cancel(&mut self, id: u64) -> Result<(), IngressError> {
+        let payload = wire::encode_cancel(id);
+        wire::write_frame(&mut self.stream, &payload)?;
+        Ok(())
     }
 
     /// Send one request and block for one reply — the simple RPC shape.

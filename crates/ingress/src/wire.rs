@@ -7,10 +7,11 @@
 //!
 //! ```text
 //! frame    := len:u32le payload[len]          (len <= MAX_FRAME_LEN)
-//! payload  := request | response | reject
+//! payload  := request | response | reject | cancel
 //! request  := 0x01 id:u64le seed:u64le n:u16le tensor*n
 //! response := 0x02 id:u64le queued_ticks:u64le n:u16le tensor*n
 //! reject   := 0x03 id:u64le code:u8 a:u64le b:u64le mlen:u32le msg[mlen]
+//! cancel   := 0x06 id:u64le
 //! tensor   := dtype:u8 rank:u16le dim:u64le*rank elems
 //! ```
 //!
@@ -37,6 +38,7 @@ pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 const MSG_REQUEST: u8 = 0x01;
 const MSG_RESPONSE: u8 = 0x02;
 const MSG_REJECT: u8 = 0x03;
+const MSG_CANCEL: u8 = 0x06;
 
 const DT_F64: u8 = 0;
 const DT_I64: u8 = 1;
@@ -76,6 +78,18 @@ pub enum RejectCode {
     /// machine state. Distinct from [`RejectCode::BadRequest`], which
     /// covers undecodable or structurally malformed traffic.
     Invalid = 5,
+    /// The served program's quarantine breaker is open: its requests
+    /// repeatedly blew their resource budgets, so the server
+    /// fast-rejects at admission until the cooldown elapses and a
+    /// half-open probe succeeds.
+    Quarantined = 6,
+    /// The request ran but exceeded a per-request resource ceiling
+    /// (supersteps, deadline, or peak memory): its lane was evicted at
+    /// a superstep boundary. `a`/`b` carry the spend and the limit.
+    OverBudget = 7,
+    /// The request was cancelled — by a `0x06` cancel frame or by its
+    /// connection disconnecting — before it completed.
+    Cancelled = 8,
 }
 
 impl RejectCode {
@@ -86,6 +100,9 @@ impl RejectCode {
             3 => Ok(RejectCode::Internal),
             4 => Ok(RejectCode::Shutdown),
             5 => Ok(RejectCode::Invalid),
+            6 => Ok(RejectCode::Quarantined),
+            7 => Ok(RejectCode::OverBudget),
+            8 => Ok(RejectCode::Cancelled),
             other => Err(ProtocolError(format!("unknown reject code {other}"))),
         }
     }
@@ -162,6 +179,19 @@ impl fmt::Display for WireReject {
                     self.id, self.message
                 )
             }
+            RejectCode::Quarantined => {
+                write!(f, "request {} quarantined: {}", self.id, self.message)
+            }
+            RejectCode::OverBudget => {
+                write!(
+                    f,
+                    "request {} over budget ({} against limit {}): {}",
+                    self.id, self.depth, self.budget, self.message
+                )
+            }
+            RejectCode::Cancelled => {
+                write!(f, "request {} cancelled: {}", self.id, self.message)
+            }
         }
     }
 }
@@ -175,6 +205,11 @@ pub enum Message {
     Response(WireResponse),
     /// Server → client, typed refusal.
     Reject(WireReject),
+    /// Client → server: cooperatively cancel the named in-flight
+    /// request. Acknowledged with a [`RejectCode::Cancelled`] reject
+    /// once the lane is evicted (or ignored if the id already
+    /// completed — the response wins the race).
+    Cancel(u64),
 }
 
 /// Write one frame: a `u32` little-endian length prefix, then the
@@ -302,6 +337,14 @@ pub fn encode_response(
     Ok(out)
 }
 
+/// Encode a cancel payload: the client-side request to stop an
+/// in-flight request's lane.
+pub fn encode_cancel(id: u64) -> Vec<u8> {
+    let mut out = vec![MSG_CANCEL];
+    out.extend_from_slice(&id.to_le_bytes());
+    out
+}
+
 /// Encode a reject payload. Always succeeds: the message is truncated
 /// to `u32::MAX` bytes (in practice a sentence).
 pub fn encode_reject(reject: &WireReject) -> Vec<u8> {
@@ -359,6 +402,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, ProtocolError> {
                 message,
             })
         }
+        MSG_CANCEL => Message::Cancel(c.u64()?),
         other => return Err(ProtocolError(format!("unknown message tag {other:#04x}"))),
     };
     c.finish()?;
@@ -559,6 +603,17 @@ mod tests {
         };
         let payload = encode_reject(&rej);
         assert_eq!(decode(&payload).unwrap(), Message::Reject(rej));
+    }
+
+    #[test]
+    fn cancel_roundtrips() {
+        let payload = encode_cancel(0xfeed_f00d);
+        assert_eq!(decode(&payload).unwrap(), Message::Cancel(0xfeed_f00d));
+        // Truncated id and trailing garbage are typed errors.
+        assert!(decode(&payload[..5]).is_err());
+        let mut extended = payload;
+        extended.push(0);
+        assert!(decode(&extended).is_err());
     }
 
     #[test]

@@ -181,7 +181,9 @@ fn shutdown_answers_late_frames_with_typed_shutdown_rejects() {
                 assert_eq!(rej.code, RejectCode::Shutdown, "only Shutdown refusals");
                 shutdown_rejects += 1;
             }
-            wire::Message::Request(_) => panic!("server sent a request frame"),
+            wire::Message::Request(_) | wire::Message::Cancel(_) => {
+                panic!("server sent a client-only frame")
+            }
         }
     }
     let sent = writer.join().unwrap();

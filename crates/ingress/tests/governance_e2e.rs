@@ -1,0 +1,238 @@
+//! Resource-governance end-to-end tests over real loopback TCP:
+//! `0x06` cancel frames (buffered and in-flight), mid-flight client
+//! disconnects, and runaway containment + quarantine behind the front
+//! door. These pin the acceptance contract at the wire: a genuinely
+//! non-terminating program alongside normal traffic is answered with a
+//! typed `OverBudget` reject while batchmates complete correctly, and
+//! the fleet never wedges.
+
+use std::time::Duration;
+
+use autobatch_core::{lower, LoweringOptions};
+use autobatch_ingress::wire::RejectCode;
+use autobatch_ingress::{IngressClient, IngressConfig, IngressError, IngressServer};
+use autobatch_ir::build::{fibonacci_program, ProgramBuilder};
+use autobatch_ir::Prim;
+use autobatch_serve::{QuarantineConfig, RequestBudget, SupervisorConfig};
+use autobatch_tensor::Tensor;
+
+fn fib_server(config: IngressConfig) -> autobatch_ingress::IngressHandle {
+    let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+    IngressServer::start(pc, config, "127.0.0.1:0").unwrap()
+}
+
+/// `y = x; i = 0; while i != n { y += 1.0; i += 1 }` — with `n < 0`
+/// the counter can never reach the bound, so the request is genuinely
+/// non-terminating in the IR, not merely slow.
+fn countup_server(config: IngressConfig) -> autobatch_ingress::IngressHandle {
+    let mut pb = ProgramBuilder::new();
+    let f = pb.declare("countup", &["n", "x"], &["y"]);
+    pb.define(f, |fb| {
+        let n = fb.param(0);
+        let x = fb.param(1);
+        let y = fb.output(0);
+        fb.assign(&y, Prim::Id, &[x]);
+        let zero = fb.const_i64(0);
+        let i = fb.emit(Prim::Id, &[zero]);
+        let exit = fb.new_block();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        fb.jump(header);
+        fb.switch_to(header);
+        let c = fb.emit(Prim::NeE, &[i.clone(), n.clone()]);
+        fb.branch(&c, body, exit);
+        fb.switch_to(body);
+        let one_f = fb.const_f64(1.0);
+        fb.assign(&y, Prim::Add, &[y.clone(), one_f]);
+        let one_i = fb.const_i64(1);
+        fb.assign(&i, Prim::Add, &[i.clone(), one_i]);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret();
+    });
+    let (pc, _) = lower(&pb.finish(f).unwrap(), LoweringOptions::default()).unwrap();
+    IngressServer::start(pc, config, "127.0.0.1:0").unwrap()
+}
+
+fn countup_inputs(n: i64) -> Vec<Tensor> {
+    vec![
+        Tensor::from_i64(&[n], &[1]).unwrap(),
+        Tensor::from_f64(&[0.0], &[1]).unwrap(),
+    ]
+}
+
+#[test]
+fn cancel_frame_reclaims_a_buffered_request() {
+    // A long collection deadline keeps the request buffered; the cancel
+    // frame must reclaim it at the front door — answered with a typed
+    // Cancelled reject well before the deadline, never served.
+    let handle = fib_server(IngressConfig {
+        workers: 1,
+        max_batch: 8,
+        max_wait: Duration::from_millis(300),
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    client
+        .send(0, 0, &[Tensor::from_i64(&[9], &[1]).unwrap()])
+        .unwrap();
+    client.cancel(0).unwrap();
+    match client.recv().unwrap_err() {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 0);
+            assert_eq!(rej.code, RejectCode::Cancelled);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    // The connection survives and the shard was never touched.
+    let r = client
+        .call(1, 1, &[Tensor::from_i64(&[5], &[1]).unwrap()])
+        .unwrap();
+    assert_eq!(r.outputs[0].as_i64().unwrap(), &[8]);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn cancel_frame_evicts_an_in_flight_runaway_lane() {
+    // No budget at all: only the cancel frame can stop this lane. The
+    // engine must evict it at a superstep boundary mid-flight and keep
+    // the worker serviceable.
+    let handle = countup_server(IngressConfig {
+        workers: 1,
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    client.send(7, 7, &countup_inputs(-1)).unwrap();
+    // Let the lane launch and spin; without governance this program
+    // holds its worker forever.
+    std::thread::sleep(Duration::from_millis(100));
+    client.cancel(7).unwrap();
+    match client.recv().unwrap_err() {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 7);
+            assert_eq!(rej.code, RejectCode::Cancelled);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    // The worker is free again: a terminating request completes.
+    let r = client.call(8, 8, &countup_inputs(5)).unwrap();
+    assert_eq!(r.outputs[0].as_f64().unwrap(), &[5.0]);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.respawned, 0, "eviction must not poison the shard");
+}
+
+#[test]
+fn disconnect_mid_flight_evicts_the_lane_and_leaks_nothing() {
+    // A client walks away from a non-terminating request. Connection
+    // teardown must evict the in-flight lane (its answer can no longer
+    // be delivered) and purge the engine-side id mapping — otherwise
+    // shutdown would wedge on a lane that never retires.
+    let handle = countup_server(IngressConfig {
+        workers: 2,
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        ..IngressConfig::default()
+    });
+    let mut doomed = IngressClient::connect(handle.addr()).unwrap();
+    doomed.send(0, 0, &countup_inputs(-1)).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // Mid-flight disconnect. A fresh connection then reusing the same
+    // caller-chosen id is served normally: the dead connection's
+    // mapping is gone, not dangling.
+    drop(doomed);
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    let r = client.call(0, 1, &countup_inputs(3)).unwrap();
+    assert_eq!(r.outputs[0].as_f64().unwrap(), &[3.0]);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cancelled, 1, "the abandoned request was evicted");
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn runaway_traffic_is_contained_and_quarantined_over_tcp() {
+    // The acceptance contract at the wire: a 4-worker fleet serving a
+    // genuinely non-terminating program alongside normal traffic
+    // answers the runaways with OverBudget (spend pinned at
+    // max_supersteps + 1) while batchmates complete correctly, then
+    // trips the program's quarantine breaker so later traffic is
+    // fast-rejected instead of burning another budget.
+    const MAX_SUPERSTEPS: u64 = 64;
+    let handle = countup_server(IngressConfig {
+        workers: 4,
+        max_batch: 4,
+        max_wait: Duration::from_millis(5),
+        budget: RequestBudget {
+            max_supersteps: Some(MAX_SUPERSTEPS),
+            ..RequestBudget::unlimited()
+        },
+        supervisor: SupervisorConfig {
+            quarantine: QuarantineConfig {
+                trip_threshold: 2,
+                decay_rounds: 10_000,
+                cooldown_rounds: 10_000,
+            },
+            ..SupervisorConfig::default()
+        },
+        ..IngressConfig::default()
+    });
+    let mut client = IngressClient::connect(handle.addr()).unwrap();
+    // Normal traffic (ids 0..4) interleaved with two runaways.
+    for id in 0..4u64 {
+        client.send(id, id, &countup_inputs(5)).unwrap();
+    }
+    for id in [100u64, 101] {
+        client.send(id, id, &countup_inputs(-1)).unwrap();
+    }
+    let mut served = Vec::new();
+    let mut over_budget = Vec::new();
+    for _ in 0..6 {
+        match client.recv() {
+            Ok(r) => served.push(r),
+            Err(IngressError::Rejected(rej)) => {
+                assert_eq!(rej.code, RejectCode::OverBudget);
+                assert_eq!(
+                    rej.depth,
+                    MAX_SUPERSTEPS + 1,
+                    "containment within max_supersteps + 1 supersteps"
+                );
+                assert_eq!(rej.budget, MAX_SUPERSTEPS);
+                over_budget.push(rej.id);
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    over_budget.sort_unstable();
+    assert_eq!(over_budget, [100, 101]);
+    assert_eq!(served.len(), 4);
+    for r in &served {
+        assert_eq!(
+            r.outputs[0].as_f64().unwrap(),
+            &[5.0],
+            "batchmates of evicted runaways must still answer correctly"
+        );
+    }
+    // Two blowups tripped the breaker: the program is quarantined and
+    // even well-behaved traffic is fast-rejected during cooldown.
+    match client.call(200, 200, &countup_inputs(5)).unwrap_err() {
+        IngressError::Rejected(rej) => {
+            assert_eq!(rej.id, 200);
+            assert_eq!(rej.code, RejectCode::Quarantined);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.over_budget, 2);
+    assert_eq!(stats.quarantined, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.respawned, 0, "governance is not a fleet fault");
+}

@@ -64,7 +64,7 @@ pub mod supervisor;
 pub use affinity::{AffinityConfig, SchedulingPolicy};
 pub use nuts_driver::{ChainResponse, NutsServer};
 pub use shard::{ShardHealth, ShardPlan, ShardedServer};
-pub use supervisor::{Outcome, Supervisor, SupervisorConfig};
+pub use supervisor::{Outcome, QuarantineConfig, QuarantineStatus, Supervisor, SupervisorConfig};
 
 /// Errors from the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +112,49 @@ pub enum ServeError {
         /// The error from the final attempt.
         last: Box<ServeError>,
     },
+    /// The request's lane spent more supersteps than its
+    /// [`RequestBudget::max_supersteps`] allows and was evicted at a
+    /// superstep boundary. Terminal: retrying a program that blew its
+    /// superstep budget would blow it again (the lane's draws are
+    /// deterministic), so a supervisor answers with this instead of
+    /// burning the retry budget.
+    BudgetExceeded {
+        /// Supersteps the lane had been charged when evicted.
+        spent: u64,
+        /// The configured per-request superstep ceiling.
+        limit: u64,
+    },
+    /// The request outlived its [`RequestBudget::deadline_ticks`] on the
+    /// server's virtual clock (queue wait plus in-flight residency) and
+    /// was evicted at a superstep boundary. Terminal.
+    DeadlineExceeded {
+        /// Ticks the request had been alive (queued + in flight).
+        elapsed: u64,
+        /// The configured per-request deadline, in ticks.
+        deadline: u64,
+    },
+    /// The request's lane exceeded its [`RequestBudget::max_lane_bytes`]
+    /// peak resident footprint and was evicted at a superstep boundary.
+    /// Terminal.
+    MemoryExceeded {
+        /// Peak resident bytes attributed to the lane when evicted.
+        bytes: u64,
+        /// The configured per-lane byte ceiling.
+        limit: u64,
+    },
+    /// The request was cancelled by the caller
+    /// ([`BatchServer::cancel`]) — client disconnect or an explicit
+    /// cancel frame — and its lane (or queue slot) was reclaimed.
+    /// Terminal; never retried.
+    Cancelled,
+    /// Fast rejection at admission: the served program has repeatedly
+    /// blown request budgets and its quarantine circuit breaker is
+    /// open (see [`QuarantineConfig`]). The request was never enqueued.
+    Quarantined {
+        /// Budget blowups inside the decay window when the breaker
+        /// tripped.
+        blowups: u32,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -137,6 +180,35 @@ impl std::fmt::Display for ServeError {
                     f,
                     "request {id} exhausted its retry budget after {attempts} \
                      retries; last error: {last}"
+                )
+            }
+            ServeError::BudgetExceeded { spent, limit } => {
+                write!(
+                    f,
+                    "superstep budget exceeded: lane spent {spent} supersteps \
+                     against a limit of {limit}"
+                )
+            }
+            ServeError::DeadlineExceeded { elapsed, deadline } => {
+                write!(
+                    f,
+                    "deadline exceeded: request alive {elapsed} ticks against \
+                     a deadline of {deadline}"
+                )
+            }
+            ServeError::MemoryExceeded { bytes, limit } => {
+                write!(
+                    f,
+                    "memory budget exceeded: lane peaked at {bytes} resident \
+                     bytes against a limit of {limit}"
+                )
+            }
+            ServeError::Cancelled => write!(f, "cancelled by the caller"),
+            ServeError::Quarantined { blowups } => {
+                write!(
+                    f,
+                    "program quarantined after {blowups} budget blowups; \
+                     fast-rejecting until the breaker half-opens"
                 )
             }
         }
@@ -258,6 +330,59 @@ impl AdmissionPolicy {
     }
 }
 
+/// Per-request resource ceilings, enforced at every superstep boundary
+/// of the serving loop ([`BatchServer::set_budget`]).
+///
+/// Each live lane is charged one superstep per superstep it stays
+/// running (admission starts the meter at zero; the charge travels with
+/// the lane through migration, so moving shards cannot reset it), its
+/// age in virtual-clock ticks is tracked from submission, and its peak
+/// resident bytes are derived from the machine's buffer shapes. A lane
+/// over any ceiling is **evicted mid-flight** through the same
+/// compaction path straggler migration uses — always at a superstep
+/// edge, never mid-fused-region (see [`PcMachine::extract_lanes`]) —
+/// and answered with the matching typed terminal error
+/// ([`ServeError::BudgetExceeded`] / [`ServeError::DeadlineExceeded`] /
+/// [`ServeError::MemoryExceeded`]) while its batchmates keep running
+/// bit-identically.
+///
+/// `None` fields are unenforced; the default budget is fully unlimited,
+/// so production paths can thread a `RequestBudget` unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestBudget {
+    /// Most supersteps a lane may stay running. A lane is evicted when
+    /// its spend **exceeds** this, i.e. at the `max_supersteps + 1`-th
+    /// charged superstep — the "within `max_supersteps + 1` supersteps
+    /// of admission" containment contract.
+    pub max_supersteps: Option<u64>,
+    /// Longest a request may stay alive, in ticks of the server's
+    /// virtual clock ([`BatchServer::set_clock`]): queue wait plus
+    /// in-flight residency. Enforcement happens at superstep
+    /// boundaries, so it fires only while the machine is being driven.
+    pub deadline_ticks: Option<u64>,
+    /// Peak resident bytes a single lane may reach (registers, stack
+    /// tops, and occupied stack frames attributed to the lane).
+    pub max_lane_bytes: Option<u64>,
+}
+
+impl RequestBudget {
+    /// The fully unenforced budget (every ceiling `None`).
+    pub const fn unlimited() -> Self {
+        RequestBudget {
+            max_supersteps: None,
+            deadline_ticks: None,
+            max_lane_bytes: None,
+        }
+    }
+
+    /// True if any ceiling is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_supersteps.is_some()
+            || self.deadline_ticks.is_some()
+            || self.max_lane_bytes.is_some()
+    }
+}
+
 /// One queued request: per-request inputs (each `[1, elem..]`) and a
 /// per-request RNG seed.
 #[derive(Debug, Clone)]
@@ -304,6 +429,25 @@ pub struct Migrant {
     pub admitted_at: u64,
     /// Queue-wait ticks from the original admission.
     pub queued_ticks: u64,
+    /// Virtual-clock reading at the original admission, carried so a
+    /// per-request deadline keeps counting across migrations.
+    pub admitted_clock: u64,
+}
+
+/// Bookkeeping for one lane admitted into the in-flight machine.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    /// The machine ticket identifying the lane.
+    ticket: u64,
+    /// The request id the lane is computing.
+    id: u64,
+    /// Superstep at admission (for [`Response::admitted_at`]).
+    admitted_at: u64,
+    /// Queue-wait ticks accrued before admission.
+    queued_ticks: u64,
+    /// Virtual-clock reading at admission; with `queued_ticks` this
+    /// gives the request's total age for deadline enforcement.
+    admitted_clock: u64,
 }
 
 /// A batch server owning a request queue and an in-flight [`PcMachine`].
@@ -341,8 +485,20 @@ pub struct BatchServer<'p> {
     queue_budget: Option<usize>,
     /// Deepest the queue has ever been.
     peak_pending: usize,
-    /// ticket → (request id, admission superstep, queue-wait ticks).
-    in_flight: Vec<(u64, u64, u64, u64)>,
+    /// Bookkeeping for every lane admitted and not yet retired.
+    in_flight: Vec<InFlight>,
+    /// Per-request resource ceilings enforced at superstep boundaries.
+    budget: RequestBudget,
+    /// Ids whose lanes should be evicted at the next superstep boundary
+    /// (cooperative cancellation).
+    cancel_requested: std::collections::BTreeSet<u64>,
+    /// Requests that reached a typed terminal failure inside the drive
+    /// loop (budget eviction, cancellation) — the failure-side analogue
+    /// of [`BatchServer::ready`], drained by
+    /// [`BatchServer::take_failed`].
+    failed: Vec<(u64, ServeError)>,
+    /// Lanes evicted by governance over the server's lifetime.
+    evictions: u64,
     /// Completed responses not yet handed to the caller. Buffered on the
     /// server so work finished before a mid-run error is not dropped with
     /// it — the next successful [`BatchServer::run_until_idle`] returns it.
@@ -407,6 +563,10 @@ impl<'p> BatchServer<'p> {
             queue_budget: None,
             peak_pending: 0,
             in_flight: Vec::new(),
+            budget: RequestBudget::unlimited(),
+            cancel_requested: std::collections::BTreeSet::new(),
+            failed: Vec::new(),
+            evictions: 0,
             ready: Vec::new(),
             poisoned: None,
             submitted: 0,
@@ -440,6 +600,63 @@ impl<'p> BatchServer<'p> {
     /// The configured load-shedding budget, if any.
     pub fn queue_budget(&self) -> Option<usize> {
         self.queue_budget
+    }
+
+    /// Set the per-request resource ceilings enforced at every superstep
+    /// boundary (see [`RequestBudget`]). The default is unlimited.
+    pub fn set_budget(&mut self, budget: RequestBudget) {
+        self.budget = budget;
+    }
+
+    /// The per-request resource ceilings in force.
+    pub fn budget(&self) -> RequestBudget {
+        self.budget
+    }
+
+    /// Request cooperative cancellation of a request. A still-queued
+    /// request is removed immediately; an in-flight request's lane is
+    /// evicted at the next superstep boundary of whatever drive call is
+    /// running (never mid-superstep). Either way the request's terminal
+    /// outcome becomes [`ServeError::Cancelled`], drained via
+    /// [`BatchServer::take_failed`]. Returns `false` when the id is
+    /// neither queued nor in flight (already answered, or never
+    /// submitted) — a completed request cannot be cancelled, so a
+    /// cancel racing completion yields the normal response.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.queue.iter().position(|(r, _)| r.id == id) {
+            self.queue.remove(pos);
+            self.failed.push((id, ServeError::Cancelled));
+            return true;
+        }
+        if self.in_flight.iter().any(|f| f.id == id) {
+            self.cancel_requested.insert(id);
+            return true;
+        }
+        false
+    }
+
+    /// Take the typed terminal failures produced by governance so far
+    /// (budget evictions and cancellations) — the failure-side analogue
+    /// of [`BatchServer::take_ready`]. Each request appears at most
+    /// once.
+    pub fn take_failed(&mut self) -> Vec<(u64, ServeError)> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Lanes evicted by governance (budget blowups + cancellations)
+    /// over the server's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total supersteps currently charged across the live lanes — the
+    /// aggregate in-flight budget spend a health report surfaces.
+    pub fn spent_supersteps(&self) -> u64 {
+        self.machine
+            .lane_spend()
+            .iter()
+            .map(|&(_, spent, _)| spent)
+            .sum()
     }
 
     /// The deepest the queue has ever been over the server's lifetime.
@@ -647,12 +864,13 @@ impl<'p> BatchServer<'p> {
                         rest.push((r, stamp));
                     } else {
                         match self.machine.admit(&r.inputs, r.seed, trace.as_deref_mut()) {
-                            Ok(ticket) => self.in_flight.push((
+                            Ok(ticket) => self.in_flight.push(InFlight {
                                 ticket,
-                                r.id,
-                                self.machine.supersteps(),
-                                clock.saturating_sub(stamp),
-                            )),
+                                id: r.id,
+                                admitted_at: self.machine.supersteps(),
+                                queued_ticks: clock.saturating_sub(stamp),
+                                admitted_clock: clock,
+                            }),
                             Err(e) => offender = Some(((r, stamp), e.into())),
                         }
                     }
@@ -675,12 +893,13 @@ impl<'p> BatchServer<'p> {
             }
         };
         for (ticket, (req, stamp)) in tickets.into_iter().zip(&batch) {
-            self.in_flight.push((
+            self.in_flight.push(InFlight {
                 ticket,
-                req.id,
-                self.machine.supersteps(),
-                clock.saturating_sub(*stamp),
-            ));
+                id: req.id,
+                admitted_at: self.machine.supersteps(),
+                queued_ticks: clock.saturating_sub(*stamp),
+                admitted_clock: clock,
+            });
         }
         Ok(())
     }
@@ -691,17 +910,78 @@ impl<'p> BatchServer<'p> {
             let pos = self
                 .in_flight
                 .iter()
-                .position(|(t, _, _, _)| *t == r.ticket)
+                .position(|f| f.ticket == r.ticket)
                 .expect("retired member was admitted by this server");
-            let (_, id, admitted_at, queued_ticks) = self.in_flight.swap_remove(pos);
+            let f = self.in_flight.swap_remove(pos);
+            self.cancel_requested.remove(&f.id);
             self.completed += 1;
             self.ready.push(Response {
-                id,
+                id: f.id,
                 outputs: r.outputs,
-                admitted_at,
+                admitted_at: f.admitted_at,
                 retired_at: self.machine.supersteps(),
-                queued_ticks,
+                queued_ticks: f.queued_ticks,
             });
+        }
+        Ok(())
+    }
+
+    /// Enforce the per-request budget and pending cancellations on every
+    /// live lane. Runs at superstep boundaries only — between
+    /// [`PcMachine::step`] calls the machine holds no fused-region
+    /// intermediates, so evicting a lane is pure row compaction and
+    /// cannot perturb its batchmates (see the soundness note on
+    /// [`PcMachine::extract_lanes`]). Doomed lanes are extracted through
+    /// the migration checkpoint path and dropped; their requests get a
+    /// typed terminal error in [`BatchServer::take_failed`].
+    fn enforce_governance(&mut self, trace: &mut Option<&mut Trace>) -> Result<()> {
+        if self.cancel_requested.is_empty() && !self.budget.is_limited() {
+            return Ok(());
+        }
+        let mut doomed: Vec<(u64, ServeError)> = Vec::new();
+        for (ticket, spent, peak) in self.machine.lane_spend() {
+            let f = self
+                .in_flight
+                .iter()
+                .find(|f| f.ticket == ticket)
+                .expect("running lane was admitted by this server");
+            // Total request age: time spent queued plus virtual-clock
+            // residency since admission. A request cannot dodge its
+            // deadline by waiting out the queue on a busy shard.
+            let elapsed = f.queued_ticks + self.clock.saturating_sub(f.admitted_clock);
+            let verdict = if self.cancel_requested.contains(&f.id) {
+                Some(ServeError::Cancelled)
+            } else if let Some(limit) = self.budget.max_supersteps.filter(|&l| spent > l) {
+                Some(ServeError::BudgetExceeded { spent, limit })
+            } else if let Some(deadline) = self.budget.deadline_ticks.filter(|&d| elapsed > d) {
+                Some(ServeError::DeadlineExceeded { elapsed, deadline })
+            } else {
+                self.budget
+                    .max_lane_bytes
+                    .filter(|&l| peak > l)
+                    .map(|limit| ServeError::MemoryExceeded { bytes: peak, limit })
+            };
+            if let Some(e) = verdict {
+                doomed.push((ticket, e));
+            }
+        }
+        if doomed.is_empty() {
+            return Ok(());
+        }
+        let tickets: Vec<u64> = doomed.iter().map(|&(t, _)| t).collect();
+        // One batched extraction; the lane states are dropped — the
+        // whole point is to stop spending resources on this work.
+        self.machine.extract_lanes(&tickets, trace.as_deref_mut())?;
+        for (ticket, e) in doomed {
+            let pos = self
+                .in_flight
+                .iter()
+                .position(|f| f.ticket == ticket)
+                .expect("doomed lane was in flight");
+            let f = self.in_flight.swap_remove(pos);
+            self.cancel_requested.remove(&f.id);
+            self.evictions += 1;
+            self.failed.push((f.id, e));
         }
         Ok(())
     }
@@ -743,7 +1023,7 @@ impl<'p> BatchServer<'p> {
     /// unrecoverable from this machine — the set a supervisor must
     /// retry elsewhere.
     pub fn in_flight_ids(&self) -> Vec<u64> {
-        self.in_flight.iter().map(|&(_, id, _, _)| id).collect()
+        self.in_flight.iter().map(|f| f.id).collect()
     }
 
     /// Drive the server until the queue and the machine are both empty,
@@ -784,10 +1064,12 @@ impl<'p> BatchServer<'p> {
         }
         loop {
             self.collect_retired(&mut trace)?;
+            self.enforce_governance(&mut trace)?;
             self.admit_pending(&mut trace)?;
             let stepped = self.step_machine(trace.as_deref_mut())?;
             if !stepped {
                 self.collect_retired(&mut trace)?;
+                self.enforce_governance(&mut trace)?;
                 if self.queue.is_empty() && self.machine.live() == 0 {
                     return Ok(std::mem::take(&mut self.ready));
                 }
@@ -834,10 +1116,12 @@ impl<'p> BatchServer<'p> {
             return Err(e.clone());
         }
         self.collect_retired(&mut trace)?;
+        self.enforce_governance(&mut trace)?;
         self.admit_pending(&mut trace)?;
         let stepped = self.step_machine(trace.as_deref_mut())?;
         if stepped {
             self.collect_retired(&mut trace)?;
+            self.enforce_governance(&mut trace)?;
         }
         Ok(stepped)
     }
@@ -863,6 +1147,7 @@ impl<'p> BatchServer<'p> {
         let mut steps = 0u64;
         loop {
             self.collect_retired(&mut trace)?;
+            self.enforce_governance(&mut trace)?;
             self.admit_pending(&mut trace)?;
             if steps >= budget {
                 break;
@@ -870,6 +1155,7 @@ impl<'p> BatchServer<'p> {
             let stepped = self.step_machine(trace.as_deref_mut())?;
             if !stepped {
                 self.collect_retired(&mut trace)?;
+                self.enforce_governance(&mut trace)?;
                 if self.queue.is_empty() && self.machine.live() == 0 {
                     break;
                 }
@@ -915,8 +1201,8 @@ impl<'p> BatchServer<'p> {
                 let id = self
                     .in_flight
                     .iter()
-                    .find(|(t, ..)| *t == ticket)
-                    .map(|&(_, id, _, _)| id)
+                    .find(|f| f.ticket == ticket)
+                    .map(|f| f.id)
                     .expect("running lane was admitted by this server");
                 (ticket, id, pc)
             })
@@ -948,14 +1234,15 @@ impl<'p> BatchServer<'p> {
                 let pos = self
                     .in_flight
                     .iter()
-                    .position(|(t, ..)| *t == ticket)
+                    .position(|f| f.ticket == ticket)
                     .expect("extracted lane was admitted by this server");
-                let (_, id, admitted_at, queued_ticks) = self.in_flight.swap_remove(pos);
+                let f = self.in_flight.swap_remove(pos);
                 Ok(Migrant {
-                    id,
+                    id: f.id,
                     lane,
-                    admitted_at,
-                    queued_ticks,
+                    admitted_at: f.admitted_at,
+                    queued_ticks: f.queued_ticks,
+                    admitted_clock: f.admitted_clock,
                 })
             })
             .collect()
@@ -985,8 +1272,13 @@ impl<'p> BatchServer<'p> {
             Ok(ticket) => ticket,
             Err(e) => return Err(Box::new((m, ServeError::from(e)))),
         };
-        self.in_flight
-            .push((ticket, m.id, m.admitted_at, m.queued_ticks));
+        self.in_flight.push(InFlight {
+            ticket,
+            id: m.id,
+            admitted_at: m.admitted_at,
+            queued_ticks: m.queued_ticks,
+            admitted_clock: m.admitted_clock,
+        });
         Ok(())
     }
 
@@ -1870,5 +2162,246 @@ mod tests {
             seed: 0,
         });
         assert!(matches!(err, Err(ServeError::BadRequest(_))));
+    }
+
+    /// Like `countup_program`, but with a data-dependent termination
+    /// hazard: `i` counts **up** toward `n` under an `i != n` loop
+    /// condition, so `n >= 0` terminates after `n` iterations while
+    /// `n < 0` never reaches its target — a genuinely non-terminating
+    /// loop (the PR 8 verifier reports it `Unbounded`; only runtime
+    /// governance can contain it).
+    fn runaway_program() -> autobatch_ir::lsab::Program {
+        use autobatch_ir::build::ProgramBuilder;
+        use autobatch_ir::Prim;
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("runaway", &["n", "x"], &["y"]);
+        pb.define(f, |fb| {
+            let n = fb.param(0);
+            let x = fb.param(1);
+            let y = fb.output(0);
+            fb.assign(&y, Prim::Id, &[x]);
+            let zero = fb.const_i64(0);
+            let i = fb.emit(Prim::Id, &[zero]);
+            let exit = fb.new_block();
+            let header = fb.new_block();
+            let body = fb.new_block();
+            fb.jump(header);
+            fb.switch_to(header);
+            let c = fb.emit(Prim::NeE, &[i.clone(), n.clone()]);
+            fb.branch(&c, body, exit);
+            fb.switch_to(body);
+            let one_f = fb.const_f64(1.0);
+            fb.assign(&y, Prim::Add, &[y.clone(), one_f]);
+            let one_i = fb.const_i64(1);
+            fb.assign(&i, Prim::Add, &[i.clone(), one_i]);
+            fb.jump(header);
+            fb.switch_to(exit);
+            fb.ret();
+        });
+        pb.finish(f).unwrap()
+    }
+
+    fn runaway_requests(ns: &[i64]) -> Vec<Request> {
+        ns.iter()
+            .enumerate()
+            .map(|(i, &n)| Request {
+                id: i as u64,
+                inputs: vec![
+                    Tensor::from_i64(&[n], &[1]).unwrap(),
+                    Tensor::from_f64(&[0.0], &[1]).unwrap(),
+                ],
+                seed: 1000 + i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runaway_lane_is_evicted_within_the_budget_contract() {
+        let (pc, _) = lower(&runaway_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 4,
+            min_utilization: 1.0,
+        };
+        // Baseline: the normal traffic alone, unbudgeted and fault-free.
+        let mut baseline =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in runaway_requests(&[3, 7, 5]) {
+            baseline.submit(r).unwrap();
+        }
+        let mut reference = baseline.run_until_idle(None).unwrap();
+        reference.sort_by_key(|r| r.id);
+
+        // Same traffic plus a genuinely non-terminating batchmate.
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        let limit = 32u64;
+        server.set_budget(RequestBudget {
+            max_supersteps: Some(limit),
+            ..RequestBudget::unlimited()
+        });
+        let mut requests = runaway_requests(&[3, 7, 5]);
+        requests.push(Request {
+            id: 3,
+            inputs: vec![
+                Tensor::from_i64(&[-1], &[1]).unwrap(),
+                Tensor::from_f64(&[0.0], &[1]).unwrap(),
+            ],
+            seed: 1003,
+        });
+        for r in requests {
+            server.submit(r).unwrap();
+        }
+        // `run_until_idle` returns: the runaway is evicted, not waited on.
+        let mut done = server.run_until_idle(None).unwrap();
+        done.sort_by_key(|r| r.id);
+
+        // Typed verdict, within `max_supersteps + 1` supersteps of
+        // admission (the charge that first *exceeds* the limit).
+        let failed = server.take_failed();
+        assert_eq!(failed.len(), 1);
+        let (id, error) = &failed[0];
+        assert_eq!(*id, 3);
+        match error {
+            ServeError::BudgetExceeded { spent, limit: l } => {
+                assert_eq!(*l, limit);
+                assert_eq!(
+                    *spent,
+                    limit + 1,
+                    "eviction must fire on the first over-budget charge"
+                );
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(server.evictions(), 1);
+
+        // Batchmates are bit-identical to the run without the runaway.
+        assert_eq!(done.len(), reference.len());
+        for (a, b) in reference.iter().zip(&done) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outputs, b.outputs, "eviction perturbed request {}", a.id);
+        }
+        // The server is healthy and idle, not wedged or poisoned.
+        assert!(server.poisoned().is_none());
+        assert_eq!(server.pending(), 0);
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn deadline_budget_evicts_a_lane_that_overstays() {
+        let (pc, _) = lower(&runaway_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 0.0,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        server.set_budget(RequestBudget {
+            deadline_ticks: Some(10),
+            ..RequestBudget::unlimited()
+        });
+        for r in runaway_requests(&[-1]) {
+            server.submit(r).unwrap();
+        }
+        // Step the runaway a little, then let the virtual clock jump
+        // past its deadline: the next superstep boundary evicts it.
+        for _ in 0..3 {
+            server.poll(None).unwrap();
+        }
+        server.set_clock(1_000);
+        while server.poll(None).unwrap() {}
+        let failed = server.take_failed();
+        assert_eq!(failed.len(), 1);
+        assert!(
+            matches!(
+                failed[0].1,
+                ServeError::DeadlineExceeded { deadline: 10, .. }
+            ),
+            "expected DeadlineExceeded, got {:?}",
+            failed[0].1
+        );
+        assert!(server.poisoned().is_none());
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn memory_budget_evicts_a_lane_over_its_byte_ceiling() {
+        let (pc, _) = lower(&runaway_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 0.0,
+        };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        // Any real lane holds more than one byte of registers.
+        server.set_budget(RequestBudget {
+            max_lane_bytes: Some(1),
+            ..RequestBudget::unlimited()
+        });
+        for r in runaway_requests(&[-1]) {
+            server.submit(r).unwrap();
+        }
+        let done = server.run_until_idle(None).unwrap();
+        assert!(done.is_empty());
+        let failed = server.take_failed();
+        assert_eq!(failed.len(), 1);
+        assert!(
+            matches!(failed[0].1, ServeError::MemoryExceeded { limit: 1, bytes } if bytes > 1),
+            "expected MemoryExceeded, got {:?}",
+            failed[0].1
+        );
+    }
+
+    #[test]
+    fn cancel_resolves_queued_and_in_flight_requests() {
+        let (pc, _) = lower(&runaway_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 1 };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        // id 0 is a runaway that will be admitted first (max_batch 1);
+        // id 1 waits in the queue behind it.
+        for r in runaway_requests(&[-1, 4]) {
+            server.submit(r).unwrap();
+        }
+        // Queued cancellation resolves immediately, without running.
+        assert!(server.cancel(1));
+        assert_eq!(server.pending(), 1);
+        // Unknown ids are a no-op.
+        assert!(!server.cancel(99));
+        // In-flight cancellation lands at the next superstep boundary.
+        for _ in 0..3 {
+            server.poll(None).unwrap();
+        }
+        assert!(server.cancel(0));
+        let done = server.run_until_idle(None).unwrap();
+        assert!(done.is_empty());
+        let mut failed = server.take_failed();
+        failed.sort_by_key(|&(id, _)| id);
+        assert_eq!(failed.len(), 2);
+        assert!(matches!(failed[0], (0, ServeError::Cancelled)));
+        assert!(matches!(failed[1], (1, ServeError::Cancelled)));
+        assert_eq!(
+            server.evictions(),
+            1,
+            "only the in-flight cancel evicts a lane"
+        );
+        assert!(server.poisoned().is_none());
+        assert_eq!(server.pending(), 0);
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn completion_wins_a_cancel_race() {
+        let (pc, _) = lower(&runaway_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 1 };
+        let mut server =
+            BatchServer::new(&pc, KernelRegistry::new(), ExecOptions::default(), policy).unwrap();
+        for r in runaway_requests(&[2]) {
+            server.submit(r).unwrap();
+        }
+        let done = server.run_until_idle(None).unwrap();
+        assert_eq!(done.len(), 1);
+        // The request already retired: a late cancel matches nothing.
+        assert!(!server.cancel(0));
+        assert!(server.take_failed().is_empty());
     }
 }

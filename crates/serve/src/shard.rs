@@ -39,14 +39,26 @@ use autobatch_ir::pcab::Program;
 
 use crate::affinity::{plan_migrations, plan_splits, plan_steals, ShardView};
 use crate::{
-    AdmissionPolicy, AffinityConfig, BatchServer, Request, Response, Result, SchedulingPolicy,
-    ServeError,
+    AdmissionPolicy, AffinityConfig, BatchServer, Request, RequestBudget, Response, Result,
+    SchedulingPolicy, ServeError,
 };
+
+/// Supersteps per round when the least-loaded fleet is driven with a
+/// cancellation hook ([`ShardedServer::run_until_idle_with`]): the
+/// bound on how stale a cooperative cancellation can go before the
+/// fleet observes it.
+const CANCEL_QUANTUM: u64 = 64;
 
 /// One shard's outcome for a quantum round: the responses it completed
 /// plus the supersteps it actually ran; `None` for shards sitting out
 /// the round (dead or poisoned).
 type RoundOutcome = Option<Result<(Vec<Response>, u64)>>;
+
+/// The empty cancellation hook [`ShardedServer::run_until_idle`] drives
+/// the PC-affinity rounds with.
+fn noop() -> Vec<u64> {
+    Vec::new()
+}
 
 /// Recover a human-readable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -147,6 +159,13 @@ pub struct ShardHealth {
     pub last_error: Option<ServeError>,
     /// Whether the slot can currently accept and run work.
     pub healthy: bool,
+    /// Lanes the current server evicted under governance (budget
+    /// blowups + cancellations). Resets when the slot is respawned —
+    /// it describes the live machine, not the slot's lifetime.
+    pub evictions: u64,
+    /// Supersteps charged across the lanes currently in flight on this
+    /// slot — the live budget spend a dashboard watches climb.
+    pub spent_supersteps: u64,
 }
 
 impl Shard<'_> {
@@ -226,10 +245,19 @@ pub struct ShardedServer<'p> {
     retired_completed: u64,
     /// Peak queue depth on servers that were since respawned.
     retired_peak: usize,
+    /// Governance evictions on servers that were since respawned.
+    retired_evictions: u64,
+    /// Governance failures salvaged from respawned shards, awaiting
+    /// [`ShardedServer::take_failed`].
+    failed: Vec<(u64, ServeError)>,
     /// Per-shard load-shedding budget (mirrors each shard's
     /// [`BatchServer::set_queue_budget`]); kept here so routing can
     /// report a fleet-level [`ServeError::Overloaded`].
     queue_budget: Option<usize>,
+    /// Per-request resource ceilings (mirrors each shard's
+    /// [`BatchServer::set_budget`]); kept here so a respawned shard
+    /// re-enforces the same budget.
+    budget: RequestBudget,
     /// Next global submission sequence number.
     next_seq: u64,
     /// Request id → submission sequence numbers, FIFO per id. Unique
@@ -297,7 +325,10 @@ impl<'p> ShardedServer<'p> {
             fault_round: 0,
             retired_completed: 0,
             retired_peak: 0,
+            retired_evictions: 0,
+            failed: Vec::new(),
             queue_budget: None,
+            budget: RequestBudget::unlimited(),
             next_seq: 0,
             order: BTreeMap::new(),
             ready: Vec::new(),
@@ -323,6 +354,61 @@ impl<'p> ShardedServer<'p> {
         for s in &mut self.shards {
             s.server.set_queue_budget(budget);
         }
+    }
+
+    /// Set the per-request resource ceilings every shard enforces at
+    /// superstep boundaries (see [`RequestBudget`]). Respawned shards
+    /// inherit the budget, so a rebuild never un-governs the fleet.
+    pub fn set_budget(&mut self, budget: RequestBudget) {
+        self.budget = budget;
+        for s in &mut self.shards {
+            s.server.set_budget(budget);
+        }
+    }
+
+    /// The per-request resource ceilings in force.
+    pub fn budget(&self) -> RequestBudget {
+        self.budget
+    }
+
+    /// Request cooperative cancellation of a request anywhere in the
+    /// fleet (see [`BatchServer::cancel`]). Returns `false` when no
+    /// shard knows the id — already answered, or never submitted.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        self.shards.iter_mut().any(|s| s.server.cancel(id))
+    }
+
+    /// Drain the typed terminal failures governance produced across the
+    /// fleet (budget evictions and cancellations), in shard-index order,
+    /// including failures salvaged from shards that were since
+    /// respawned. Each drained id's submission sequence is released —
+    /// the request will never produce a response, so holding its slot
+    /// would mis-order a later reuse of the id.
+    pub fn take_failed(&mut self) -> Vec<(u64, ServeError)> {
+        for i in 0..self.shards.len() {
+            self.salvage_failed(i);
+        }
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Move shard `i`'s governance failures into the fleet buffer,
+    /// releasing each id's submission sequence as it lands.
+    fn salvage_failed(&mut self, i: usize) {
+        for (id, e) in self.shards[i].server.take_failed() {
+            Self::pop_seq(&mut self.order, id);
+            self.failed.push((id, e));
+        }
+    }
+
+    /// Lanes evicted under governance over the fleet's lifetime
+    /// (including on servers since respawned — unlike
+    /// [`ShardHealth::evictions`], which is per-live-server).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.server.evictions())
+            .sum::<u64>()
+            + self.retired_evictions
     }
 
     /// Select the fleet's scheduling policy (default
@@ -451,6 +537,8 @@ impl<'p> ShardedServer<'p> {
                 respawns: s.respawns,
                 last_error: s.fault_record.clone(),
                 healthy: !s.poisoned(),
+                evictions: s.server.evictions(),
+                spent_supersteps: s.server.spent_supersteps(),
             })
             .collect()
     }
@@ -483,6 +571,10 @@ impl<'p> ShardedServer<'p> {
             let seq = Self::pop_seq(&mut self.order, r.id);
             self.ready.push((seq, r));
         }
+        // Governance verdicts already reached are salvaged too: a
+        // budget-evicted request's terminal failure must not be lost
+        // (and then retried) just because its shard later died.
+        self.salvage_failed(i);
         let lost = self.shards[i].server.in_flight_ids();
         let mut stranded = Vec::new();
         while let Some(r) = self.shards[i].server.reject() {
@@ -498,8 +590,10 @@ impl<'p> ShardedServer<'p> {
             .expect("policy was validated when the fleet was built");
         server.set_clock(self.clock);
         server.set_queue_budget(self.queue_budget);
+        server.set_budget(self.budget);
         self.retired_completed += self.shards[i].server.completed();
         self.retired_peak = self.retired_peak.max(self.shards[i].server.peak_pending());
+        self.retired_evictions += self.shards[i].server.evictions();
         self.shards[i] = Shard {
             server,
             trace: Trace::new(self.backend),
@@ -771,7 +865,30 @@ impl<'p> ShardedServer<'p> {
     pub fn run_until_idle(&mut self) -> Result<Vec<Response>> {
         match self.scheduling {
             SchedulingPolicy::LeastLoaded => self.run_fleet_to_idle(),
-            SchedulingPolicy::PcAffinity(cfg) => self.run_affinity(cfg),
+            SchedulingPolicy::PcAffinity(cfg) => {
+                self.run_rounds(cfg.quantum, Some(cfg), false, &mut noop)
+            }
+        }
+    }
+
+    /// As [`ShardedServer::run_until_idle`], but with a cooperative
+    /// cancellation hook: `poll` is called between scheduling rounds and
+    /// every id it returns is [cancelled](ShardedServer::cancel) before
+    /// the next round runs. Under [`SchedulingPolicy::LeastLoaded`] the
+    /// fleet is driven in bounded rounds (instead of one burst per
+    /// shard) so a cancellation lands within a bounded quantum of
+    /// supersteps — the price of mid-drive responsiveness; results are
+    /// identical either way, since round boundaries only change *when*
+    /// the host observes each shard, never what the lanes compute.
+    pub fn run_until_idle_with(
+        &mut self,
+        poll: &mut dyn FnMut() -> Vec<u64>,
+    ) -> Result<Vec<Response>> {
+        match self.scheduling {
+            SchedulingPolicy::LeastLoaded => self.run_rounds(CANCEL_QUANTUM, None, true, poll),
+            SchedulingPolicy::PcAffinity(cfg) => {
+                self.run_rounds(cfg.quantum, Some(cfg), false, poll)
+            }
         }
     }
 
@@ -878,14 +995,15 @@ impl<'p> ShardedServer<'p> {
         }
     }
 
-    /// The PC-affinity driver: shards run concurrently in rounds of at
-    /// most `quantum` supersteps each, and between rounds the scheduler
-    /// applies the migration and stealing plans from
-    /// [`crate::affinity`]. Error handling matches the least-loaded
-    /// driver — a failing shard is poisoned if it panicked, its
-    /// completed work is salvaged, it leaves this call's rotation, and
-    /// the first error (by shard index) is returned after the healthy
-    /// remainder drains.
+    /// The round driver: shards run concurrently in rounds of at most
+    /// `quantum` supersteps each. Between rounds the `poll` hook is
+    /// drained (cooperative cancellation) and — when `rebalance_cfg` is
+    /// set (PC-affinity scheduling) — the scheduler applies the
+    /// migration and stealing plans from [`crate::affinity`]. Error
+    /// handling matches the least-loaded driver — a failing shard is
+    /// poisoned if it panicked, its completed work is salvaged, it
+    /// leaves this call's rotation, and the first error (by shard
+    /// index) is returned after the healthy remainder drains.
     ///
     /// When a whole round runs zero supersteps and moves nothing, every
     /// runnable shard is deadline-blocked: the fleet clock advances to
@@ -893,17 +1011,42 @@ impl<'p> ShardedServer<'p> {
     /// fast-forward). If no shard names a deadline either, the fleet is
     /// wedged (e.g. only errored shards still hold work) and the drive
     /// stops — the recorded per-shard errors say why.
-    fn run_affinity(&mut self, cfg: AffinityConfig) -> Result<Vec<Response>> {
-        let quantum = cfg.quantum.max(1);
+    fn run_rounds(
+        &mut self,
+        quantum: u64,
+        rebalance_cfg: Option<AffinityConfig>,
+        fault_once: bool,
+        poll: &mut dyn FnMut() -> Vec<u64>,
+    ) -> Result<Vec<Response>> {
+        let quantum = quantum.max(1);
         let cap = self.policy.max_batch().max(1);
         let mut first_error: Option<ServeError> = None;
         // Shards that errored during *this* call: out of the rotation
         // until the caller triages (respawn/reject), like the one-burst
         // driver's post-error behavior.
         let mut dead = vec![false; self.shards.len()];
-        loop {
-            let round = self.fault_round;
+        // `fault_once` gives burst-equivalent chaos: one counter per
+        // (call, shard), checked on the shard's first round only, so a
+        // deterministic plan sees the same per-attempt fault frequency
+        // as the one-burst driver no matter how many quanta the drive
+        // takes. Without it (PC-affinity) every round draws its own
+        // counter, which the plan accounts for.
+        let call_round = self.fault_round;
+        if fault_once {
             self.fault_round += 1;
+        }
+        let mut fresh = vec![true; self.shards.len()];
+        loop {
+            for id in poll() {
+                self.cancel(id);
+            }
+            let round = if fault_once {
+                call_round
+            } else {
+                let r = self.fault_round;
+                self.fault_round += 1;
+                r
+            };
             let nshards = self.shards.len() as u64;
             let fault = self.opts.fault;
             let results: Vec<RoundOutcome> = std::thread::scope(|scope| {
@@ -911,24 +1054,22 @@ impl<'p> ShardedServer<'p> {
                     .shards
                     .iter_mut()
                     .zip(&dead)
+                    .zip(fresh.iter_mut())
                     .enumerate()
-                    .map(|(i, (shard, &is_dead))| {
+                    .map(|(i, ((shard, &is_dead), fresh_i))| {
                         scope.spawn(move || {
                             if is_dead || shard.server.poisoned().is_some() {
                                 return None;
                             }
-                            // Same fleet-unique chaos counter scheme
-                            // as the one-burst driver; quantum
-                            // rounds consume rounds faster, which a
-                            // deterministic plan accounts for.
+                            let inject = !fault_once || std::mem::take(fresh_i);
                             let counter = round * nshards + i as u64;
-                            if fault.fires(FaultPoint::WorkerSlow, counter) {
+                            if inject && fault.fires(FaultPoint::WorkerSlow, counter) {
                                 std::thread::sleep(std::time::Duration::from_micros(
                                     fault.delay_micros(counter),
                                 ));
                             }
                             let run = catch_unwind(AssertUnwindSafe(|| {
-                                if fault.fires(FaultPoint::WorkerPanic, counter) {
+                                if inject && fault.fires(FaultPoint::WorkerPanic, counter) {
                                     panic!(
                                         "injected fault at {} (counter {counter})",
                                         FaultPoint::WorkerPanic.name()
@@ -998,7 +1139,10 @@ impl<'p> ShardedServer<'p> {
             if !work_left {
                 break;
             }
-            let moved = self.rebalance(cap, &cfg, &dead);
+            let moved = match &rebalance_cfg {
+                Some(cfg) => self.rebalance(cap, cfg, &dead),
+                None => 0,
+            };
             if steps_total == 0 && moved == 0 {
                 let next = active
                     .iter()
@@ -1466,5 +1610,223 @@ mod tests {
             Backend::hybrid_cpu(),
         );
         assert!(matches!(err, Err(ServeError::BadPolicy(_))));
+    }
+
+    #[test]
+    fn fleet_contains_runaways_and_reports_governance_health() {
+        use autobatch_chaos::FaultPlan;
+        // Every lane runs away (the chaos Runaway site rewinds the pc
+        // to entry each superstep); only budgets can end this traffic.
+        let plan = FaultPlan {
+            seed: 11,
+            runaway: FaultPlan::ALWAYS,
+            ..FaultPlan::none()
+        };
+        let opts = ExecOptions {
+            fault: plan,
+            ..ExecOptions::default()
+        };
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 0.0,
+        };
+        let mut server = sharded(policy, 4, opts, &pc);
+        server.set_budget(crate::RequestBudget {
+            max_supersteps: Some(8),
+            ..crate::RequestBudget::unlimited()
+        });
+        for id in 0..4u64 {
+            server.submit(fib_request(id, 20)).unwrap();
+        }
+        // `run_until_idle` returns: nothing waits on the runaways.
+        let done = server.run_until_idle().unwrap();
+        assert!(done.is_empty());
+        let failed = server.take_failed();
+        assert_eq!(failed.len(), 4);
+        for (_, e) in &failed {
+            assert!(
+                matches!(e, ServeError::BudgetExceeded { spent: 9, limit: 8 }),
+                "expected a typed budget verdict, got {e:?}"
+            );
+        }
+        assert_eq!(server.evictions(), 4);
+        let health = server.health();
+        assert!(health.iter().all(|h| h.healthy), "no shard may wedge");
+        assert_eq!(health.iter().map(|h| h.evictions).sum::<u64>(), 4);
+        assert_eq!(server.pending() + server.in_flight(), 0);
+    }
+
+    #[test]
+    fn quarantine_trips_probes_and_recovers() {
+        use autobatch_chaos::{FaultPlan, FaultPoint};
+        let plan = FaultPlan {
+            seed: 3,
+            runaway: FaultPlan::ALWAYS / 2,
+            ..FaultPlan::none()
+        };
+        // Whether a request runs away is keyed by its RNG seed: pick
+        // two doomed seeds and one clean one from the plan itself.
+        let mut doomed = (0u64..).filter(|&s| plan.fires(FaultPoint::Runaway, s));
+        let clean = (0u64..)
+            .find(|&s| !plan.fires(FaultPoint::Runaway, s))
+            .unwrap();
+        let request = |id: u64, seed: u64| Request {
+            id,
+            inputs: vec![Tensor::from_i64(&[10], &[1]).unwrap()],
+            seed,
+        };
+        let opts = ExecOptions {
+            fault: plan,
+            ..ExecOptions::default()
+        };
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let policy = AdmissionPolicy::DrainAndRefill { max_batch: 2 };
+        let fleet = sharded(policy, 2, opts, &pc);
+        let mut sup = crate::Supervisor::new(
+            fleet,
+            crate::SupervisorConfig {
+                quarantine: crate::QuarantineConfig {
+                    trip_threshold: 2,
+                    decay_rounds: 64,
+                    cooldown_rounds: 3,
+                },
+                ..crate::SupervisorConfig::default()
+            },
+        );
+        sup.set_budget(crate::RequestBudget {
+            max_supersteps: Some(2048),
+            ..crate::RequestBudget::unlimited()
+        });
+
+        // Two budget blowups inside the window trip the breaker.
+        sup.submit(request(0, doomed.next().unwrap())).unwrap();
+        sup.submit(request(1, doomed.next().unwrap())).unwrap();
+        let outcomes = sup.run_until_quiescent();
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(
+                matches!(
+                    o,
+                    crate::Outcome::Failed {
+                        error: ServeError::BudgetExceeded { .. },
+                        ..
+                    }
+                ),
+                "expected budget blowups, got {o:?}"
+            );
+        }
+        assert!(
+            matches!(
+                sup.quarantine(),
+                crate::QuarantineStatus::Open { blowups: 2, .. }
+            ),
+            "breaker must be open, got {:?}",
+            sup.quarantine()
+        );
+
+        // Open: fast-rejects, each advancing the cooldown clock, until
+        // the half-open probe slot admits one request.
+        let mut refusals = 0u64;
+        loop {
+            match sup.submit(request(100 + refusals, clean)) {
+                Err(ServeError::Quarantined { .. }) => refusals += 1,
+                Ok(()) => break,
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+            assert!(refusals <= 3, "cooldown must elapse within cooldown_rounds");
+        }
+        assert!(matches!(
+            sup.quarantine(),
+            crate::QuarantineStatus::HalfOpen { probing: true }
+        ));
+        // A second request cannot share the probe slot.
+        assert!(matches!(
+            sup.submit(request(999, clean)),
+            Err(ServeError::Quarantined { .. })
+        ));
+
+        // The clean probe terminates normally: breaker closes, record
+        // resets, and traffic flows again.
+        let outcomes = sup.run_until_quiescent();
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| matches!(o, crate::Outcome::Done(_))),
+            "the probe must complete, got {outcomes:?}"
+        );
+        assert!(matches!(
+            sup.quarantine(),
+            crate::QuarantineStatus::Closed { recent_blowups: 0 }
+        ));
+        sup.submit(request(200, clean)).unwrap();
+        let outcomes = sup.run_until_quiescent();
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], crate::Outcome::Done(_)));
+    }
+
+    #[test]
+    fn blown_probe_reopens_the_breaker() {
+        use autobatch_chaos::{FaultPlan, FaultPoint};
+        let plan = FaultPlan {
+            seed: 5,
+            runaway: FaultPlan::ALWAYS / 2,
+            ..FaultPlan::none()
+        };
+        let mut doomed = (0u64..).filter(|&s| plan.fires(FaultPoint::Runaway, s));
+        let request = |id: u64, seed: u64| Request {
+            id,
+            inputs: vec![Tensor::from_i64(&[10], &[1]).unwrap()],
+            seed,
+        };
+        let opts = ExecOptions {
+            fault: plan,
+            ..ExecOptions::default()
+        };
+        let (pc, _) = lower(&fibonacci_program(), LoweringOptions::default()).unwrap();
+        let fleet = sharded(
+            AdmissionPolicy::DrainAndRefill { max_batch: 2 },
+            2,
+            opts,
+            &pc,
+        );
+        let mut sup = crate::Supervisor::new(
+            fleet,
+            crate::SupervisorConfig {
+                quarantine: crate::QuarantineConfig {
+                    trip_threshold: 1,
+                    decay_rounds: 64,
+                    cooldown_rounds: 2,
+                },
+                ..crate::SupervisorConfig::default()
+            },
+        );
+        sup.set_budget(crate::RequestBudget {
+            max_supersteps: Some(8),
+            ..crate::RequestBudget::unlimited()
+        });
+        sup.submit(request(0, doomed.next().unwrap())).unwrap();
+        sup.run_until_quiescent();
+        assert!(matches!(
+            sup.quarantine(),
+            crate::QuarantineStatus::Open { .. }
+        ));
+        let mut refusals = 0u64;
+        let probe_seed = doomed.next().unwrap();
+        loop {
+            match sup.submit(request(100 + refusals, probe_seed)) {
+                Err(ServeError::Quarantined { .. }) => refusals += 1,
+                Ok(()) => break,
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+            assert!(refusals <= 2, "cooldown must elapse within cooldown_rounds");
+        }
+        // The probe itself runs away: straight back to quarantine.
+        sup.run_until_quiescent();
+        assert!(
+            matches!(sup.quarantine(), crate::QuarantineStatus::Open { .. }),
+            "a blown probe must re-open the breaker, got {:?}",
+            sup.quarantine()
+        );
     }
 }

@@ -31,7 +31,7 @@
 //! Backoff is measured in fleet rounds, not wall clock, so supervised
 //! runs stay deterministic and replayable.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use autobatch_core::VmError;
 
@@ -49,6 +49,10 @@ pub struct SupervisorConfig {
     /// request on its `n`-th retry is parked for `backoff_rounds * n`
     /// rounds before re-entering the queue. Values below 1 behave as 1.
     pub backoff_rounds: u64,
+    /// When the supervised program's requests repeatedly blow their
+    /// resource budgets, trip a circuit breaker that fast-rejects at
+    /// admission (see [`QuarantineConfig`]).
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for SupervisorConfig {
@@ -56,6 +60,188 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             retry_budget: 3,
             backoff_rounds: 1,
+            quarantine: QuarantineConfig::default(),
+        }
+    }
+}
+
+/// The per-program quarantine breaker's tuning.
+///
+/// Budget blowups ([`ServeError::BudgetExceeded`],
+/// [`ServeError::DeadlineExceeded`], [`ServeError::MemoryExceeded`] —
+/// cancellations never count) are recorded against the supervised
+/// program with the fleet round they happened in. When
+/// `trip_threshold` blowups accumulate inside the `decay_rounds`
+/// sliding window, the breaker **opens**: [`Supervisor::submit`]
+/// fast-rejects with [`ServeError::Quarantined`] instead of burning
+/// fleet capacity on a program that keeps running away. After
+/// `cooldown_rounds` the breaker goes **half-open**: exactly one probe
+/// request is admitted — if it completes, the breaker closes and the
+/// record resets; if it blows a budget again, the breaker re-opens for
+/// another cooldown. Round-based (not wall-clock), so supervised runs
+/// stay deterministic and replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Blowups within the window that open the breaker. `0` disables
+    /// quarantine entirely.
+    pub trip_threshold: u32,
+    /// Sliding window, in fleet rounds, a blowup stays on the record.
+    pub decay_rounds: u64,
+    /// Rounds the breaker stays open before half-open probing. While
+    /// open, each fast-rejected submission also advances the round
+    /// clock (refusals are the quarantined program's only events), so
+    /// a steady caller reaches the half-open probe after at most
+    /// `cooldown_rounds` refusals.
+    pub cooldown_rounds: u64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            trip_threshold: 3,
+            decay_rounds: 32,
+            cooldown_rounds: 16,
+        }
+    }
+}
+
+/// Observable state of the per-program quarantine breaker
+/// ([`Supervisor::quarantine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineStatus {
+    /// Admitting normally; `recent_blowups` are on the sliding-window
+    /// record.
+    Closed {
+        /// Budget blowups still inside the decay window.
+        recent_blowups: u32,
+    },
+    /// Fast-rejecting all submissions until `until_round`.
+    Open {
+        /// First fleet round at which half-open probing begins.
+        until_round: u64,
+        /// Blowups on record when the breaker tripped.
+        blowups: u32,
+    },
+    /// Cooldown elapsed: one probe request may be admitted.
+    HalfOpen {
+        /// Whether the single probe slot is currently occupied.
+        probing: bool,
+    },
+}
+
+/// The breaker itself: a windowed blowup log plus the open/half-open
+/// state machine described on [`QuarantineConfig`].
+#[derive(Debug)]
+struct Breaker {
+    config: QuarantineConfig,
+    /// Fleet rounds at which budget blowups were recorded, oldest
+    /// first; pruned to the decay window.
+    blowups: VecDeque<u64>,
+    state: BreakerState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until_round: u64 },
+    HalfOpen { probe: Option<u64> },
+}
+
+impl Breaker {
+    fn new(config: QuarantineConfig) -> Breaker {
+        Breaker {
+            config,
+            blowups: VecDeque::new(),
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Drop blowups that fell out of the sliding window.
+    fn decay(&mut self, round: u64) {
+        let horizon = round.saturating_sub(self.config.decay_rounds);
+        while self.blowups.front().is_some_and(|&r| r < horizon) {
+            self.blowups.pop_front();
+        }
+    }
+
+    /// Gate one admission at `round`. `Ok(())` admits; an open breaker
+    /// rejects with [`ServeError::Quarantined`]. Handles the
+    /// open→half-open transition when the cooldown has elapsed.
+    fn admit(&mut self, round: u64, id: u64) -> Result<()> {
+        self.decay(round);
+        if let BreakerState::Open { until_round } = self.state {
+            if round < until_round {
+                return Err(ServeError::Quarantined {
+                    blowups: self.blowups.len() as u32,
+                });
+            }
+            self.state = BreakerState::HalfOpen { probe: None };
+        }
+        match self.state {
+            BreakerState::HalfOpen { probe: Some(_) } => Err(ServeError::Quarantined {
+                blowups: self.blowups.len() as u32,
+            }),
+            BreakerState::HalfOpen { probe: None } => {
+                self.state = BreakerState::HalfOpen { probe: Some(id) };
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The probe never actually entered the fleet (its submission
+    /// failed downstream of the breaker): free the probe slot.
+    fn abort_probe(&mut self, id: u64) {
+        if self.state == (BreakerState::HalfOpen { probe: Some(id) }) {
+            self.state = BreakerState::HalfOpen { probe: None };
+        }
+    }
+
+    /// A request completed. A successful probe closes the breaker and
+    /// resets the record — the program demonstrably terminates again.
+    fn note_done(&mut self, id: u64) {
+        if self.state == (BreakerState::HalfOpen { probe: Some(id) }) {
+            self.state = BreakerState::Closed;
+            self.blowups.clear();
+        }
+    }
+
+    /// A request failed. A budget blowup goes on the record and can
+    /// trip (or re-open) the breaker; a non-blowup failure of the probe
+    /// (cancellation, retries exhausted) proves nothing about the
+    /// program, so the probe slot simply reopens.
+    fn note_failed(&mut self, id: u64, round: u64, blowup: bool) {
+        if !blowup {
+            self.abort_probe(id);
+            return;
+        }
+        if self.config.trip_threshold == 0 {
+            return;
+        }
+        self.decay(round);
+        self.blowups.push_back(round);
+        let probe_blew = self.state == (BreakerState::HalfOpen { probe: Some(id) });
+        let tripped = self.state == BreakerState::Closed
+            && self.blowups.len() >= self.config.trip_threshold as usize;
+        if probe_blew || tripped {
+            self.state = BreakerState::Open {
+                until_round: round + self.config.cooldown_rounds.max(1),
+            };
+        }
+    }
+
+    fn status(&self) -> QuarantineStatus {
+        match self.state {
+            BreakerState::Closed => QuarantineStatus::Closed {
+                recent_blowups: self.blowups.len() as u32,
+            },
+            BreakerState::Open { until_round } => QuarantineStatus::Open {
+                until_round,
+                blowups: self.blowups.len() as u32,
+            },
+            BreakerState::HalfOpen { probe } => QuarantineStatus::HalfOpen {
+                probing: probe.is_some(),
+            },
         }
     }
 }
@@ -135,6 +321,8 @@ pub struct Supervisor<'p> {
     round: u64,
     /// Retry attempts performed over the supervisor's lifetime.
     retries: u64,
+    /// The per-program quarantine breaker (see [`QuarantineConfig`]).
+    breaker: Breaker,
 }
 
 impl<'p> Supervisor<'p> {
@@ -148,6 +336,7 @@ impl<'p> Supervisor<'p> {
             failed: Vec::new(),
             round: 0,
             retries: 0,
+            breaker: Breaker::new(config.quarantine),
         }
     }
 
@@ -166,6 +355,34 @@ impl<'p> Supervisor<'p> {
     /// [`ShardedServer::set_queue_budget`].
     pub fn set_queue_budget(&mut self, budget: Option<usize>) {
         self.inner.set_queue_budget(budget);
+    }
+
+    /// Set the per-request resource ceilings every shard enforces. See
+    /// [`ShardedServer::set_budget`].
+    pub fn set_budget(&mut self, budget: crate::RequestBudget) {
+        self.inner.set_budget(budget);
+    }
+
+    /// The per-program quarantine breaker's observable state.
+    pub fn quarantine(&self) -> QuarantineStatus {
+        self.breaker.status()
+    }
+
+    /// Request cooperative cancellation of a tracked request: a parked
+    /// retry is answered with [`ServeError::Cancelled`] immediately; a
+    /// queued or in-flight request is cancelled through the fleet (its
+    /// lane evicted at the next superstep boundary) and resolves to the
+    /// same typed outcome on the next
+    /// [`Supervisor::run_until_quiescent`]. Returns `false` when the id
+    /// is unknown — already answered, or never submitted.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.parked.iter().position(|(r, _)| r.id == id) {
+            let (r, _) = self.parked.remove(pos);
+            self.inner.abandon_seq(r.id);
+            self.resolve_failure(id, ServeError::Cancelled);
+            return true;
+        }
+        self.inner.cancel(id)
     }
 
     /// Total shard respawns performed so far.
@@ -197,11 +414,19 @@ impl<'p> Supervisor<'p> {
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] / [`ServeError::Overloaded`] as
-    /// [`ShardedServer::submit`]; [`ServeError::RetriesExhausted`] when
-    /// injected admission faults outlasted the budget. In every error
-    /// case the request is **not** tracked: the error *is* its terminal
-    /// outcome.
+    /// [`ShardedServer::submit`]; [`ServeError::Quarantined`] when the
+    /// program's breaker is open (fast rejection — nothing reaches the
+    /// fleet); [`ServeError::RetriesExhausted`] when injected admission
+    /// faults outlasted the budget. In every error case the request is
+    /// **not** tracked: the error *is* its terminal outcome.
     pub fn submit(&mut self, request: Request) -> Result<()> {
+        if let Err(e) = self.breaker.admit(self.round, request.id) {
+            // While the breaker is open nothing enters the fleet, so
+            // no drive rounds happen: fast-rejects are the program's
+            // only events and therefore drive the cooldown clock.
+            self.round += 1;
+            return Err(e);
+        }
         // A fleet left sick by a previous drive (or a panic mid-run)
         // must not refuse new work: heal before routing.
         if !self.inner.poisoned_shards().is_empty() {
@@ -216,6 +441,7 @@ impl<'p> Supervisor<'p> {
                 }
                 Err(e @ ServeError::Vm(VmError::Injected { .. })) => {
                     if attempts >= self.config.retry_budget {
+                        self.breaker.abort_probe(request.id);
                         return Err(ServeError::RetriesExhausted {
                             id: request.id,
                             attempts,
@@ -225,7 +451,12 @@ impl<'p> Supervisor<'p> {
                     attempts += 1;
                     self.retries += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // The breaker admitted this id but it never entered
+                    // the fleet: free the half-open probe slot, if held.
+                    self.breaker.abort_probe(request.id);
+                    return Err(e);
+                }
             }
         }
     }
@@ -242,15 +473,47 @@ impl<'p> Supervisor<'p> {
     /// that fires on every round terminates with typed
     /// [`Outcome::Failed`] answers — and a healthy fleet.
     pub fn run_until_quiescent(&mut self) -> Vec<Outcome> {
+        self.drive(None)
+    }
+
+    /// As [`Supervisor::run_until_quiescent`], with a cooperative
+    /// cancellation hook: `poll` is drained between supervision rounds
+    /// *and* between fleet scheduling rounds (see
+    /// [`ShardedServer::run_until_idle_with`]), and every id it returns
+    /// is [cancelled](Supervisor::cancel) — the plumbing an ingress
+    /// front end uses to map client disconnects onto lane evictions
+    /// while a flush is still running.
+    pub fn run_until_quiescent_with(&mut self, poll: &mut dyn FnMut() -> Vec<u64>) -> Vec<Outcome> {
+        self.drive(Some(poll))
+    }
+
+    fn drive(&mut self, mut poll: Option<&mut dyn FnMut() -> Vec<u64>>) -> Vec<Outcome> {
         let mut outcomes = Vec::new();
         loop {
+            if let Some(p) = poll.as_mut() {
+                // Supervisor-level drain: catches ids the fleet cannot
+                // see (parked retries). Queued/in-flight ids forward to
+                // the shards like any cancel.
+                for id in p() {
+                    self.cancel(id);
+                }
+            }
             self.triage();
             self.heal();
             // Salvaged completions from triage/heal (and any left over
             // from an errored previous drive).
             for r in self.inner.take_ready() {
                 self.tracked.remove(&r.id);
+                self.breaker.note_done(r.id);
                 outcomes.push(Outcome::Done(r));
+            }
+            // Governance verdicts are terminal, never retried: a budget
+            // blowup would blow the same budget again on re-execution
+            // (same program, same inputs, deterministic VM), and a
+            // cancelled request has nobody waiting for it. Blowups feed
+            // the quarantine breaker.
+            for (id, error) in self.inner.take_failed() {
+                self.resolve_failure(id, error);
             }
             // Release parked retries whose backoff expired; if the
             // fleet is otherwise idle, fast-forward to the next release
@@ -285,7 +548,11 @@ impl<'p> Supervisor<'p> {
                 return outcomes;
             }
             self.round += 1;
-            let completed = match self.inner.run_until_idle() {
+            let run = match poll.as_mut() {
+                Some(p) => self.inner.run_until_idle_with(*p),
+                None => self.inner.run_until_idle(),
+            };
+            let completed = match run {
                 Ok(responses) => responses,
                 // The error is recorded per shard; triage/heal at the
                 // top of the next iteration act on it. Completed work
@@ -294,9 +561,25 @@ impl<'p> Supervisor<'p> {
             };
             for r in completed {
                 self.tracked.remove(&r.id);
+                self.breaker.note_done(r.id);
                 outcomes.push(Outcome::Done(r));
             }
         }
+    }
+
+    /// Resolve one request to a typed terminal failure, feeding the
+    /// quarantine breaker. (The fleet-side submission sequence is
+    /// assumed already released.)
+    fn resolve_failure(&mut self, id: u64, error: ServeError) {
+        self.tracked.remove(&id);
+        let blowup = matches!(
+            error,
+            ServeError::BudgetExceeded { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::MemoryExceeded { .. }
+        );
+        self.breaker.note_failed(id, self.round, blowup);
+        self.failed.push(Outcome::Failed { id, error });
     }
 
     /// Answer recoverable admission offenders with their typed error.
@@ -311,6 +594,7 @@ impl<'p> Supervisor<'p> {
             if let Some(r) = self.inner.reject_on(i) {
                 self.tracked.remove(&r.id);
                 self.inner.abandon_seq(r.id);
+                self.breaker.note_failed(r.id, self.round, false);
                 self.failed.push(Outcome::Failed { id: r.id, error: e });
             }
         }
@@ -368,6 +652,7 @@ impl<'p> Supervisor<'p> {
         if attempts > self.config.retry_budget {
             self.tracked.remove(&request.id);
             self.inner.abandon_seq(request.id);
+            self.breaker.note_failed(request.id, self.round, false);
             self.failed.push(Outcome::Failed {
                 id: request.id,
                 error: ServeError::RetriesExhausted {

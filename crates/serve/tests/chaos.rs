@@ -16,7 +16,8 @@ use autobatch_core::{lower, ExecOptions, KernelRegistry, LoweringOptions};
 use autobatch_ir::build::fibonacci_program;
 use autobatch_ir::pcab::Program;
 use autobatch_serve::{
-    AdmissionPolicy, Outcome, Request, ServeError, ShardedServer, Supervisor, SupervisorConfig,
+    AdmissionPolicy, AffinityConfig, Outcome, Request, RequestBudget, SchedulingPolicy, ServeError,
+    ShardedServer, Supervisor, SupervisorConfig,
 };
 use autobatch_tensor::Tensor;
 use proptest::prelude::*;
@@ -162,6 +163,113 @@ proptest! {
         // The fleet ends healthy: poison never outlives the drive.
         prop_assert!(sup.inner().poisoned_shards().is_empty());
         prop_assert_eq!(sup.outstanding(), 0);
+    }
+
+    /// The governance invariant: random budgets × worker counts ×
+    /// scheduling policies × runaway mixes may evict any subset of the
+    /// traffic, but every submitted request still reaches exactly one
+    /// terminal outcome (a response, or a typed governance/retry
+    /// verdict), every survivor is bit-identical to an unbudgeted
+    /// fault-free run, and the fleet ends healthy and idle — no budget
+    /// blowup, however placed, can wedge `run_until_quiescent`.
+    #[test]
+    fn budget_eviction_cannot_perturb_survivors(
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        runaway in 0u32..(FaultPlan::ALWAYS / 2),
+        worker_panic in 0u32..8_192,
+        max_supersteps in 24u64..96,
+        lane_bytes_raw in 0u64..1_000_000,
+        least_loaded in any::<bool>(),
+        quantum in 4u64..24,
+    ) {
+        silence_injected_panics();
+        let program = fib_program();
+        let ns: Vec<i64> = (0..8).map(|i| 3 + (i % 7)).collect();
+        let reqs = requests(&ns);
+        let want = reference(&program, workers, &reqs);
+
+        let plan = FaultPlan {
+            seed,
+            runaway,
+            worker_panic,
+            ..FaultPlan::none()
+        };
+        let opts = ExecOptions {
+            fault: plan,
+            ..ExecOptions::default()
+        };
+        let policy = AdmissionPolicy::JoinAtEntry {
+            max_batch: 2,
+            min_utilization: 1.0,
+        };
+        let mut inner = ShardedServer::new(
+            &program,
+            KernelRegistry::new(),
+            opts,
+            policy,
+            workers,
+            Backend::hybrid_cpu(),
+        )
+        .expect("fleet");
+        if !least_loaded {
+            inner.set_scheduling(SchedulingPolicy::PcAffinity(AffinityConfig {
+                quantum,
+                ..AffinityConfig::default()
+            }));
+        }
+        let mut sup = Supervisor::new(inner, SupervisorConfig::default());
+        // Zero means "no byte ceiling"; anything else is a ceiling that
+        // may or may not bite — both are legitimate draws.
+        let max_lane_bytes = (lane_bytes_raw > 0).then_some(255 + lane_bytes_raw);
+        sup.set_budget(RequestBudget {
+            max_supersteps: Some(max_supersteps),
+            max_lane_bytes,
+            ..RequestBudget::unlimited()
+        });
+        let mut outcomes: Vec<Outcome> = Vec::new();
+        for r in &reqs {
+            if let Err(e) = sup.submit(r.clone()) {
+                outcomes.push(Outcome::Failed { id: r.id, error: e });
+            }
+        }
+        outcomes.extend(sup.run_until_quiescent());
+
+        // Exactly one terminal outcome per submitted request.
+        let mut seen: Vec<u64> = outcomes.iter().map(Outcome::id).collect();
+        seen.sort_unstable();
+        let all: Vec<u64> = (0..reqs.len() as u64).collect();
+        prop_assert_eq!(seen, all, "every request answered exactly once");
+
+        for o in &outcomes {
+            match o {
+                // Survivors are bit-identical to the unbudgeted
+                // fault-free run: eviction compaction cannot perturb a
+                // batchmate.
+                Outcome::Done(r) => {
+                    prop_assert_eq!(&r.outputs, &want[&r.id], "request {} drifted", r.id);
+                }
+                // Failures are typed governance or retry verdicts —
+                // never a poisoned-fleet or lost-request shape.
+                Outcome::Failed { error, .. } => {
+                    prop_assert!(
+                        matches!(
+                            error,
+                            ServeError::BudgetExceeded { .. }
+                                | ServeError::MemoryExceeded { .. }
+                                | ServeError::RetriesExhausted { .. }
+                                | ServeError::Quarantined { .. }
+                        ),
+                        "unexpected terminal error: {}", error
+                    );
+                }
+            }
+        }
+
+        // Healthy and idle: no wedge, no poison, nothing in flight.
+        prop_assert!(sup.inner().poisoned_shards().is_empty());
+        prop_assert_eq!(sup.outstanding(), 0);
+        prop_assert_eq!(sup.inner().pending() + sup.inner().in_flight(), 0);
     }
 }
 
